@@ -1,0 +1,18 @@
+//! Spec-mining throughput: the ahead-of-time cost of building the
+//! specification library (Fig. 4 is run once per command, offline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shoal_miner::mine_command;
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mine");
+    g.sample_size(10);
+    for name in ["rm", "cp", "cd"] {
+        g.bench_function(name, |b| b.iter(|| mine_command(black_box(name)).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Monitoring overhead (E10's criterion counterpart): raw pass-through
+//! vs. monitored pass-through.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shoal_monitor::{OnViolation, StreamMonitor};
+use shoal_relang::Regex;
+use std::hint::black_box;
+
+fn stream(n: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend_from_slice(format!("0xabc{:x} value={i}\n", i % 4096).as_bytes());
+    }
+    out
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let data = stream(10_000);
+    let ty = Regex::parse("0x[0-9a-f]+ value=[0-9]+").unwrap();
+    let mut g = c.benchmark_group("stream_10k_lines");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("baseline_linewise_copy", |b| {
+        b.iter(|| {
+            let mut sink = Vec::with_capacity(data.len());
+            for line in black_box(&data).split(|b| *b == b'\n') {
+                sink.extend_from_slice(line);
+                sink.push(b'\n');
+            }
+            sink
+        })
+    });
+    g.bench_function("monitored", |b| {
+        b.iter(|| {
+            let mut m = StreamMonitor::new(&ty, OnViolation::Flag);
+            let mut sink = Vec::with_capacity(data.len());
+            m.feed(black_box(&data), &mut sink).unwrap();
+            m.finish()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

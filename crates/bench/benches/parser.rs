@@ -1,0 +1,33 @@
+//! Parser throughput over generated scripts of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shoal_corpus::scale;
+use shoal_shparse::parse_script;
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for n in [10usize, 100, 1000] {
+        let src = scale::straight_line(n);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(BenchmarkId::new("straight_line", n), &src, |b, s| {
+            b.iter(|| parse_script(black_box(s)).unwrap())
+        });
+    }
+    let fig2 = shoal_corpus::figures::FIG2;
+    g.bench_function("fig2", |b| {
+        b.iter(|| parse_script(black_box(fig2)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let src = scale::straight_line(100);
+    let ast = parse_script(&src).unwrap();
+    c.bench_function("print_100_lines", |b| {
+        b.iter(|| black_box(&ast).to_source())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Symbolic-execution cost (E9's criterion counterpart): figures,
+//! scaling scripts, and the pruning ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shoal_core::{analyze_source_with, AnalysisOptions};
+use shoal_corpus::{figures, scale};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    for (name, src) in [
+        ("fig1", figures::FIG1),
+        ("fig2", figures::FIG2),
+        ("fig5", figures::FIG5),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| analyze_source_with(black_box(src), AnalysisOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("straight_line");
+    g.sample_size(10);
+    for n in [10usize, 50] {
+        let src = scale::straight_line(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, s| {
+            b.iter(|| analyze_source_with(black_box(s), AnalysisOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let src = scale::branchy(6);
+    let mut g = c.benchmark_group("branchy6");
+    g.sample_size(20);
+    g.bench_function("with_pruning", |b| {
+        b.iter(|| analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap())
+    });
+    g.bench_function("without_pruning", |b| {
+        b.iter(|| {
+            analyze_source_with(
+                black_box(&src),
+                AnalysisOptions {
+                    enable_pruning: false,
+                    ..AnalysisOptions::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_scaling,
+    bench_pruning_ablation
+);
+criterion_main!(benches);

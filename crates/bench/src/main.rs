@@ -1,0 +1,53 @@
+//! `xp` — the experiment harness.
+//!
+//! One subcommand per experiment from DESIGN.md §3 (`xp e1` … `xp e12`),
+//! plus `xp all`. Each prints the table or series EXPERIMENTS.md records.
+//! Everything is deterministic (fixed seeds); re-running regenerates the
+//! same numbers up to wall-clock timings.
+
+use std::process::ExitCode;
+
+mod experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("help");
+    match which {
+        "e1" => experiments::e1_figures(),
+        "e2" => experiments::e2_dead_pipe(),
+        "e3" => experiments::e3_variants(),
+        "e4" => experiments::e4_mining(),
+        "e5" => experiments::e5_always_fails(),
+        "e6" => experiments::e6_poly_types(),
+        "e7" => experiments::e7_fixpoint(),
+        "e8" => experiments::e8_corpus(),
+        "e9" => experiments::e9_scaling(),
+        "e10" => experiments::e10_monitor_overhead(),
+        "e11" => experiments::e11_verify(),
+        "e12" => experiments::e12_platform_rwdeps(),
+        "e13" => experiments::e13_extensions(),
+        "all" => {
+            experiments::e1_figures();
+            experiments::e2_dead_pipe();
+            experiments::e3_variants();
+            experiments::e4_mining();
+            experiments::e5_always_fails();
+            experiments::e6_poly_types();
+            experiments::e7_fixpoint();
+            experiments::e8_corpus();
+            experiments::e9_scaling();
+            experiments::e10_monitor_overhead();
+            experiments::e11_verify();
+            experiments::e12_platform_rwdeps();
+            experiments::e13_extensions();
+        }
+        _ => {
+            eprintln!(
+                "usage: xp <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all>\n\
+                 Each subcommand regenerates one experiment from EXPERIMENTS.md."
+            );
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,422 @@
+//! `shoal` — semantics-driven static analysis for Unix shell programs.
+//!
+//! Subcommands:
+//!
+//! * `analyze SCRIPT…` — run the full symbolic analysis (the paper's
+//!   headline: catches Fig. 1, proves Fig. 2, catches Fig. 3).
+//! * `lint SCRIPT…` — the ShellCheck-style syntactic baseline, for
+//!   comparison.
+//! * `typecheck 'PIPELINE'` — stream-type a pipeline and print each
+//!   stage's line types.
+//! * `mine COMMAND…` — run the Fig. 4 spec-mining pipeline and print
+//!   the mined specification.
+//! * `verify --no-RW PREFIX SCRIPT` — the §5 security checker.
+//! * `monitor --type T [--halt]` — the runtime stream monitor
+//!   (stdin → stdout).
+//! * `explain COMMAND` — print the ground-truth specification.
+
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "lint" => cmd_lint(rest),
+        "typecheck" => cmd_typecheck(rest),
+        "mine" => cmd_mine(rest),
+        "verify" => cmd_verify(rest),
+        "monitor" => cmd_monitor(rest),
+        "explain" => cmd_explain(rest),
+        "coach" => cmd_coach(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("shoal: unknown subcommand {other:?}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+shoal — semantics-driven static analysis for Unix shell programs
+
+USAGE:
+    shoal analyze SCRIPT...            symbolic analysis (all checkers)
+    shoal lint SCRIPT...               syntactic baseline linter
+    shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
+    shoal mine COMMAND...              mine specs from docs + probing
+    shoal verify --no-RW PREFIX SCRIPT check a script against a policy
+    shoal monitor --type T [--halt]    monitor stdin line types
+    shoal explain COMMAND              print a command's specification
+    shoal coach SCRIPT...              optimization suggestions (§5)
+";
+
+fn read_script(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut src = String::new();
+        std::io::stdin()
+            .read_to_string(&mut src)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(src)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_analyze(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("shoal analyze: no scripts given");
+        return ExitCode::from(2);
+    }
+    let mut worst = ExitCode::SUCCESS;
+    for path in paths {
+        let src = match read_script(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("shoal: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match shoal_core::analyze_source(&src) {
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                worst = ExitCode::from(2);
+            }
+            Ok(report) => {
+                if report.diagnostics.is_empty() {
+                    println!("{path}: no findings across all explored executions");
+                } else {
+                    for d in &report.diagnostics {
+                        println!("{path}: {d}");
+                    }
+                    if report
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.severity >= shoal_core::Severity::Warning)
+                    {
+                        worst = ExitCode::FAILURE;
+                    }
+                }
+                println!(
+                    "{path}: {} execution path(s) explored{}",
+                    report.paths_completed,
+                    if report.incomplete { " (capped)" } else { "" }
+                );
+            }
+        }
+    }
+    worst
+}
+
+fn cmd_lint(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("shoal lint: no scripts given");
+        return ExitCode::from(2);
+    }
+    let mut worst = ExitCode::SUCCESS;
+    for path in paths {
+        let src = match read_script(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("shoal: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match shoal_lint::lint_source(&src) {
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                worst = ExitCode::from(2);
+            }
+            Ok(lints) => {
+                for l in &lints {
+                    println!("{path}: {l}");
+                }
+                if !lints.is_empty() {
+                    worst = ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    worst
+}
+
+fn cmd_typecheck(args: &[String]) -> ExitCode {
+    let Some(src) = args.first() else {
+        eprintln!("shoal typecheck: give a pipeline as one argument");
+        return ExitCode::from(2);
+    };
+    let script = match shoal_shparse::parse_script(src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(item) = script.items.first() else {
+        eprintln!("empty input");
+        return ExitCode::from(2);
+    };
+    let pipe = &item.and_or.first;
+    let engine = shoal_core::engine::Engine::new(shoal_core::AnalysisOptions::default());
+    let mut world = shoal_core::World::initial();
+    let final_ty = engine.stream_check_pipeline(&mut world, pipe, None);
+    for d in &world.diags {
+        println!("{d}");
+    }
+    match final_ty {
+        Some(ty) => {
+            println!("final output line type: {ty}");
+            let aliases = shoal_streamty::TypeAliases::builtin();
+            if let Some(name) = aliases.type_of(&ty) {
+                println!("  (a subtype of `{name}`)");
+            }
+            if world.diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            println!("pipeline contains stages the type system cannot model");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_mine(names: &[String]) -> ExitCode {
+    let names: Vec<String> = if names.is_empty() {
+        shoal_miner::manpages::all_documented()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        names.to_vec()
+    };
+    for name in &names {
+        match shoal_miner::mine_command(name) {
+            Some(spec) => {
+                print!("{}", shoal_spec::text::render_spec(&spec));
+                println!();
+            }
+            None => eprintln!("shoal mine: no documentation for {name:?}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let mut policy = shoal_monitor::Policy::default();
+    let mut script_path: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-RW" | "--no-rw" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--no-RW needs a path prefix");
+                    return ExitCode::from(2);
+                };
+                policy.no_read.push(p.clone());
+                policy.no_write.push(p.clone());
+            }
+            "--no-read" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--no-read needs a path prefix");
+                    return ExitCode::from(2);
+                };
+                policy.no_read.push(p.clone());
+            }
+            "--no-write" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("--no-write needs a path prefix");
+                    return ExitCode::from(2);
+                };
+                policy.no_write.push(p.clone());
+            }
+            other if !other.starts_with("--") => script_path = Some(&args[i]),
+            other => {
+                eprintln!("shoal verify: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = script_path else {
+        eprintln!("shoal verify: no script given (use - for stdin)");
+        return ExitCode::from(2);
+    };
+    let src = match read_script(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("shoal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs = shoal_spec::SpecLibrary::builtin();
+    match shoal_monitor::verify_source(&src, &policy, &specs) {
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            for f in &report.findings {
+                let severity = match f.certainty {
+                    shoal_monitor::verify::Certainty::Definite => shoal_core::Severity::Error,
+                    shoal_monitor::verify::Certainty::Possible => shoal_core::Severity::Warning,
+                };
+                let diag = shoal_core::Diagnostic::new(
+                    shoal_core::DiagCode::PolicyViolation,
+                    severity,
+                    f.span,
+                    format!(
+                        "{:?} {} of protected {} by `{}`",
+                        f.certainty, f.access, f.prefix, f.what
+                    ),
+                );
+                println!("{diag}");
+            }
+            for (span, what) in &report.unclassified {
+                println!("{span}: unclassifiable command `{what}` — wrap with runtime containment");
+            }
+            if report.conclusively_safe() {
+                println!(
+                    "conclusively safe: {} command(s) verified against the policy",
+                    report.commands_checked
+                );
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn cmd_monitor(args: &[String]) -> ExitCode {
+    let mut ty_text: Option<&String> = None;
+    let mut halt = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--type" => {
+                i += 1;
+                ty_text = args.get(i);
+            }
+            "--halt" => halt = true,
+            other => {
+                eprintln!("shoal monitor: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(ty_text) = ty_text else {
+        eprintln!("shoal monitor: --type is required");
+        return ExitCode::from(2);
+    };
+    let aliases = shoal_streamty::TypeAliases::builtin();
+    let ty = match aliases.resolve(ty_text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("shoal monitor: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = if halt {
+        shoal_monitor::OnViolation::Halt
+    } else {
+        shoal_monitor::OnViolation::Flag
+    };
+    let mut monitor = shoal_monitor::StreamMonitor::new(&ty, policy);
+    let stdin = std::io::stdin();
+    let mut reader = BufReader::new(stdin.lock());
+    let stdout = std::io::stdout();
+    let mut writer = stdout.lock();
+    match monitor.run(&mut reader, &mut writer) {
+        Ok(report) => {
+            let _ = writer.flush();
+            if report.violations > 0 {
+                eprintln!(
+                    "shoal monitor: {} violation(s), first at line {}{}",
+                    report.violations,
+                    report.first_violation.unwrap_or(0),
+                    if report.halted {
+                        " — stream halted"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("shoal monitor: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_coach(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("shoal coach: no scripts given");
+        return ExitCode::from(2);
+    }
+    let specs = shoal_spec::SpecLibrary::builtin();
+    for path in paths {
+        let src = match read_script(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("shoal: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match shoal_shparse::parse_script(&src) {
+            Err(e) => eprintln!("{path}: parse error: {e}"),
+            Ok(script) => {
+                let suggestions = shoal_core::coach::coach(&script, &specs);
+                if suggestions.is_empty() {
+                    println!("{path}: no optimization opportunities found");
+                }
+                for s in suggestions {
+                    println!("{path}: {s}");
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(names: &[String]) -> ExitCode {
+    let specs = shoal_spec::SpecLibrary::builtin();
+    if names.is_empty() {
+        println!("specified commands: {}", specs.names().join(", "));
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for name in names {
+        match specs.get(name) {
+            Some(spec) => print!("{}", shoal_spec::text::render_spec(spec)),
+            None => {
+                eprintln!("shoal explain: no specification for {name:?}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

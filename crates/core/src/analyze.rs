@@ -1,0 +1,185 @@
+//! The public analysis API.
+//!
+//! [`analyze_source`] parses and analyzes a script, returning an
+//! [`AnalysisReport`] with deduplicated diagnostics and exploration
+//! statistics. Options control the exploration budget and the ablation
+//! switches used by the evaluation harness (E9 measures the effect of
+//! disabling concrete pruning; E6 compares monomorphic and polymorphic
+//! stream types through `shoal-streamty` directly).
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::engine::Engine;
+use crate::world::World;
+use shoal_shparse::{parse_script, ParseError, Script};
+
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Loop unrolling bound.
+    pub loop_bound: usize,
+    /// Maximum simultaneously-live worlds.
+    pub max_worlds: usize,
+    /// Run the stream-type checker over pipelines.
+    pub enable_stream_types: bool,
+    /// Refine symbol constraints at forks and prune infeasible worlds
+    /// (§3 "pruning via concrete state whenever possible"). Disabling
+    /// this is the E9 ablation.
+    pub enable_pruning: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            loop_bound: 2,
+            max_worlds: 64,
+            enable_stream_types: true,
+            enable_pruning: true,
+        }
+    }
+}
+
+/// The result of analyzing one script.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Deduplicated diagnostics, ordered by line then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of execution paths that reached the end of the script.
+    pub paths_completed: usize,
+    /// Peak world count is not tracked exactly; this is the number of
+    /// terminal worlds (a lower bound on explored states).
+    pub worlds_explored: usize,
+    /// True when exploration hit a cap somewhere.
+    pub incomplete: bool,
+}
+
+impl AnalysisReport {
+    /// Diagnostics of a given code.
+    pub fn with_code(&self, code: DiagCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// True when a diagnostic with this code was reported.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+/// Analyzes a parsed script (no annotations).
+pub fn analyze_script(script: &Script, opts: AnalysisOptions) -> AnalysisReport {
+    analyze_script_annotated(script, opts, crate::annotations::Annotations::default())
+}
+
+/// Analyzes a parsed script with inline annotations in effect.
+pub fn analyze_script_annotated(
+    script: &Script,
+    opts: AnalysisOptions,
+    annotations: crate::annotations::Annotations,
+) -> AnalysisReport {
+    let mut engine = Engine::new(opts);
+    let mut initial = World::initial();
+    // `#@ var NAME : TYPE` constrains the initial environment.
+    let var_annotations: Vec<(String, shoal_relang::Regex)> = annotations
+        .vars
+        .iter()
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    engine.annotations = annotations;
+    for (name, ty) in var_annotations {
+        let v = initial.fresh_sym(ty, &format!("${name} (annotated)"));
+        initial.set_var(&name, v);
+    }
+    let mut worlds = engine.exec_items(vec![initial], &script.items);
+    // Idempotence pass (§4, CoLiS criterion): a path succeeded only
+    // because some location was in state S initially, and the script
+    // left it in a different state — so an immediate second run of the
+    // same path fails at that command.
+    for w in worlds.iter_mut() {
+        let mut findings = Vec::new();
+        for (key, assumed, span) in &w.fragile_assumptions {
+            let now = w.fs.lookup(key);
+            let flipped = match (assumed, now) {
+                (shoal_symfs::state::NodeState::Absent, Some(s)) if s.exists() => true,
+                (a, Some(shoal_symfs::state::NodeState::Absent)) if a.exists() => true,
+                _ => false,
+            };
+            if flipped {
+                findings.push(Diagnostic::new(
+                    DiagCode::IdempotenceRisk,
+                    crate::diag::Severity::Warning,
+                    *span,
+                    format!(
+                        "not idempotent: this command succeeds only while {key} is {assumed},                          but the script leaves it {} — a second run fails here",
+                        now.map(|s| s.to_string()).unwrap_or_else(|| "changed".into())
+                    ),
+                ));
+            }
+        }
+        for d in findings {
+            w.report(d);
+        }
+    }
+    let worlds = worlds;
+    let paths_completed = worlds.len();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut incomplete = false;
+    for w in &worlds {
+        for d in &w.diags {
+            if d.code == DiagCode::AnalysisIncomplete {
+                incomplete = true;
+            }
+            // Deduplicate by (code, line, message) keeping the first
+            // (whose path condition is usually the shortest).
+            let dup = diagnostics
+                .iter()
+                .any(|e| e.code == d.code && e.span.line == d.span.line && e.message == d.message);
+            if !dup {
+                diagnostics.push(d.clone());
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.span.line, a.code, a.message.clone()).cmp(&(b.span.line, b.code, b.message.clone()))
+    });
+    AnalysisReport {
+        diagnostics,
+        paths_completed,
+        worlds_explored: paths_completed,
+        incomplete,
+    }
+}
+
+/// Parses and analyzes shell source with default options.
+///
+/// # Errors
+///
+/// Returns the parse error if the source is not valid shell.
+pub fn analyze_source(src: &str) -> Result<AnalysisReport, ParseError> {
+    analyze_source_with(src, AnalysisOptions::default())
+}
+
+/// Parses and analyzes shell source with explicit options.
+///
+/// # Errors
+///
+/// Returns the parse error if the source is not valid shell.
+pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisReport, ParseError> {
+    let script = parse_script(src)?;
+    match crate::annotations::parse_annotations(src) {
+        Ok(annotations) => Ok(analyze_script_annotated(&script, opts, annotations)),
+        Err(e) => {
+            // A malformed annotation must not hide the analysis; report
+            // it as a note and continue un-annotated.
+            let mut report = analyze_script(&script, opts);
+            report.diagnostics.insert(
+                0,
+                Diagnostic::new(
+                    DiagCode::AnalysisIncomplete,
+                    crate::diag::Severity::Note,
+                    shoal_shparse::Span::new(0, 0, e.line),
+                    e.to_string(),
+                ),
+            );
+            Ok(report)
+        }
+    }
+}

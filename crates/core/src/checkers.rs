@@ -1,0 +1,329 @@
+//! The incorrectness checkers.
+//!
+//! §4 ("Incorrectness criteria") observes that the shell lacks a
+//! well-established notion of program correctness and assembles criteria
+//! from the literature and bugs in the wild. The checkers here cover the
+//! criteria the paper discusses concretely:
+//!
+//! * **dangerous deletion** ([`classify_delete`]) — a removal whose
+//!   target may be `/`, empty (expanding `"$X"/*` to `/*`), or a
+//!   protected ancestor: the Steam catastrophe of Figs. 1/3;
+//! * **platform dependence** ([`is_platform_source`]) — values derived
+//!   from `uname`/`lsb_release` steering control flow (§5);
+//! * **read/write dependencies** ([`rw_deps`]) — the command-ordering
+//!   information §5 says would let speculative/incremental executors
+//!   (hS, Riker) skip dynamic tracing.
+//!
+//! Always-fails and dead-pipe checking live in the engine itself, where
+//! the world state is at hand.
+
+use crate::diag::{DiagCode, Diagnostic, Severity};
+use crate::value::SymStr;
+use shoal_relang::Regex;
+use shoal_shparse::{Command, ListItem, Script, Span};
+use shoal_spec::hoare::{operand_indices, Effect};
+use shoal_spec::SpecLibrary;
+use std::collections::BTreeSet;
+
+/// How dangerous a deletion target is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteDanger {
+    /// Definitely catastrophic (`rm -rf /*` literally).
+    Certain(String),
+    /// Catastrophic on some feasible execution; the payload names the
+    /// condition.
+    Possible(String),
+}
+
+/// Classifies one `rm`-style deletion target: `base` is the path value
+/// and `glob_tail` the active glob suffix (e.g. `"/*"`), as produced by
+/// field expansion.
+pub fn classify_delete(base: &SymStr, glob_tail: Option<&str>) -> Option<DeleteDanger> {
+    let deletes_children_of_base = matches!(glob_tail, Some(t) if t == "/*" || t == "*");
+    let slash_sep = matches!(glob_tail, Some("/*"));
+    if deletes_children_of_base {
+        // `BASE/*`: catastrophic when BASE resolves to the root — i.e.
+        // BASE may be "", "/", or (for a bare `*` tail) end with "/".
+        if let Some(text) = base.as_literal() {
+            let effective = if slash_sep {
+                format!("{text}/")
+            } else {
+                text.clone()
+            };
+            let norm = shoal_symfs::normalize_lexical(&effective);
+            if norm == "/" {
+                return Some(DeleteDanger::Certain(format!(
+                    "deletes every child of / (target expands to {:?})",
+                    format!("{text}{}", glob_tail.unwrap_or(""))
+                )));
+            }
+            return None;
+        }
+        let lang = base.to_regex();
+        if base.may_be_empty() {
+            return Some(DeleteDanger::Possible(
+                "the path before the glob may expand to the empty string, making the target /*"
+                    .to_string(),
+            ));
+        }
+        if lang.matches(b"/") {
+            return Some(DeleteDanger::Possible(
+                "the path before the glob may be \"/\", making the target //*".to_string(),
+            ));
+        }
+        return None;
+    }
+    // Whole-tree deletion of the target itself.
+    let lang = base.to_regex();
+    if let Some(text) = base.as_literal() {
+        if shoal_symfs::normalize_lexical(&text) == "/" {
+            return Some(DeleteDanger::Certain(
+                "deletes the file-system root".to_string(),
+            ));
+        }
+        return None;
+    }
+    // A bare, unconstrained variable (`rm -rf "$1"`) is not flagged:
+    // nothing in the script narrows it toward "/", and warning on every
+    // variable deletion would be exactly the syntactic noise the paper
+    // criticizes. Danger requires evidence: a narrowed constraint or a
+    // composite value (e.g. `"$X"/` with possibly-empty `$X`).
+    if let Some((_, c)) = base.as_single_sym() {
+        if c.equiv(&Regex::any_line()) || c.equiv(&Regex::anything()) {
+            return None;
+        }
+    }
+    if lang.matches(b"/") {
+        return Some(DeleteDanger::Possible(
+            "the target may expand to \"/\"".to_string(),
+        ));
+    }
+    None
+}
+
+/// Builds the dangerous-delete diagnostic.
+pub fn delete_diag(danger: DeleteDanger, target_desc: &str, span: Span) -> Diagnostic {
+    let (severity, detail) = match danger {
+        DeleteDanger::Certain(d) => (Severity::Error, d),
+        DeleteDanger::Possible(d) => (Severity::Error, d),
+    };
+    Diagnostic::new(
+        DiagCode::DangerousDelete,
+        severity,
+        span,
+        format!("rm may delete everything user-writable: {detail} (target: {target_desc})"),
+    )
+}
+
+/// Does a symbol label mark a platform-dependent source (`uname`,
+/// `lsb_release`, `sw_vers`)?
+pub fn is_platform_source(label: &str) -> bool {
+    ["uname", "lsb_release", "sw_vers", "ostype", "OSTYPE"]
+        .iter()
+        .any(|s| label.contains(s))
+}
+
+/// One read/write dependency edge between two commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Line of the earlier command.
+    pub from_line: u32,
+    /// Line of the later command.
+    pub to_line: u32,
+    /// The path both touch.
+    pub path: String,
+    /// `"write→read"`, `"write→write"`, or `"read→write"`.
+    pub kind: &'static str,
+}
+
+/// Extracts read/write dependency edges between the simple commands of a
+/// straight-line script, using spec effects on literal arguments. §5:
+/// with this information "speculative execution systems like hS \\[can\\]
+/// reorder commands without needing to guard against misspeculation".
+pub fn rw_deps(script: &Script, specs: &SpecLibrary) -> Vec<DepEdge> {
+    #[derive(Debug)]
+    struct Access {
+        line: u32,
+        path: String,
+        write: bool,
+    }
+    let mut accesses: Vec<Access> = Vec::new();
+    fn visit(items: &[ListItem], specs: &SpecLibrary, accesses: &mut Vec<Access>) {
+        for item in items {
+            let mut pipelines = vec![&item.and_or.first];
+            pipelines.extend(item.and_or.rest.iter().map(|(_, p)| p));
+            for p in pipelines {
+                for c in &p.commands {
+                    if let Command::Simple(sc) = c {
+                        let Some(name) = sc.name_literal() else {
+                            continue;
+                        };
+                        let Some(spec) = specs.get(&name) else {
+                            continue;
+                        };
+                        let args: Vec<String> = sc.words[1..]
+                            .iter()
+                            .filter_map(|w| w.as_literal())
+                            .collect();
+                        if args.len() + 1 < sc.words.len() {
+                            continue; // Non-literal args: skip, stay sound.
+                        }
+                        let Ok(inv) = spec.syntax.classify(&args) else {
+                            continue;
+                        };
+                        let mut reads: BTreeSet<usize> = BTreeSet::new();
+                        let mut writes: BTreeSet<usize> = BTreeSet::new();
+                        for case in spec.applicable(&inv) {
+                            for e in &case.effects {
+                                match e {
+                                    Effect::Reads(i) => {
+                                        reads.extend(operand_indices(*i, inv.operands.len()))
+                                    }
+                                    Effect::Writes(i)
+                                    | Effect::Deletes(i)
+                                    | Effect::DeletesChildren(i)
+                                    | Effect::CreatesFile(i)
+                                    | Effect::CreatesDir(i)
+                                    | Effect::CreatesDirChain(i) => {
+                                        writes.extend(operand_indices(*i, inv.operands.len()))
+                                    }
+                                    Effect::CopiesTo { src, dst } => {
+                                        reads.extend(operand_indices(*src, inv.operands.len()));
+                                        writes.extend(operand_indices(*dst, inv.operands.len()));
+                                    }
+                                    Effect::MovesTo { src, dst } => {
+                                        writes.extend(operand_indices(*src, inv.operands.len()));
+                                        writes.extend(operand_indices(*dst, inv.operands.len()));
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        for &i in reads.iter() {
+                            if let Some(p) = inv.operands.get(i) {
+                                accesses.push(Access {
+                                    line: sc.span.line,
+                                    path: p.clone(),
+                                    write: false,
+                                });
+                            }
+                        }
+                        for &i in writes.iter() {
+                            if let Some(p) = inv.operands.get(i) {
+                                accesses.push(Access {
+                                    line: sc.span.line,
+                                    path: p.clone(),
+                                    write: true,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    visit(&script.items, specs, &mut accesses);
+    let mut edges = Vec::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in accesses[i + 1..].iter() {
+            if a.path != b.path || a.line == b.line {
+                continue;
+            }
+            let kind = match (a.write, b.write) {
+                (true, false) => "write→read",
+                (true, true) => "write→write",
+                (false, true) => "read→write",
+                (false, false) => continue,
+            };
+            let edge = DepEdge {
+                from_line: a.line,
+                to_line: b.line,
+                path: a.path.clone(),
+                kind,
+            };
+            if !edges.contains(&edge) {
+                edges.push(edge);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoal_shparse::parse_script;
+
+    #[test]
+    fn literal_root_wipe_is_certain() {
+        let base = SymStr::lit("/");
+        assert!(matches!(
+            classify_delete(&base, None),
+            Some(DeleteDanger::Certain(_))
+        ));
+        let empty = SymStr::empty();
+        assert!(matches!(
+            classify_delete(&empty, Some("/*")),
+            Some(DeleteDanger::Certain(_))
+        ));
+    }
+
+    #[test]
+    fn safe_literal_deletes() {
+        assert_eq!(
+            classify_delete(&SymStr::lit("/home/u/.steam"), Some("/*")),
+            None
+        );
+        assert_eq!(classify_delete(&SymStr::lit("/tmp/build"), None), None);
+    }
+
+    #[test]
+    fn maybe_empty_base_is_possible_danger() {
+        let base = SymStr::sym(
+            0,
+            Regex::parse_must("(/([^/\n]+(/[^/\n]+)*)?)?"),
+            "$STEAMROOT",
+        );
+        let danger = classify_delete(&base, Some("/*"));
+        assert!(matches!(danger, Some(DeleteDanger::Possible(_))));
+    }
+
+    #[test]
+    fn constrained_nonempty_base_is_safe() {
+        // Fig. 2's then-branch: the symbol can no longer be "" or "/".
+        let base = SymStr::sym(0, Regex::parse_must("/[^/\n]+(/[^/\n]+)*"), "$STEAMROOT");
+        assert_eq!(classify_delete(&base, Some("/*")), None);
+    }
+
+    #[test]
+    fn may_be_slash_is_danger() {
+        let base = SymStr::sym(0, Regex::parse_must("/([^/\n]+)?"), "$p");
+        assert!(classify_delete(&base, Some("/*")).is_some());
+        assert!(classify_delete(&base, None).is_some());
+    }
+
+    #[test]
+    fn platform_sources() {
+        assert!(is_platform_source("$(uname -s)"));
+        assert!(is_platform_source("$(lsb_release -a)"));
+        assert!(!is_platform_source("$HOME"));
+    }
+
+    #[test]
+    fn rw_deps_extraction() {
+        let script = parse_script("touch /tmp/a\ncat /tmp/a\nrm /tmp/a\ncat /tmp/other\n").unwrap();
+        let specs = SpecLibrary::builtin();
+        let edges = rw_deps(&script, &specs);
+        // touch(write) → cat(read) on /tmp/a.
+        assert!(edges.iter().any(|e| e.kind == "write→read"
+            && e.path == "/tmp/a"
+            && e.from_line == 1
+            && e.to_line == 2));
+        // cat(read) → rm(write) on /tmp/a.
+        assert!(edges
+            .iter()
+            .any(|e| e.kind == "read→write" && e.from_line == 2 && e.to_line == 3));
+        // No edge to the unrelated file.
+        assert!(!edges.iter().any(|e| e.path == "/tmp/other"));
+    }
+}

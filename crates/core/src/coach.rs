@@ -1,0 +1,290 @@
+//! The optimization coach (§5 "Performance").
+//!
+//! "A static optimization engine can serve as the backbone for a
+//! suggestion-based optimization coach that — similar to ShellCheck —
+//! can be integrated tightly with IDE tooling." The coach consumes the
+//! same static information the checkers use and emits *suggestions*
+//! rather than diagnostics:
+//!
+//! * **parallelizable spans** — consecutive commands with no read/write
+//!   dependency between them (the information §5 says lets hS reorder
+//!   "without needing to guard against misspeculation");
+//! * **removable stages** — `cat file | cmd` rewrites to `cmd < file`;
+//!   pipeline stages whose output type equals their input type under
+//!   the current flow (e.g. `sort` before another `sort`);
+//! * **dead code** — commands strictly after an unconditional `exit`.
+
+use crate::checkers::rw_deps;
+use shoal_shparse::{Command, ListItem, Script, Span};
+use shoal_spec::SpecLibrary;
+use std::fmt;
+
+/// One coach suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// Suggestion category.
+    pub kind: SuggestionKind,
+    /// Source location.
+    pub span: Span,
+    /// Human-readable advice, with the rewrite where there is one.
+    pub message: String,
+}
+
+/// Suggestion categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuggestionKind {
+    /// Adjacent commands are independent and could run in parallel.
+    Parallelizable,
+    /// A pipeline stage can be removed or fused.
+    RemovableStage,
+    /// Unreachable code.
+    DeadCode,
+}
+
+impl fmt::Display for Suggestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            SuggestionKind::Parallelizable => "parallelizable",
+            SuggestionKind::RemovableStage => "removable-stage",
+            SuggestionKind::DeadCode => "dead-code",
+        };
+        write!(f, "{}: [{kind}] {}", self.span, self.message)
+    }
+}
+
+/// Runs the coach over a script.
+pub fn coach(script: &Script, specs: &SpecLibrary) -> Vec<Suggestion> {
+    let mut out = Vec::new();
+    parallelizable_runs(script, specs, &mut out);
+    removable_stages(&script.items, &mut out);
+    dead_code(&script.items, &mut out);
+    out.sort_by_key(|s| (s.span.line, s.span.start));
+    out
+}
+
+/// Finds maximal runs of consecutive top-level simple commands with no
+/// read/write dependencies among them.
+fn parallelizable_runs(script: &Script, specs: &SpecLibrary, out: &mut Vec<Suggestion>) {
+    let deps = rw_deps(script, specs);
+    // Consider only straight-line, single-pipeline items with literal
+    // simple commands; anything else breaks a run.
+    let mut run: Vec<(u32, String)> = Vec::new();
+    let flush = |run: &mut Vec<(u32, String)>, out: &mut Vec<Suggestion>| {
+        if run.len() >= 2 {
+            let lines: Vec<u32> = run.iter().map(|(l, _)| *l).collect();
+            out.push(Suggestion {
+                kind: SuggestionKind::Parallelizable,
+                span: Span::new(0, 0, lines[0]),
+                message: format!(
+                    "lines {} have no read/write dependencies on each other and may run \
+                     in parallel (e.g. with `&` + `wait`) or be freely reordered",
+                    lines
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+        run.clear();
+    };
+    for item in &script.items {
+        let simple = item.and_or.rest.is_empty()
+            && item.and_or.first.commands.len() == 1
+            && !item.background;
+        let cmd = if simple {
+            item.and_or.first.commands.first()
+        } else {
+            None
+        };
+        match cmd {
+            Some(Command::Simple(sc))
+                if sc.name_literal().is_some() && sc.name_literal().as_deref() != Some("exit") =>
+            {
+                let line = sc.span.line;
+                // Does this command depend on anything already in the run?
+                let conflict = run.iter().any(|(l, _)| {
+                    deps.iter().any(|d| {
+                        (d.from_line == *l && d.to_line == line)
+                            || (d.from_line == line && d.to_line == *l)
+                    })
+                });
+                if conflict {
+                    flush(&mut run, out);
+                }
+                run.push((line, sc.name_literal().unwrap_or_default()));
+            }
+            _ => flush(&mut run, out),
+        }
+    }
+    flush(&mut run, out);
+}
+
+/// `cat file | cmd` → `cmd < file`; duplicated no-op stages.
+fn removable_stages(items: &[ListItem], out: &mut Vec<Suggestion>) {
+    for item in items {
+        let mut pipes = vec![&item.and_or.first];
+        pipes.extend(item.and_or.rest.iter().map(|(_, p)| p));
+        for p in pipes {
+            if p.commands.len() < 2 {
+                continue;
+            }
+            if let Command::Simple(sc) = &p.commands[0] {
+                if sc.name_literal().as_deref() == Some("cat")
+                    && sc.words.len() == 2
+                    && sc.redirects.is_empty()
+                {
+                    if let Some(file) = sc.words[1].as_literal() {
+                        out.push(Suggestion {
+                            kind: SuggestionKind::RemovableStage,
+                            span: sc.span,
+                            message: format!(
+                                "drop the cat stage: feed the next command directly \
+                                 (`… < {file}`) and save a process and a pipe"
+                            ),
+                        });
+                    }
+                }
+            }
+            // Identical adjacent sort stages are redundant.
+            for pair in p.commands.windows(2) {
+                if let (Command::Simple(a), Command::Simple(b)) = (&pair[0], &pair[1]) {
+                    if a.name_literal().as_deref() == Some("sort")
+                        && b.name_literal().as_deref() == Some("sort")
+                        && a.words.iter().map(|w| w.as_literal()).collect::<Vec<_>>()
+                            == b.words.iter().map(|w| w.as_literal()).collect::<Vec<_>>()
+                    {
+                        out.push(Suggestion {
+                            kind: SuggestionKind::RemovableStage,
+                            span: b.span,
+                            message: "duplicate sort stage: sorting sorted input is a no-op"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // Recurse into compound bodies.
+        for p in [&item.and_or.first]
+            .into_iter()
+            .chain(item.and_or.rest.iter().map(|(_, p)| p))
+        {
+            for c in &p.commands {
+                match c {
+                    Command::BraceGroup(inner, _, _) | Command::Subshell(inner, _, _) => {
+                        removable_stages(inner, out)
+                    }
+                    Command::If(cl, _, _) => {
+                        removable_stages(&cl.then_body, out);
+                        if let Some(e) = &cl.else_body {
+                            removable_stages(e, out);
+                        }
+                    }
+                    Command::While(cl, _, _) | Command::Until(cl, _, _) => {
+                        removable_stages(&cl.body, out)
+                    }
+                    Command::For(cl, _, _) => removable_stages(&cl.body, out),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Commands after an unconditional top-level `exit`.
+fn dead_code(items: &[ListItem], out: &mut Vec<Suggestion>) {
+    let mut exited_at: Option<u32> = None;
+    for item in items {
+        if let Some(line) = exited_at {
+            out.push(Suggestion {
+                kind: SuggestionKind::DeadCode,
+                span: item.and_or.span(),
+                message: format!("unreachable: the script exits unconditionally at line {line}"),
+            });
+            continue;
+        }
+        if item.and_or.rest.is_empty() && item.and_or.first.commands.len() == 1 {
+            if let Command::Simple(sc) = &item.and_or.first.commands[0] {
+                if sc.name_literal().as_deref() == Some("exit") {
+                    exited_at = Some(sc.span.line);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoal_shparse::parse_script;
+
+    fn suggestions(src: &str) -> Vec<Suggestion> {
+        coach(&parse_script(src).unwrap(), &SpecLibrary::builtin())
+    }
+
+    #[test]
+    fn independent_commands_are_parallelizable() {
+        let s = suggestions("touch /a\ntouch /b\ntouch /c\n");
+        let p: Vec<_> = s
+            .iter()
+            .filter(|x| x.kind == SuggestionKind::Parallelizable)
+            .collect();
+        assert_eq!(p.len(), 1);
+        assert!(p[0].message.contains("1, 2, 3"));
+    }
+
+    #[test]
+    fn dependent_commands_break_the_run() {
+        // touch /a → cat /a is a write→read dependency.
+        let s = suggestions("touch /a\ncat /a\n");
+        assert!(s.iter().all(|x| x.kind != SuggestionKind::Parallelizable));
+    }
+
+    #[test]
+    fn dependency_splits_into_two_runs() {
+        let s = suggestions("touch /a\ntouch /b\ncat /a\ncat /b\n");
+        // touch/a,touch/b parallel; then cat/a conflicts with touch/a…
+        // run breaks; cat/a + cat/b independent of each other.
+        let p: Vec<_> = s
+            .iter()
+            .filter(|x| x.kind == SuggestionKind::Parallelizable)
+            .collect();
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn useless_cat_suggested() {
+        let s = suggestions("cat input.txt | grep x | wc -l\n");
+        assert!(s
+            .iter()
+            .any(|x| x.kind == SuggestionKind::RemovableStage && x.message.contains("input.txt")));
+    }
+
+    #[test]
+    fn duplicate_sort_suggested() {
+        let s = suggestions("cat f | sort | sort\n");
+        assert!(s
+            .iter()
+            .any(|x| x.kind == SuggestionKind::RemovableStage
+                && x.message.contains("duplicate sort")));
+        // Different arguments: not a duplicate.
+        let s2 = suggestions("cat f | sort | sort -r\n");
+        assert!(!s2.iter().any(|x| x.message.contains("duplicate sort")));
+    }
+
+    #[test]
+    fn code_after_exit_is_dead() {
+        let s = suggestions("echo a\nexit 0\necho never\necho also-never\n");
+        let dead: Vec<_> = s
+            .iter()
+            .filter(|x| x.kind == SuggestionKind::DeadCode)
+            .collect();
+        assert_eq!(dead.len(), 2);
+    }
+
+    #[test]
+    fn conditional_exit_is_not_dead_code() {
+        let s = suggestions("if [ -f /x ]; then exit 1; fi\necho reachable\n");
+        assert!(s.iter().all(|x| x.kind != SuggestionKind::DeadCode));
+    }
+}

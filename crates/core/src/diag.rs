@@ -1,0 +1,149 @@
+//! Diagnostics: what the analyzer reports and how.
+//!
+//! Each diagnostic carries a stable code (for tooling and the
+//! experiment harness), a severity, the source span, and — because the
+//! engine explores *all* executions — an optional description of the
+//! execution path on which the problem arises ("when `$STEAMROOT`
+//! expands to the empty string…"). Witnesses are what make
+//! semantics-driven findings actionable where syntactic lint findings
+//! are noise (§2).
+
+use shoal_shparse::Span;
+use std::fmt;
+
+/// Stable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// A deletion may hit `/` or everything under it (Figs. 1, 3).
+    DangerousDelete,
+    /// A command's precondition is unsatisfiable on some path — it
+    /// always fails there (§4 `rm $1; cat $1/config`).
+    AlwaysFails,
+    /// A pipeline stage's output language is empty (Fig. 5).
+    DeadPipe,
+    /// A stage's input type violates its bound (`sort -g` on words).
+    StreamTypeMismatch,
+    /// A variable may be unset/empty where that changes meaning.
+    MaybeEmptyExpansion,
+    /// Behavior depends on the platform (§5 "Correctness").
+    PlatformDependent,
+    /// The same path is created and deleted inconsistently across a
+    /// path (idempotence-style trouble, §4 "Incorrectness criteria").
+    IdempotenceRisk,
+    /// The engine hit an exploration limit; results are incomplete.
+    AnalysisIncomplete,
+    /// A `verify` policy violation (§5 "Security").
+    PolicyViolation,
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagCode::DangerousDelete => "dangerous-delete",
+            DiagCode::AlwaysFails => "always-fails",
+            DiagCode::DeadPipe => "dead-pipe",
+            DiagCode::StreamTypeMismatch => "stream-type-mismatch",
+            DiagCode::MaybeEmptyExpansion => "maybe-empty-expansion",
+            DiagCode::PlatformDependent => "platform-dependent",
+            DiagCode::IdempotenceRisk => "idempotence-risk",
+            DiagCode::AnalysisIncomplete => "analysis-incomplete",
+            DiagCode::PolicyViolation => "policy-violation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (e.g. analysis limits).
+    Note,
+    /// Likely a bug on some executions.
+    Warning,
+    /// Catastrophic or certain on some executions.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Severity.
+    pub severity: Severity,
+    /// Where in the script.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// The execution path on which it happens, when the engine can
+    /// describe one (path-condition trail).
+    pub path_condition: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with an empty path description.
+    pub fn new(code: DiagCode, severity: Severity, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            path_condition: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}] {}",
+            self.span, self.severity, self.code, self.message
+        )?;
+        if !self.path_condition.is_empty() {
+            write!(
+                f,
+                "\n    on the path where {}",
+                self.path_condition.join(" and ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let mut d = Diagnostic::new(
+            DiagCode::DangerousDelete,
+            Severity::Error,
+            Span::new(0, 10, 4),
+            "rm -fr may delete everything under /",
+        );
+        d.path_condition.push("$STEAMROOT = \"\"".to_string());
+        let text = d.to_string();
+        assert!(text.contains("line 4"));
+        assert!(text.contains("dangerous-delete"));
+        assert!(text.contains("$STEAMROOT"));
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

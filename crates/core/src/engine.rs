@@ -1,0 +1,1276 @@
+//! The symbolic executor.
+//!
+//! [`Engine::exec_items`] walks the AST over *sets of worlds*,
+//! implementing the shell's composition semantics: `&&`/`||`
+//! short-circuiting on symbolic exit statuses, pipelines (with stream
+//! typing), conditionals and loops with success/failure forking, `case`
+//! with match-verdict refinement, subshells, functions, and
+//! command-substitution capture. Spec-driven transfer functions apply
+//! external commands' Hoare cases to the symbolic file system; the
+//! checkers run inline where the relevant state is at hand.
+
+use crate::analyze::AnalysisOptions;
+use crate::builtins::{exec_builtin, is_builtin};
+use crate::checkers::{classify_delete, delete_diag, is_platform_source};
+use crate::diag::{DiagCode, Diagnostic, Severity};
+use crate::expand::{expand_word, expand_word_single, Field};
+use crate::glob::{match_verdict, word_pattern_to_regex, MatchVerdict};
+use crate::value::{Seg, SymStr};
+use crate::world::{ExitStatus, World};
+use shoal_relang::Regex;
+use shoal_shparse::{
+    AndOr, AndOrOp, CaseClause, Command, ForClause, IfClause, ListItem, Pipeline, Script,
+    SimpleCommand, Span, WhileClause,
+};
+use shoal_spec::hoare::{operand_indices, Cond, Effect, ExitSpec, NodeReq};
+use shoal_spec::{Invocation, SpecLibrary};
+use shoal_streamty::pipeline::{check_pipeline, StageVerdict};
+use shoal_streamty::sig_for;
+use shoal_symfs::state::{NodeState, Require};
+
+/// The analysis engine: specification library plus options.
+pub struct Engine {
+    /// Command specifications.
+    pub specs: SpecLibrary,
+    /// Analysis options (bounds, ablation switches).
+    pub opts: AnalysisOptions,
+    /// Inline `#@` annotations in effect (§4 "Ergonomic annotations").
+    pub annotations: crate::annotations::Annotations,
+}
+
+impl Engine {
+    /// Creates an engine with the built-in spec library.
+    pub fn new(opts: AnalysisOptions) -> Engine {
+        Engine {
+            specs: SpecLibrary::builtin(),
+            opts,
+            annotations: crate::annotations::Annotations::default(),
+        }
+    }
+
+    /// Caps the world set, attaching an incompleteness note when
+    /// truncating.
+    fn cap(&self, mut worlds: Vec<World>, span: Span) -> Vec<World> {
+        if worlds.len() > self.opts.max_worlds {
+            worlds.truncate(self.opts.max_worlds);
+            if let Some(w) = worlds.first_mut() {
+                let already = w
+                    .diags
+                    .iter()
+                    .any(|d| d.code == DiagCode::AnalysisIncomplete && d.span == span);
+                if !already {
+                    w.report(Diagnostic::new(
+                        DiagCode::AnalysisIncomplete,
+                        Severity::Note,
+                        span,
+                        format!(
+                            "path explosion: exploration capped at {} worlds",
+                            self.opts.max_worlds
+                        ),
+                    ));
+                }
+            }
+        }
+        worlds
+    }
+
+    /// Executes a list of items over a set of worlds.
+    pub fn exec_items(&self, worlds: Vec<World>, items: &[ListItem]) -> Vec<World> {
+        let mut worlds = worlds;
+        for item in items {
+            let span = item.and_or.span();
+            let (halted, active): (Vec<World>, Vec<World>) =
+                worlds.into_iter().partition(|w| w.halted);
+            let mut next = halted;
+            next.extend(self.exec_and_or(active, &item.and_or));
+            if item.background {
+                for w in next.iter_mut().filter(|w| !w.halted) {
+                    w.last_exit = ExitStatus::Zero;
+                }
+            }
+            worlds = self.cap(next, span);
+        }
+        worlds
+    }
+
+    fn exec_and_or(&self, worlds: Vec<World>, and_or: &AndOr) -> Vec<World> {
+        let mut current = self.exec_pipeline(worlds, &and_or.first);
+        for (op, pipe) in &and_or.rest {
+            let mut next = Vec::new();
+            let mut run = Vec::new();
+            for w in current {
+                if w.halted {
+                    next.push(w);
+                    continue;
+                }
+                match (op, w.last_exit) {
+                    (AndOrOp::And, ExitStatus::Zero) | (AndOrOp::Or, ExitStatus::NonZero) => {
+                        run.push(w)
+                    }
+                    (AndOrOp::And, ExitStatus::NonZero) | (AndOrOp::Or, ExitStatus::Zero) => {
+                        next.push(w)
+                    }
+                    (_, ExitStatus::Unknown) => {
+                        let mut skip = w.clone();
+                        skip.assume(match op {
+                            AndOrOp::And => "left side failed",
+                            AndOrOp::Or => "left side succeeded",
+                        });
+                        next.push(skip);
+                        let mut go = w;
+                        go.assume(match op {
+                            AndOrOp::And => "left side succeeded",
+                            AndOrOp::Or => "left side failed",
+                        });
+                        run.push(go);
+                    }
+                }
+            }
+            next.extend(self.exec_pipeline(run, pipe));
+            current = self.cap(next, pipe.span());
+        }
+        current
+    }
+
+    fn exec_pipeline(&self, worlds: Vec<World>, pipe: &Pipeline) -> Vec<World> {
+        let mut out = Vec::new();
+        for world in worlds {
+            if world.halted {
+                out.push(world);
+                continue;
+            }
+            let mut results = if pipe.commands.len() == 1 {
+                self.exec_command(world, &pipe.commands[0])
+            } else {
+                self.exec_multi_stage(world, pipe)
+            };
+            if pipe.negated {
+                for w in results.iter_mut() {
+                    w.last_exit = w.last_exit.negate();
+                }
+            }
+            out.extend(results);
+        }
+        self.cap(out, pipe.span())
+    }
+
+    /// A multi-command pipeline: stream-type it, then run the stages for
+    /// their file-system effects.
+    fn exec_multi_stage(&self, world: World, pipe: &Pipeline) -> Vec<World> {
+        let mut worlds = vec![world];
+        // Stream typing happens per world because argument values differ.
+        if self.opts.enable_stream_types {
+            let mut typed = Vec::new();
+            for mut w in worlds {
+                self.stream_check_pipeline(&mut w, pipe, None);
+                typed.push(w);
+            }
+            worlds = typed;
+        }
+        // Effects: run stages in sequence; only the last stage's stdout
+        // reaches a surrounding capture.
+        for (i, cmd) in pipe.commands.iter().enumerate() {
+            let last = i == pipe.commands.len() - 1;
+            let mut next = Vec::new();
+            for mut w in worlds {
+                let saved = if last { None } else { w.capture.take() };
+                let mut rs = self.exec_command(w, cmd);
+                if !last {
+                    for r in rs.iter_mut() {
+                        r.capture = saved.clone();
+                    }
+                }
+                next.extend(rs);
+            }
+            worlds = self.cap(next, cmd.span());
+        }
+        worlds
+    }
+
+    /// Runs the stream-type checker over a pipeline's stages, reporting
+    /// dead pipes and type mismatches. Returns the final output line
+    /// type when it could be computed. `initial` overrides the first
+    /// stage's input type.
+    pub fn stream_check_pipeline(
+        &self,
+        world: &mut World,
+        pipe: &Pipeline,
+        initial: Option<Regex>,
+    ) -> Option<Regex> {
+        // Build (label, sig) stages from literal invocations; the first
+        // producer contributes the initial type instead of a sig.
+        let mut stages = Vec::new();
+        let mut input = initial.unwrap_or_else(Regex::any_line);
+        for (i, cmd) in pipe.commands.iter().enumerate() {
+            let Command::Simple(sc) = cmd else {
+                return None;
+            };
+            let inv = self.literal_invocation(sc)?;
+            if let Some(sig) = self.annotations.cmd_sigs.get(&inv.name) {
+                // An inline `#@ cmd NAME :: IN -> OUT` annotation takes
+                // precedence: the user vouched for this command's type.
+                stages.push((inv.to_string(), sig.clone(), sc.span));
+            } else if let Some(sig) = sig_for(&inv) {
+                stages.push((inv.to_string(), sig, sc.span));
+            } else if i == 0 {
+                // A producer: take its spec's stdout type as the input.
+                if let Some(line) = self.spec_stdout_type(&inv) {
+                    input = line;
+                } else {
+                    input = Regex::any_line();
+                }
+            } else {
+                // Unknown mid-pipeline stage: type information is cut.
+                return None;
+            }
+        }
+        if stages.is_empty() {
+            return Some(input);
+        }
+        let named: Vec<(String, shoal_streamty::Sig)> = stages
+            .iter()
+            .map(|(n, s, _)| (n.clone(), s.clone()))
+            .collect();
+        let reports = check_pipeline(&input, &named);
+        for (report, (_, _, span)) in reports.iter().zip(stages.iter()) {
+            match &report.verdict {
+                StageVerdict::Ok => {}
+                StageVerdict::DeadOutput => {
+                    world.report(Diagnostic::new(
+                        DiagCode::DeadPipe,
+                        Severity::Warning,
+                        *span,
+                        format!(
+                            "`{}` can never produce output here: its input has line type {} \
+                             and the intersection is empty",
+                            report.name, report.input
+                        ),
+                    ));
+                }
+                StageVerdict::InputMismatch { expected, witness } => {
+                    let mut msg = format!(
+                        "`{}` expects input lines matching {} but receives {}",
+                        report.name, expected, report.input
+                    );
+                    if let Some(wit) = witness {
+                        msg.push_str(&format!(" (e.g. {wit:?})"));
+                    }
+                    world.report(Diagnostic::new(
+                        DiagCode::StreamTypeMismatch,
+                        Severity::Warning,
+                        *span,
+                        msg,
+                    ));
+                }
+            }
+        }
+        reports.last().map(|r| r.output.clone())
+    }
+
+    /// A purely literal invocation of a simple command, if every word is
+    /// static text.
+    fn literal_invocation(&self, sc: &SimpleCommand) -> Option<Invocation> {
+        let name = sc.name_literal()?;
+        let args: Vec<String> = sc.words[1..]
+            .iter()
+            .map(|w| w.as_literal())
+            .collect::<Option<_>>()?;
+        match self.specs.get(&name) {
+            Some(spec) => spec.syntax.classify(&args).ok(),
+            None => {
+                // Unknown commands still get a rough invocation: flags by
+                // shape (needed for sig_for of, e.g., a filter we know by
+                // name but have no spec for).
+                let mut flags = Vec::new();
+                let mut operands = Vec::new();
+                for a in &args {
+                    if let Some(f) = a.strip_prefix('-') {
+                        flags.extend(f.chars());
+                    } else {
+                        operands.push(a.as_str());
+                    }
+                }
+                Some(Invocation::new(&name, &flags, &operands.to_vec()))
+            }
+        }
+    }
+
+    /// The stdout line type of a command per its spec.
+    fn spec_stdout_type(&self, inv: &Invocation) -> Option<Regex> {
+        let spec = self.specs.get(&inv.name)?;
+        let mut types = Vec::new();
+        for case in spec.applicable(inv) {
+            if let Some(pat) = &case.stdout_line {
+                types.push(Regex::parse(pat).ok()?);
+            }
+        }
+        if types.is_empty() {
+            None
+        } else {
+            Some(Regex::alt(types))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Commands
+    // -----------------------------------------------------------------
+
+    fn exec_command(&self, world: World, cmd: &Command) -> Vec<World> {
+        match cmd {
+            Command::Simple(sc) => self.exec_simple(world, sc),
+            Command::BraceGroup(items, _, _) => self.exec_items(vec![world], items),
+            Command::Subshell(items, _, _) => self.exec_subshell(world, items),
+            Command::If(clause, _, _) => self.exec_if(vec![world], clause),
+            Command::While(clause, _, span) => self.exec_while(vec![world], clause, false, *span),
+            Command::Until(clause, _, span) => self.exec_while(vec![world], clause, true, *span),
+            Command::For(clause, _, span) => self.exec_for(world, clause, *span),
+            Command::Case(clause, _, span) => self.exec_case(world, clause, *span),
+            Command::FunctionDef { name, body, .. } => {
+                let mut w = world;
+                w.functions.insert(name.clone(), (**body).clone());
+                w.last_exit = ExitStatus::Zero;
+                vec![w]
+            }
+        }
+    }
+
+    fn exec_subshell(&self, world: World, items: &[ListItem]) -> Vec<World> {
+        let parent_cwd = world.cwd.clone();
+        let parent_positional = world.positional.clone();
+        let results = self.exec_items(vec![world], items);
+        results
+            .into_iter()
+            .map(|mut r| {
+                // A subshell cannot change the parent's cwd, positional
+                // parameters, or halt it. Variable *refinements* are kept
+                // (see DESIGN.md on the write-leak approximation).
+                r.cwd = parent_cwd.clone();
+                r.positional = parent_positional.clone();
+                r.halted = false;
+                r
+            })
+            .collect()
+    }
+
+    /// Runs a script capturing stdout — the implementation of `$(…)`.
+    pub fn exec_capture(&self, world: World, script: &Script) -> Vec<(World, SymStr)> {
+        let parent_cwd = world.cwd.clone();
+        let parent_positional = world.positional.clone();
+        let parent_capture = world.capture.clone();
+        let mut sub = world;
+        sub.capture = Some(SymStr::empty());
+        let results = self.exec_items(vec![sub], &script.items);
+        results
+            .into_iter()
+            .map(|mut r| {
+                let mut captured = r.capture.take().unwrap_or_default();
+                strip_trailing_newlines(&mut captured);
+                r.cwd = parent_cwd.clone();
+                r.positional = parent_positional.clone();
+                r.capture = parent_capture.clone();
+                r.halted = false;
+                (r, captured)
+            })
+            .collect()
+    }
+
+    fn exec_if(&self, worlds: Vec<World>, clause: &IfClause) -> Vec<World> {
+        let after_cond = self.exec_items(worlds, &clause.cond);
+        let mut out = Vec::new();
+        let mut then_worlds = Vec::new();
+        let mut else_worlds = Vec::new();
+        for w in after_cond {
+            if w.halted {
+                out.push(w);
+                continue;
+            }
+            match w.last_exit {
+                ExitStatus::Zero => then_worlds.push(w),
+                ExitStatus::NonZero => else_worlds.push(w),
+                ExitStatus::Unknown => {
+                    let mut t = w.clone();
+                    t.assume("condition succeeded");
+                    then_worlds.push(t);
+                    let mut e = w;
+                    e.assume("condition failed");
+                    else_worlds.push(e);
+                }
+            }
+        }
+        out.extend(self.exec_items(then_worlds, &clause.then_body));
+        // Elifs chain on the else side.
+        let mut rest = else_worlds;
+        for (cond, body) in &clause.elifs {
+            let after = self.exec_items(rest, cond);
+            let mut next_rest = Vec::new();
+            let mut taken = Vec::new();
+            for w in after {
+                if w.halted {
+                    out.push(w);
+                    continue;
+                }
+                match w.last_exit {
+                    ExitStatus::Zero => taken.push(w),
+                    ExitStatus::NonZero => next_rest.push(w),
+                    ExitStatus::Unknown => {
+                        taken.push(w.clone());
+                        next_rest.push(w);
+                    }
+                }
+            }
+            out.extend(self.exec_items(taken, body));
+            rest = next_rest;
+        }
+        match &clause.else_body {
+            Some(body) => out.extend(self.exec_items(rest, body)),
+            None => {
+                for mut w in rest {
+                    w.last_exit = ExitStatus::Zero;
+                    out.push(w);
+                }
+            }
+        }
+        out
+    }
+
+    fn exec_while(
+        &self,
+        worlds: Vec<World>,
+        clause: &WhileClause,
+        until: bool,
+        span: Span,
+    ) -> Vec<World> {
+        let mut exited: Vec<World> = Vec::new();
+        let mut active = worlds;
+        for _ in 0..self.opts.loop_bound {
+            if active.is_empty() {
+                break;
+            }
+            let after_cond = self.exec_items(active, &clause.cond);
+            let mut looping = Vec::new();
+            for w in after_cond {
+                if w.halted {
+                    exited.push(w);
+                    continue;
+                }
+                let continues = match (w.last_exit, until) {
+                    (ExitStatus::Zero, false) | (ExitStatus::NonZero, true) => Some(true),
+                    (ExitStatus::NonZero, false) | (ExitStatus::Zero, true) => Some(false),
+                    (ExitStatus::Unknown, _) => None,
+                };
+                match continues {
+                    Some(true) => looping.push(w),
+                    Some(false) => {
+                        let mut w = w;
+                        w.last_exit = ExitStatus::Zero;
+                        exited.push(w);
+                    }
+                    None => {
+                        let mut stop = w.clone();
+                        stop.assume("loop condition ended");
+                        stop.last_exit = ExitStatus::Zero;
+                        exited.push(stop);
+                        let mut go = w;
+                        go.assume("loop condition held");
+                        looping.push(go);
+                    }
+                }
+            }
+            active = self.exec_items(looping, &clause.body);
+        }
+        // Beyond the unrolling bound: havoc body-assigned variables and
+        // assume the loop eventually exits.
+        for mut w in active {
+            havoc_assigned(&mut w, &clause.body);
+            w.assume(format!(
+                "loop at {span} ran more than {} times",
+                self.opts.loop_bound
+            ));
+            w.last_exit = ExitStatus::Zero;
+            exited.push(w);
+        }
+        exited
+    }
+
+    fn exec_for(&self, world: World, clause: &ForClause, span: Span) -> Vec<World> {
+        let branches: Vec<(World, Vec<Field>)> = match &clause.words {
+            Some(words) => {
+                let mut states = vec![(world, Vec::new())];
+                for word in words {
+                    let mut next = Vec::new();
+                    for (w, fields) in states {
+                        for (w2, fs) in expand_word(self, w, word) {
+                            let mut all: Vec<Field> = fields.clone();
+                            all.extend(fs);
+                            next.push((w2, all));
+                        }
+                    }
+                    states = next;
+                }
+                states
+            }
+            None => {
+                let fields = world
+                    .positional
+                    .iter()
+                    .map(|v| {
+                        let mut f = Field::default();
+                        f.chunks.push(crate::expand::Chunk {
+                            value: v.clone(),
+                            glob_active: true,
+                            splittable_expansion: false,
+                        });
+                        f
+                    })
+                    .collect();
+                vec![(world, fields)]
+            }
+        };
+        let mut out = Vec::new();
+        for (w, fields) in branches {
+            if fields.len() > self.opts.loop_bound.max(8) {
+                // Too many iterations to enumerate: havoc the variable.
+                let mut w = w;
+                let v = w.fresh_sym(Regex::any_line(), &format!("${}", clause.var));
+                w.set_var(&clause.var, v);
+                let mut worlds = self.exec_items(vec![w], &clause.body);
+                for x in worlds.iter_mut() {
+                    x.assume(format!("for loop at {span} iterated many times"));
+                }
+                out.extend(worlds);
+                continue;
+            }
+            let mut worlds = vec![w];
+            for field in &fields {
+                for x in worlds.iter_mut() {
+                    x.set_var(&clause.var, field.value());
+                }
+                worlds = self.exec_items(worlds, &clause.body);
+            }
+            if fields.is_empty() {
+                for x in worlds.iter_mut() {
+                    x.last_exit = ExitStatus::Zero;
+                }
+            }
+            out.extend(worlds);
+        }
+        out
+    }
+
+    fn exec_case(&self, world: World, clause: &CaseClause, span: Span) -> Vec<World> {
+        let subjects = expand_word_single(self, world, &clause.subject);
+        let mut out = Vec::new();
+        for (mut w, subject) in subjects {
+            // Platform-dependence: branching on uname/lsb_release output.
+            let platform = subject.segs.iter().any(|s| match s {
+                Seg::Sym { label, .. } => is_platform_source(label),
+                _ => false,
+            });
+            if platform {
+                w.report(Diagnostic::new(
+                    DiagCode::PlatformDependent,
+                    Severity::Note,
+                    span,
+                    format!(
+                        "control flow depends on platform-specific output ({})",
+                        subject.describe()
+                    ),
+                ));
+            }
+            let mut remaining = Some(w);
+            for arm in &clause.arms {
+                let Some(current) = remaining.take() else {
+                    break;
+                };
+                let pattern = Regex::alt(arm.patterns.iter().map(word_pattern_to_regex).collect());
+                match match_verdict(&subject, &pattern) {
+                    MatchVerdict::Always => {
+                        out.extend(self.exec_items(vec![current], &arm.body));
+                    }
+                    MatchVerdict::Never => {
+                        remaining = Some(current);
+                    }
+                    MatchVerdict::Maybe => {
+                        // Fork: matched world (refined) runs the arm;
+                        // unmatched continues.
+                        let sym = subject.as_single_sym().map(|(id, _)| id);
+                        let mut matched = current.clone();
+                        let mut feasible = true;
+                        if let (Some(id), true) = (sym, self.opts.enable_pruning) {
+                            feasible = matched.refine_sym(id, &pattern);
+                        }
+                        if feasible {
+                            matched.assume(format!("{} matches case pattern", subject.describe()));
+                            out.extend(self.exec_items(vec![matched], &arm.body));
+                        }
+                        let mut unmatched = current;
+                        let mut un_feasible = true;
+                        if let (Some(id), true) = (sym, self.opts.enable_pruning) {
+                            un_feasible = unmatched.refine_sym(id, &pattern.complement());
+                        }
+                        if un_feasible {
+                            unmatched.assume(format!(
+                                "{} does not match case pattern",
+                                subject.describe()
+                            ));
+                            remaining = Some(unmatched);
+                        }
+                    }
+                }
+            }
+            if let Some(mut no_match) = remaining {
+                no_match.last_exit = ExitStatus::Zero;
+                out.push(no_match);
+            }
+        }
+        self.cap(out, span)
+    }
+
+    // -----------------------------------------------------------------
+    // Simple commands
+    // -----------------------------------------------------------------
+
+    fn exec_simple(&self, world: World, sc: &SimpleCommand) -> Vec<World> {
+        // 1. Assignments (values expand in the current world).
+        let mut states = vec![world];
+        for assign in &sc.assignments {
+            let mut next = Vec::new();
+            for w in states {
+                for (mut w2, v) in expand_word_single(self, w, &assign.value) {
+                    w2.set_var(&assign.name, v);
+                    next.push(w2);
+                }
+            }
+            states = next;
+        }
+        // 2. Words.
+        let mut expanded: Vec<(World, Vec<Field>)> =
+            states.into_iter().map(|w| (w, Vec::new())).collect();
+        for word in &sc.words {
+            let mut next = Vec::new();
+            for (w, fields) in expanded {
+                for (w2, fs) in expand_word(self, w, word) {
+                    let mut all = fields.clone();
+                    all.extend(fs);
+                    next.push((w2, all));
+                }
+            }
+            expanded = self.cap_pairs(next, sc.span);
+        }
+        // 3. Redirections: output redirects create/truncate their
+        // targets; input redirects require them.
+        let mut redirected: Vec<(World, Vec<Field>)> = Vec::new();
+        for (w, fields) in expanded {
+            let mut states = vec![w];
+            for redir in &sc.redirects {
+                use shoal_shparse::RedirOp;
+                let mut next = Vec::new();
+                for w2 in states {
+                    for (mut w3, target) in expand_word_single(self, w2, &redir.target) {
+                        match redir.op {
+                            RedirOp::Out
+                            | RedirOp::Append
+                            | RedirOp::Clobber
+                            | RedirOp::ReadWrite => {
+                                if let Some(k) = w3.fs_key(&target) {
+                                    let _ = w3.fs.create_file(&k);
+                                }
+                            }
+                            RedirOp::In => {
+                                if let Some(k) = w3.fs_key(&target) {
+                                    let _ = w3.fs.require(&k, NodeState::File);
+                                }
+                            }
+                            _ => {}
+                        }
+                        next.push(w3);
+                    }
+                }
+                states = next;
+            }
+            for w2 in states {
+                redirected.push((w2, fields.clone()));
+            }
+        }
+        let expanded = self.cap_pairs(redirected, sc.span);
+        let mut out = Vec::new();
+        for (mut w, fields) in expanded {
+            if w.halted {
+                out.push(w);
+                continue;
+            }
+            if fields.is_empty() {
+                w.last_exit = ExitStatus::Zero;
+                out.push(w);
+                continue;
+            }
+            let name = fields[0].value().as_literal();
+            let args = &fields[1..];
+            match name.as_deref() {
+                None => {
+                    w.last_exit = ExitStatus::Unknown;
+                    out.push(w);
+                }
+                Some(n) if w.functions.contains_key(n) => {
+                    out.extend(self.exec_function(w, n, args));
+                }
+                Some(n) if is_builtin(n) => {
+                    out.extend(exec_builtin(self, w, n, args, sc.span));
+                }
+                Some("rm") => {
+                    out.extend(self.exec_rm(w, args, sc.span));
+                }
+                Some(n) => match self.specs.get(n) {
+                    Some(_) => out.extend(self.exec_specified(w, n, args, sc.span)),
+                    None => {
+                        // Unknown command: unknown status; a capture gets
+                        // an unconstrained value.
+                        if w.capture.is_some() {
+                            let v = w.fresh_sym(Regex::anything(), &format!("$({n} …)"));
+                            w.emit_stdout(v);
+                        }
+                        w.last_exit = ExitStatus::Unknown;
+                        out.push(w);
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    fn cap_pairs<T>(&self, mut pairs: Vec<(World, T)>, span: Span) -> Vec<(World, T)> {
+        if pairs.len() > self.opts.max_worlds {
+            pairs.truncate(self.opts.max_worlds);
+            if let Some((w, _)) = pairs.first_mut() {
+                w.report(Diagnostic::new(
+                    DiagCode::AnalysisIncomplete,
+                    Severity::Note,
+                    span,
+                    format!(
+                        "expansion explosion: capped at {} worlds",
+                        self.opts.max_worlds
+                    ),
+                ));
+            }
+        }
+        pairs
+    }
+
+    fn exec_function(&self, mut world: World, name: &str, args: &[Field]) -> Vec<World> {
+        if world.call_depth >= 4 {
+            world.last_exit = ExitStatus::Unknown;
+            return vec![world];
+        }
+        let body = world.functions.get(name).cloned().expect("caller checked");
+        let saved = world.positional.clone();
+        world.positional = args.iter().map(Field::value).collect();
+        world.call_depth += 1;
+        let results = self.exec_command(world, &body);
+        results
+            .into_iter()
+            .map(|mut r| {
+                r.positional = saved.clone();
+                r.call_depth = r.call_depth.saturating_sub(1);
+                r
+            })
+            .collect()
+    }
+
+    /// `rm` gets a dedicated model because its arguments may carry
+    /// *active glob tails* (`"$STEAMROOT"/*`), which the generic
+    /// spec path cannot see. This is where Figs. 1 and 3 are caught.
+    fn exec_rm(&self, world: World, args: &[Field], span: Span) -> Vec<World> {
+        let mut recursive = false;
+        let mut force = false;
+        let mut operands: Vec<&Field> = Vec::new();
+        for f in args {
+            match f.value().as_literal() {
+                Some(t) if t.starts_with('-') && t.len() > 1 && operands.is_empty() => {
+                    for c in t.chars().skip(1) {
+                        match c {
+                            'r' | 'R' => recursive = true,
+                            'f' => force = true,
+                            _ => {}
+                        }
+                    }
+                }
+                _ => operands.push(f),
+            }
+        }
+        let mut worlds = vec![world];
+        for f in operands {
+            let (base, glob_tail) = f.split_trailing_glob();
+            // Danger check first — this is the headline Fig. 1 verdict.
+            for w in worlds.iter_mut() {
+                if let Some(danger) = classify_delete(&base, glob_tail.as_deref()) {
+                    w.report(delete_diag(danger, &f.describe(), span));
+                }
+            }
+            // Effects per world.
+            let mut next = Vec::new();
+            for mut w in worlds {
+                let key = w.fs_key(&base);
+                match (key, glob_tail.as_deref()) {
+                    (Some(k), Some(_)) => {
+                        // BASE/*: children removed, node kept.
+                        let feasible = w.fs.require(&k, NodeState::Dir).ok();
+                        if feasible || force {
+                            w.fs.delete_children(&k);
+                            w.last_exit = ExitStatus::Zero;
+                        } else {
+                            w.last_exit = ExitStatus::NonZero;
+                        }
+                        next.push(w);
+                    }
+                    (Some(k), None) => {
+                        // Whole node. Fork on existence unless -f.
+                        let want = if recursive {
+                            NodeState::Exists
+                        } else {
+                            NodeState::File
+                        };
+                        let mut exists_w = w.clone();
+                        let require_outcome = exists_w.fs.require(&k, want);
+                        let exists_ok = require_outcome.ok();
+                        if exists_ok {
+                            // Without -f, rm succeeds only while the
+                            // target exists — and we are about to delete
+                            // it: idempotence-sensitive.
+                            if !force
+                                && matches!(require_outcome, shoal_symfs::state::Require::Assumed)
+                            {
+                                exists_w.fragile_assumptions.push((k.clone(), want, span));
+                            }
+                            exists_w.fs.delete_tree(&k);
+                            exists_w.last_exit = ExitStatus::Zero;
+                            next.push(exists_w);
+                        }
+                        let mut absent_w = w.clone();
+                        let absent_ok = absent_w.fs.require(&k, NodeState::Absent).ok();
+                        if absent_ok {
+                            absent_w.last_exit = if force {
+                                ExitStatus::Zero
+                            } else {
+                                ExitStatus::NonZero
+                            };
+                            next.push(absent_w);
+                        }
+                        if !exists_ok && !absent_ok {
+                            // Both impossible: e.g. target is a dir and
+                            // -r is missing, after the dir was deleted…
+                            w.report(Diagnostic::new(
+                                DiagCode::AlwaysFails,
+                                Severity::Warning,
+                                span,
+                                format!("rm {} can never succeed here", base.describe()),
+                            ));
+                            w.last_exit = ExitStatus::NonZero;
+                            next.push(w);
+                        } else if !recursive && exists_ok {
+                            // A directory without -r fails; we folded
+                            // that into the File requirement above.
+                        }
+                    }
+                    (None, _) => {
+                        w.last_exit = ExitStatus::Unknown;
+                        next.push(w);
+                    }
+                }
+            }
+            worlds = next;
+        }
+        worlds
+    }
+
+    /// Generic spec-driven execution of an external command.
+    fn exec_specified(&self, world: World, name: &str, args: &[Field], span: Span) -> Vec<World> {
+        let spec = self.specs.get(name).expect("caller checked").clone();
+        // Build argv, remembering which operand slots are symbolic.
+        let mut argv: Vec<String> = Vec::new();
+        let mut symbolic: Vec<(String, SymStr)> = Vec::new();
+        for (i, f) in args.iter().enumerate() {
+            match f.value().as_literal() {
+                Some(t) => argv.push(t),
+                None => {
+                    let marker = format!("\u{1}sym{i}");
+                    symbolic.push((marker.clone(), f.value()));
+                    argv.push(marker);
+                }
+            }
+        }
+        let inv = match spec.syntax.classify(&argv) {
+            Ok(inv) => inv,
+            Err(_) => {
+                let mut w = world;
+                w.last_exit = ExitStatus::Unknown;
+                return vec![w];
+            }
+        };
+        let operand_value = |_w: &mut World, idx: usize| -> Option<SymStr> {
+            let text = inv.operands.get(idx)?;
+            match symbolic.iter().find(|(m, _)| m == text) {
+                Some((_, v)) => Some(v.clone()),
+                None => Some(SymStr::lit(text)),
+            }
+        };
+        let cases: Vec<_> = spec.applicable(&inv).cloned().collect();
+        if cases.is_empty() {
+            let mut w = world;
+            w.last_exit = ExitStatus::Unknown;
+            return vec![w];
+        }
+        let mut out = Vec::new();
+        let mut any_feasible = false;
+        let mut success_feasible = false;
+        let success_possible = cases.iter().any(|c| c.exit != ExitSpec::Failure);
+        for case in &cases {
+            let mut w = world.clone();
+            // Preconditions.
+            let mut feasible = true;
+            for Cond::OperandIs(marker, req) in &case.pre {
+                let want = match req {
+                    NodeReq::File => NodeState::File,
+                    NodeReq::Dir => NodeState::Dir,
+                    NodeReq::Exists => NodeState::Exists,
+                    NodeReq::Absent => NodeState::Absent,
+                    NodeReq::Any => continue,
+                };
+                for idx in operand_indices(*marker, inv.operands.len()) {
+                    let Some(v) = operand_value(&mut w, idx) else {
+                        continue;
+                    };
+                    let Some(key) = w.fs_key(&v) else { continue };
+                    match w.fs.require(&key, want) {
+                        Require::Contradiction(_) => {
+                            feasible = false;
+                        }
+                        outcome => {
+                            w.assume(format!("{key} is {want}"));
+                            // Idempotence sensitivity: this command's
+                            // success hinges on `want`; if no other
+                            // success case covers the complementary
+                            // state, a re-run after the script flips the
+                            // state will fail.
+                            if matches!(outcome, Require::Assumed)
+                                && case.exit != ExitSpec::Failure
+                                && !has_success_case_for_complement(&cases, want)
+                            {
+                                w.fragile_assumptions.push((key.clone(), want, span));
+                            }
+                        }
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            any_feasible = true;
+            if case.exit != ExitSpec::Failure {
+                success_feasible = true;
+            }
+            // Effects.
+            for effect in &case.effects {
+                self.apply_effect(&mut w, effect, &inv, &symbolic, case.stdout_line.as_deref());
+            }
+            w.last_exit = match case.exit {
+                ExitSpec::Success => ExitStatus::Zero,
+                ExitSpec::Failure => ExitStatus::NonZero,
+                ExitSpec::Unknown => ExitStatus::Unknown,
+            };
+            out.push(w);
+        }
+        if success_possible && !success_feasible {
+            // No *success* behavior is consistent with the current world:
+            // the command always fails on this path — the §4
+            // `rm $1; cat $1/config` verdict. Only report when the
+            // blocking state is the script's *own doing* (an effect);
+            // failing on a path where we merely assumed an unlucky
+            // initial world is ordinary behavior, not a bug.
+            let why = first_contradiction(&self.specs, &world, name, &cases, &inv, &symbolic);
+            if let Some((message, script_caused)) = why {
+                if script_caused {
+                    let diag = Diagnostic::new(
+                        DiagCode::AlwaysFails,
+                        Severity::Warning,
+                        span,
+                        format!("`{inv}` can never succeed here: {message}"),
+                    );
+                    match out.first_mut() {
+                        Some(w) => w.report(diag),
+                        None => {
+                            let mut w = world.clone();
+                            w.report(diag);
+                            w.last_exit = ExitStatus::NonZero;
+                            out.push(w);
+                        }
+                    }
+                }
+            }
+            if out.is_empty() {
+                let mut w = world;
+                w.last_exit = ExitStatus::NonZero;
+                out.push(w);
+            }
+        } else if !any_feasible {
+            let mut w = world;
+            w.last_exit = ExitStatus::NonZero;
+            out.push(w);
+        }
+        self.cap(out, span)
+    }
+
+    fn apply_effect(
+        &self,
+        w: &mut World,
+        effect: &Effect,
+        inv: &Invocation,
+        symbolic: &[(String, SymStr)],
+        stdout_line: Option<&str>,
+    ) {
+        let value_of = |_w: &mut World, idx: usize| -> Option<SymStr> {
+            let text = inv.operands.get(idx)?;
+            match symbolic.iter().find(|(m, _)| m == text) {
+                Some((_, v)) => Some(v.clone()),
+                None => Some(SymStr::lit(text)),
+            }
+        };
+        let each = |w: &mut World, marker: usize, f: &mut dyn FnMut(&mut World, SymStr)| {
+            for idx in operand_indices(marker, inv.operands.len()) {
+                if let Some(v) = value_of(w, idx) {
+                    f(w, v);
+                }
+            }
+        };
+        match effect {
+            Effect::Deletes(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    w.fs.delete_tree(&k);
+                }
+            }),
+            Effect::DeletesChildren(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    w.fs.delete_children(&k);
+                }
+            }),
+            Effect::CreatesFile(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    let _ = w.fs.create_file(&k);
+                }
+            }),
+            Effect::CreatesDir(m) | Effect::CreatesDirChain(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    let _ = w.fs.create_dir(&k);
+                }
+            }),
+            Effect::Reads(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    let _ = w.fs.require(&k, NodeState::Exists);
+                }
+            }),
+            Effect::Writes(m) => each(w, *m, &mut |w, v| {
+                if let Some(k) = w.fs_key(&v) {
+                    let _ = w.fs.require(&k, NodeState::Exists);
+                }
+            }),
+            Effect::CopiesTo { src, dst } => {
+                let s = value_of(w, *src);
+                let d = value_of(w, *dst);
+                if let (Some(s), Some(d)) = (s, d) {
+                    if let Some(sk) = w.fs_key(&s) {
+                        let _ = w.fs.require(&sk, NodeState::Exists);
+                    }
+                    if let Some(dk) = w.fs_key(&d) {
+                        let _ = w.fs.create_file(&dk);
+                    }
+                }
+            }
+            Effect::MovesTo { src, dst } => {
+                let s = value_of(w, *src);
+                let d = value_of(w, *dst);
+                if let (Some(s), Some(d)) = (s, d) {
+                    if let Some(sk) = w.fs_key(&s) {
+                        w.fs.delete_tree(&sk);
+                    }
+                    if let Some(dk) = w.fs_key(&d) {
+                        let _ = w.fs.create_file(&dk);
+                    }
+                }
+            }
+            Effect::ChangesCwdTo(m) => {
+                if let Some(idx) = operand_indices(*m, inv.operands.len()).first() {
+                    if let Some(v) = value_of(w, *idx) {
+                        w.cwd = v;
+                    }
+                }
+            }
+            Effect::WritesStdout => {
+                if w.capture.is_some() {
+                    let line_type = stdout_line
+                        .and_then(|p| Regex::parse(p).ok())
+                        .unwrap_or_else(Regex::any_line);
+                    // Zero or more lines of the given type, without the
+                    // final newline ($(…) strips it).
+                    let lang =
+                        Regex::concat(vec![line_type.then(&Regex::byte(b'\n')).star(), line_type])
+                            .opt();
+                    let v = w.fresh_sym(lang, &format!("$({inv})"));
+                    w.emit_stdout(v);
+                }
+            }
+            Effect::WritesStderr => {}
+        }
+    }
+}
+
+/// Does any success case have a precondition compatible with the state
+/// complementary to `want`? (Used for idempotence sensitivity: if
+/// `want` = Absent and no success case accepts an existing node, the
+/// command breaks on re-run once the node exists.)
+fn has_success_case_for_complement(cases: &[shoal_spec::SpecCase], want: NodeState) -> bool {
+    let complement_ok = |req: &NodeReq| match want {
+        NodeState::Absent => {
+            matches!(
+                req,
+                NodeReq::Exists | NodeReq::File | NodeReq::Dir | NodeReq::Any
+            )
+        }
+        _ => matches!(req, NodeReq::Absent | NodeReq::Any),
+    };
+    cases.iter().any(|c| {
+        c.exit != ExitSpec::Failure
+            && c.pre
+                .iter()
+                .all(|Cond::OperandIs(_, req)| complement_ok(req))
+    })
+}
+
+/// Finds the blocking precondition for the always-fails message:
+/// returns (explanation, script_caused) where `script_caused` is true
+/// when the blocking state is an effect the script performed rather
+/// than an assumption about the initial world.
+fn first_contradiction(
+    _specs: &SpecLibrary,
+    w: &World,
+    _name: &str,
+    cases: &[shoal_spec::SpecCase],
+    inv: &Invocation,
+    symbolic: &[(String, SymStr)],
+) -> Option<(String, bool)> {
+    for case in cases {
+        if case.exit == ExitSpec::Failure {
+            continue;
+        }
+        let mut probe = w.clone();
+        for Cond::OperandIs(marker, req) in &case.pre {
+            let want = match req {
+                NodeReq::File => NodeState::File,
+                NodeReq::Dir => NodeState::Dir,
+                NodeReq::Exists => NodeState::Exists,
+                NodeReq::Absent => NodeState::Absent,
+                NodeReq::Any => continue,
+            };
+            for idx in operand_indices(*marker, inv.operands.len()) {
+                let Some(text) = inv.operands.get(idx) else {
+                    continue;
+                };
+                let v = match symbolic.iter().find(|(m, _)| m == text) {
+                    Some((_, v)) => v.clone(),
+                    None => SymStr::lit(text),
+                };
+                let Some(key) = probe.fs_key(&v) else {
+                    continue;
+                };
+                if let Require::Contradiction(c) = probe.fs.require(&key, want) {
+                    let assumed = w.fs.determined_by_assumption(&key);
+                    return Some((c, !assumed));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Strips trailing literal newlines from a captured value (the `$(…)`
+/// rule).
+fn strip_trailing_newlines(v: &mut SymStr) {
+    while let Some(Seg::Lit(last)) = v.segs.last_mut() {
+        while last.ends_with('\n') {
+            last.pop();
+        }
+        if last.is_empty() {
+            v.segs.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Havocs every variable assigned anywhere in `items` (used after loop
+/// widening).
+fn havoc_assigned(w: &mut World, items: &[ListItem]) {
+    let mut names = Vec::new();
+    collect_assigned(items, &mut names);
+    for name in names {
+        let v = w.fresh_sym(Regex::any_line(), &format!("${name} (loop-widened)"));
+        w.set_var(&name, v);
+    }
+}
+
+fn collect_assigned(items: &[ListItem], out: &mut Vec<String>) {
+    for item in items {
+        let mut pipes = vec![&item.and_or.first];
+        pipes.extend(item.and_or.rest.iter().map(|(_, p)| p));
+        for p in pipes {
+            for c in &p.commands {
+                collect_assigned_cmd(c, out);
+            }
+        }
+    }
+}
+
+fn collect_assigned_cmd(cmd: &Command, out: &mut Vec<String>) {
+    match cmd {
+        Command::Simple(sc) => {
+            for a in &sc.assignments {
+                out.push(a.name.clone());
+            }
+            if sc.name_literal().as_deref() == Some("read") {
+                for wd in &sc.words[1..] {
+                    if let Some(n) = wd.as_literal() {
+                        if !n.starts_with('-') {
+                            out.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        Command::BraceGroup(items, _, _) | Command::Subshell(items, _, _) => {
+            collect_assigned(items, out)
+        }
+        Command::If(c, _, _) => {
+            collect_assigned(&c.cond, out);
+            collect_assigned(&c.then_body, out);
+            for (cc, bb) in &c.elifs {
+                collect_assigned(cc, out);
+                collect_assigned(bb, out);
+            }
+            if let Some(e) = &c.else_body {
+                collect_assigned(e, out);
+            }
+        }
+        Command::While(c, _, _) | Command::Until(c, _, _) => {
+            collect_assigned(&c.cond, out);
+            collect_assigned(&c.body, out);
+        }
+        Command::For(c, _, _) => {
+            out.push(c.var.clone());
+            collect_assigned(&c.body, out);
+        }
+        Command::Case(c, _, _) => {
+            for arm in &c.arms {
+                collect_assigned(&arm.body, out);
+            }
+        }
+        Command::FunctionDef { body, .. } => collect_assigned_cmd(body, out),
+    }
+}

@@ -1,0 +1,54 @@
+//! `shoal-core`: the semantics-driven symbolic execution engine.
+//!
+//! This crate is the paper's primary contribution: an ahead-of-time
+//! analyzer that "simulat\\[es\\] the actions of the shell interpreter,
+//! symbolically describing the results of operations and transforming
+//! sets of program states along the way" (§3). It glues the substrates
+//! together:
+//!
+//! * shell syntax from `shoal-shparse`,
+//! * regular constraints from `shoal-relang`,
+//! * the symbolic file system from `shoal-symfs`,
+//! * command Hoare specs from `shoal-spec`,
+//! * stream types from `shoal-streamty`,
+//!
+//! and adds what only the engine can know: variable stores with
+//! constrained symbolic strings, full POSIX parameter-expansion
+//! semantics, working-directory tracking, success/failure forking with
+//! constraint refinement and concrete pruning, and the checkers that
+//! turn inconsistencies into diagnostics (dangerous deletions,
+//! always-failing compositions, dead pipes, type mismatches, platform
+//! dependence, read/write dependencies).
+//!
+//! # Examples
+//!
+//! ```
+//! use shoal_core::analyze_source;
+//!
+//! // The paper's Fig. 1 — the Steam updater bug.
+//! let report = analyze_source(r#"
+//! STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+//! rm -fr "$STEAMROOT"/*
+//! "#).unwrap();
+//! assert!(report.diagnostics.iter().any(|d| d.code == shoal_core::DiagCode::DangerousDelete));
+//! ```
+
+pub mod analyze;
+pub mod annotations;
+pub mod builtins;
+pub mod checkers;
+pub mod coach;
+pub mod diag;
+pub mod engine;
+pub mod expand;
+pub mod glob;
+pub mod value;
+pub mod world;
+
+pub use analyze::{
+    analyze_script, analyze_source, analyze_source_with, AnalysisOptions, AnalysisReport,
+};
+pub use annotations::{parse_annotations, AnnotationError, Annotations};
+pub use diag::{DiagCode, Diagnostic, Severity};
+pub use value::{Seg, SymStr};
+pub use world::{ExitStatus, World};

@@ -1,0 +1,405 @@
+//! Execution worlds: one symbolic state per explored path.
+//!
+//! A [`World`] is everything the shell interpreter would know at one
+//! point of one execution: variable bindings, positional parameters, the
+//! working directory, the (symbolic) file system, and the last exit
+//! status — plus analyzer bookkeeping: the path condition trail, the
+//! diagnostics discovered on this path, and the fresh-symbol counter.
+//!
+//! The engine explores *sets* of worlds; forking clones a world and
+//! refines the two copies differently. Symbols are world-local: `refine`
+//! narrows every occurrence of a symbol across the whole state, which is
+//! how a check like Fig. 2's `[ "$(realpath …)" != "/" ]` transfers
+//! information onto `$STEAMROOT` everywhere it appears.
+
+use crate::diag::Diagnostic;
+use crate::value::{Seg, SymId, SymStr};
+use shoal_relang::Regex;
+use shoal_shparse::Command;
+use shoal_symfs::key::SymBase;
+use shoal_symfs::{join, normalize_lexical, FsKey, SymFs};
+use std::collections::BTreeMap;
+
+/// The engine's view of an exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Definitely 0.
+    Zero,
+    /// Definitely non-zero.
+    NonZero,
+    /// Could be either.
+    Unknown,
+}
+
+impl ExitStatus {
+    /// Negation (`!` pipelines).
+    pub fn negate(self) -> ExitStatus {
+        match self {
+            ExitStatus::Zero => ExitStatus::NonZero,
+            ExitStatus::NonZero => ExitStatus::Zero,
+            ExitStatus::Unknown => ExitStatus::Unknown,
+        }
+    }
+}
+
+/// One symbolic execution state.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Shell variables.
+    pub vars: BTreeMap<String, SymStr>,
+    /// Positional parameters `$1…`.
+    pub positional: Vec<SymStr>,
+    /// `$0`.
+    pub script_name: SymStr,
+    /// The working directory as a symbolic string.
+    pub cwd: SymStr,
+    /// The symbolic file system.
+    pub fs: SymFs,
+    /// Status of the last command.
+    pub last_exit: ExitStatus,
+    /// Human-readable conjuncts of the path condition.
+    pub path_conditions: Vec<String>,
+    /// Diagnostics found on this path.
+    pub diags: Vec<Diagnostic>,
+    /// True after `exit`.
+    pub halted: bool,
+    /// Captured stdout when evaluating a command substitution.
+    pub capture: Option<SymStr>,
+    /// Idempotence-sensitive assumption sites: (location, what was
+    /// assumed, where) for commands that would *not* succeed on a
+    /// second run if the script changes that state (see
+    /// `checkers`/analyze's idempotence pass).
+    pub fragile_assumptions: Vec<(FsKey, shoal_symfs::state::NodeState, shoal_shparse::Span)>,
+    /// Shell functions defined so far.
+    pub functions: BTreeMap<String, Command>,
+    /// Function-call nesting depth (bounds recursion).
+    pub call_depth: u32,
+    /// Positional parameters beyond `positional`, materialized lazily as
+    /// symbols (the analyzed script may be invoked with arguments).
+    lazy_positional: BTreeMap<usize, SymStr>,
+    /// Fresh-symbol counter (world-local; ids are only compared within
+    /// one world).
+    next_sym: SymId,
+    /// String symbol → file-system base anchor.
+    sym_bases: BTreeMap<SymId, SymBase>,
+    /// Fresh FS base counter.
+    next_base: SymBase,
+}
+
+impl World {
+    /// The initial world: unknown `$0`, unknown environment, symbolic
+    /// cwd, empty FS knowledge.
+    pub fn initial() -> World {
+        let mut w = World {
+            vars: BTreeMap::new(),
+            positional: Vec::new(),
+            script_name: SymStr::empty(),
+            cwd: SymStr::empty(),
+            fs: SymFs::new(),
+            last_exit: ExitStatus::Zero,
+            path_conditions: Vec::new(),
+            diags: Vec::new(),
+            halted: false,
+            capture: None,
+            fragile_assumptions: Vec::new(),
+            functions: BTreeMap::new(),
+            call_depth: 0,
+            lazy_positional: BTreeMap::new(),
+            next_sym: 0,
+            next_base: 0,
+            sym_bases: BTreeMap::new(),
+        };
+        // `$0` is a path-shaped string: the script's invocation name.
+        let zero = w.fresh_sym(Regex::parse_must("/?([^/\n]+/)*[^/\n]+"), "$0");
+        w.script_name = zero;
+        // The initial working directory is some absolute path.
+        let cwd = w.fresh_sym(Regex::parse_must(r"/([^/\n]+(/[^/\n]+)*)?"), "$PWD");
+        w.cwd = cwd;
+        w
+    }
+
+    /// Allocates a fresh symbol with a constraint.
+    pub fn fresh_sym(&mut self, constraint: Regex, label: &str) -> SymStr {
+        let id = self.next_sym;
+        self.next_sym += 1;
+        SymStr::sym(id, constraint, label)
+    }
+
+    /// Allocates a fresh symbol id without building a value.
+    pub fn fresh_sym_id(&mut self) -> SymId {
+        let id = self.next_sym;
+        self.next_sym += 1;
+        id
+    }
+
+    /// Looks up a variable; unset variables are `None`.
+    pub fn get_var(&self, name: &str) -> Option<&SymStr> {
+        self.vars.get(name)
+    }
+
+    /// Sets a variable.
+    pub fn set_var(&mut self, name: &str, value: SymStr) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Reads a parameter by its expansion name (`0`–`9`, specials,
+    /// variables). Unset variables expand to empty **and are reported by
+    /// the caller**, matching shell semantics.
+    pub fn param(&mut self, name: &str) -> Option<SymStr> {
+        match name {
+            "0" => Some(self.script_name.clone()),
+            "?" => Some(match self.last_exit {
+                ExitStatus::Zero => SymStr::lit("0"),
+                ExitStatus::NonZero => self.fresh_sym(Regex::parse_must("[1-9][0-9]*"), "$?"),
+                ExitStatus::Unknown => self.fresh_sym(Regex::parse_must("[0-9]+"), "$?"),
+            }),
+            "#" => Some(SymStr::lit(&self.positional.len().to_string())),
+            "$" => Some(self.fresh_sym(Regex::parse_must("[0-9]+"), "$$")),
+            "!" => Some(self.fresh_sym(Regex::parse_must("[0-9]+"), "$!")),
+            "-" => Some(self.fresh_sym(Regex::parse_must("[a-z]*"), "$-")),
+            "*" | "@" => {
+                let mut joined = SymStr::empty();
+                for (i, p) in self.positional.iter().enumerate() {
+                    if i > 0 {
+                        joined = joined.concat(&SymStr::lit(" "));
+                    }
+                    joined = joined.concat(p);
+                }
+                Some(joined)
+            }
+            "PWD" => Some(self.cwd.clone()),
+            n if n.chars().all(|c| c.is_ascii_digit()) => {
+                let idx: usize = n.parse().ok()?;
+                if idx == 0 {
+                    Some(self.script_name.clone())
+                } else if let Some(v) = self.positional.get(idx - 1) {
+                    Some(v.clone())
+                } else {
+                    // The script may be invoked with arguments: model
+                    // `$n` as a stable symbol per index.
+                    if let Some(v) = self.lazy_positional.get(&idx) {
+                        return Some(v.clone());
+                    }
+                    let v = self.fresh_sym(Regex::any_line(), &format!("${idx}"));
+                    self.lazy_positional.insert(idx, v.clone());
+                    Some(v)
+                }
+            }
+            n => self.vars.get(n).cloned(),
+        }
+    }
+
+    /// Refines symbol `id` by intersecting its constraint with `with`
+    /// in every value in the world. Returns false if the world becomes
+    /// infeasible.
+    pub fn refine_sym(&mut self, id: SymId, with: &Regex) -> bool {
+        let mut ok = true;
+        for v in self.vars.values_mut() {
+            ok &= v.refine_sym(id, with);
+            v.concretize();
+        }
+        for v in self.positional.iter_mut() {
+            ok &= v.refine_sym(id, with);
+            v.concretize();
+        }
+        for v in self.lazy_positional.values_mut() {
+            ok &= v.refine_sym(id, with);
+            v.concretize();
+        }
+        ok &= self.script_name.refine_sym(id, with);
+        self.script_name.concretize();
+        ok &= self.cwd.refine_sym(id, with);
+        self.cwd.concretize();
+        if let Some(c) = self.capture.as_mut() {
+            ok &= c.refine_sym(id, with);
+            c.concretize();
+        }
+        ok
+    }
+
+    /// Shifts positional parameters left by `n` (the `shift` builtin),
+    /// including lazily-materialized ones.
+    pub fn shift_positional(&mut self, n: usize) {
+        let from_known = n.min(self.positional.len());
+        self.positional.drain(..from_known);
+        let remaining = n - from_known;
+        let _ = remaining;
+        let old = std::mem::take(&mut self.lazy_positional);
+        for (idx, v) in old {
+            if idx > n {
+                self.lazy_positional.insert(idx - n, v);
+            }
+        }
+    }
+
+    /// Records a path-condition conjunct.
+    pub fn assume(&mut self, condition: impl Into<String>) {
+        self.path_conditions.push(condition.into());
+    }
+
+    /// Reports a diagnostic on this path, attaching the path condition.
+    pub fn report(&mut self, mut diag: Diagnostic) {
+        diag.path_condition = self.path_conditions.clone();
+        self.diags.push(diag);
+    }
+
+    /// The file-system base anchored to string symbol `id` (allocated on
+    /// first use).
+    pub fn base_for_sym(&mut self, id: SymId) -> SymBase {
+        if let Some(&b) = self.sym_bases.get(&id) {
+            return b;
+        }
+        let b = self.next_base;
+        self.next_base += 1;
+        self.sym_bases.insert(id, b);
+        b
+    }
+
+    /// Resolves a path-valued symbolic string to a file-system key, if
+    /// the value has a trackable identity.
+    pub fn fs_key(&mut self, value: &SymStr) -> Option<FsKey> {
+        if let Some(text) = value.as_literal() {
+            if text.is_empty() {
+                return None;
+            }
+            if text.starts_with('/') {
+                return FsKey::absolute(&text);
+            }
+            // Relative: anchor at the cwd.
+            return match self.cwd.clone().as_literal() {
+                Some(cwd) => FsKey::absolute(&join(&cwd, &text)),
+                None => match self.cwd.as_single_sym() {
+                    Some((cwd_id, _)) => {
+                        let base = self.base_for_sym(cwd_id);
+                        FsKey::symbolic_with(base, &normalize_lexical(&text))
+                    }
+                    None => None,
+                },
+            };
+        }
+        match value.segs.as_slice() {
+            [Seg::Sym { id, .. }] => {
+                let base = self.base_for_sym(*id);
+                Some(FsKey::symbolic(base))
+            }
+            [Seg::Sym { id, .. }, Seg::Lit(suffix)] if suffix.starts_with('/') => {
+                let base = self.base_for_sym(*id);
+                FsKey::symbolic_with(base, &normalize_lexical(suffix))
+            }
+            _ => None,
+        }
+    }
+
+    /// Appends to the capture buffer (stdout during command
+    /// substitution).
+    pub fn emit_stdout(&mut self, chunk: SymStr) {
+        if let Some(buf) = self.capture.as_mut() {
+            *buf = buf.concat(&chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_world_shape() {
+        let mut w = World::initial();
+        assert!(w.param("0").unwrap().may_be("/home/u/run.sh"));
+        assert!(w.param("0").unwrap().may_be("run.sh"));
+        assert!(!w.param("0").unwrap().may_be_empty());
+        assert!(w.param("PWD").unwrap().may_be("/"));
+        assert_eq!(w.param("#").unwrap().as_literal().as_deref(), Some("0"));
+        assert_eq!(w.param("UNSET"), None);
+    }
+
+    #[test]
+    fn positional_params() {
+        let mut w = World::initial();
+        w.positional = vec![SymStr::lit("a"), SymStr::lit("b")];
+        assert_eq!(w.param("1").unwrap().as_literal().as_deref(), Some("a"));
+        assert_eq!(w.param("2").unwrap().as_literal().as_deref(), Some("b"));
+        // Beyond the known arguments, `$3` is a stable fresh symbol.
+        let three = w.param("3").unwrap();
+        assert!(three.as_literal().is_none());
+        assert_eq!(w.param("3").unwrap(), three);
+        assert_eq!(w.param("#").unwrap().as_literal().as_deref(), Some("2"));
+        assert_eq!(w.param("*").unwrap().as_literal().as_deref(), Some("a b"));
+    }
+
+    #[test]
+    fn refine_propagates_everywhere() {
+        let mut w = World::initial();
+        let v = w.fresh_sym(Regex::parse_must("(/|/home)"), "$p");
+        let (id, _) = v.as_single_sym().unwrap();
+        w.set_var("A", v.clone());
+        w.set_var("B", SymStr::lit("x-").concat(&v));
+        assert!(w.refine_sym(id, &Regex::lit("/").complement()));
+        assert_eq!(
+            w.get_var("A").unwrap().as_literal().as_deref(),
+            Some("/home")
+        );
+        assert_eq!(
+            w.get_var("B").unwrap().as_literal().as_deref(),
+            Some("x-/home")
+        );
+    }
+
+    #[test]
+    fn refine_to_unsat_reports_infeasible() {
+        let mut w = World::initial();
+        let v = w.fresh_sym(Regex::lit("only"), "$p");
+        let (id, _) = v.as_single_sym().unwrap();
+        w.set_var("A", v);
+        assert!(!w.refine_sym(id, &Regex::lit("other")));
+    }
+
+    #[test]
+    fn fs_key_literal_paths() {
+        let mut w = World::initial();
+        let k = w.fs_key(&SymStr::lit("/etc/passwd")).unwrap();
+        assert_eq!(k.to_string(), "/etc/passwd");
+        assert_eq!(w.fs_key(&SymStr::lit("")), None);
+    }
+
+    #[test]
+    fn fs_key_relative_joins_cwd() {
+        let mut w = World::initial();
+        w.cwd = SymStr::lit("/work");
+        let k = w.fs_key(&SymStr::lit("sub/file")).unwrap();
+        assert_eq!(k.to_string(), "/work/sub/file");
+        // Symbolic cwd anchors at its base.
+        let mut w2 = World::initial();
+        let k2 = w2.fs_key(&SymStr::lit("file")).unwrap();
+        assert!(k2.to_string().contains("sym"));
+    }
+
+    #[test]
+    fn fs_key_symbolic_with_suffix() {
+        let mut w = World::initial();
+        let p = w.fresh_sym(Regex::any_line(), "$1");
+        let val = p.concat(&SymStr::lit("/config"));
+        let k = w.fs_key(&val).unwrap();
+        assert!(k.to_string().ends_with("/config"));
+        // Same symbol → same base.
+        let k2 = w.fs_key(&p).unwrap();
+        assert!(k2.is_ancestor_or_equal(&k));
+    }
+
+    #[test]
+    fn capture_accumulates() {
+        let mut w = World::initial();
+        w.capture = Some(SymStr::empty());
+        w.emit_stdout(SymStr::lit("a"));
+        w.emit_stdout(SymStr::lit("b\n"));
+        assert_eq!(w.capture.unwrap().as_literal().as_deref(), Some("ab\n"));
+    }
+
+    #[test]
+    fn exit_status_negation() {
+        assert_eq!(ExitStatus::Zero.negate(), ExitStatus::NonZero);
+        assert_eq!(ExitStatus::NonZero.negate(), ExitStatus::Zero);
+        assert_eq!(ExitStatus::Unknown.negate(), ExitStatus::Unknown);
+    }
+}

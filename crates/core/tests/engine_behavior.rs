@@ -1,0 +1,402 @@
+//! Behavioral tests for the symbolic executor: composition primitives,
+//! built-ins, conditionals, loops, case matching, functions, and the
+//! world-forking semantics.
+
+use shoal_core::engine::Engine;
+use shoal_core::{analyze_source, AnalysisOptions, DiagCode, ExitStatus, World};
+use shoal_shparse::parse_script;
+
+fn run(src: &str) -> Vec<World> {
+    let engine = Engine::new(AnalysisOptions::default());
+    let script = parse_script(src).unwrap();
+    engine.exec_items(vec![World::initial()], &script.items)
+}
+
+fn one(src: &str) -> World {
+    let mut worlds = run(src);
+    assert_eq!(worlds.len(), 1, "expected one world for {src:?}");
+    worlds.pop().unwrap()
+}
+
+#[test]
+fn assignment_and_lookup() {
+    let w = one("x=hello");
+    assert_eq!(
+        w.get_var("x").unwrap().as_literal().as_deref(),
+        Some("hello")
+    );
+    assert_eq!(w.last_exit, ExitStatus::Zero);
+}
+
+#[test]
+fn assignment_concatenation() {
+    let w = one("a=foo\nb=\"$a-bar\"");
+    assert_eq!(
+        w.get_var("b").unwrap().as_literal().as_deref(),
+        Some("foo-bar")
+    );
+}
+
+#[test]
+fn true_false_exit_status() {
+    assert_eq!(one("true").last_exit, ExitStatus::Zero);
+    assert_eq!(one("false").last_exit, ExitStatus::NonZero);
+    assert_eq!(one("! false").last_exit, ExitStatus::Zero);
+}
+
+#[test]
+fn and_or_short_circuit() {
+    // false && x=1 — the assignment never runs.
+    let w = one("false && x=1");
+    assert!(w.get_var("x").is_none());
+    let w2 = one("false || x=2");
+    assert_eq!(w2.get_var("x").unwrap().as_literal().as_deref(), Some("2"));
+    let w3 = one("true && x=3");
+    assert_eq!(w3.get_var("x").unwrap().as_literal().as_deref(), Some("3"));
+}
+
+#[test]
+fn exit_halts_execution() {
+    let w = one("x=1\nexit 1\nx=2");
+    assert_eq!(w.get_var("x").unwrap().as_literal().as_deref(), Some("1"));
+    assert!(w.halted);
+    assert_eq!(w.last_exit, ExitStatus::NonZero);
+}
+
+#[test]
+fn if_on_concrete_condition() {
+    let w = one("if true; then x=t; else x=e; fi");
+    assert_eq!(w.get_var("x").unwrap().as_literal().as_deref(), Some("t"));
+    let w2 = one("if false; then x=t; else x=e; fi");
+    assert_eq!(w2.get_var("x").unwrap().as_literal().as_deref(), Some("e"));
+}
+
+#[test]
+fn if_without_else_sets_zero_status() {
+    let w = one("if false; then x=t; fi");
+    assert!(w.get_var("x").is_none());
+    assert_eq!(w.last_exit, ExitStatus::Zero);
+}
+
+#[test]
+fn elif_chain() {
+    let w = one("if false; then x=a; elif true; then x=b; else x=c; fi");
+    assert_eq!(w.get_var("x").unwrap().as_literal().as_deref(), Some("b"));
+}
+
+#[test]
+fn test_equality_refines_both_branches() {
+    // `$1` is symbolic: both branches run, each with a refined world.
+    let worlds = run("if [ \"$1\" = \"on\" ]; then x=yes; else x=no; fi");
+    assert_eq!(worlds.len(), 2);
+    let yes = worlds
+        .iter()
+        .find(|w| w.get_var("x").and_then(|v| v.as_literal()).as_deref() == Some("yes"));
+    let no = worlds
+        .iter()
+        .find(|w| w.get_var("x").and_then(|v| v.as_literal()).as_deref() == Some("no"));
+    assert!(yes.is_some() && no.is_some());
+    // In the yes-world, $1 is pinned to "on".
+    let mut yes = yes.unwrap().clone();
+    assert_eq!(yes.param("1").unwrap().as_literal().as_deref(), Some("on"));
+    // In the no-world, $1 can no longer be "on".
+    let mut no = no.unwrap().clone();
+    assert!(!no.param("1").unwrap().may_be("on"));
+}
+
+#[test]
+fn repeated_tests_of_same_variable_collapse() {
+    // After the first fork, refinement decides subsequent tests: path
+    // count stays at 2 (the E9 pruning claim).
+    let src = "if [ \"$1\" = on ]; then a=1; fi\nif [ \"$1\" = on ]; then b=1; fi\n";
+    let worlds = run(src);
+    assert_eq!(worlds.len(), 2);
+    for w in &worlds {
+        // a and b agree in every world.
+        assert_eq!(w.get_var("a").is_some(), w.get_var("b").is_some());
+    }
+}
+
+#[test]
+fn test_z_and_n() {
+    let w = one("x=nonempty\nif [ -z \"$x\" ]; then r=empty; else r=full; fi");
+    assert_eq!(
+        w.get_var("r").unwrap().as_literal().as_deref(),
+        Some("full")
+    );
+    let w2 = one("x=\"\"\nif [ -n \"$x\" ]; then r=full; else r=empty; fi");
+    assert_eq!(
+        w2.get_var("r").unwrap().as_literal().as_deref(),
+        Some("empty")
+    );
+}
+
+#[test]
+fn test_numeric_comparisons() {
+    let w = one("if [ 3 -lt 5 ]; then r=lt; fi");
+    assert_eq!(w.get_var("r").unwrap().as_literal().as_deref(), Some("lt"));
+    let w2 = one("if [ 5 -le 4 ]; then r=yes; else r=no; fi");
+    assert_eq!(w2.get_var("r").unwrap().as_literal().as_deref(), Some("no"));
+}
+
+#[test]
+fn test_file_predicates_fork_fs() {
+    // Three worlds: file (true), absent (false), directory (false).
+    let worlds = run("if [ -f /etc/app.conf ]; then r=have; else r=none; fi");
+    assert_eq!(worlds.len(), 3);
+    // The knowledge persists: a second check is decided.
+    let worlds2 = run("if [ -f /etc/app.conf ]; then r=have; else r=none; fi\n\
+         if [ -f /etc/app.conf ]; then s=have; else s=none; fi");
+    assert_eq!(worlds2.len(), 3, "second test must not re-fork");
+    for w in &worlds2 {
+        assert_eq!(
+            w.get_var("r").unwrap().as_literal(),
+            w.get_var("s").unwrap().as_literal()
+        );
+    }
+}
+
+#[test]
+fn case_literal_subject() {
+    let w = one("x=b\ncase $x in a) r=A ;; b) r=B ;; *) r=other ;; esac");
+    assert_eq!(w.get_var("r").unwrap().as_literal().as_deref(), Some("B"));
+}
+
+#[test]
+fn case_default_arm() {
+    let w = one("x=zzz\ncase $x in a) r=A ;; b) r=B ;; *) r=other ;; esac");
+    assert_eq!(
+        w.get_var("r").unwrap().as_literal().as_deref(),
+        Some("other")
+    );
+}
+
+#[test]
+fn case_glob_pattern() {
+    let w = one("x=\"Arch Linux\"\ncase \"$x\" in *Linux) r=linux ;; *) r=other ;; esac");
+    assert_eq!(
+        w.get_var("r").unwrap().as_literal().as_deref(),
+        Some("linux")
+    );
+}
+
+#[test]
+fn case_symbolic_subject_forks_with_refinement() {
+    let worlds = run("case \"$1\" in on) r=on ;; off) r=off ;; *) r=other ;; esac");
+    assert_eq!(worlds.len(), 3);
+    let on_world = worlds
+        .iter()
+        .find(|w| w.get_var("r").and_then(|v| v.as_literal()).as_deref() == Some("on"))
+        .unwrap();
+    let mut on_world = on_world.clone();
+    assert_eq!(
+        on_world.param("1").unwrap().as_literal().as_deref(),
+        Some("on")
+    );
+}
+
+#[test]
+fn case_no_match_exits_zero() {
+    let w = one("x=q\ncase $x in a) r=A ;; esac");
+    assert!(w.get_var("r").is_none());
+    assert_eq!(w.last_exit, ExitStatus::Zero);
+}
+
+#[test]
+fn for_loop_iterates_literals() {
+    let w = one("acc=\"\"\nfor i in 1 2 3; do acc=\"$acc$i\"; done");
+    assert_eq!(
+        w.get_var("acc").unwrap().as_literal().as_deref(),
+        Some("123")
+    );
+}
+
+#[test]
+fn while_loop_with_concrete_exit() {
+    // `while false` never runs the body.
+    let w = one("x=keep\nwhile false; do x=changed; done");
+    assert_eq!(
+        w.get_var("x").unwrap().as_literal().as_deref(),
+        Some("keep")
+    );
+}
+
+#[test]
+fn unbounded_loop_widens_assigned_vars() {
+    // A loop the engine cannot bound: the assigned variable is havocked,
+    // and analysis terminates.
+    let worlds = run("while [ \"$1\" = go ]; do counter=more; done");
+    assert!(!worlds.is_empty());
+    // Some world went through widening: counter exists but is symbolic.
+    let widened = worlds.iter().any(|w| {
+        w.get_var("counter")
+            .is_some_and(|v| v.as_literal().is_none())
+    });
+    assert!(widened);
+}
+
+#[test]
+fn function_definition_and_call() {
+    let w = one("greet() { r=\"hi $1\"; }\ngreet world");
+    assert_eq!(
+        w.get_var("r").unwrap().as_literal().as_deref(),
+        Some("hi world")
+    );
+}
+
+#[test]
+fn function_positional_params_restored() {
+    let mut w = one("f() { inner=$1; }\nf abc");
+    assert_eq!(
+        w.get_var("inner").unwrap().as_literal().as_deref(),
+        Some("abc")
+    );
+    // Outside the function, $1 is the script's own (symbolic) argument.
+    assert!(w.param("1").unwrap().as_literal().is_none());
+}
+
+#[test]
+fn recursion_is_bounded() {
+    let worlds = run("f() { f; }\nf");
+    assert!(!worlds.is_empty(), "recursive function must not hang");
+}
+
+#[test]
+fn subshell_isolates_cwd() {
+    // Two worlds (cd succeeded/failed inside the subshell); in both,
+    // the parent's cwd is untouched.
+    let worlds = run("(cd /tmp)\npwd");
+    assert!(!worlds.is_empty());
+    for w in &worlds {
+        assert_ne!(w.cwd.as_literal().as_deref(), Some("/tmp"));
+    }
+}
+
+#[test]
+fn cd_changes_cwd_in_parent() {
+    let worlds = run("cd /srv/data");
+    let success = worlds
+        .iter()
+        .find(|w| w.cwd.as_literal().as_deref() == Some("/srv/data"));
+    assert!(success.is_some());
+}
+
+#[test]
+fn cd_relative_from_known_cwd() {
+    let worlds = run("cd /srv\ncd data");
+    let success = worlds
+        .iter()
+        .find(|w| w.cwd.as_literal().as_deref() == Some("/srv/data"));
+    assert!(success.is_some());
+}
+
+#[test]
+fn shift_drops_positionals() {
+    let mut w = one("set_ignore=1"); // Warm-up world.
+    let _ = &mut w;
+    let worlds = run("x=$1\nshift\ny=$1\n");
+    // $1 after shift is the old $2: distinct symbols.
+    for mut w in worlds {
+        let x = w.get_var("x").cloned().unwrap();
+        let y = w.get_var("y").cloned().unwrap();
+        assert_ne!(x, y);
+        let _ = w.param("1");
+    }
+}
+
+#[test]
+fn unset_removes_variable() {
+    let w = one("x=1\nunset x");
+    assert!(w.get_var("x").is_none());
+}
+
+#[test]
+fn read_binds_symbolic_value() {
+    let w = one("read -r line");
+    assert!(w.get_var("line").is_some());
+    assert!(w.get_var("line").unwrap().as_literal().is_none());
+}
+
+#[test]
+fn background_jobs_do_not_block_status() {
+    let w = one("sleep_like_cmd & x=after");
+    assert_eq!(
+        w.get_var("x").unwrap().as_literal().as_deref(),
+        Some("after")
+    );
+}
+
+#[test]
+fn eval_reports_incompleteness() {
+    let report = analyze_source("eval \"$cmd\"").unwrap();
+    assert!(report.has(DiagCode::AnalysisIncomplete));
+}
+
+#[test]
+fn pipeline_exit_is_last_command() {
+    let w = one("false | true");
+    assert_eq!(w.last_exit, ExitStatus::Zero);
+}
+
+#[test]
+fn deleted_file_stays_deleted_across_branches() {
+    // Deletion in both branches of an if: the file is gone afterwards.
+    let src = "touch /tmp/f\nif [ \"$1\" = a ]; then rm /tmp/f; else rm /tmp/f; fi\ncat /tmp/f\n";
+    let report = analyze_source(src).unwrap();
+    assert!(report.has(DiagCode::AlwaysFails));
+}
+
+#[test]
+fn mkdir_then_cd_then_relative_touch() {
+    let src = "mkdir -p /work/project\ncd /work/project\ntouch build.log\ncat build.log\n";
+    let report = analyze_source(src).unwrap();
+    assert!(
+        !report.has(DiagCode::AlwaysFails),
+        "{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn world_cap_reports_incomplete() {
+    let src = shoal_corpus_like_branchy(10);
+    let report = shoal_core::analyze_source_with(
+        &src,
+        AnalysisOptions {
+            max_worlds: 8,
+            ..AnalysisOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(report.incomplete);
+}
+
+/// Ten branches over independent variables (like corpus::scale, inlined
+/// to keep this test self-contained).
+fn shoal_corpus_like_branchy(k: usize) -> String {
+    let mut out = String::new();
+    for i in 0..k {
+        let n = i + 1;
+        out.push_str(&format!(
+            "if [ \"${n}\" = on ]; then echo y{i}; else echo n{i}; fi\n"
+        ));
+    }
+    out
+}
+
+#[test]
+fn maybe_empty_cd_target_noted() {
+    // `cd $dir` with an unconstrained variable may expand empty.
+    let report = analyze_source("cd \"$1\"\n").unwrap();
+    assert!(report.has(DiagCode::MaybeEmptyExpansion));
+    // A literal target never triggers the note.
+    let report2 = analyze_source("cd /tmp\n").unwrap();
+    assert!(!report2.has(DiagCode::MaybeEmptyExpansion));
+    // A value proven non-empty never triggers it either.
+    let report3 = analyze_source("if [ -n \"$1\" ]; then cd \"$1\"; fi\n").unwrap();
+    assert!(
+        !report3.has(DiagCode::MaybeEmptyExpansion),
+        "got: {:#?}",
+        report3.with_code(DiagCode::MaybeEmptyExpansion)
+    );
+}

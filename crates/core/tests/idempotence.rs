@@ -1,0 +1,66 @@
+//! Idempotence checking (§4: "the CoLiS project reveals idempotence as
+//! an important criterion for software installation scripts").
+
+use shoal_core::{analyze_source, DiagCode};
+
+#[test]
+fn mkdir_without_p_is_not_idempotent() {
+    // First run: /opt/app is absent, mkdir succeeds and creates it.
+    // Second run: it exists, mkdir fails.
+    let report = analyze_source("mkdir /opt/app\ntouch /opt/app/done\n").unwrap();
+    assert!(
+        report.has(DiagCode::IdempotenceRisk),
+        "got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn mkdir_p_is_idempotent() {
+    let report = analyze_source("mkdir -p /opt/app\ntouch /opt/app/done\n").unwrap();
+    assert!(
+        !report.has(DiagCode::IdempotenceRisk),
+        "got: {:#?}",
+        report.with_code(DiagCode::IdempotenceRisk)
+    );
+}
+
+#[test]
+fn plain_rm_of_consumed_file_is_not_idempotent() {
+    // `rm /tmp/queue/job` succeeds only while the file exists; the
+    // script deletes it, so the second run fails.
+    let report = analyze_source("rm /tmp/queue/job\n").unwrap();
+    assert!(
+        report.has(DiagCode::IdempotenceRisk),
+        "got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn rm_f_is_idempotent() {
+    let report = analyze_source("rm -f /tmp/queue/job\n").unwrap();
+    assert!(!report.has(DiagCode::IdempotenceRisk));
+}
+
+#[test]
+fn touch_is_idempotent() {
+    // touch succeeds whether or not the file exists.
+    let report = analyze_source("touch /var/run/stamp\n").unwrap();
+    assert!(
+        !report.has(DiagCode::IdempotenceRisk),
+        "got: {:#?}",
+        report.with_code(DiagCode::IdempotenceRisk)
+    );
+}
+
+#[test]
+fn create_then_cleanup_is_idempotent() {
+    // The script restores the state it consumed: no risk.
+    let report = analyze_source("mkdir /tmp/scratch\nrm -rf /tmp/scratch\n").unwrap();
+    assert!(
+        !report.has(DiagCode::IdempotenceRisk),
+        "got: {:#?}",
+        report.with_code(DiagCode::IdempotenceRisk)
+    );
+}

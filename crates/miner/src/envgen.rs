@@ -1,0 +1,127 @@
+//! Execution-environment generation.
+//!
+//! Fig. 4 (mid): the miner "generates a large number of test
+//! configurations sweeping through the possible flags, options, and
+//! relevant file system states. It then instantiates concrete
+//! environments". For file-system utilities, the relevant states per
+//! operand are: the path is *missing*, a *regular file*, or a
+//! *directory* (with a child, so emptiness-sensitive behavior shows).
+//! Environments are the cross product over operands, capped.
+
+use crate::sandbox::MockFs;
+
+/// The initial state of one operand path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OperandState {
+    /// The path does not exist.
+    Missing,
+    /// The path is a regular file.
+    File,
+    /// The path is a directory containing one file.
+    Dir,
+}
+
+impl OperandState {
+    /// All states, in a fixed order.
+    pub fn all() -> [OperandState; 3] {
+        [OperandState::Missing, OperandState::File, OperandState::Dir]
+    }
+}
+
+impl std::fmt::Display for OperandState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperandState::Missing => "missing",
+            OperandState::File => "file",
+            OperandState::Dir => "dir",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One concrete environment: a file system plus the operand paths and
+/// their initial states.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// The pre-populated file system.
+    pub fs: MockFs,
+    /// Operand paths, `/op0`, `/op1`, ….
+    pub operands: Vec<String>,
+    /// The per-operand initial state.
+    pub states: Vec<OperandState>,
+}
+
+/// Generates every environment for `n_operands` operands (3ⁿ,
+/// capped at 81).
+pub fn environments(n_operands: usize) -> Vec<Env> {
+    let n = n_operands.min(4);
+    let total = 3usize.pow(n as u32);
+    let mut out = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut fs = MockFs::new();
+        let mut operands = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        let mut rest = idx;
+        for i in 0..n {
+            let state = OperandState::all()[rest % 3];
+            rest /= 3;
+            let path = format!("/op{i}");
+            match state {
+                OperandState::Missing => {}
+                OperandState::File => fs.put_file(&path),
+                OperandState::Dir => {
+                    fs.put_dir(&path);
+                    fs.put_file(&format!("{path}/child"));
+                }
+            }
+            operands.push(path);
+            states.push(state);
+        }
+        out.push(Env {
+            fs,
+            operands,
+            states,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sandbox::Kind;
+
+    #[test]
+    fn one_operand_three_envs() {
+        let envs = environments(1);
+        assert_eq!(envs.len(), 3);
+        let states: Vec<OperandState> = envs.iter().map(|e| e.states[0]).collect();
+        assert!(states.contains(&OperandState::Missing));
+        assert!(states.contains(&OperandState::File));
+        assert!(states.contains(&OperandState::Dir));
+    }
+
+    #[test]
+    fn two_operands_nine_envs() {
+        let envs = environments(2);
+        assert_eq!(envs.len(), 9);
+        for e in &envs {
+            assert_eq!(e.operands.len(), 2);
+            for (path, state) in e.operands.iter().zip(e.states.iter()) {
+                match state {
+                    OperandState::Missing => assert_eq!(e.fs.kind(path), None),
+                    OperandState::File => assert_eq!(e.fs.kind(path), Some(Kind::File)),
+                    OperandState::Dir => {
+                        assert_eq!(e.fs.kind(path), Some(Kind::Dir));
+                        assert!(!e.fs.children(path).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn operand_count_capped() {
+        assert_eq!(environments(10).len(), 81);
+    }
+}

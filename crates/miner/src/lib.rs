@@ -1,0 +1,51 @@
+//! `shoal-miner`: command-specification inference (the paper's Fig. 4).
+//!
+//! "Commands are fundamentally opaque … Fortunately, commands are
+//! typically distributed with some form of documentation" (§3). The
+//! mining pipeline has three stages, mirroring Fig. 4 exactly:
+//!
+//! 1. **Left — documentation mining** ([`docmine`]): derive a command's
+//!    invocation syntax from its man page. The paper guardrails an LLM
+//!    with a DSL "designed to express only legitimate invocations"; this
+//!    reproduction substitutes a deterministic extractor over a synthetic
+//!    man-page corpus ([`manpages`]) producing the *same* DSL
+//!    (`shoal_spec::CmdSyntax`). A seeded noise model emulates LLM
+//!    imprecision — and stage 2 catches it, which is the paper's "trust,
+//!    but verify" point.
+//! 2. **Mid — instrumented probing** ([`probe`], [`sandbox`],
+//!    [`envgen`]): enumerate valid invocations (flag subsets × operand
+//!    file-system states), execute each in a hermetic model file system
+//!    with syscall-style tracing.
+//! 3. **Right — compilation** ([`compile`]): apply transformation rules
+//!    to the traces, producing Hoare-style [`shoal_spec::SpecCase`]s.
+//!
+//! [`eval`] measures the mined specs against the hand-written ground
+//! truth (experiment E4).
+
+pub mod compile;
+pub mod docmine;
+pub mod envgen;
+pub mod eval;
+pub mod manpages;
+pub mod probe;
+pub mod sandbox;
+
+pub use compile::compile_spec;
+pub use docmine::{extract_syntax, NoiseModel};
+pub use eval::{evaluate_mined, MiningScore};
+pub use probe::{probe_command, Observation};
+pub use sandbox::{ExecResult, MockFs, TraceEvent};
+
+/// Mines a complete specification for `name`: documentation → syntax →
+/// probing → compiled cases. Returns `None` when no man page exists.
+pub fn mine_command(name: &str) -> Option<shoal_spec::CommandSpec> {
+    mine_command_noisy(name, &NoiseModel::none())
+}
+
+/// Like [`mine_command`] with an explicit extraction-noise model.
+pub fn mine_command_noisy(name: &str, noise: &NoiseModel) -> Option<shoal_spec::CommandSpec> {
+    let page = manpages::man_page(name)?;
+    let syntax = extract_syntax(page, noise)?;
+    let observations = probe_command(&syntax);
+    Some(compile_spec(syntax, &observations))
+}

@@ -1,0 +1,285 @@
+//! The synthetic man-page corpus.
+//!
+//! The paper mines "man pages, markdown files, web pages, etc." — "the
+//! only common source of truth for opaque commands". This corpus holds
+//! conventionally-formatted manual pages (NAME / SYNOPSIS / OPTIONS /
+//! DESCRIPTION) for the utilities the sandbox can execute. The wording
+//! follows POSIX man-page conventions so the extractor exercises the
+//! same parsing problems a real page poses (optional groups, flag
+//! clustering, option arguments, operand ellipses).
+
+/// Returns the manual page for `name`, if the corpus has one.
+pub fn man_page(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "rm" => RM,
+        "rmdir" => RMDIR,
+        "mkdir" => MKDIR,
+        "touch" => TOUCH,
+        "cat" => CAT,
+        "cp" => CP,
+        "mv" => MV,
+        "ls" => LS,
+        "cd" => CD,
+        "realpath" => REALPATH,
+        "ln" => LN,
+        "tee" => TEE,
+        _ => return None,
+    })
+}
+
+/// Every documented command name.
+pub fn all_documented() -> Vec<&'static str> {
+    vec![
+        "rm", "rmdir", "mkdir", "touch", "cat", "cp", "mv", "ls", "cd", "realpath", "ln", "tee",
+    ]
+}
+
+const RM: &str = r#"NAME
+    rm - remove directory entries
+
+SYNOPSIS
+    rm [-f] [-i] [-r] [-v] file...
+
+OPTIONS
+    -f  Do not prompt for confirmation. Do not write diagnostic messages
+        or modify the exit status in the case of nonexistent operands.
+    -i  Prompt for confirmation before removing each entry.
+    -r  Remove file hierarchies: remove directories and their contents
+        recursively.
+    -v  Write a message for each removed entry.
+
+OPERANDS
+    file  A pathname of a directory entry to be removed.
+
+DESCRIPTION
+    The rm utility shall remove the directory entry specified by each
+    file argument. If a file is a directory and -r is not specified, rm
+    shall write a diagnostic message and do nothing more with the
+    operand.
+"#;
+
+const RMDIR: &str = r#"NAME
+    rmdir - remove directories
+
+SYNOPSIS
+    rmdir [-p] dir...
+
+OPTIONS
+    -p  Remove all directories in a pathname.
+
+OPERANDS
+    dir  A pathname of an empty directory to be removed.
+
+DESCRIPTION
+    The rmdir utility shall remove the directory named by each dir
+    operand, which shall refer to an empty directory.
+"#;
+
+const MKDIR: &str = r#"NAME
+    mkdir - make directories
+
+SYNOPSIS
+    mkdir [-p] dir...
+
+OPTIONS
+    -p  Create any missing intermediate pathname components; do not
+        treat an existing directory as an error.
+
+OPERANDS
+    dir  A pathname of a directory to be created.
+
+DESCRIPTION
+    The mkdir utility shall create the directories specified by the
+    operands.
+"#;
+
+const TOUCH: &str = r#"NAME
+    touch - change file access and modification times
+
+SYNOPSIS
+    touch [-c] file...
+
+OPTIONS
+    -c  Do not create a specified file if it does not exist.
+
+OPERANDS
+    file  A pathname of a file whose times shall be modified.
+
+DESCRIPTION
+    The touch utility shall change the modification time of each file.
+    A file that does not exist shall be created, unless -c is given.
+"#;
+
+const CAT: &str = r#"NAME
+    cat - concatenate and print files
+
+SYNOPSIS
+    cat [-u] file...
+
+OPTIONS
+    -u  Write bytes without delay.
+
+OPERANDS
+    file  A pathname of an input file.
+
+DESCRIPTION
+    The cat utility shall read files in sequence and write their
+    contents to the standard output in the same sequence.
+"#;
+
+const CP: &str = r#"NAME
+    cp - copy files
+
+SYNOPSIS
+    cp [-f] [-p] [-r] source_file target_file
+
+OPTIONS
+    -f  Unlink the destination if needed and try again.
+    -p  Duplicate file characteristics.
+    -r  Copy file hierarchies recursively.
+
+OPERANDS
+    source_file  A pathname of a file to be copied.
+    target_file  A pathname of the destination.
+
+DESCRIPTION
+    The cp utility shall copy the contents of source_file to the
+    destination path named by target_file.
+"#;
+
+const MV: &str = r#"NAME
+    mv - move files
+
+SYNOPSIS
+    mv [-f] [-i] source_file target_file
+
+OPTIONS
+    -f  Do not prompt for confirmation.
+    -i  Prompt for confirmation when overwriting.
+
+OPERANDS
+    source_file  A pathname of the file to be moved.
+    target_file  The new pathname of the file.
+
+DESCRIPTION
+    The mv utility shall move the file named by source_file to the
+    destination specified by target_file.
+"#;
+
+const LS: &str = r#"NAME
+    ls - list directory contents
+
+SYNOPSIS
+    ls [-a] [-l] [-1] file...
+
+OPTIONS
+    -a  Write out all directory entries, including dot entries.
+    -l  Write output in long format.
+    -1  Force output to be one entry per line.
+
+OPERANDS
+    file  A pathname of a file to be written.
+
+DESCRIPTION
+    For each operand that names a file of type directory, ls shall
+    write the names of files contained within the directory.
+"#;
+
+const CD: &str = r#"NAME
+    cd - change the working directory
+
+SYNOPSIS
+    cd [directory]
+
+OPERANDS
+    directory  An absolute or relative pathname of the directory that
+        shall become the new working directory.
+
+DESCRIPTION
+    The cd utility shall change the working directory of the current
+    shell execution environment.
+"#;
+
+const REALPATH: &str = r#"NAME
+    realpath - resolve a pathname
+
+SYNOPSIS
+    realpath [-e] [-m] file...
+
+OPTIONS
+    -e  All components of the pathname must exist.
+    -m  No components of the pathname need exist.
+
+OPERANDS
+    file  A pathname to be resolved.
+
+DESCRIPTION
+    The realpath utility shall canonicalize the pathname given as a
+    file operand and write the resolved absolute pathname to standard
+    output.
+"#;
+
+const LN: &str = r#"NAME
+    ln - link files
+
+SYNOPSIS
+    ln [-f] [-s] source_file target_file
+
+OPTIONS
+    -f  Remove existing destination pathnames.
+    -s  Create symbolic links instead of hard links.
+
+OPERANDS
+    source_file  A pathname of a file to be linked.
+    target_file  The pathname of the new directory entry.
+
+DESCRIPTION
+    The ln utility shall create a new directory entry for the file
+    specified by source_file at the destination path.
+"#;
+
+const TEE: &str = r#"NAME
+    tee - duplicate standard input
+
+SYNOPSIS
+    tee [-a] [-i] file...
+
+OPTIONS
+    -a  Append the output to the files.
+    -i  Ignore the SIGINT signal.
+
+OPERANDS
+    file  A pathname of an output file.
+
+DESCRIPTION
+    The tee utility shall copy standard input to standard output,
+    making a copy in zero or more files.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_complete_and_conventional() {
+        for name in all_documented() {
+            let page = man_page(name).unwrap();
+            assert!(page.contains("NAME"), "{name} page missing NAME");
+            assert!(page.contains("SYNOPSIS"), "{name} page missing SYNOPSIS");
+            assert!(
+                page.contains("DESCRIPTION"),
+                "{name} page missing DESCRIPTION"
+            );
+            let syn_line = page
+                .lines()
+                .skip_while(|l| !l.starts_with("SYNOPSIS"))
+                .nth(1)
+                .unwrap_or("");
+            assert!(
+                syn_line.trim_start().starts_with(name),
+                "{name} synopsis must start with the command name, got {syn_line:?}"
+            );
+        }
+        assert!(man_page("no-such-command").is_none());
+    }
+}

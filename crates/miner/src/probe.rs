@@ -1,0 +1,229 @@
+//! Instrumented probing: run every valid invocation in every
+//! environment, recording effects.
+//!
+//! For each flag subset from the mined syntax and each generated
+//! environment, [`probe_command`] executes the invocation in the sandbox
+//! and distills an [`Observation`]: the exit code plus the *effect
+//! fingerprint* computed by diffing the file system before and after and
+//! scanning the trace — exactly the inputs Fig. 4's compilation rules
+//! need.
+
+use crate::envgen::{environments, Env, OperandState};
+use crate::sandbox::{execute, Kind, TraceEvent};
+use shoal_spec::CmdSyntax;
+use std::collections::BTreeSet;
+
+/// One probed execution, distilled.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Flags of the invocation.
+    pub flags: BTreeSet<char>,
+    /// Initial state of each operand.
+    pub states: Vec<OperandState>,
+    /// Exit code.
+    pub exit: i32,
+    /// The invocation was rejected as malformed (unknown flag).
+    pub rejected: bool,
+    /// Operand indexes whose node vanished.
+    pub deleted: Vec<usize>,
+    /// Operand indexes where a file was created.
+    pub created_file: Vec<usize>,
+    /// Operand indexes where a directory was created.
+    pub created_dir: Vec<usize>,
+    /// Operand indexes that were opened for reading.
+    pub read: Vec<usize>,
+    /// Operand indexes that were written in place.
+    pub written: Vec<usize>,
+    /// The working directory changed to this operand.
+    pub cwd_to: Option<usize>,
+    /// Anything appeared on stdout.
+    pub stdout: bool,
+    /// Anything appeared on stderr.
+    pub stderr: bool,
+}
+
+impl Observation {
+    /// Did the execution succeed?
+    pub fn success(&self) -> bool {
+        self.exit == 0
+    }
+}
+
+/// Probes `syntax.name` over flag subsets × environments.
+pub fn probe_command(syntax: &CmdSyntax) -> Vec<Observation> {
+    let n_operands = syntax
+        .min_operands
+        .max(1)
+        .min(syntax.max_operands.unwrap_or(usize::MAX))
+        .max(1);
+    let mut out = Vec::new();
+    for flags in syntax.enumerate_flag_sets() {
+        for env in environments(n_operands) {
+            out.push(probe_one(&syntax.name, &flags, env));
+        }
+    }
+    out
+}
+
+fn probe_one(name: &str, flags: &BTreeSet<char>, env: Env) -> Observation {
+    let Env {
+        mut fs,
+        operands,
+        states,
+    } = env;
+    let before = fs.snapshot();
+    let cwd_before = fs.cwd().to_string();
+    let mut argv: Vec<String> = flags.iter().map(|f| format!("-{f}")).collect();
+    argv.extend(operands.iter().cloned());
+    let result = execute(name, &argv, &mut fs);
+    let after = fs.snapshot();
+    let rejected = result.exit == 2
+        && result
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Diag(d) if d.contains("invalid option")));
+    let mut obs = Observation {
+        flags: flags.clone(),
+        states,
+        exit: result.exit,
+        rejected,
+        deleted: Vec::new(),
+        created_file: Vec::new(),
+        created_dir: Vec::new(),
+        read: Vec::new(),
+        written: Vec::new(),
+        cwd_to: None,
+        stdout: false,
+        stderr: false,
+    };
+    for (i, op) in operands.iter().enumerate() {
+        let was = before.get(op.as_str());
+        let is = after.get(op.as_str());
+        match (was, is) {
+            (Some(_), None) => obs.deleted.push(i),
+            (None, Some(Kind::File)) => obs.created_file.push(i),
+            (None, Some(Kind::Dir)) => obs.created_dir.push(i),
+            _ => {}
+        }
+        for ev in &result.trace {
+            match ev {
+                TraceEvent::Open(p) | TraceEvent::ReadDir(p)
+                    if p == op && !obs.read.contains(&i) =>
+                {
+                    obs.read.push(i);
+                }
+                TraceEvent::Write(p) if p == op && !obs.written.contains(&i) => {
+                    obs.written.push(i);
+                }
+                TraceEvent::Chdir(p) if p == op && fs.cwd() != cwd_before => {
+                    obs.cwd_to = Some(i);
+                }
+                _ => {}
+            }
+        }
+    }
+    obs.stdout = result
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Stdout(_)));
+    obs.stderr = result
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Diag(_)));
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docmine::{extract_syntax, NoiseModel};
+    use crate::manpages::man_page;
+
+    fn observations(name: &str) -> Vec<Observation> {
+        let syn = extract_syntax(man_page(name).unwrap(), &NoiseModel::none()).unwrap();
+        probe_command(&syn)
+    }
+
+    #[test]
+    fn rm_probe_matrix_shape() {
+        let obs = observations("rm");
+        // 2^4 flag subsets × 3 environments.
+        assert_eq!(obs.len(), 16 * 3);
+        // The paper's triple is in there: -f -r on a dir deletes it.
+        let fr_dir = obs
+            .iter()
+            .find(|o| {
+                o.flags == ['f', 'r'].into_iter().collect() && o.states == vec![OperandState::Dir]
+            })
+            .unwrap();
+        assert!(fr_dir.success());
+        assert_eq!(fr_dir.deleted, vec![0]);
+    }
+
+    #[test]
+    fn rm_plain_on_dir_fails_in_probe() {
+        let obs = observations("rm");
+        let plain_dir = obs
+            .iter()
+            .find(|o| o.flags.is_empty() && o.states == vec![OperandState::Dir])
+            .unwrap();
+        assert!(!plain_dir.success());
+        assert!(plain_dir.deleted.is_empty());
+        assert!(plain_dir.stderr);
+    }
+
+    #[test]
+    fn touch_creates_only_when_missing() {
+        let obs = observations("touch");
+        let missing = obs
+            .iter()
+            .find(|o| o.flags.is_empty() && o.states == vec![OperandState::Missing])
+            .unwrap();
+        assert_eq!(missing.created_file, vec![0]);
+        let nocreate = obs
+            .iter()
+            .find(|o| {
+                o.flags == ['c'].into_iter().collect() && o.states == vec![OperandState::Missing]
+            })
+            .unwrap();
+        assert!(nocreate.created_file.is_empty());
+        assert!(nocreate.success());
+    }
+
+    #[test]
+    fn cd_probe_records_cwd_change() {
+        let obs = observations("cd");
+        let dir = obs
+            .iter()
+            .find(|o| o.states == vec![OperandState::Dir])
+            .unwrap();
+        assert_eq!(dir.cwd_to, Some(0));
+        assert!(dir.success());
+        let file = obs
+            .iter()
+            .find(|o| o.states == vec![OperandState::File])
+            .unwrap();
+        assert!(!file.success());
+    }
+
+    #[test]
+    fn phantom_flags_are_rejected_by_probing() {
+        // Extraction noise invents a phantom flag; every probe carrying
+        // it must come back `rejected`.
+        let noisy = NoiseModel::with_rates(0.0, 1.0, 7);
+        let syn = extract_syntax(man_page("rm").unwrap(), &noisy).unwrap();
+        let phantom: Vec<char> = syn
+            .flags
+            .iter()
+            .filter(|f| f.description == "(phantom)")
+            .map(|f| f.flag)
+            .collect();
+        assert_eq!(phantom.len(), 1);
+        let obs = probe_command(&syn);
+        for o in &obs {
+            if o.flags.contains(&phantom[0]) {
+                assert!(o.rejected, "phantom flag {:?} must be rejected", phantom[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The probing sandbox: a concrete model file system and instrumented
+//! mock executors.
+//!
+//! The paper probes real commands in instrumented containers with
+//! system-call tracing. The reproduction runs *operational mock
+//! implementations* of each utility against an in-process file system,
+//! emitting the same trace alphabet ptrace-based interposition would
+//! produce (`open`, `unlink`, `mkdir`, `chdir`, …). The compilation
+//! rules (Fig. 4 right) consume only these traces and the before/after
+//! file-system states, so the substitution is invisible to them (DESIGN
+//! §5).
+//!
+//! The executors are deliberately *independent* of `shoal-spec`'s
+//! ground-truth library: they implement POSIX behavior operationally, so
+//! that E4's mined-vs-ground-truth comparison is a genuine two-sided
+//! check.
+
+use shoal_symfs::{join, normalize_lexical};
+use std::collections::BTreeMap;
+
+/// Node kinds in the model file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+/// A concrete model file system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MockFs {
+    entries: BTreeMap<String, Kind>,
+    cwd: String,
+}
+
+impl MockFs {
+    /// An empty file system with cwd `/`.
+    pub fn new() -> MockFs {
+        let mut fs = MockFs {
+            entries: BTreeMap::new(),
+            cwd: "/".to_string(),
+        };
+        fs.entries.insert("/".to_string(), Kind::Dir);
+        fs
+    }
+
+    /// Resolves a path against the cwd and normalizes it.
+    pub fn resolve(&self, path: &str) -> String {
+        join(&self.cwd, path)
+    }
+
+    /// The node at `path`, if any.
+    pub fn kind(&self, path: &str) -> Option<Kind> {
+        self.entries.get(&self.resolve(path)).copied()
+    }
+
+    /// Creates a file, creating parent directories implicitly (the
+    /// environment generator uses this; executors check parents).
+    pub fn put_file(&mut self, path: &str) {
+        let p = self.resolve(path);
+        self.ensure_parents(&p);
+        self.entries.insert(p, Kind::File);
+    }
+
+    /// Creates a directory (with parents).
+    pub fn put_dir(&mut self, path: &str) {
+        let p = self.resolve(path);
+        self.ensure_parents(&p);
+        self.entries.insert(p, Kind::Dir);
+    }
+
+    fn ensure_parents(&mut self, abs: &str) {
+        let mut cur = String::new();
+        for comp in abs.split('/').filter(|c| !c.is_empty()) {
+            cur.push('/');
+            cur.push_str(comp);
+            if cur != abs {
+                self.entries.entry(cur.clone()).or_insert(Kind::Dir);
+            }
+        }
+        self.entries.entry("/".to_string()).or_insert(Kind::Dir);
+    }
+
+    /// Removes a single node.
+    pub fn remove(&mut self, path: &str) {
+        let p = self.resolve(path);
+        self.entries.remove(&p);
+    }
+
+    /// Removes a node and its subtree.
+    pub fn remove_tree(&mut self, path: &str) {
+        let p = self.resolve(path);
+        let doomed: Vec<String> = self
+            .entries
+            .keys()
+            .filter(|k| **k == p || (k.starts_with(&p) && k.as_bytes().get(p.len()) == Some(&b'/')))
+            .cloned()
+            .collect();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+    }
+
+    /// Direct children of a directory.
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let p = self.resolve(path);
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{p}/")
+        };
+        self.entries
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix)
+                    && **k != p
+                    && !k[prefix.len()..].contains('/')
+                    && !k[prefix.len()..].is_empty()
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Current working directory.
+    pub fn cwd(&self) -> &str {
+        &self.cwd
+    }
+
+    /// All entries (for before/after diffing).
+    pub fn snapshot(&self) -> BTreeMap<String, Kind> {
+        self.entries.clone()
+    }
+}
+
+/// One syscall-style trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `open(path, O_RDONLY)`.
+    Open(String),
+    /// `open(path, O_CREAT|O_WRONLY)`.
+    Create(String),
+    /// `write` to a path.
+    Write(String),
+    /// `unlink(path)`.
+    Unlink(String),
+    /// `rmdir(path)`.
+    Rmdir(String),
+    /// `mkdir(path)`.
+    Mkdir(String),
+    /// `chdir(path)`.
+    Chdir(String),
+    /// `readdir(path)`.
+    ReadDir(String),
+    /// `stat(path)`.
+    Stat(String),
+    /// A diagnostic on stderr.
+    Diag(String),
+    /// Bytes on stdout.
+    Stdout(String),
+}
+
+/// The result of one sandboxed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Exit code.
+    pub exit: i32,
+    /// Trace in order.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ExecResult {
+    /// Did the command succeed?
+    pub fn success(&self) -> bool {
+        self.exit == 0
+    }
+}
+
+/// Executes `name args…` in the sandbox.
+pub fn execute(name: &str, args: &[String], fs: &mut MockFs) -> ExecResult {
+    let mut flags: Vec<char> = Vec::new();
+    let mut operands: Vec<String> = Vec::new();
+    let mut no_more = false;
+    for a in args {
+        if !no_more && a == "--" {
+            no_more = true;
+        } else if !no_more && a.starts_with('-') && a.len() > 1 {
+            flags.extend(a[1..].chars());
+        } else {
+            operands.push(a.clone());
+        }
+    }
+    let has = |c: char| flags.contains(&c);
+    // Validate flags first: real utilities reject unknown options before
+    // doing any work.
+    let known: &[char] = match name {
+        "rm" => &['f', 'i', 'r', 'R', 'v'],
+        "rmdir" => &['p'],
+        "mkdir" => &['p'],
+        "touch" => &['c', 'a', 'm'],
+        "cat" => &['u'],
+        "cp" => &['f', 'p', 'r', 'R'],
+        "mv" => &['f', 'i'],
+        "ls" => &['a', 'l', '1'],
+        "realpath" => &['e', 'm'],
+        "ln" => &['f', 's'],
+        "tee" => &['a', 'i'],
+        _ => &[],
+    };
+    if let Some(bad) = flags.iter().find(|f| !known.contains(f)) {
+        return ExecResult {
+            exit: 2,
+            trace: vec![TraceEvent::Diag(format!(
+                "{name}: invalid option -- '{bad}'"
+            ))],
+        };
+    }
+    let mut trace = Vec::new();
+    let exit = match name {
+        "rm" => rm(fs, &mut trace, has('f'), has('r') || has('R'), &operands),
+        "rmdir" => rmdir(fs, &mut trace, &operands),
+        "mkdir" => mkdir(fs, &mut trace, has('p'), &operands),
+        "touch" => touch(fs, &mut trace, has('c'), &operands),
+        "cat" => cat(fs, &mut trace, &operands),
+        "cp" => cp(fs, &mut trace, has('r') || has('R'), &operands),
+        "mv" => mv(fs, &mut trace, &operands),
+        "ls" => ls(fs, &mut trace, &operands),
+        "cd" => cd(fs, &mut trace, &operands),
+        "realpath" => realpath(fs, &mut trace, has('m'), &operands),
+        "ln" => ln(fs, &mut trace, &operands),
+        "tee" => tee(fs, &mut trace, &operands),
+        other => {
+            trace.push(TraceEvent::Diag(format!("{other}: command not found")));
+            127
+        }
+    };
+    ExecResult { exit, trace }
+}
+
+fn rm(
+    fs: &mut MockFs,
+    t: &mut Vec<TraceEvent>,
+    force: bool,
+    recursive: bool,
+    ops: &[String],
+) -> i32 {
+    let mut exit = 0;
+    for op in ops {
+        let p = fs.resolve(op);
+        t.push(TraceEvent::Stat(p.clone()));
+        match fs.kind(op) {
+            None => {
+                if !force {
+                    t.push(TraceEvent::Diag(format!(
+                        "rm: cannot remove '{op}': No such file"
+                    )));
+                    exit = 1;
+                }
+            }
+            Some(Kind::File) => {
+                t.push(TraceEvent::Unlink(p.clone()));
+                fs.remove(op);
+            }
+            Some(Kind::Dir) => {
+                if recursive {
+                    for child in fs.children(op) {
+                        t.push(TraceEvent::Unlink(child));
+                    }
+                    t.push(TraceEvent::Rmdir(p.clone()));
+                    fs.remove_tree(op);
+                } else {
+                    t.push(TraceEvent::Diag(format!(
+                        "rm: cannot remove '{op}': Is a directory"
+                    )));
+                    exit = 1;
+                }
+            }
+        }
+    }
+    exit
+}
+
+fn rmdir(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    let mut exit = 0;
+    for op in ops {
+        let p = fs.resolve(op);
+        t.push(TraceEvent::Stat(p.clone()));
+        match fs.kind(op) {
+            Some(Kind::Dir) if fs.children(op).is_empty() => {
+                t.push(TraceEvent::Rmdir(p));
+                fs.remove(op);
+            }
+            Some(Kind::Dir) => {
+                t.push(TraceEvent::Diag(format!(
+                    "rmdir: '{op}': Directory not empty"
+                )));
+                exit = 1;
+            }
+            Some(Kind::File) => {
+                t.push(TraceEvent::Diag(format!("rmdir: '{op}': Not a directory")));
+                exit = 1;
+            }
+            None => {
+                t.push(TraceEvent::Diag(format!(
+                    "rmdir: '{op}': No such file or directory"
+                )));
+                exit = 1;
+            }
+        }
+    }
+    exit
+}
+
+fn mkdir(fs: &mut MockFs, t: &mut Vec<TraceEvent>, parents: bool, ops: &[String]) -> i32 {
+    let mut exit = 0;
+    for op in ops {
+        let p = fs.resolve(op);
+        match fs.kind(op) {
+            Some(_) if parents => {}
+            Some(_) => {
+                t.push(TraceEvent::Diag(format!(
+                    "mkdir: cannot create '{op}': File exists"
+                )));
+                exit = 1;
+            }
+            None => {
+                // Parent must exist without -p.
+                let parent = shoal_symfs::parent(&p).unwrap_or_else(|| "/".to_string());
+                if !parents && fs.kind(&parent) != Some(Kind::Dir) {
+                    t.push(TraceEvent::Diag(format!(
+                        "mkdir: cannot create '{op}': No such file or directory"
+                    )));
+                    exit = 1;
+                } else {
+                    t.push(TraceEvent::Mkdir(p.clone()));
+                    fs.put_dir(op);
+                }
+            }
+        }
+    }
+    exit
+}
+
+fn touch(fs: &mut MockFs, t: &mut Vec<TraceEvent>, no_create: bool, ops: &[String]) -> i32 {
+    for op in ops {
+        let p = fs.resolve(op);
+        t.push(TraceEvent::Stat(p.clone()));
+        match fs.kind(op) {
+            Some(_) => t.push(TraceEvent::Write(p)),
+            None if no_create => {}
+            None => {
+                t.push(TraceEvent::Create(p.clone()));
+                fs.put_file(op);
+            }
+        }
+    }
+    0
+}
+
+fn cat(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    let mut exit = 0;
+    for op in ops {
+        let p = fs.resolve(op);
+        match fs.kind(op) {
+            Some(Kind::File) => {
+                t.push(TraceEvent::Open(p.clone()));
+                t.push(TraceEvent::Stdout(format!("<contents of {p}>")));
+            }
+            Some(Kind::Dir) => {
+                t.push(TraceEvent::Diag(format!("cat: {op}: Is a directory")));
+                exit = 1;
+            }
+            None => {
+                t.push(TraceEvent::Diag(format!(
+                    "cat: {op}: No such file or directory"
+                )));
+                exit = 1;
+            }
+        }
+    }
+    exit
+}
+
+fn cp(fs: &mut MockFs, t: &mut Vec<TraceEvent>, recursive: bool, ops: &[String]) -> i32 {
+    if ops.len() != 2 {
+        t.push(TraceEvent::Diag("cp: missing operand".to_string()));
+        return 1;
+    }
+    let (src, dst) = (&ops[0], &ops[1]);
+    match fs.kind(src) {
+        None => {
+            t.push(TraceEvent::Diag(format!("cp: cannot stat '{src}'")));
+            1
+        }
+        Some(Kind::Dir) if !recursive => {
+            t.push(TraceEvent::Diag(format!(
+                "cp: -r not specified; omitting directory '{src}'"
+            )));
+            1
+        }
+        Some(kind) => {
+            t.push(TraceEvent::Open(fs.resolve(src)));
+            t.push(TraceEvent::Create(fs.resolve(dst)));
+            match kind {
+                Kind::File => fs.put_file(dst),
+                Kind::Dir => fs.put_dir(dst),
+            }
+            0
+        }
+    }
+}
+
+fn mv(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    if ops.len() != 2 {
+        t.push(TraceEvent::Diag("mv: missing operand".to_string()));
+        return 1;
+    }
+    let (src, dst) = (&ops[0], &ops[1]);
+    match fs.kind(src) {
+        None => {
+            t.push(TraceEvent::Diag(format!("mv: cannot stat '{src}'")));
+            1
+        }
+        Some(kind) => {
+            t.push(TraceEvent::Unlink(fs.resolve(src)));
+            t.push(TraceEvent::Create(fs.resolve(dst)));
+            fs.remove_tree(src);
+            match kind {
+                Kind::File => fs.put_file(dst),
+                Kind::Dir => fs.put_dir(dst),
+            }
+            0
+        }
+    }
+}
+
+fn ls(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    let targets: Vec<String> = if ops.is_empty() {
+        vec![".".to_string()]
+    } else {
+        ops.to_vec()
+    };
+    let mut exit = 0;
+    for op in &targets {
+        match fs.kind(op) {
+            Some(Kind::Dir) => {
+                t.push(TraceEvent::ReadDir(fs.resolve(op)));
+                for c in fs.children(op) {
+                    t.push(TraceEvent::Stdout(c));
+                }
+            }
+            Some(Kind::File) => t.push(TraceEvent::Stdout(fs.resolve(op))),
+            None => {
+                t.push(TraceEvent::Diag(format!("ls: cannot access '{op}'")));
+                exit = 2;
+            }
+        }
+    }
+    exit
+}
+
+fn cd(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    let target = ops.first().cloned().unwrap_or_else(|| "/".to_string());
+    match fs.kind(&target) {
+        Some(Kind::Dir) => {
+            let p = fs.resolve(&target);
+            t.push(TraceEvent::Chdir(p.clone()));
+            fs.cwd = p;
+            0
+        }
+        Some(Kind::File) => {
+            t.push(TraceEvent::Diag(format!("cd: {target}: Not a directory")));
+            1
+        }
+        None => {
+            t.push(TraceEvent::Diag(format!(
+                "cd: {target}: No such file or directory"
+            )));
+            1
+        }
+    }
+}
+
+fn realpath(fs: &mut MockFs, t: &mut Vec<TraceEvent>, missing_ok: bool, ops: &[String]) -> i32 {
+    let mut exit = 0;
+    for op in ops {
+        let p = normalize_lexical(&fs.resolve(op));
+        t.push(TraceEvent::Stat(p.clone()));
+        if fs.entries.contains_key(&p) || missing_ok {
+            t.push(TraceEvent::Stdout(p));
+        } else {
+            t.push(TraceEvent::Diag(format!(
+                "realpath: {op}: No such file or directory"
+            )));
+            exit = 1;
+        }
+    }
+    exit
+}
+
+fn ln(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    if ops.len() != 2 {
+        t.push(TraceEvent::Diag("ln: missing operand".to_string()));
+        return 1;
+    }
+    let (src, dst) = (&ops[0], &ops[1]);
+    if fs.kind(src).is_none() {
+        t.push(TraceEvent::Diag(format!(
+            "ln: '{src}': No such file or directory"
+        )));
+        return 1;
+    }
+    t.push(TraceEvent::Create(fs.resolve(dst)));
+    fs.put_file(dst);
+    0
+}
+
+fn tee(fs: &mut MockFs, t: &mut Vec<TraceEvent>, ops: &[String]) -> i32 {
+    for op in ops {
+        t.push(TraceEvent::Create(fs.resolve(op)));
+        fs.put_file(op);
+    }
+    t.push(TraceEvent::Stdout("<stdin copy>".to_string()));
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fs_basics() {
+        let mut fs = MockFs::new();
+        fs.put_file("/a/b/c.txt");
+        assert_eq!(fs.kind("/a"), Some(Kind::Dir));
+        assert_eq!(fs.kind("/a/b/c.txt"), Some(Kind::File));
+        assert_eq!(fs.children("/a"), vec!["/a/b".to_string()]);
+        fs.remove_tree("/a");
+        assert_eq!(fs.kind("/a/b/c.txt"), None);
+        assert_eq!(fs.kind("/"), Some(Kind::Dir));
+    }
+
+    #[test]
+    fn rm_file_succeeds_and_traces_unlink() {
+        let mut fs = MockFs::new();
+        fs.put_file("/f");
+        let r = execute("rm", &args(&["/f"]), &mut fs);
+        assert!(r.success());
+        assert!(r.trace.contains(&TraceEvent::Unlink("/f".to_string())));
+        assert_eq!(fs.kind("/f"), None);
+    }
+
+    #[test]
+    fn rm_dir_without_r_fails() {
+        let mut fs = MockFs::new();
+        fs.put_dir("/d");
+        let r = execute("rm", &args(&["/d"]), &mut fs);
+        assert!(!r.success());
+        assert_eq!(fs.kind("/d"), Some(Kind::Dir));
+        // Even with -f, a directory needs -r.
+        let r2 = execute("rm", &args(&["-f", "/d"]), &mut fs);
+        assert!(!r2.success());
+    }
+
+    #[test]
+    fn rm_rf_paper_triple() {
+        // {(∃ p)} rm -f -r p {(∄ p) ∧ exit 0}
+        let mut fs = MockFs::new();
+        fs.put_dir("/p");
+        fs.put_file("/p/inner");
+        let r = execute("rm", &args(&["-f", "-r", "/p"]), &mut fs);
+        assert_eq!(r.exit, 0);
+        assert_eq!(fs.kind("/p"), None);
+        assert_eq!(fs.kind("/p/inner"), None);
+    }
+
+    #[test]
+    fn rm_missing_with_and_without_f() {
+        let mut fs = MockFs::new();
+        assert!(!execute("rm", &args(&["/nope"]), &mut fs).success());
+        assert!(execute("rm", &args(&["-f", "/nope"]), &mut fs).success());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let mut fs = MockFs::new();
+        fs.put_file("/f");
+        let r = execute("rm", &args(&["-z", "/f"]), &mut fs);
+        assert_eq!(r.exit, 2);
+        assert_eq!(fs.kind("/f"), Some(Kind::File), "no effect on error");
+    }
+
+    #[test]
+    fn mkdir_semantics() {
+        let mut fs = MockFs::new();
+        assert!(execute("mkdir", &args(&["/d"]), &mut fs).success());
+        assert!(!execute("mkdir", &args(&["/d"]), &mut fs).success());
+        assert!(execute("mkdir", &args(&["-p", "/d"]), &mut fs).success());
+        assert!(!execute("mkdir", &args(&["/x/y/z"]), &mut fs).success());
+        assert!(execute("mkdir", &args(&["-p", "/x/y/z"]), &mut fs).success());
+        assert_eq!(fs.kind("/x/y"), Some(Kind::Dir));
+    }
+
+    #[test]
+    fn touch_create_and_nocreate() {
+        let mut fs = MockFs::new();
+        assert!(execute("touch", &args(&["/new"]), &mut fs).success());
+        assert_eq!(fs.kind("/new"), Some(Kind::File));
+        assert!(execute("touch", &args(&["-c", "/other"]), &mut fs).success());
+        assert_eq!(fs.kind("/other"), None);
+    }
+
+    #[test]
+    fn cat_trace() {
+        let mut fs = MockFs::new();
+        fs.put_file("/f");
+        let r = execute("cat", &args(&["/f"]), &mut fs);
+        assert!(r.success());
+        assert!(r.trace.contains(&TraceEvent::Open("/f".to_string())));
+        assert!(!execute("cat", &args(&["/missing"]), &mut fs).success());
+        fs.put_dir("/d");
+        assert!(!execute("cat", &args(&["/d"]), &mut fs).success());
+    }
+
+    #[test]
+    fn cp_mv_semantics() {
+        let mut fs = MockFs::new();
+        fs.put_file("/src");
+        assert!(execute("cp", &args(&["/src", "/dst"]), &mut fs).success());
+        assert_eq!(fs.kind("/src"), Some(Kind::File));
+        assert_eq!(fs.kind("/dst"), Some(Kind::File));
+        assert!(execute("mv", &args(&["/dst", "/moved"]), &mut fs).success());
+        assert_eq!(fs.kind("/dst"), None);
+        assert_eq!(fs.kind("/moved"), Some(Kind::File));
+        fs.put_dir("/dir");
+        assert!(!execute("cp", &args(&["/dir", "/dir2"]), &mut fs).success());
+        assert!(execute("cp", &args(&["-r", "/dir", "/dir2"]), &mut fs).success());
+    }
+
+    #[test]
+    fn cd_changes_cwd_and_relative_resolution() {
+        let mut fs = MockFs::new();
+        fs.put_dir("/work");
+        assert!(execute("cd", &args(&["/work"]), &mut fs).success());
+        assert_eq!(fs.cwd(), "/work");
+        execute("touch", &args(&["rel.txt"]), &mut fs);
+        assert_eq!(fs.kind("/work/rel.txt"), Some(Kind::File));
+        fs.put_file("/work/afile");
+        assert!(!execute("cd", &args(&["afile"]), &mut fs).success());
+    }
+
+    #[test]
+    fn realpath_modes() {
+        let mut fs = MockFs::new();
+        fs.put_dir("/a");
+        let ok = execute("realpath", &args(&["/a/../a"]), &mut fs);
+        assert!(ok.success());
+        assert!(ok.trace.contains(&TraceEvent::Stdout("/a".to_string())));
+        assert!(!execute("realpath", &args(&["/missing"]), &mut fs).success());
+        assert!(execute("realpath", &args(&["-m", "/missing"]), &mut fs).success());
+    }
+}

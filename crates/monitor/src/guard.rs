@@ -1,0 +1,106 @@
+//! Guard synthesis: from an unresolved static obligation to an inline
+//! monitor insertion.
+//!
+//! §4: "runtime monitoring protects computations adjacent to an untyped
+//! command to ensure their type expectations are maintained during the
+//! execution of the program." Given a pipeline and the stage whose output
+//! could not be typed, [`synthesize_guard`] rewrites the pipeline text to
+//! interpose `shoal monitor` with the *downstream* stage's expected input
+//! type — the cheapest point that still protects the typed neighbor.
+
+use shoal_relang::Regex;
+
+/// Rewrites a pipeline source string, inserting a monitor after stage
+/// `after_stage` (0-based) checking `expected` as the line type.
+/// Stages are split on `|` at the top level of the given source line
+/// (the caller passes a single-pipeline command, as produced by the
+/// analyzer's reporting).
+pub fn synthesize_guard(pipeline_src: &str, after_stage: usize, expected: &Regex) -> String {
+    let stages = split_pipeline(pipeline_src);
+    let mut out = String::new();
+    for (i, stage) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        out.push_str(stage.trim());
+        if i == after_stage {
+            out.push_str(&format!(
+                " | shoal monitor --halt --type '{}'",
+                escape_single_quotes(&expected.to_string())
+            ));
+        }
+    }
+    out
+}
+
+/// Splits a command line on top-level `|` (not `||`, not inside quotes
+/// or substitutions).
+fn split_pipeline(src: &str) -> Vec<String> {
+    let bytes = src.as_bytes();
+    let mut stages = Vec::new();
+    let mut depth = 0usize;
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'\\' => i += 1,
+            b'(' if !in_single && !in_double => depth += 1,
+            b')' if !in_single && !in_double => depth = depth.saturating_sub(1),
+            b'|' if !in_single && !in_double && depth == 0 => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 1; // `||` is not a pipe.
+                } else {
+                    stages.push(src[start..i].to_string());
+                    start = i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    stages.push(src[start..].to_string());
+    stages
+}
+
+fn escape_single_quotes(s: &str) -> String {
+    s.replace('\'', r"'\''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_after_requested_stage() {
+        let ty = Regex::parse("0x[0-9a-f]+").unwrap();
+        let guarded = synthesize_guard("mystery-cmd | sort -g", 0, &ty);
+        assert!(guarded.starts_with("mystery-cmd | shoal monitor --halt --type '"));
+        assert!(guarded.ends_with("| sort -g"));
+    }
+
+    #[test]
+    fn split_respects_quotes_and_or() {
+        let stages = split_pipeline("grep 'a|b' file | wc -l || echo none");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].trim(), "grep 'a|b' file");
+        let stages2 = split_pipeline("echo \"x|y\" | cat");
+        assert_eq!(stages2.len(), 2);
+    }
+
+    #[test]
+    fn split_respects_subshells() {
+        let stages = split_pipeline("(cat a | cat b) | wc");
+        assert_eq!(stages.len(), 2);
+    }
+
+    #[test]
+    fn guard_at_last_stage() {
+        let ty = Regex::parse(".*").unwrap();
+        let guarded = synthesize_guard("producer", 0, &ty);
+        assert!(guarded.contains("producer | shoal monitor"));
+    }
+}

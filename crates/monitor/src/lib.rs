@@ -1,0 +1,27 @@
+//! `shoal-monitor`: "better late than sorry".
+//!
+//! When ahead-of-time checking cannot conclude safety — a command has no
+//! inferable type, or a path is symbolic beyond tracking — the paper's
+//! third insight applies: "specification-aware runtime monitoring can
+//! stop execution before catastrophic bugs occur" (§1), via "a
+//! higher-order monitor command, similar in spirit to strace and xargs
+//! (but more sanely named)" (§4). This crate provides:
+//!
+//! * [`stream`] — the stream monitor: checks each line of a stream
+//!   against a regular type while passing it through, with configurable
+//!   halt/flag behavior and accounting (violations, detection delay) —
+//!   the measured subject of experiment E10;
+//! * [`guard`] — guard synthesis: turning an unresolved static
+//!   obligation into the `… | shoal monitor --type T | …` insertion;
+//! * [`verify`] — the §5 security checker: `verify --no-RW ~/mine`
+//!   analyzes a script against user path policies, reports definite
+//!   violations statically, and identifies exactly which commands are
+//!   inconclusive (to be wrapped by monitors/sandboxing at run time).
+
+pub mod guard;
+pub mod stream;
+pub mod verify;
+
+pub use guard::synthesize_guard;
+pub use stream::{MonitorReport, OnViolation, StreamMonitor, Verdict};
+pub use verify::{verify_script, verify_source, Policy, PolicyFinding, VerifyReport};

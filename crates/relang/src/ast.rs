@@ -1,0 +1,612 @@
+//! The regular-expression AST and its high-level algebra.
+//!
+//! [`Regex`] is an *extended* regular expression: besides the classical
+//! operators (class, concatenation, alternation, Kleene star) it has
+//! first-class intersection ([`Regex::And`]) and complement
+//! ([`Regex::Not`]). Extended operators are what make the type- and
+//! constraint-algebra pleasant: conjoining two constraints on a variable is
+//! just `And`, and refinement along a failure branch is `And` with a `Not`.
+//!
+//! All constructors are *smart*: they canonicalize as they build
+//! (flattening, identity/annihilator laws, ACI normalization of `Alt` and
+//! `And`). Canonical forms matter for two reasons: they keep constraints
+//! readable in diagnostics, and they guarantee that Brzozowski-derivative
+//! construction (see [`crate::deriv`]) reaches only finitely many distinct
+//! states.
+
+use crate::class::ByteClass;
+use crate::dfa::Dfa;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// An extended regular expression over the byte alphabet.
+///
+/// Use the associated constructor functions ([`Regex::lit`],
+/// [`Regex::concat`], [`Regex::alt`], …) rather than building variants
+/// directly; the constructors maintain the canonical form the rest of the
+/// engine relies on.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The language containing only the empty string, `ε`.
+    Eps,
+    /// One byte drawn from a class.
+    Class(ByteClass),
+    /// Concatenation `r₁ r₂ … rₙ` (n ≥ 2, no `Eps` members, flattened).
+    Concat(Arc<Vec<Regex>>),
+    /// Alternation `r₁ | r₂ | … | rₙ` (n ≥ 2, sorted, deduplicated).
+    Alt(Arc<Vec<Regex>>),
+    /// Intersection `r₁ & r₂ & … & rₙ` (n ≥ 2, sorted, deduplicated).
+    And(Arc<Vec<Regex>>),
+    /// Kleene star `r*`.
+    Star(Arc<Regex>),
+    /// Complement `¬r` with respect to all byte strings.
+    Not(Arc<Regex>),
+}
+
+impl Regex {
+    // ---------------------------------------------------------------
+    // Smart constructors
+    // ---------------------------------------------------------------
+
+    /// The empty language.
+    pub fn empty() -> Regex {
+        Regex::Empty
+    }
+
+    /// The empty string.
+    pub fn eps() -> Regex {
+        Regex::Eps
+    }
+
+    /// A single byte.
+    pub fn byte(b: u8) -> Regex {
+        Regex::Class(ByteClass::single(b))
+    }
+
+    /// One byte from `class`; an empty class yields `∅`.
+    pub fn class(class: ByteClass) -> Regex {
+        if class.is_empty() {
+            Regex::Empty
+        } else {
+            Regex::Class(class)
+        }
+    }
+
+    /// The literal string `s`.
+    pub fn lit(s: &str) -> Regex {
+        Regex::lit_bytes(s.as_bytes())
+    }
+
+    /// The literal byte string `s`.
+    pub fn lit_bytes(s: &[u8]) -> Regex {
+        Regex::concat(s.iter().map(|&b| Regex::byte(b)).collect())
+    }
+
+    /// Any single byte.
+    pub fn any_byte() -> Regex {
+        Regex::Class(ByteClass::ALL)
+    }
+
+    /// Any string of bytes (`Σ*`), including strings with newlines.
+    pub fn anything() -> Regex {
+        Regex::any_byte().star()
+    }
+
+    /// Any byte except newline (the regex `.`).
+    pub fn dot() -> Regex {
+        Regex::Class(ByteClass::dot())
+    }
+
+    /// Any newline-free string (`.*` read as a *line* type).
+    pub fn any_line() -> Regex {
+        Regex::dot().star()
+    }
+
+    /// Concatenation of `parts`, normalized.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Eps => {}
+                Regex::Concat(inner) => out.extend(inner.iter().cloned()),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Eps,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(Arc::new(out)),
+        }
+    }
+
+    /// `self` followed by `other`.
+    pub fn then(&self, other: &Regex) -> Regex {
+        Regex::concat(vec![self.clone(), other.clone()])
+    }
+
+    /// Alternation of `parts`, normalized (flattened, sorted, deduplicated;
+    /// `∅` is the identity; a top `¬∅` absorbs everything).
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        let mut class_acc = ByteClass::EMPTY;
+        let mut saw_class = false;
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for q in inner.iter() {
+                        if let Regex::Class(c) = q {
+                            class_acc = class_acc.union(c);
+                            saw_class = true;
+                        } else {
+                            out.push(q.clone());
+                        }
+                    }
+                }
+                Regex::Class(c) => {
+                    class_acc = class_acc.union(&c);
+                    saw_class = true;
+                }
+                other => out.push(other),
+            }
+        }
+        if saw_class {
+            out.push(Regex::class(class_acc));
+        }
+        out.sort();
+        out.dedup();
+        // `¬∅` (all strings) absorbs the alternation.
+        if out
+            .iter()
+            .any(|r| matches!(r, Regex::Not(n) if **n == Regex::Empty))
+        {
+            return Regex::Not(Arc::new(Regex::Empty));
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Alt(Arc::new(out)),
+        }
+    }
+
+    /// `self | other`.
+    pub fn or(&self, other: &Regex) -> Regex {
+        Regex::alt(vec![self.clone(), other.clone()])
+    }
+
+    /// Intersection of `parts`, normalized (flattened, sorted,
+    /// deduplicated; `¬∅` is the identity; `∅` annihilates).
+    pub fn and(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Not(n) if *n == Regex::Empty => {}
+                Regex::And(inner) => out.extend(inner.iter().cloned()),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        match out.len() {
+            0 => Regex::Not(Arc::new(Regex::Empty)),
+            1 => out.pop().expect("len checked"),
+            _ => Regex::And(Arc::new(out)),
+        }
+    }
+
+    /// `self & other` — the conjunction of two constraints.
+    pub fn intersect(&self, other: &Regex) -> Regex {
+        Regex::and(vec![self.clone(), other.clone()])
+    }
+
+    /// Kleene star, normalized (`∅* = ε* = ε`, `(r*)* = r*`).
+    pub fn star(&self) -> Regex {
+        match self {
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            Regex::Star(_) => self.clone(),
+            r => Regex::Star(Arc::new(r.clone())),
+        }
+    }
+
+    /// One or more repetitions (`r+ = r r*`).
+    pub fn plus(&self) -> Regex {
+        self.then(&self.star())
+    }
+
+    /// Zero or one occurrence (`r?`).
+    pub fn opt(&self) -> Regex {
+        self.or(&Regex::Eps)
+    }
+
+    /// Complement, normalized (`¬¬r = r`).
+    pub fn complement(&self) -> Regex {
+        match self {
+            Regex::Not(inner) => (**inner).clone(),
+            r => Regex::Not(Arc::new(r.clone())),
+        }
+    }
+
+    /// Language difference `self \ other`.
+    pub fn difference(&self, other: &Regex) -> Regex {
+        self.intersect(&other.complement())
+    }
+
+    /// Bounded repetition `r{min,max}`; `max = None` means unbounded.
+    pub fn repeat(&self, min: u32, max: Option<u32>) -> Regex {
+        let mut parts: Vec<Regex> = (0..min).map(|_| self.clone()).collect();
+        match max {
+            None => parts.push(self.star()),
+            Some(max) => {
+                for _ in min..max {
+                    parts.push(self.opt());
+                }
+            }
+        }
+        Regex::concat(parts)
+    }
+
+    // ---------------------------------------------------------------
+    // Structural queries
+    // ---------------------------------------------------------------
+
+    /// Does the language contain the empty string?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Eps | Regex::Star(_) => true,
+            Regex::Concat(ps) | Regex::And(ps) => ps.iter().all(|p| p.nullable()),
+            Regex::Alt(ps) => ps.iter().any(|p| p.nullable()),
+            Regex::Not(r) => !r.nullable(),
+        }
+    }
+
+    /// If the language is exactly one literal string, returns it.
+    pub fn as_literal(&self) -> Option<Vec<u8>> {
+        match self {
+            Regex::Eps => Some(Vec::new()),
+            Regex::Class(c) if c.len() == 1 => Some(vec![c.min_byte().expect("len 1")]),
+            Regex::Concat(ps) => {
+                let mut out = Vec::new();
+                for p in ps.iter() {
+                    out.extend(p.as_literal()?);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Like [`Regex::as_literal`] but *semantic*: returns the single
+    /// string of a singleton language even when the syntax hides it
+    /// (e.g. after intersections). More expensive — it runs the
+    /// emptiness/equivalence machinery.
+    pub fn exact_literal(&self) -> Option<Vec<u8>> {
+        if let Some(l) = self.as_literal() {
+            return Some(l);
+        }
+        // Only worth attempting on constraint-shaped regexes.
+        let w = self.witness()?;
+        if self.equiv(&Regex::lit_bytes(&w)) {
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// A rough size measure (number of AST nodes), used to bound
+    /// widening decisions in the analyzer.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Eps | Regex::Class(_) => 1,
+            Regex::Concat(ps) | Regex::Alt(ps) | Regex::And(ps) => {
+                1 + ps.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(r) | Regex::Not(r) => 1 + r.size(),
+        }
+    }
+
+    /// Applies `f` to every byte class in the regex (structure-preserving).
+    pub fn map_classes(&self, f: &impl Fn(&ByteClass) -> ByteClass) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Eps => Regex::Eps,
+            Regex::Class(c) => Regex::class(f(c)),
+            Regex::Concat(ps) => Regex::concat(ps.iter().map(|p| p.map_classes(f)).collect()),
+            Regex::Alt(ps) => Regex::alt(ps.iter().map(|p| p.map_classes(f)).collect()),
+            Regex::And(ps) => Regex::and(ps.iter().map(|p| p.map_classes(f)).collect()),
+            Regex::Star(r) => r.map_classes(f).star(),
+            Regex::Not(r) => r.map_classes(f).complement(),
+        }
+    }
+
+    /// The case-insensitive version: every ASCII letter also matches its
+    /// other case (how `grep -i` reads a pattern).
+    ///
+    /// Note this widens classes pointwise, which is exact for the
+    /// `Not`-free fragment; under a complement it is an approximation
+    /// (negated classes widen rather than shrink), which is the safe
+    /// direction for filter typing.
+    pub fn case_insensitive(&self) -> Regex {
+        self.map_classes(&|c: &ByteClass| {
+            let mut out = *c;
+            for b in c.iter() {
+                if b.is_ascii_alphabetic() {
+                    out.insert(b ^ 0x20);
+                }
+            }
+            out
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Decision procedures (delegating to the derivative-DFA backend)
+    // ---------------------------------------------------------------
+
+    /// Does the (possibly extended) regex match `input` exactly?
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut r = self.clone();
+        for &b in input {
+            r = crate::deriv::deriv(&r, b);
+            if r == Regex::Empty {
+                return false;
+            }
+        }
+        r.nullable()
+    }
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        Dfa::from_regex(self).is_empty_lang()
+    }
+
+    /// Is the language exactly `{ε}` or `∅`… i.e. does it contain no
+    /// non-empty string?
+    pub fn is_trivial(&self) -> bool {
+        self.difference(&Regex::Eps).is_empty()
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset_of(&self, other: &Regex) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Do the two languages coincide?
+    pub fn equiv(&self, other: &Regex) -> bool {
+        self.is_subset_of(other) && other.is_subset_of(self)
+    }
+
+    /// Are the two languages disjoint?
+    pub fn disjoint(&self, other: &Regex) -> bool {
+        self.intersect(other).is_empty()
+    }
+
+    /// A shortest string in the language, if the language is non-empty.
+    pub fn witness(&self) -> Option<Vec<u8>> {
+        Dfa::from_regex(self).witness()
+    }
+
+    /// A witness rendered for diagnostics (lossy UTF-8).
+    pub fn witness_string(&self) -> Option<String> {
+        self.witness()
+            .map(|w| String::from_utf8_lossy(&w).into_owned())
+    }
+}
+
+/// Total order used for canonical sorting inside `Alt`/`And`. Derived
+/// `Ord` on the enum is sufficient: it is a strict total order on the
+/// canonical forms, which is all ACI normalization needs.
+impl Regex {
+    /// Compares structurally; exposed for deterministic container use.
+    pub fn cmp_canonical(&self, other: &Regex) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_matching() {
+        let r = Regex::lit("steam");
+        assert!(r.matches(b"steam"));
+        assert!(!r.matches(b"Steam"));
+        assert!(!r.matches(b"steam "));
+        assert!(!r.matches(b""));
+    }
+
+    #[test]
+    fn smart_concat_identities() {
+        let r = Regex::concat(vec![Regex::Eps, Regex::lit("a"), Regex::Eps]);
+        assert_eq!(r, Regex::byte(b'a'));
+        let e = Regex::concat(vec![Regex::lit("a"), Regex::Empty]);
+        assert_eq!(e, Regex::Empty);
+        assert_eq!(Regex::concat(vec![]), Regex::Eps);
+    }
+
+    #[test]
+    fn smart_alt_identities() {
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(
+            Regex::alt(vec![Regex::Empty, Regex::lit("x")]),
+            Regex::byte(b'x')
+        );
+        // Deduplication and class merging.
+        let r = Regex::alt(vec![
+            Regex::byte(b'a'),
+            Regex::byte(b'b'),
+            Regex::byte(b'a'),
+        ]);
+        assert_eq!(r, Regex::Class(ByteClass::from_bytes(b"ab")));
+    }
+
+    #[test]
+    fn smart_star_identities() {
+        assert_eq!(Regex::Empty.star(), Regex::Eps);
+        assert_eq!(Regex::Eps.star(), Regex::Eps);
+        let s = Regex::lit("a").star();
+        assert_eq!(s.star(), s);
+    }
+
+    #[test]
+    fn and_not_identities() {
+        let top = Regex::Empty.complement();
+        assert_eq!(Regex::and(vec![]), top);
+        assert_eq!(
+            Regex::and(vec![Regex::lit("a"), Regex::Empty]),
+            Regex::Empty
+        );
+        assert_eq!(top.complement(), Regex::Empty);
+        let a = Regex::lit("a");
+        assert_eq!(Regex::and(vec![a.clone(), top.clone()]), a);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Regex::eps().nullable());
+        assert!(!Regex::lit("x").nullable());
+        assert!(Regex::lit("x").star().nullable());
+        assert!(Regex::lit("x").opt().nullable());
+        assert!(Regex::Empty.complement().nullable());
+        assert!(!Regex::eps().complement().nullable());
+    }
+
+    #[test]
+    fn star_and_plus_matching() {
+        let r = Regex::lit("ab").plus();
+        assert!(r.matches(b"ab"));
+        assert!(r.matches(b"abab"));
+        assert!(!r.matches(b""));
+        assert!(!r.matches(b"aba"));
+        assert!(Regex::lit("ab").star().matches(b""));
+    }
+
+    #[test]
+    fn repeat_bounds() {
+        let r = Regex::byte(b'x').repeat(2, Some(4));
+        assert!(!r.matches(b"x"));
+        assert!(r.matches(b"xx"));
+        assert!(r.matches(b"xxxx"));
+        assert!(!r.matches(b"xxxxx"));
+        let unb = Regex::byte(b'x').repeat(2, None);
+        assert!(unb.matches(&vec![b'x'; 17]));
+        assert!(!unb.matches(b"x"));
+    }
+
+    #[test]
+    fn intersection_matching() {
+        // Strings of a/b with even length AND starting with a.
+        let ab = Regex::class(ByteClass::from_bytes(b"ab"));
+        let even = ab.then(&ab).star();
+        let starts_a = Regex::byte(b'a').then(&ab.star());
+        let both = even.intersect(&starts_a);
+        assert!(both.matches(b"ab"));
+        assert!(both.matches(b"aa"));
+        assert!(!both.matches(b"a"));
+        assert!(!both.matches(b"ba"));
+    }
+
+    #[test]
+    fn complement_matching() {
+        let not_steam = Regex::lit("steam").complement();
+        assert!(not_steam.matches(b"stream"));
+        assert!(not_steam.matches(b""));
+        assert!(!not_steam.matches(b"steam"));
+    }
+
+    #[test]
+    fn emptiness_decisions() {
+        assert!(Regex::Empty.is_empty());
+        assert!(!Regex::eps().is_empty());
+        let a = Regex::lit("a");
+        assert!(a.intersect(&Regex::lit("b")).is_empty());
+        assert!(!a.or(&Regex::lit("b")).is_empty());
+        // ¬(Σ*) is empty.
+        assert!(Regex::anything().complement().is_empty());
+    }
+
+    #[test]
+    fn subset_decisions() {
+        let hex = Regex::class(ByteClass::from_bytes(b"0123456789abcdef")).plus();
+        let digits = Regex::class(ByteClass::range(b'0', b'9')).plus();
+        assert!(digits.is_subset_of(&hex));
+        assert!(!hex.is_subset_of(&digits));
+        assert!(hex.equiv(&hex));
+    }
+
+    #[test]
+    fn paper_hex_pipeline_subset() {
+        // 0x[0-9a-f]+ ⊆ 0x[0-9a-f]+.*  (§4 "Richer types").
+        let hex = Regex::lit("0x").then(
+            &Regex::class({
+                let mut c = ByteClass::range(b'0', b'9');
+                c.insert_range(b'a', b'f');
+                c
+            })
+            .plus(),
+        );
+        let sortable = hex.then(&Regex::any_line());
+        assert!(hex.is_subset_of(&sortable));
+    }
+
+    #[test]
+    fn witness_generation() {
+        assert_eq!(Regex::lit("ok").witness(), Some(b"ok".to_vec()));
+        assert_eq!(Regex::Empty.witness(), None);
+        let w = Regex::lit("a").plus().witness().unwrap();
+        assert_eq!(w, b"a".to_vec());
+        // Witness of a star is the shortest string: ε.
+        assert_eq!(Regex::lit("xy").star().witness(), Some(vec![]));
+    }
+
+    #[test]
+    fn as_literal_extraction() {
+        assert_eq!(Regex::lit("abc").as_literal(), Some(b"abc".to_vec()));
+        assert_eq!(Regex::eps().as_literal(), Some(vec![]));
+        assert_eq!(Regex::lit("a").star().as_literal(), None);
+        assert_eq!(Regex::any_byte().as_literal(), None);
+    }
+
+    #[test]
+    fn difference_and_disjoint() {
+        let all = Regex::any_line();
+        let d = all.difference(&Regex::eps());
+        assert!(!d.matches(b""));
+        assert!(d.matches(b"x"));
+        assert!(Regex::lit("a").disjoint(&Regex::lit("b")));
+        assert!(!Regex::lit("a").disjoint(&Regex::any_line()));
+    }
+
+    #[test]
+    fn trivial_language() {
+        assert!(Regex::eps().is_trivial());
+        assert!(Regex::Empty.is_trivial());
+        assert!(!Regex::lit("x").is_trivial());
+        assert!(!Regex::lit("x").opt().is_trivial());
+    }
+}
+
+#[cfg(test)]
+mod ci_tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_matches_both_cases() {
+        let r = Regex::lit("Desc").case_insensitive();
+        assert!(r.matches(b"desc"));
+        assert!(r.matches(b"DESC"));
+        assert!(r.matches(b"dEsC"));
+        assert!(!r.matches(b"dsc"));
+    }
+
+    #[test]
+    fn map_classes_preserves_structure() {
+        let r = Regex::parse_must("[a-c]+x|y*");
+        let mapped = r.map_classes(&|c| *c);
+        assert_eq!(r, mapped);
+    }
+}

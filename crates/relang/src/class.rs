@@ -1,0 +1,353 @@
+//! Byte classes: sets of bytes represented as 256-bit bitmaps.
+//!
+//! The engine's alphabet is the full byte range `0..=255` because shell
+//! streams and filenames are raw bytes, not text. A [`ByteClass`] is a set
+//! of bytes; regex character classes, `.`, and literals all compile to one.
+
+use std::fmt;
+
+/// A set of bytes, stored as a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ByteClass {
+    bits: [u64; 4],
+}
+
+impl ByteClass {
+    /// The empty set.
+    pub const EMPTY: ByteClass = ByteClass { bits: [0; 4] };
+
+    /// The full set (all 256 bytes).
+    pub const ALL: ByteClass = ByteClass {
+        bits: [u64::MAX; 4],
+    };
+
+    /// Creates an empty class.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a class containing a single byte.
+    pub fn single(b: u8) -> Self {
+        let mut c = Self::EMPTY;
+        c.insert(b);
+        c
+    }
+
+    /// Creates a class containing an inclusive byte range.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = Self::EMPTY;
+        c.insert_range(lo, hi);
+        c
+    }
+
+    /// Creates a class from every byte in `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = Self::EMPTY;
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// The class matched by `.` in POSIX regexes: every byte except `\n`.
+    pub fn dot() -> Self {
+        let mut c = Self::ALL;
+        c.remove(b'\n');
+        c
+    }
+
+    /// Inserts a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Inserts an inclusive range of bytes.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Removes a byte.
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Returns true if the class has no members.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Number of member bytes.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        ByteClass { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= *b;
+        }
+        ByteClass { bits }
+    }
+
+    /// Set complement with respect to the full byte alphabet.
+    pub fn complement(&self) -> Self {
+        let mut bits = self.bits;
+        for w in bits.iter_mut() {
+            *w = !*w;
+        }
+        ByteClass { bits }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &Self) -> Self {
+        self.intersect(&other.complement())
+    }
+
+    /// Returns the smallest member byte, if any.
+    pub fn min_byte(&self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// Picks a "nice" representative byte for diagnostics: prefers
+    /// printable ASCII, then any member.
+    pub fn representative(&self) -> Option<u8> {
+        // Prefer lowercase letters, then digits, then any printable, then any.
+        for range in [(b'a', b'z'), (b'0', b'9'), (b'A', b'Z'), (0x20, 0x7e)] {
+            for b in range.0..=range.1 {
+                if self.contains(b) {
+                    return Some(b);
+                }
+            }
+        }
+        self.min_byte()
+    }
+
+    /// Iterates over the member bytes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(move |b| {
+            let b = b as u8;
+            if self.contains(b) {
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates over the maximal contiguous ranges of member bytes.
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(u8, u8)> = None;
+        for b in self.iter() {
+            match cur {
+                Some((lo, hi)) if hi as u16 + 1 == b as u16 => cur = Some((lo, b)),
+                Some(r) => {
+                    out.push(r);
+                    cur = Some((b, b));
+                }
+                None => cur = Some((b, b)),
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+}
+
+impl Default for ByteClass {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl fmt::Debug for ByteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::ALL {
+            return write!(f, "ByteClass(ALL)");
+        }
+        write!(f, "ByteClass[")?;
+        for (i, (lo, hi)) in self.ranges().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if lo == hi {
+                write!(f, "{:#04x}", lo)?;
+            } else {
+                write!(f, "{:#04x}-{:#04x}", lo, hi)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Named POSIX character classes usable inside bracket expressions,
+/// e.g. `[[:digit:]]`.
+pub fn named_class(name: &str) -> Option<ByteClass> {
+    let mut c = ByteClass::new();
+    match name {
+        "alpha" => {
+            c.insert_range(b'a', b'z');
+            c.insert_range(b'A', b'Z');
+        }
+        "digit" => c.insert_range(b'0', b'9'),
+        "alnum" => {
+            c.insert_range(b'a', b'z');
+            c.insert_range(b'A', b'Z');
+            c.insert_range(b'0', b'9');
+        }
+        "upper" => c.insert_range(b'A', b'Z'),
+        "lower" => c.insert_range(b'a', b'z'),
+        "space" => {
+            for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                c.insert(b);
+            }
+        }
+        "blank" => {
+            c.insert(b' ');
+            c.insert(b'\t');
+        }
+        "punct" => {
+            for b in 0x21..=0x7eu8 {
+                if !b.is_ascii_alphanumeric() {
+                    c.insert(b);
+                }
+            }
+        }
+        "xdigit" => {
+            c.insert_range(b'0', b'9');
+            c.insert_range(b'a', b'f');
+            c.insert_range(b'A', b'F');
+        }
+        "print" => c.insert_range(0x20, 0x7e),
+        "graph" => c.insert_range(0x21, 0x7e),
+        "cntrl" => {
+            c.insert_range(0, 0x1f);
+            c.insert(0x7f);
+        }
+        _ => return None,
+    }
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let c = ByteClass::single(b'x');
+        assert!(c.contains(b'x'));
+        assert!(!c.contains(b'y'));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn range_membership() {
+        let c = ByteClass::range(b'a', b'f');
+        for b in b'a'..=b'f' {
+            assert!(c.contains(b));
+        }
+        assert!(!c.contains(b'g'));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn boundary_bytes() {
+        let c = ByteClass::range(0, 255);
+        assert_eq!(c, ByteClass::ALL);
+        assert!(c.contains(0));
+        assert!(c.contains(255));
+        assert!(c.contains(63));
+        assert!(c.contains(64));
+        assert!(c.contains(127));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let c = ByteClass::range(b'0', b'9');
+        let cc = c.complement();
+        assert!(!cc.contains(b'5'));
+        assert!(cc.contains(b'a'));
+        assert_eq!(cc.complement(), c);
+        assert_eq!(c.len() + cc.len(), 256);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = ByteClass::range(b'a', b'm');
+        let b = ByteClass::range(b'h', b'z');
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        let d = a.difference(&b);
+        assert!(u.contains(b'a') && u.contains(b'z'));
+        assert!(i.contains(b'h') && i.contains(b'm') && !i.contains(b'n'));
+        assert!(d.contains(b'a') && !d.contains(b'h'));
+        assert_eq!(u.len(), 26);
+        assert_eq!(i.len(), 6);
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let d = ByteClass::dot();
+        assert!(!d.contains(b'\n'));
+        assert!(d.contains(b'\r'));
+        assert_eq!(d.len(), 255);
+    }
+
+    #[test]
+    fn ranges_reconstruct() {
+        let mut c = ByteClass::new();
+        c.insert_range(b'a', b'c');
+        c.insert(b'x');
+        c.insert_range(0, 1);
+        assert_eq!(c.ranges(), vec![(0, 1), (b'a', b'c'), (b'x', b'x')]);
+    }
+
+    #[test]
+    fn representative_prefers_printable() {
+        let mut c = ByteClass::new();
+        c.insert(0x01);
+        c.insert(b'q');
+        assert_eq!(c.representative(), Some(b'q'));
+        let ctrl = ByteClass::single(0x02);
+        assert_eq!(ctrl.representative(), Some(0x02));
+        assert_eq!(ByteClass::EMPTY.representative(), None);
+    }
+
+    #[test]
+    fn named_classes() {
+        assert!(named_class("digit").unwrap().contains(b'7'));
+        assert!(named_class("xdigit").unwrap().contains(b'F'));
+        assert!(named_class("space").unwrap().contains(b'\t'));
+        assert!(named_class("punct").unwrap().contains(b'/'));
+        assert!(!named_class("punct").unwrap().contains(b'a'));
+        assert!(named_class("bogus").is_none());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let c = ByteClass::from_bytes(b"zax");
+        let v: Vec<u8> = c.iter().collect();
+        assert_eq!(v, vec![b'a', b'x', b'z']);
+    }
+}

@@ -1,0 +1,841 @@
+//! Deterministic finite automata: construction, minimization, products,
+//! and the decision procedures built on them.
+//!
+//! A [`Dfa`] here is always *complete* (every state has a transition for
+//! every byte, via a sink state when necessary) and works over a
+//! byte-class-compressed alphabet: bytes are first mapped to one of a
+//! small number of equivalence classes, and transitions are tabulated per
+//! class. Completeness makes complement a bit-flip and makes the product
+//! constructions total.
+//!
+//! Two construction routes are provided:
+//!
+//! * [`Dfa::from_regex`] — Brzozowski-derivative construction, which
+//!   handles the full extended syntax including `And` and `Not`;
+//! * [`Dfa::from_nfa`] — classical subset construction from a Thompson
+//!   NFA, for the classical fragment.
+//!
+//! The two are cross-checked against each other in the test suite.
+
+use crate::ast::Regex;
+use crate::class::ByteClass;
+use crate::deriv::{deriv, local_classes};
+use crate::nfa::Nfa;
+use std::collections::{HashMap, VecDeque};
+
+/// A complete DFA over a byte-class-compressed alphabet.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Alphabet partition: disjoint classes covering all 256 bytes.
+    classes: Vec<ByteClass>,
+    /// Byte → class index.
+    byte_map: Vec<u16>,
+    /// `trans[state][class]` → next state.
+    trans: Vec<Vec<u32>>,
+    /// Accepting flags per state.
+    accept: Vec<bool>,
+    /// Start state.
+    start: u32,
+}
+
+/// Intermediate sparse automaton used by both construction routes.
+struct Sparse {
+    trans: Vec<Vec<(ByteClass, u32)>>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    // ---------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------
+
+    /// Builds a DFA from any (possibly extended) regex via Brzozowski
+    /// derivatives, then minimizes it.
+    pub fn from_regex(r: &Regex) -> Dfa {
+        let mut ids: HashMap<Regex, u32> = HashMap::new();
+        let mut order: Vec<Regex> = Vec::new();
+        let mut trans: Vec<Vec<(ByteClass, u32)>> = Vec::new();
+        let mut work: VecDeque<u32> = VecDeque::new();
+
+        let intern = |r: Regex,
+                      order: &mut Vec<Regex>,
+                      trans: &mut Vec<Vec<(ByteClass, u32)>>,
+                      work: &mut VecDeque<u32>,
+                      ids: &mut HashMap<Regex, u32>| {
+            if let Some(&id) = ids.get(&r) {
+                return id;
+            }
+            let id = order.len() as u32;
+            ids.insert(r.clone(), id);
+            order.push(r);
+            trans.push(Vec::new());
+            work.push_back(id);
+            id
+        };
+
+        let start = intern(r.clone(), &mut order, &mut trans, &mut work, &mut ids);
+        while let Some(id) = work.pop_front() {
+            let state = order[id as usize].clone();
+            for block in local_classes(&state) {
+                let rep = block.min_byte().expect("partition blocks are non-empty");
+                let d = deriv(&state, rep);
+                let to = intern(d, &mut order, &mut trans, &mut work, &mut ids);
+                trans[id as usize].push((block, to));
+            }
+        }
+
+        let accept = order.iter().map(Regex::nullable).collect();
+        Dfa::densify(Sparse {
+            trans,
+            accept,
+            start,
+        })
+        .minimize()
+    }
+
+    /// Builds a DFA from a Thompson NFA via subset construction, then
+    /// minimizes it.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let mut ids: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut order: Vec<Vec<usize>> = Vec::new();
+        let mut trans: Vec<Vec<(ByteClass, u32)>> = Vec::new();
+        let mut work: VecDeque<u32> = VecDeque::new();
+
+        let start_set = nfa.eps_closure(&[nfa.start]);
+        ids.insert(start_set.clone(), 0);
+        order.push(start_set);
+        trans.push(Vec::new());
+        work.push_back(0);
+
+        while let Some(id) = work.pop_front() {
+            let set = order[id as usize].clone();
+            // Partition the alphabet by outgoing transition classes.
+            let mut partition = vec![ByteClass::ALL];
+            for &s in &set {
+                for t in &nfa.states[s].trans {
+                    let mut next_partition = Vec::with_capacity(partition.len() + 1);
+                    for block in &partition {
+                        let inside = block.intersect(&t.on);
+                        let outside = block.difference(&t.on);
+                        if !inside.is_empty() {
+                            next_partition.push(inside);
+                        }
+                        if !outside.is_empty() {
+                            next_partition.push(outside);
+                        }
+                    }
+                    partition = next_partition;
+                }
+            }
+            for block in partition {
+                let rep = block.min_byte().expect("non-empty block");
+                let mut next: Vec<usize> = Vec::new();
+                for &s in &set {
+                    for t in &nfa.states[s].trans {
+                        if t.on.contains(rep) {
+                            next.push(t.to);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue; // Densify adds the sink.
+                }
+                let closed = nfa.eps_closure(&next);
+                let to = match ids.get(&closed) {
+                    Some(&to) => to,
+                    None => {
+                        let to = order.len() as u32;
+                        ids.insert(closed.clone(), to);
+                        order.push(closed);
+                        trans.push(Vec::new());
+                        work.push_back(to);
+                        to
+                    }
+                };
+                trans[id as usize].push((block, to));
+            }
+        }
+
+        let accept = order.iter().map(|set| set.contains(&nfa.accept)).collect();
+        Dfa::densify(Sparse {
+            trans,
+            accept,
+            start: 0,
+        })
+        .minimize()
+    }
+
+    /// Converts a sparse automaton into a complete, class-compressed DFA,
+    /// adding a sink state where transitions are missing.
+    fn densify(sparse: Sparse) -> Dfa {
+        // Global alphabet partition: refine ALL by every class used.
+        let mut partition = vec![ByteClass::ALL];
+        for row in &sparse.trans {
+            for (c, _) in row {
+                let mut next = Vec::with_capacity(partition.len() + 1);
+                for block in &partition {
+                    let inside = block.intersect(c);
+                    let outside = block.difference(c);
+                    if !inside.is_empty() {
+                        next.push(inside);
+                    }
+                    if !outside.is_empty() {
+                        next.push(outside);
+                    }
+                }
+                partition = next;
+            }
+        }
+        let mut byte_map = vec![0u16; 256];
+        for (i, block) in partition.iter().enumerate() {
+            for b in block.iter() {
+                byte_map[b as usize] = i as u16;
+            }
+        }
+
+        let n = sparse.trans.len();
+        let sink = n as u32;
+        let mut trans = Vec::with_capacity(n + 1);
+        let mut used_sink = false;
+        for row in &sparse.trans {
+            let mut dense = vec![sink; partition.len()];
+            for (ci, block) in partition.iter().enumerate() {
+                let rep = block.min_byte().expect("non-empty");
+                for (c, to) in row {
+                    if c.contains(rep) {
+                        dense[ci] = *to;
+                        break;
+                    }
+                }
+                if dense[ci] == sink {
+                    used_sink = true;
+                }
+            }
+            trans.push(dense);
+        }
+        let mut accept = sparse.accept;
+        if used_sink {
+            trans.push(vec![sink; partition.len()]);
+            accept.push(false);
+        }
+        Dfa {
+            classes: partition,
+            byte_map,
+            trans,
+            accept,
+            start: sparse.start,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Minimization (Moore partition refinement)
+    // ---------------------------------------------------------------
+
+    /// Returns the minimal equivalent DFA (unreachable states removed,
+    /// equivalent states merged).
+    pub fn minimize(&self) -> Dfa {
+        // 1. Drop unreachable states.
+        let n = self.trans.len();
+        let mut reach = vec![false; n];
+        let mut stack = vec![self.start as usize];
+        reach[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            for &t in &self.trans[s] {
+                if !reach[t as usize] {
+                    reach[t as usize] = true;
+                    stack.push(t as usize);
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; n];
+        let mut kept = Vec::new();
+        for s in 0..n {
+            if reach[s] {
+                remap[s] = kept.len();
+                kept.push(s);
+            }
+        }
+        let m = kept.len();
+
+        // 2. Moore refinement over the reachable subautomaton.
+        let mut block = vec![0usize; m];
+        for (i, &s) in kept.iter().enumerate() {
+            block[i] = usize::from(self.accept[s]);
+        }
+        loop {
+            let mut sig_ids: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut next_block = vec![0usize; m];
+            for (i, &s) in kept.iter().enumerate() {
+                let sig: Vec<usize> = self.trans[s]
+                    .iter()
+                    .map(|&t| block[remap[t as usize]])
+                    .collect();
+                let key = (block[i], sig);
+                let next_id = sig_ids.len();
+                let id = *sig_ids.entry(key).or_insert(next_id);
+                next_block[i] = id;
+            }
+            let stable = next_block == block;
+            block = next_block;
+            if stable {
+                break;
+            }
+        }
+
+        let num_blocks = block.iter().copied().max().map_or(0, |b| b + 1);
+        let mut trans = vec![Vec::new(); num_blocks];
+        let mut accept = vec![false; num_blocks];
+        let mut filled = vec![false; num_blocks];
+        for (i, &s) in kept.iter().enumerate() {
+            let b = block[i];
+            if !filled[b] {
+                trans[b] = self.trans[s]
+                    .iter()
+                    .map(|&t| block[remap[t as usize]] as u32)
+                    .collect();
+                accept[b] = self.accept[s];
+                filled[b] = true;
+            }
+        }
+        Dfa {
+            classes: self.classes.clone(),
+            byte_map: self.byte_map.clone(),
+            trans,
+            accept,
+            start: block[remap[self.start as usize]] as u32,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Products and complement
+    // ---------------------------------------------------------------
+
+    /// Product construction combining acceptance with `op`.
+    pub fn product(&self, other: &Dfa, op: impl Fn(bool, bool) -> bool) -> Dfa {
+        // Combined alphabet partition: pairs of class indices that occur.
+        let mut pair_ids: HashMap<(u16, u16), u16> = HashMap::new();
+        let mut byte_map = vec![0u16; 256];
+        let mut classes: Vec<ByteClass> = Vec::new();
+        for b in 0u16..256 {
+            let key = (self.byte_map[b as usize], other.byte_map[b as usize]);
+            let next_id = pair_ids.len() as u16;
+            let id = *pair_ids.entry(key).or_insert(next_id);
+            if id as usize == classes.len() {
+                classes.push(ByteClass::EMPTY);
+            }
+            classes[id as usize].insert(b as u8);
+            byte_map[b as usize] = id;
+        }
+        // Representative byte per combined class, for transition lookup.
+        let reps: Vec<u8> = classes
+            .iter()
+            .map(|c| c.min_byte().expect("non-empty"))
+            .collect();
+
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut work = VecDeque::new();
+
+        let start_pair = (self.start, other.start);
+        ids.insert(start_pair, 0);
+        order.push(start_pair);
+        work.push_back(0u32);
+
+        while let Some(id) = work.pop_front() {
+            let (a, b) = order[id as usize];
+            let mut row = Vec::with_capacity(classes.len());
+            for &rep in &reps {
+                let na = self.step(a, rep);
+                let nb = other.step(b, rep);
+                let to = match ids.get(&(na, nb)) {
+                    Some(&to) => to,
+                    None => {
+                        let to = order.len() as u32;
+                        ids.insert((na, nb), to);
+                        order.push((na, nb));
+                        work.push_back(to);
+                        to
+                    }
+                };
+                row.push(to);
+            }
+            if trans.len() <= id as usize {
+                trans.resize(id as usize + 1, Vec::new());
+            }
+            trans[id as usize] = row;
+        }
+        for &(a, b) in &order {
+            accept.push(op(self.accept[a as usize], other.accept[b as usize]));
+        }
+        Dfa {
+            classes,
+            byte_map,
+            trans,
+            accept,
+            start: 0,
+        }
+        .minimize()
+    }
+
+    /// Language intersection.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language difference.
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// Language complement (flips acceptance; the DFA is complete).
+    pub fn complement(&self) -> Dfa {
+        let mut d = self.clone();
+        for a in d.accept.iter_mut() {
+            *a = !*a;
+        }
+        d.minimize()
+    }
+
+    // ---------------------------------------------------------------
+    // Decision procedures
+    // ---------------------------------------------------------------
+
+    /// Single transition step on byte `b`.
+    fn step(&self, state: u32, b: u8) -> u32 {
+        self.trans[state as usize][self.byte_map[b as usize] as usize]
+    }
+
+    /// Runs the DFA on `input` (exact match).
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut s = self.start;
+        for &b in input {
+            s = self.step(s, b);
+        }
+        self.accept[s as usize]
+    }
+
+    /// Is the recognized language empty?
+    pub fn is_empty_lang(&self) -> bool {
+        self.witness().is_none()
+    }
+
+    /// Is `self ⊆ other` as languages?
+    pub fn is_subset_of(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty_lang()
+    }
+
+    /// Do the two automata accept the same language?
+    pub fn equiv(&self, other: &Dfa) -> bool {
+        self.product(other, |a, b| a != b).is_empty_lang()
+    }
+
+    /// A shortest accepted byte string, if one exists. Prefers printable
+    /// representative bytes so diagnostics read well.
+    pub fn witness(&self) -> Option<Vec<u8>> {
+        let n = self.trans.len();
+        let mut prev: Vec<Option<(u32, u8)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[self.start as usize] = true;
+        queue.push_back(self.start);
+        let mut hit: Option<u32> = None;
+        if self.accept[self.start as usize] {
+            hit = Some(self.start);
+        }
+        'bfs: while let Some(s) = queue.pop_front() {
+            if hit.is_some() {
+                break;
+            }
+            for (ci, &t) in self.trans[s as usize].iter().enumerate() {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    let rep = self.classes[ci].representative().expect("non-empty class");
+                    prev[t as usize] = Some((s, rep));
+                    if self.accept[t as usize] {
+                        hit = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut cur = hit?;
+        let mut out = Vec::new();
+        while let Some((p, b)) = prev[cur as usize] {
+            out.push(b);
+            cur = p;
+        }
+        out.reverse();
+        Some(out)
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Number of alphabet classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfa(pat: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse_must(pat))
+    }
+
+    #[test]
+    fn literal_dfa() {
+        let d = dfa("abc");
+        assert!(d.matches(b"abc"));
+        assert!(!d.matches(b"ab"));
+        assert!(!d.matches(b"abcd"));
+        // Minimal DFA for "abc": 4 live states + sink.
+        assert_eq!(d.num_states(), 5);
+    }
+
+    #[test]
+    fn construction_routes_agree() {
+        for pat in ["(a|b)*abb", "[0-9]+(\\.[0-9]+)?", "x{2,4}y*", "(ab|a)(b|)"] {
+            let r = Regex::parse_must(pat);
+            let via_deriv = Dfa::from_regex(&r);
+            let via_nfa = Dfa::from_nfa(&Nfa::compile(&r).unwrap());
+            assert!(via_deriv.equiv(&via_nfa), "backends disagree on {pat:?}");
+            assert_eq!(
+                via_deriv.num_states(),
+                via_nfa.num_states(),
+                "minimal sizes differ for {pat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_emptiness() {
+        let a = dfa("desc.*");
+        let b = dfa("(Distributor ID|Description|Release|Codename):.*");
+        assert!(a.intersect(&b).is_empty_lang());
+        let c = dfa("Desc.*");
+        assert!(!c.intersect(&b).is_empty_lang());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = dfa("aa*");
+        let b = dfa("bb*");
+        let u = a.union(&b);
+        assert!(u.matches(b"aaa"));
+        assert!(u.matches(b"b"));
+        assert!(!u.matches(b"ab"));
+        let d = u.difference(&a);
+        assert!(d.matches(b"b"));
+        assert!(!d.matches(b"a"));
+    }
+
+    #[test]
+    fn complement_total() {
+        let a = dfa("x");
+        let c = a.complement();
+        assert!(c.matches(b""));
+        assert!(c.matches(b"xx"));
+        assert!(!c.matches(b"x"));
+        assert!(a.complement().complement().equiv(&a));
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(dfa("abc").is_subset_of(&dfa("ab.*")));
+        assert!(!dfa("ab.*").is_subset_of(&dfa("abc")));
+        assert!(dfa("[0-9]+").is_subset_of(&dfa("[0-9a-f]+")));
+    }
+
+    #[test]
+    fn witness_shortest() {
+        assert_eq!(dfa("colou?r").witness().unwrap(), b"color".to_vec());
+        assert_eq!(dfa("a|bb|ccc").witness().unwrap(), b"a".to_vec());
+        assert!(dfa("a").intersect(&dfa("b")).witness().is_none());
+    }
+
+    #[test]
+    fn minimize_idempotent() {
+        let d = dfa("(a|b)*abb(a|b)*");
+        let m = d.minimize();
+        assert_eq!(d.num_states(), m.num_states());
+        assert!(d.equiv(&m));
+    }
+
+    #[test]
+    fn extended_regex_via_derivatives() {
+        // (hex strings) minus (digit-only strings).
+        let r = Regex::parse_must("[0-9a-f]+").difference(&Regex::parse_must("[0-9]+"));
+        let d = Dfa::from_regex(&r);
+        assert!(d.matches(b"a1"));
+        assert!(!d.matches(b"11"));
+        assert!(!d.matches(b""));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quotients and regex extraction
+// ---------------------------------------------------------------------
+
+impl Dfa {
+    /// The language from `state` treated as the start state.
+    fn language_from(&self, state: u32) -> Dfa {
+        let mut d = self.clone();
+        d.start = state;
+        d.minimize()
+    }
+
+    /// Right quotient `L(self) / L(k) = { u : ∃v ∈ L(k), u·v ∈ L(self) }`.
+    ///
+    /// Used for `${x%pat}`: the possible values after removing a suffix
+    /// matching `pat` from a string in `L(self)`.
+    pub fn right_quotient(&self, k: &Dfa) -> Dfa {
+        // A state is accepting in the quotient iff some k-string leads
+        // from it to acceptance.
+        let mut d = self.clone();
+        for q in 0..d.trans.len() as u32 {
+            d.accept[q as usize] = !self.language_from(q).intersect(k).is_empty_lang();
+        }
+        d.minimize()
+    }
+
+    /// Left quotient `L(k) \ L(self) = { v : ∃u ∈ L(k), u·v ∈ L(self) }`.
+    ///
+    /// Used for `${x#pat}`: the possible values after removing a prefix
+    /// matching `pat`.
+    pub fn left_quotient(&self, k: &Dfa) -> Dfa {
+        // States of `self` reachable by strings in L(k): run the product
+        // with k and collect self-states paired with k-accepting states.
+        let mut reached: Vec<bool> = vec![false; self.trans.len()];
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((self.start, k.start));
+        seen.insert((self.start, k.start));
+        while let Some((a, b)) = queue.pop_front() {
+            if k.accept[b as usize] {
+                reached[a as usize] = true;
+            }
+            for byte_rep in 0..=255u8 {
+                // Walk the joint step; byte classes make this cheap to
+                // deduplicate but correctness-first here.
+                let na = self.step(a, byte_rep);
+                let nb = k.step(b, byte_rep);
+                if seen.insert((na, nb)) {
+                    queue.push_back((na, nb));
+                }
+            }
+        }
+        // Union of languages from all reached states: fresh start with
+        // ε-moves is easiest via an NFA-like subset trick on this DFA.
+        let starts: Vec<u32> = (0..self.trans.len() as u32)
+            .filter(|q| reached[*q as usize])
+            .collect();
+        if starts.is_empty() {
+            return Dfa::from_regex(&Regex::Empty);
+        }
+        self.union_of_states(&starts)
+    }
+
+    /// The union of the languages from several states, as one DFA.
+    fn union_of_states(&self, starts: &[u32]) -> Dfa {
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut order: Vec<Vec<u32>> = Vec::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+        let mut work = VecDeque::new();
+        let mut s0: Vec<u32> = starts.to_vec();
+        s0.sort_unstable();
+        s0.dedup();
+        ids.insert(s0.clone(), 0);
+        order.push(s0);
+        work.push_back(0u32);
+        while let Some(id) = work.pop_front() {
+            let set = order[id as usize].clone();
+            let mut row = Vec::with_capacity(self.classes.len());
+            for ci in 0..self.classes.len() {
+                let rep = self.classes[ci].min_byte().expect("non-empty class");
+                let mut next: Vec<u32> = set.iter().map(|&q| self.step(q, rep)).collect();
+                next.sort_unstable();
+                next.dedup();
+                let to = match ids.get(&next) {
+                    Some(&to) => to,
+                    None => {
+                        let to = order.len() as u32;
+                        ids.insert(next.clone(), to);
+                        order.push(next);
+                        work.push_back(to);
+                        to
+                    }
+                };
+                row.push(to);
+            }
+            if trans.len() <= id as usize {
+                trans.resize(id as usize + 1, Vec::new());
+            }
+            trans[id as usize] = row;
+        }
+        let accept = order
+            .iter()
+            .map(|set| set.iter().any(|&q| self.accept[q as usize]))
+            .collect();
+        Dfa {
+            classes: self.classes.clone(),
+            byte_map: self.byte_map.clone(),
+            trans,
+            accept,
+            start: 0,
+        }
+        .minimize()
+    }
+
+    /// Extracts an equivalent [`Regex`] by state elimination (GNFA).
+    /// The result can be verbose but is language-equal; callers that
+    /// care about presentation should keep the original syntax where
+    /// they have it.
+    // Index-based loops are the clearest rendering of the GNFA update
+    // rule; the iterator form clippy suggests obscures it.
+    #[allow(clippy::needless_range_loop)]
+    pub fn to_regex(&self) -> Regex {
+        let n = self.trans.len();
+        // GNFA edge matrix over n + 2 states (fresh start = n, accept =
+        // n+1), entries are regexes (∅ = no edge).
+        let total = n + 2;
+        let gstart = n;
+        let gaccept = n + 1;
+        let mut edge: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
+        for (q, row) in self.trans.iter().enumerate() {
+            for (ci, &t) in row.iter().enumerate() {
+                let class_re = Regex::class(self.classes[ci]);
+                edge[q][t as usize] = edge[q][t as usize].or(&class_re);
+            }
+        }
+        edge[gstart][self.start as usize] = Regex::Eps;
+        for (q, &acc) in self.accept.iter().enumerate() {
+            if acc {
+                edge[q][gaccept] = Regex::Eps;
+            }
+        }
+        // Eliminate original states one by one.
+        for rip in 0..n {
+            let self_loop = edge[rip][rip].clone();
+            let loop_star = self_loop.star();
+            for i in 0..total {
+                if i == rip {
+                    continue;
+                }
+                let in_edge = edge[i][rip].clone();
+                if in_edge == Regex::Empty {
+                    continue;
+                }
+                for j in 0..total {
+                    if j == rip {
+                        continue;
+                    }
+                    let out_edge = edge[rip][j].clone();
+                    if out_edge == Regex::Empty {
+                        continue;
+                    }
+                    let path = Regex::concat(vec![in_edge.clone(), loop_star.clone(), out_edge]);
+                    edge[i][j] = edge[i][j].or(&path);
+                }
+            }
+            for i in 0..total {
+                edge[i][rip] = Regex::Empty;
+                edge[rip][i] = Regex::Empty;
+            }
+        }
+        edge[gstart][gaccept].clone()
+    }
+}
+
+#[cfg(test)]
+mod quotient_tests {
+    use super::*;
+
+    fn dfa(pat: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse_must(pat))
+    }
+
+    #[test]
+    fn to_regex_roundtrips() {
+        for pat in ["abc", "(a|b)*abb", "[0-9]+(\\.[0-9]+)?", "x{2,3}y*", ""] {
+            let d = dfa(pat);
+            let r = d.to_regex();
+            assert!(
+                Dfa::from_regex(&r).equiv(&d),
+                "state elimination changed the language of {pat:?}"
+            );
+        }
+        assert_eq!(Dfa::from_regex(&Regex::Empty).to_regex(), Regex::Empty);
+    }
+
+    #[test]
+    fn right_quotient_strips_suffixes() {
+        // { u : ∃v ∈ /[^/]*, u·v ∈ /home/user/file } = { /home/user, … }
+        let l = dfa("/home/user/file");
+        let k = dfa("/[^/]*");
+        let q = l.right_quotient(&k);
+        assert!(q.matches(b"/home/user"));
+        // v must start with '/', so stripping "e" alone is not allowed.
+        assert!(!q.matches(b"/home/user/fil"));
+        assert!(!q.matches(b"/home/user/file"));
+        assert!(!q.matches(b"/home"));
+    }
+
+    #[test]
+    fn right_quotient_dirnames() {
+        // The `${0%/*}` image: paths with a slash, suffix `/<anything>`
+        // removed (shortest/longest collapse in the quotient).
+        let paths = dfa("/([^/]+/)*[^/]+");
+        let slash_suffix = dfa("/(.|\\n)*");
+        let q = paths.right_quotient(&slash_suffix);
+        assert!(q.matches(b"")); // /file → ""
+        assert!(q.matches(b"/home"));
+        assert!(q.matches(b"/home/user"));
+        assert!(!q.matches(b"noslash"));
+    }
+
+    #[test]
+    fn left_quotient_strips_prefixes() {
+        // ${x##*/}: remove longest prefix matching */ — i.e. keep what
+        // follows some slash (or the whole string).
+        let l = dfa("/usr/bin/env");
+        let k = dfa("(.|\\n)*/");
+        let q = l.left_quotient(&k);
+        assert!(q.matches(b"env"));
+        assert!(q.matches(b"bin/env"));
+        assert!(q.matches(b"usr/bin/env"));
+        assert!(!q.matches(b"/usr/bin/env"));
+    }
+
+    #[test]
+    fn quotient_of_empty_is_empty() {
+        let l = dfa("abc");
+        let none = Dfa::from_regex(&Regex::Empty);
+        assert!(l.right_quotient(&none).is_empty_lang());
+        assert!(l.left_quotient(&none).is_empty_lang());
+    }
+
+    #[test]
+    fn quotient_regex_roundtrip() {
+        let l = dfa("(a|b)+c");
+        let k = dfa("c");
+        let q = l.right_quotient(&k);
+        let r = q.to_regex();
+        assert!(Dfa::from_regex(&r).equiv(&q));
+        assert!(r.matches(b"ab"));
+        assert!(!r.matches(b"abc"));
+    }
+}

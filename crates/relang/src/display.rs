@@ -1,0 +1,197 @@
+//! Rendering regexes back to a readable ERE-like syntax.
+//!
+//! Diagnostics quote constraints at users ("`$STEAMROOT` is constrained to
+//! `/?([^/]*/)*[^/]+`"), so the printer aims for the notation Unix
+//! developers already read, falling back to explicit `∅`, `ε`, `&` and
+//! `!` for the extended operators that plain ERE cannot express.
+
+use crate::ast::Regex;
+use crate::class::ByteClass;
+use std::fmt;
+
+/// Operator precedence levels for parenthesization.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum Prec {
+    Alt = 0,
+    And = 1,
+    Concat = 2,
+    Repeat = 3,
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(f, self, Prec::Alt)
+    }
+}
+
+fn write_class(f: &mut fmt::Formatter<'_>, c: &ByteClass) -> fmt::Result {
+    if *c == ByteClass::ALL {
+        return write!(f, "(.|\\n)");
+    }
+    if *c == ByteClass::dot() {
+        return write!(f, ".");
+    }
+    if c.len() == 1 {
+        return write_byte(f, c.min_byte().expect("len 1"), false);
+    }
+    // Prefer the shorter of the class and its complement.
+    let comp = c.complement();
+    let (neg, show) = if comp.ranges().len() < c.ranges().len() && !comp.is_empty() {
+        (true, comp)
+    } else {
+        (false, *c)
+    };
+    write!(f, "[{}", if neg { "^" } else { "" })?;
+    for (lo, hi) in show.ranges() {
+        if lo == hi {
+            write_byte(f, lo, true)?;
+        } else if hi == lo + 1 {
+            write_byte(f, lo, true)?;
+            write_byte(f, hi, true)?;
+        } else {
+            write_byte(f, lo, true)?;
+            write!(f, "-")?;
+            write_byte(f, hi, true)?;
+        }
+    }
+    write!(f, "]")
+}
+
+fn write_byte(f: &mut fmt::Formatter<'_>, b: u8, in_class: bool) -> fmt::Result {
+    let metas: &[u8] = if in_class {
+        b"]\\^-"
+    } else {
+        b".[]()*+?{}|^$\\"
+    };
+    match b {
+        b'\t' => write!(f, "\\t"),
+        b'\n' => write!(f, "\\n"),
+        b'\r' => write!(f, "\\r"),
+        0x20..=0x7e => {
+            if metas.contains(&b) {
+                write!(f, "\\{}", b as char)
+            } else {
+                write!(f, "{}", b as char)
+            }
+        }
+        other => write!(f, "\\x{other:02x}"),
+    }
+}
+
+/// Is `r` an alternation of the form `x|ε`, printable as `x?`?
+fn as_opt(r: &Regex) -> Option<&Regex> {
+    if let Regex::Alt(parts) = r {
+        if parts.len() == 2 && parts.contains(&Regex::Eps) {
+            return parts.iter().find(|p| **p != Regex::Eps);
+        }
+    }
+    None
+}
+
+fn write_prec(f: &mut fmt::Formatter<'_>, r: &Regex, prec: Prec) -> fmt::Result {
+    if let Some(inner) = as_opt(r) {
+        // `x?` binds like a repetition, not like an alternation.
+        write_prec(f, inner, Prec::Repeat)?;
+        return write!(f, "?");
+    }
+    let own = match r {
+        Regex::Alt(_) => Prec::Alt,
+        Regex::And(_) => Prec::And,
+        Regex::Concat(_) => Prec::Concat,
+        _ => Prec::Repeat,
+    };
+    let need_parens = (own as u8) < (prec as u8);
+    if need_parens {
+        write!(f, "(")?;
+    }
+    match r {
+        Regex::Empty => write!(f, "∅")?,
+        Regex::Eps => write!(f, "()")?,
+        Regex::Class(c) => write_class(f, c)?,
+        Regex::Concat(parts) => {
+            for p in parts.iter() {
+                write_prec(f, p, Prec::Repeat)?;
+            }
+        }
+        Regex::Alt(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "|")?;
+                }
+                write_prec(f, p, Prec::And)?;
+            }
+        }
+        Regex::And(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "&")?;
+                }
+                write_prec(f, p, Prec::Concat)?;
+            }
+        }
+        Regex::Star(inner) => {
+            write_prec(f, inner, Prec::Repeat)?;
+            // Atoms never need parens; composites got them above via prec.
+            write!(f, "*")?;
+        }
+        Regex::Not(inner) => {
+            write!(f, "!")?;
+            write_prec(f, inner, Prec::Repeat)?;
+        }
+    }
+    if need_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(pat: &str) -> String {
+        Regex::parse(pat).unwrap().to_string()
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        assert_eq!(rt("abc"), "abc");
+        assert_eq!(rt("a|b"), "[ab]");
+        assert_eq!(rt("(ab|cd)e"), "(ab|cd)e");
+        assert_eq!(rt("[0-9]+"), "[0-9][0-9]*");
+        assert_eq!(rt("."), ".");
+    }
+
+    #[test]
+    fn extended_operators() {
+        let r = Regex::lit("a").intersect(&Regex::any_line());
+        assert!(r.to_string().contains('&'));
+        let n = Regex::lit("a").complement();
+        assert_eq!(n.to_string(), "!a");
+        assert_eq!(Regex::Empty.to_string(), "∅");
+        assert_eq!(Regex::Eps.to_string(), "()");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(Regex::lit("a.b").to_string(), "a\\.b");
+        assert_eq!(Regex::lit("x\ty").to_string(), "x\\ty");
+        assert_eq!(Regex::byte(0x07).to_string(), "\\x07");
+    }
+
+    #[test]
+    fn opt_pretty() {
+        assert_eq!(rt("ab?"), "ab?");
+    }
+
+    #[test]
+    fn printed_form_reparses_to_same_language() {
+        for pat in ["abc", "(a|bc)*", "[a-f0-9]+", "a?b+c{2,3}", "x|yz|w*"] {
+            let r = Regex::parse(pat).unwrap();
+            let printed = r.to_string();
+            let re = Regex::parse(&printed)
+                .unwrap_or_else(|e| panic!("printed form {printed:?} failed: {e}"));
+            assert!(r.equiv(&re), "{pat} printed as {printed} changed language");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Thompson construction of nondeterministic finite automata.
+//!
+//! The NFA backend covers the classical regex fragment (no `And`/`Not`;
+//! those are handled by the derivative backend in [`crate::deriv`] and the
+//! DFA product constructions in [`crate::dfa`]). It exists for two
+//! reasons: subset construction from a Thompson NFA is the textbook
+//! compilation route and is measurably faster on large classical regexes,
+//! and having two independent backends lets the test suite cross-check
+//! them against each other.
+
+use crate::ast::Regex;
+use crate::class::ByteClass;
+
+/// State identifier within an [`Nfa`].
+pub type StateId = usize;
+
+/// A transition on a byte class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Bytes this transition consumes.
+    pub on: ByteClass,
+    /// Destination state.
+    pub to: StateId,
+}
+
+/// One NFA state: byte-class transitions plus ε-transitions.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Consuming transitions.
+    pub trans: Vec<Transition>,
+    /// Non-consuming (ε) transitions.
+    pub eps: Vec<StateId>,
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// All states; indices are [`StateId`]s.
+    pub states: Vec<State>,
+    /// The start state.
+    pub start: StateId,
+    /// The unique accepting state.
+    pub accept: StateId,
+}
+
+/// Error returned when asked to compile an extended operator the Thompson
+/// backend does not support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedExtended;
+
+impl std::fmt::Display for UnsupportedExtended {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Thompson NFA backend does not support And/Not; use the derivative backend"
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedExtended {}
+
+impl Nfa {
+    /// Compiles a classical regex to a Thompson NFA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedExtended`] if the regex contains `And` or
+    /// `Not` nodes.
+    pub fn compile(r: &Regex) -> Result<Nfa, UnsupportedExtended> {
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(r)?;
+        nfa.start = s;
+        nfa.accept = a;
+        Ok(nfa)
+    }
+
+    fn new_state(&mut self) -> StateId {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn build(&mut self, r: &Regex) -> Result<(StateId, StateId), UnsupportedExtended> {
+        match r {
+            Regex::Empty => {
+                let s = self.new_state();
+                let a = self.new_state();
+                Ok((s, a))
+            }
+            Regex::Eps => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].eps.push(a);
+                Ok((s, a))
+            }
+            Regex::Class(c) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.states[s].trans.push(Transition { on: *c, to: a });
+                Ok((s, a))
+            }
+            Regex::Concat(parts) => {
+                let mut first: Option<StateId> = None;
+                let mut prev_accept: Option<StateId> = None;
+                for p in parts.iter() {
+                    let (s, a) = self.build(p)?;
+                    if let Some(pa) = prev_accept {
+                        self.states[pa].eps.push(s);
+                    } else {
+                        first = Some(s);
+                    }
+                    prev_accept = Some(a);
+                }
+                Ok((
+                    first.expect("concat has >= 2 parts"),
+                    prev_accept.expect("nonempty"),
+                ))
+            }
+            Regex::Alt(parts) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                for p in parts.iter() {
+                    let (ps, pa) = self.build(p)?;
+                    self.states[s].eps.push(ps);
+                    self.states[pa].eps.push(a);
+                }
+                Ok((s, a))
+            }
+            Regex::Star(inner) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (is, ia) = self.build(inner)?;
+                self.states[s].eps.push(is);
+                self.states[s].eps.push(a);
+                self.states[ia].eps.push(is);
+                self.states[ia].eps.push(a);
+                Ok((s, a))
+            }
+            Regex::And(_) | Regex::Not(_) => Err(UnsupportedExtended),
+        }
+    }
+
+    /// The ε-closure of a set of states, returned sorted and deduplicated.
+    pub fn eps_closure(&self, seeds: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = Vec::new();
+        for &s in seeds {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.states[s].eps {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Simulates the NFA on `input` (exact match).
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut current = self.eps_closure(&[self.start]);
+        for &b in input {
+            let mut next = Vec::new();
+            for &s in &current {
+                for t in &self.states[s].trans {
+                    if t.on.contains(b) {
+                        next.push(t.to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            current = self.eps_closure(&next);
+        }
+        current.contains(&self.accept)
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the automaton has no states (never produced by
+    /// [`Nfa::compile`], which always allocates at least two).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nfa(pat: &str) -> Nfa {
+        Nfa::compile(&Regex::parse_must(pat)).expect("classical regex")
+    }
+
+    #[test]
+    fn literal() {
+        let n = nfa("abc");
+        assert!(n.matches(b"abc"));
+        assert!(!n.matches(b"ab"));
+        assert!(!n.matches(b"abcd"));
+    }
+
+    #[test]
+    fn alternation_and_star() {
+        let n = nfa("(ab|cd)*");
+        assert!(n.matches(b""));
+        assert!(n.matches(b"abcdab"));
+        assert!(!n.matches(b"abc"));
+    }
+
+    #[test]
+    fn classes() {
+        let n = nfa("[0-9a-f]+");
+        assert!(n.matches(b"deadbeef42"));
+        assert!(!n.matches(b"xyz"));
+        assert!(!n.matches(b""));
+    }
+
+    #[test]
+    fn empty_language_nfa() {
+        let n = Nfa::compile(&Regex::Empty).unwrap();
+        assert!(!n.matches(b""));
+        assert!(!n.matches(b"a"));
+    }
+
+    #[test]
+    fn extended_rejected() {
+        let r = Regex::lit("a").complement();
+        assert!(matches!(Nfa::compile(&r), Err(UnsupportedExtended)));
+        let a = Regex::lit("a").intersect(&Regex::any_line());
+        assert!(Nfa::compile(&a).is_err());
+    }
+
+    #[test]
+    fn eps_closure_transitive() {
+        let n = nfa("a*b*");
+        let cl = n.eps_closure(&[n.start]);
+        // The closure from start must reach the accept state (both stars
+        // are skippable).
+        assert!(cl.contains(&n.accept));
+    }
+
+    #[test]
+    fn agrees_with_derivatives_on_samples() {
+        for pat in [
+            "(a|b)*abb",
+            "x?y?z?",
+            "[a-c]{2,3}",
+            "a(bc)*d",
+            "(0|1(01*0)*1)*",
+        ] {
+            let r = Regex::parse_must(pat);
+            let n = Nfa::compile(&r).unwrap();
+            for input in [
+                "", "a", "abb", "aabb", "xz", "ad", "abcbcd", "11011", "0", "abc", "aa", "ccc",
+            ] {
+                assert_eq!(
+                    n.matches(input.as_bytes()),
+                    r.matches(input.as_bytes()),
+                    "pattern {pat:?} on {input:?}"
+                );
+            }
+        }
+    }
+}

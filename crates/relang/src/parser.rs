@@ -1,0 +1,683 @@
+//! A parser for a practical POSIX-ERE subset.
+//!
+//! Two readings of a pattern are offered, matching the two ways the paper
+//! uses regular expressions:
+//!
+//! * [`Regex::parse`] — the *type* reading: the pattern denotes exactly
+//!   the strings it matches in full. This is how stream types such as
+//!   `desc.*` or `0x[0-9a-f]+` are written (§3, §4).
+//! * [`Regex::grep_pattern`] — the *selection* reading: the pattern
+//!   denotes the set of lines `grep -E` would select, i.e. lines
+//!   containing a match, with `^`/`$` anchors interpreted as in grep.
+//!   This is how the engine types `grep '^desc'` in Fig. 5.
+//!
+//! Supported syntax: literals, `.`, bracket expressions (`[a-z]`,
+//! `[^…]`, `[[:digit:]]`), grouping, alternation, `*`, `+`, `?`,
+//! `{m}`/`{m,}`/`{m,n}`, escapes (`\t`, `\n`, `\r`, `\\`, escaped
+//! punctuation) and the common convenience classes `\d`, `\w`, `\s` and
+//! their negations. Anchors are accepted at the edges of top-level
+//! alternatives (the overwhelmingly common case); anchors elsewhere are
+//! reported as [`ParseError::UnsupportedAnchor`].
+
+use crate::ast::Regex;
+use crate::class::{named_class, ByteClass};
+use std::fmt;
+
+/// Errors produced by the pattern parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected end of pattern.
+    UnexpectedEnd,
+    /// An unexpected character at the given byte offset.
+    Unexpected(char, usize),
+    /// `*`, `+`, `?` or `{` with nothing to repeat.
+    NothingToRepeat(usize),
+    /// Malformed `{m,n}` repetition.
+    BadRepeat(usize),
+    /// Malformed bracket expression.
+    BadBracket(usize),
+    /// Unknown `[[:name:]]` class.
+    UnknownClass(String),
+    /// Unbalanced parenthesis.
+    UnbalancedParen(usize),
+    /// `^`/`$` in a position the engine does not model.
+    UnsupportedAnchor(usize),
+    /// Repetition bounds out of supported range.
+    RepeatTooLarge(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of pattern"),
+            ParseError::Unexpected(c, at) => write!(f, "unexpected {c:?} at offset {at}"),
+            ParseError::NothingToRepeat(at) => write!(f, "nothing to repeat at offset {at}"),
+            ParseError::BadRepeat(at) => write!(f, "malformed repetition at offset {at}"),
+            ParseError::BadBracket(at) => write!(f, "malformed bracket expression at offset {at}"),
+            ParseError::UnknownClass(n) => write!(f, "unknown character class [:{n}:]"),
+            ParseError::UnbalancedParen(at) => write!(f, "unbalanced parenthesis at offset {at}"),
+            ParseError::UnsupportedAnchor(at) => {
+                write!(f, "anchor at offset {at} is only supported at the edges of a top-level alternative")
+            }
+            ParseError::RepeatTooLarge(at) => {
+                write!(f, "repetition bound too large at offset {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Intermediate parse tree retaining anchors.
+#[derive(Debug, Clone)]
+enum P {
+    Class(ByteClass),
+    Bol,
+    Eol,
+    Concat(Vec<P>),
+    Alt(Vec<P>),
+    Star(Box<P>),
+    Plus(Box<P>),
+    Opt(Box<P>),
+    Repeat(Box<P>, u32, Option<u32>),
+    Eps,
+}
+
+const MAX_REPEAT: u32 = 512;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn parse_alt(&mut self) -> Result<P, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("len 1")
+        } else {
+            P::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<P, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => parts.push(self.parse_repeat()?),
+            }
+        }
+        Ok(match parts.len() {
+            0 => P::Eps,
+            1 => parts.pop().expect("len 1"),
+            _ => P::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<P, ParseError> {
+        let at = self.pos;
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.check_repeatable(&atom, at)?;
+                    self.bump();
+                    atom = P::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.check_repeatable(&atom, at)?;
+                    self.bump();
+                    atom = P::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.check_repeatable(&atom, at)?;
+                    self.bump();
+                    atom = P::Opt(Box::new(atom));
+                }
+                Some(b'{') => {
+                    self.check_repeatable(&atom, at)?;
+                    let (min, max) = self.parse_braces()?;
+                    atom = P::Repeat(Box::new(atom), min, max);
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn check_repeatable(&self, atom: &P, at: usize) -> Result<(), ParseError> {
+        match atom {
+            P::Bol | P::Eol => Err(ParseError::NothingToRepeat(at)),
+            _ => Ok(()),
+        }
+    }
+
+    fn parse_braces(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let at = self.pos;
+        self.bump(); // `{`
+        let min = self.parse_number(at)?;
+        match self.bump() {
+            Some(b'}') => Ok((min, Some(min))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Ok((min, None))
+                } else {
+                    let max = self.parse_number(at)?;
+                    if self.bump() != Some(b'}') || max < min {
+                        return Err(ParseError::BadRepeat(at));
+                    }
+                    Ok((min, Some(max)))
+                }
+            }
+            _ => Err(ParseError::BadRepeat(at)),
+        }
+    }
+
+    fn parse_number(&mut self, at: usize) -> Result<u32, ParseError> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+                any = true;
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add((b - b'0') as u32))
+                    .ok_or(ParseError::RepeatTooLarge(at))?;
+                if n > MAX_REPEAT {
+                    return Err(ParseError::RepeatTooLarge(at));
+                }
+            } else {
+                break;
+            }
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(ParseError::BadRepeat(at))
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<P, ParseError> {
+        let at = self.pos;
+        match self.bump().ok_or(ParseError::UnexpectedEnd)? {
+            b'(' => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(ParseError::UnbalancedParen(at));
+                }
+                Ok(inner)
+            }
+            b')' => Err(ParseError::UnbalancedParen(at)),
+            b'[' => self.parse_bracket(at),
+            b'.' => Ok(P::Class(ByteClass::dot())),
+            b'^' => Ok(P::Bol),
+            b'$' => Ok(P::Eol),
+            b'\\' => {
+                let e = self.bump().ok_or(ParseError::UnexpectedEnd)?;
+                if e == b'x' {
+                    return Ok(P::Class(ByteClass::single(self.parse_hex_escape(at)?)));
+                }
+                Ok(P::Class(escape_class(e)))
+            }
+            b'*' | b'+' | b'?' => Err(ParseError::NothingToRepeat(at)),
+            b'{' => {
+                // A `{` that does not follow an atom is taken literally,
+                // as grep does in practice.
+                Ok(P::Class(ByteClass::single(b'{')))
+            }
+            other => Ok(P::Class(ByteClass::single(other))),
+        }
+    }
+
+    /// Parses the two hex digits of a `\xNN` escape (the `\x` is already
+    /// consumed).
+    fn parse_hex_escape(&mut self, at: usize) -> Result<u8, ParseError> {
+        let hi = self.bump().ok_or(ParseError::UnexpectedEnd)?;
+        let lo = self.bump().ok_or(ParseError::UnexpectedEnd)?;
+        let digit = |b: u8| -> Result<u8, ParseError> {
+            match b {
+                b'0'..=b'9' => Ok(b - b'0'),
+                b'a'..=b'f' => Ok(b - b'a' + 10),
+                b'A'..=b'F' => Ok(b - b'A' + 10),
+                _ => Err(ParseError::Unexpected(b as char, at)),
+            }
+        };
+        Ok(digit(hi)? * 16 + digit(lo)?)
+    }
+
+    fn parse_bracket(&mut self, at: usize) -> Result<P, ParseError> {
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut class = ByteClass::new();
+        let mut first = true;
+        loop {
+            let b = self.bump().ok_or(ParseError::BadBracket(at))?;
+            match b {
+                b']' if !first => break,
+                b'[' if self.peek() == Some(b':') => {
+                    self.bump(); // `:`
+                    let mut name = String::new();
+                    loop {
+                        match self.bump().ok_or(ParseError::BadBracket(at))? {
+                            b':' => {
+                                if self.bump() != Some(b']') {
+                                    return Err(ParseError::BadBracket(at));
+                                }
+                                break;
+                            }
+                            c => name.push(c as char),
+                        }
+                    }
+                    let named = named_class(&name).ok_or(ParseError::UnknownClass(name.clone()))?;
+                    class = class.union(&named);
+                }
+                mut lo => {
+                    if lo == b'\\' {
+                        let e = self.bump().ok_or(ParseError::BadBracket(at))?;
+                        lo = if e == b'x' {
+                            self.parse_hex_escape(at)?
+                        } else {
+                            escaped_literal(e)
+                        };
+                    }
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+                    {
+                        self.bump(); // `-`
+                        let mut hi = self.bump().ok_or(ParseError::BadBracket(at))?;
+                        if hi == b'\\' {
+                            let e = self.bump().ok_or(ParseError::BadBracket(at))?;
+                            hi = if e == b'x' {
+                                self.parse_hex_escape(at)?
+                            } else {
+                                escaped_literal(e)
+                            };
+                        }
+                        if hi < lo {
+                            return Err(ParseError::BadBracket(at));
+                        }
+                        class.insert_range(lo, hi);
+                    } else {
+                        class.insert(lo);
+                    }
+                }
+            }
+            first = false;
+        }
+        if negate {
+            class = class.complement();
+            // Like grep, a negated class still never matches newline when
+            // used as a line pattern; keep `\n` out so line types compose.
+            class.remove(b'\n');
+        }
+        Ok(P::Class(class))
+    }
+}
+
+/// Class denoted by `\x` escapes outside brackets.
+fn escape_class(e: u8) -> ByteClass {
+    match e {
+        b'd' => ByteClass::range(b'0', b'9'),
+        b'D' => {
+            let mut c = ByteClass::range(b'0', b'9').complement();
+            c.remove(b'\n');
+            c
+        }
+        b'w' => {
+            let mut c = ByteClass::range(b'a', b'z');
+            c.insert_range(b'A', b'Z');
+            c.insert_range(b'0', b'9');
+            c.insert(b'_');
+            c
+        }
+        b'W' => {
+            let mut c = escape_class(b'w').complement();
+            c.remove(b'\n');
+            c
+        }
+        b's' => ByteClass::from_bytes(b" \t\r\x0b\x0c\n"),
+        b'S' => {
+            let mut c = ByteClass::from_bytes(b" \t\r\x0b\x0c").complement();
+            c.remove(b'\n');
+            c
+        }
+        other => ByteClass::single(escaped_literal(other)),
+    }
+}
+
+/// Literal byte denoted by `\x` escapes (shared with bracket parsing).
+fn escaped_literal(e: u8) -> u8 {
+    match e {
+        b't' => b'\t',
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+/// Lowers in *exact* (type) mode: edge anchors are redundant and dropped,
+/// interior anchors are errors.
+fn lower_exact(p: &P, at_start: bool, at_end: bool) -> Result<Regex, ParseError> {
+    match p {
+        P::Eps => Ok(Regex::Eps),
+        P::Class(c) => Ok(Regex::class(*c)),
+        P::Bol => {
+            if at_start {
+                Ok(Regex::Eps)
+            } else {
+                Err(ParseError::UnsupportedAnchor(0))
+            }
+        }
+        P::Eol => {
+            if at_end {
+                Ok(Regex::Eps)
+            } else {
+                Err(ParseError::UnsupportedAnchor(0))
+            }
+        }
+        P::Concat(parts) => {
+            let n = parts.len();
+            let mut out = Vec::with_capacity(n);
+            for (i, part) in parts.iter().enumerate() {
+                out.push(lower_exact(part, at_start && i == 0, at_end && i == n - 1)?);
+            }
+            Ok(Regex::concat(out))
+        }
+        P::Alt(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for part in parts {
+                out.push(lower_exact(part, at_start, at_end)?);
+            }
+            Ok(Regex::alt(out))
+        }
+        P::Star(inner) => Ok(lower_exact(inner, false, false)?.star()),
+        P::Plus(inner) => Ok(lower_exact(inner, false, false)?.plus()),
+        P::Opt(inner) => Ok(lower_exact(inner, false, false)?.opt()),
+        P::Repeat(inner, min, max) => Ok(lower_exact(inner, false, false)?.repeat(*min, *max)),
+    }
+}
+
+/// Lowers in *grep* (selection) mode: returns the language of lines
+/// containing a match, with edge anchors removing the corresponding pad.
+fn lower_grep(p: &P) -> Result<Regex, ParseError> {
+    // Split top-level alternation; each branch pads independently.
+    let branches: Vec<&P> = match p {
+        P::Alt(parts) => parts.iter().collect(),
+        other => vec![other],
+    };
+    let mut langs = Vec::with_capacity(branches.len());
+    for branch in branches {
+        let parts: Vec<&P> = match branch {
+            P::Concat(parts) => parts.iter().collect(),
+            other => vec![other],
+        };
+        let mut bol = false;
+        let mut eol = false;
+        let mut inner: Vec<&P> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            match part {
+                P::Bol if i == 0 => bol = true,
+                P::Eol if i == parts.len() - 1 => eol = true,
+                _ => inner.push(part),
+            }
+        }
+        let mut seq = Vec::new();
+        if !bol {
+            seq.push(Regex::any_line());
+        }
+        for part in inner {
+            seq.push(lower_exact(part, false, false)?);
+        }
+        if !eol {
+            seq.push(Regex::any_line());
+        }
+        langs.push(Regex::concat(seq));
+    }
+    Ok(Regex::alt(langs))
+}
+
+impl Regex {
+    /// Parses `pattern` in the exact (type) reading. See the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed syntax or anchors in
+    /// unsupported positions.
+    pub fn parse(pattern: &str) -> Result<Regex, ParseError> {
+        let mut p = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let ast = p.parse_alt()?;
+        if p.pos != p.bytes.len() {
+            return Err(ParseError::Unexpected(p.bytes[p.pos] as char, p.pos));
+        }
+        lower_exact(&ast, true, true)
+    }
+
+    /// Parses `pattern` in the grep (line-selection) reading: the result
+    /// is the language of lines `grep -E pattern` selects.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed syntax or anchors in
+    /// unsupported positions.
+    pub fn grep_pattern(pattern: &str) -> Result<Regex, ParseError> {
+        let mut p = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let ast = p.parse_alt()?;
+        if p.pos != p.bytes.len() {
+            return Err(ParseError::Unexpected(p.bytes[p.pos] as char, p.pos));
+        }
+        lower_grep(&ast)
+    }
+
+    /// Like [`Regex::parse`] but panics on error; for statically known
+    /// patterns inside the analyzer and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` does not parse.
+    pub fn parse_must(pattern: &str) -> Regex {
+        match Regex::parse(pattern) {
+            Ok(r) => r,
+            Err(e) => panic!("bad builtin pattern {pattern:?}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_classes() {
+        let r = Regex::parse("ab[0-9]c").unwrap();
+        assert!(r.matches(b"ab7c"));
+        assert!(!r.matches(b"abxc"));
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        let r = Regex::parse("ab|cd").unwrap();
+        assert!(r.matches(b"ab"));
+        assert!(r.matches(b"cd"));
+        assert!(!r.matches(b"ad"));
+        let g = Regex::parse("a(b|c)d").unwrap();
+        assert!(g.matches(b"abd"));
+        assert!(g.matches(b"acd"));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert!(Regex::parse("a*").unwrap().matches(b""));
+        assert!(Regex::parse("a+").unwrap().matches(b"aaa"));
+        assert!(!Regex::parse("a+").unwrap().matches(b""));
+        assert!(Regex::parse("ab?c").unwrap().matches(b"ac"));
+        let r = Regex::parse("a{2,3}").unwrap();
+        assert!(!r.matches(b"a"));
+        assert!(r.matches(b"aa"));
+        assert!(r.matches(b"aaa"));
+        assert!(!r.matches(b"aaaa"));
+        assert!(Regex::parse("a{2}").unwrap().matches(b"aa"));
+        assert!(Regex::parse("a{2,}").unwrap().matches(b"aaaaa"));
+    }
+
+    #[test]
+    fn bracket_expressions() {
+        let r = Regex::parse("[a-cx]").unwrap();
+        assert!(r.matches(b"b"));
+        assert!(r.matches(b"x"));
+        assert!(!r.matches(b"d"));
+        let neg = Regex::parse("[^a-c]").unwrap();
+        assert!(neg.matches(b"z"));
+        assert!(!neg.matches(b"a"));
+        assert!(!neg.matches(b"\n"));
+        let lit_bracket = Regex::parse("[]x]").unwrap();
+        assert!(lit_bracket.matches(b"]"));
+        assert!(lit_bracket.matches(b"x"));
+        let dash = Regex::parse("[a-]").unwrap();
+        assert!(dash.matches(b"-"));
+        let named = Regex::parse("[[:digit:]]+").unwrap();
+        assert!(named.matches(b"123"));
+        assert!(!named.matches(b"12a"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(Regex::parse("a\\.b").unwrap().matches(b"a.b"));
+        assert!(!Regex::parse("a\\.b").unwrap().matches(b"axb"));
+        assert!(Regex::parse("\\d+").unwrap().matches(b"42"));
+        assert!(Regex::parse("\\w+").unwrap().matches(b"a_1"));
+        assert!(Regex::parse("x\\ty").unwrap().matches(b"x\ty"));
+        assert!(Regex::parse("\\s").unwrap().matches(b" "));
+        assert!(!Regex::parse("\\S").unwrap().matches(b" "));
+    }
+
+    #[test]
+    fn anchors_exact_mode() {
+        // Edge anchors are tolerated and meaningless in exact mode.
+        assert!(Regex::parse("^abc$").unwrap().matches(b"abc"));
+        assert!(Regex::parse("^a|b$").unwrap().matches(b"a"));
+        // Interior anchors are rejected.
+        assert!(matches!(
+            Regex::parse("a^b"),
+            Err(ParseError::UnsupportedAnchor(_))
+        ));
+        assert!(matches!(
+            Regex::parse("a$b"),
+            Err(ParseError::UnsupportedAnchor(_))
+        ));
+    }
+
+    #[test]
+    fn grep_mode_padding() {
+        let r = Regex::grep_pattern("desc").unwrap();
+        assert!(r.matches(b"xdescy"));
+        assert!(r.matches(b"desc"));
+        assert!(!r.matches(b"des"));
+        let anchored = Regex::grep_pattern("^desc").unwrap();
+        assert!(anchored.matches(b"description"));
+        assert!(!anchored.matches(b"xdesc"));
+        let tail = Regex::grep_pattern("desc$").unwrap();
+        assert!(tail.matches(b"my desc"));
+        assert!(!tail.matches(b"desc !"));
+        let exact = Regex::grep_pattern("^desc$").unwrap();
+        assert!(exact.matches(b"desc"));
+        assert!(!exact.matches(b"descx"));
+    }
+
+    #[test]
+    fn grep_mode_mixed_anchor_alternation() {
+        let r = Regex::grep_pattern("^a|b$").unwrap();
+        assert!(r.matches(b"aXX"));
+        assert!(r.matches(b"XXb"));
+        assert!(!r.matches(b"XaX"));
+        assert!(r.matches(b"ab"));
+    }
+
+    #[test]
+    fn fig5_bug_reproduction() {
+        // The paper's Fig. 5: `grep '^desc'` over `lsb_release -a` output
+        // passes nothing; `^Desc` passes the Description line.
+        let lsb = Regex::parse("(Distributor ID|Description|Release|Codename):\t.*").unwrap();
+        let bad = Regex::grep_pattern("^desc").unwrap();
+        let good = Regex::grep_pattern("^Desc").unwrap();
+        assert!(lsb.intersect(&bad).is_empty());
+        let inter = lsb.intersect(&good);
+        assert!(!inter.is_empty());
+        assert!(inter.witness_string().unwrap().starts_with("Description:"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            Regex::parse("*a"),
+            Err(ParseError::NothingToRepeat(_))
+        ));
+        assert!(matches!(
+            Regex::parse("(a"),
+            Err(ParseError::UnbalancedParen(_))
+        ));
+        assert!(matches!(
+            Regex::parse("a)"),
+            Err(ParseError::Unexpected(')', _))
+        ));
+        assert!(matches!(Regex::parse("[a"), Err(ParseError::BadBracket(_))));
+        assert!(matches!(
+            Regex::parse("a{3,1}"),
+            Err(ParseError::BadRepeat(_))
+        ));
+        assert!(matches!(
+            Regex::parse("a{9999}"),
+            Err(ParseError::RepeatTooLarge(_))
+        ));
+        assert!(matches!(
+            Regex::parse("[[:bogus:]]"),
+            Err(ParseError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            Regex::parse("a\\"),
+            Err(ParseError::UnexpectedEnd)
+        ));
+    }
+
+    #[test]
+    fn literal_brace() {
+        assert!(Regex::parse("{x}").unwrap().matches(b"{x}"));
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        let r = Regex::parse("").unwrap();
+        assert!(r.matches(b""));
+        assert!(!r.matches(b"a"));
+        // In grep mode the empty pattern selects every line.
+        let g = Regex::grep_pattern("").unwrap();
+        assert!(g.matches(b"anything"));
+    }
+}

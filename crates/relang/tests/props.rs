@@ -1,0 +1,146 @@
+//! Property-based tests for the regular-language engine.
+//!
+//! The central invariant: the three execution backends (Brzozowski
+//! derivatives, Thompson NFA simulation, compiled DFA) recognize exactly
+//! the same language, and the Boolean algebra of languages agrees with
+//! pointwise matching.
+
+use proptest::prelude::*;
+use shoal_relang::{ByteClass, Dfa, Nfa, Regex};
+
+/// Strategy: random classical regexes over the alphabet {a, b, c}.
+fn classical_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::eps()),
+        Just(Regex::byte(b'a')),
+        Just(Regex::byte(b'b')),
+        Just(Regex::byte(b'c')),
+        Just(Regex::class(ByteClass::from_bytes(b"ab"))),
+        Just(Regex::class(ByteClass::from_bytes(b"bc"))),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(|r| r.star()),
+            inner.prop_map(|r| r.opt()),
+        ]
+    })
+}
+
+/// Strategy: random inputs over the same alphabet.
+fn input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd')],
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backends_agree(r in classical_regex(), s in input()) {
+        let via_deriv = r.matches(&s);
+        let nfa = Nfa::compile(&r).expect("classical");
+        let via_nfa = nfa.matches(&s);
+        let dfa = Dfa::from_regex(&r);
+        let via_dfa = dfa.matches(&s);
+        let via_subset = Dfa::from_nfa(&nfa).matches(&s);
+        prop_assert_eq!(via_deriv, via_nfa);
+        prop_assert_eq!(via_deriv, via_dfa);
+        prop_assert_eq!(via_deriv, via_subset);
+    }
+
+    #[test]
+    fn boolean_algebra_pointwise(a in classical_regex(), b in classical_regex(), s in input()) {
+        prop_assert_eq!(a.or(&b).matches(&s), a.matches(&s) || b.matches(&s));
+        prop_assert_eq!(a.intersect(&b).matches(&s), a.matches(&s) && b.matches(&s));
+        prop_assert_eq!(a.complement().matches(&s), !a.matches(&s));
+        prop_assert_eq!(a.difference(&b).matches(&s), a.matches(&s) && !b.matches(&s));
+    }
+
+    #[test]
+    fn subset_laws(a in classical_regex(), b in classical_regex()) {
+        prop_assert!(a.is_subset_of(&a.or(&b)));
+        prop_assert!(a.intersect(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a));
+        prop_assert!(Regex::empty().is_subset_of(&a));
+    }
+
+    #[test]
+    fn witness_is_member(r in classical_regex()) {
+        match r.witness() {
+            Some(w) => prop_assert!(r.matches(&w), "witness {w:?} not in language"),
+            None => prop_assert!(r.is_empty()),
+        }
+    }
+
+    #[test]
+    fn witness_is_shortest(r in classical_regex()) {
+        if let Some(w) = r.witness() {
+            // No strictly shorter member exists: check all shorter strings
+            // over the tiny alphabet when feasible.
+            if w.len() >= 1 && w.len() <= 3 {
+                let alphabet = [b'a', b'b', b'c', b'd'];
+                let mut shorter_member = false;
+                let mut stack: Vec<Vec<u8>> = vec![vec![]];
+                while let Some(cand) = stack.pop() {
+                    if cand.len() < w.len() {
+                        if r.matches(&cand) {
+                            shorter_member = true;
+                            break;
+                        }
+                        for &c in &alphabet {
+                            let mut next = cand.clone();
+                            next.push(c);
+                            stack.push(next);
+                        }
+                    }
+                }
+                prop_assert!(!shorter_member, "witness {w:?} is not shortest");
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_language(r in classical_regex(), s in input()) {
+        let d = Dfa::from_regex(&r);
+        let m = d.minimize();
+        prop_assert_eq!(d.matches(&s), m.matches(&s));
+        prop_assert!(d.equiv(&m));
+    }
+
+    #[test]
+    fn display_roundtrip(r in classical_regex()) {
+        let printed = r.to_string();
+        let reparsed = Regex::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed {printed:?} failed to reparse: {e}"));
+        prop_assert!(r.equiv(&reparsed), "{} reparsed to a different language", printed);
+    }
+
+    #[test]
+    fn equivalence_is_congruence(a in classical_regex(), b in classical_regex()) {
+        // a ∪ b ≡ b ∪ a, (a ∪ b) ∩ a ≡ a, and a \ a ≡ ∅.
+        prop_assert!(a.or(&b).equiv(&b.or(&a)));
+        prop_assert!(a.or(&b).intersect(&a).equiv(&a));
+        prop_assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn star_laws(a in classical_regex(), s in input()) {
+        // a* a* ≡ a*, and s ∈ a ⇒ s ∈ a*.
+        let star = a.star();
+        prop_assert_eq!(star.then(&star).matches(&s), star.matches(&s));
+        if a.matches(&s) {
+            prop_assert!(star.matches(&s));
+        }
+    }
+
+    #[test]
+    fn grep_literal_is_substring_search(needle in "[a-c]{1,4}", hay in "[a-d]{0,10}") {
+        let pat = Regex::grep_pattern(&needle).expect("literal pattern");
+        let selected = pat.matches(hay.as_bytes());
+        prop_assert_eq!(selected, hay.contains(&needle));
+    }
+}

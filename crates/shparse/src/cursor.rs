@@ -1,0 +1,169 @@
+//! A byte cursor over shell source with line tracking.
+//!
+//! The shell grammar is context-dependent enough that a conventional
+//! token stream fights the language (words, operators, and reserved words
+//! are distinguished by position, and quoting changes everything). Like
+//! several production shell parsers, shoal parses straight off a character
+//! cursor; this module is that cursor.
+
+use crate::ast::Span;
+
+/// A peekable byte cursor with position and line tracking.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of `src`.
+    pub fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Current 1-based line number.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    /// The byte at the cursor, if any.
+    pub fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// The byte `n` positions ahead of the cursor.
+    pub fn peek_at(&self, n: usize) -> Option<u8> {
+        self.src.get(self.pos + n).copied()
+    }
+
+    /// Advances one byte and returns it.
+    pub fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// If the input at the cursor starts with `s`, consumes it.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the input at the cursor start with `s`?
+    pub fn looking_at(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Reads bytes while `pred` holds, returning them as a string.
+    pub fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Reads the remainder of the current line *without* consuming the
+    /// newline.
+    pub fn take_line(&mut self) -> String {
+        self.take_while(|b| b != b'\n')
+    }
+
+    /// A span from `start` (offset, line) to the current position.
+    pub fn span_from(&self, start: usize, start_line: u32) -> Span {
+        Span::new(start, self.pos, start_line)
+    }
+
+    /// The raw source slice of a span (for diagnostics).
+    pub fn slice(&self, span: Span) -> &'a str {
+        std::str::from_utf8(&self.src[span.start.min(self.src.len())..span.end.min(self.src.len())])
+            .unwrap_or("")
+    }
+}
+
+/// Is `b` a shell metacharacter that terminates an unquoted word?
+pub fn is_word_end(b: u8) -> bool {
+    matches!(
+        b,
+        b' ' | b'\t' | b'\n' | b';' | b'&' | b'|' | b'<' | b'>' | b'(' | b')'
+    )
+}
+
+/// Is `b` valid in a variable/function name (after the first character)?
+pub fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is `b` valid as the first character of a variable/function name?
+pub fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines() {
+        let mut c = Cursor::new("a\nb\nc");
+        assert_eq!(c.line(), 1);
+        c.bump();
+        c.bump();
+        assert_eq!(c.line(), 2);
+        assert_eq!(c.peek(), Some(b'b'));
+    }
+
+    #[test]
+    fn eat_and_looking_at() {
+        let mut c = Cursor::new("&& echo");
+        assert!(c.looking_at("&&"));
+        assert!(c.eat("&&"));
+        assert!(!c.eat("&&"));
+        assert_eq!(c.peek(), Some(b' '));
+    }
+
+    #[test]
+    fn take_while_stops() {
+        let mut c = Cursor::new("abc123 rest");
+        assert_eq!(c.take_while(|b| b.is_ascii_alphanumeric()), "abc123");
+        assert_eq!(c.peek(), Some(b' '));
+    }
+
+    #[test]
+    fn word_end_classification() {
+        for b in b" \t\n;&|<>()" {
+            assert!(is_word_end(*b));
+        }
+        for b in b"a3_$\"'`=-/*?[".iter() {
+            assert!(!is_word_end(*b));
+        }
+    }
+}

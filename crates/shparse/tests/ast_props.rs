@@ -1,0 +1,274 @@
+//! Property-based round-trip testing of the parser/printer pair over
+//! *generated* syntax trees: print a random AST, parse the result, and
+//! the re-printed form must be identical. This covers combinations no
+//! hand-written corpus reaches.
+
+use proptest::prelude::*;
+use shoal_shparse::{
+    parse_script, AndOr, AndOrOp, Assignment, CaseArm, CaseClause, Command, ForClause, IfClause,
+    ListItem, ParamExp, ParamOp, Pipeline, Script, SimpleCommand, Span, WhileClause, Word,
+    WordPart,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}"
+}
+
+fn safe_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_./:=+,-]{1,8}"
+}
+
+fn quoted_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _./-]{0,8}"
+}
+
+fn param() -> impl Strategy<Value = ParamExp> {
+    let plain_name = prop_oneof![
+        ident(),
+        Just("1".to_string()),
+        Just("0".to_string()),
+        Just("#".to_string()),
+        Just("?".to_string()),
+    ];
+    let opd = prop_oneof![
+        Just(None),
+        (word_flat(), prop::bool::ANY).prop_map(|(w, c)| Some(ParamOp::Default(w, c))),
+        (word_flat(), prop::bool::ANY).prop_map(|(w, c)| Some(ParamOp::Assign(w, c))),
+        (word_flat(), prop::bool::ANY).prop_map(|(w, c)| Some(ParamOp::Alt(w, c))),
+        word_flat().prop_map(|w| Some(ParamOp::RemoveSmallestSuffix(w))),
+        word_flat().prop_map(|w| Some(ParamOp::RemoveLargestPrefix(w))),
+        Just(Some(ParamOp::Length)),
+    ];
+    (plain_name, opd).prop_map(|(name, op)| {
+        // `${#name}` only supports plain names/digits.
+        let op = if matches!(op, Some(ParamOp::Length))
+            && !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            None
+        } else {
+            op
+        };
+        ParamExp { name, op }
+    })
+}
+
+/// A word made only of simple parts (for use inside `${x:-…}` operands).
+fn word_flat() -> impl Strategy<Value = Word> {
+    prop::collection::vec(
+        prop_oneof![
+            safe_text().prop_map(WordPart::Literal),
+            quoted_text().prop_map(WordPart::SingleQuoted),
+        ],
+        1..2,
+    )
+    .prop_map(|parts| Word {
+        parts,
+        span: Span::default(),
+    })
+}
+
+fn word() -> impl Strategy<Value = Word> {
+    let part = prop_oneof![
+        4 => safe_text().prop_map(WordPart::Literal),
+        2 => quoted_text().prop_map(WordPart::SingleQuoted),
+        2 => param().prop_map(WordPart::Param),
+        1 => prop::collection::vec(
+            prop_oneof![
+                safe_text().prop_map(WordPart::Literal),
+                param().prop_map(WordPart::Param),
+            ],
+            1..3,
+        )
+        .prop_map(WordPart::DoubleQuoted),
+        1 => Just(WordPart::Glob("*".to_string())),
+    ];
+    prop::collection::vec(part, 1..3).prop_map(|parts| Word {
+        parts,
+        span: Span::default(),
+    })
+}
+
+fn simple_command() -> impl Strategy<Value = Command> {
+    (
+        ident(),
+        prop::collection::vec(word(), 0..3),
+        prop::collection::vec((ident(), word()), 0..2),
+    )
+        .prop_map(|(name, args, assigns)| {
+            let mut words = vec![Word {
+                parts: vec![WordPart::Literal(name)],
+                span: Span::default(),
+            }];
+            words.extend(args);
+            Command::Simple(SimpleCommand {
+                assignments: assigns
+                    .into_iter()
+                    .map(|(name, value)| Assignment {
+                        name,
+                        value,
+                        span: Span::default(),
+                    })
+                    .collect(),
+                words,
+                redirects: Vec::new(),
+                span: Span::default(),
+            })
+        })
+}
+
+fn item_of(cmd: Command) -> ListItem {
+    ListItem {
+        and_or: AndOr::single(Pipeline {
+            negated: false,
+            commands: vec![cmd],
+        }),
+        background: false,
+    }
+}
+
+fn command() -> impl Strategy<Value = Command> {
+    simple_command().prop_recursive(3, 12, 3, |inner| {
+        let items = prop::collection::vec(inner.clone().prop_map(item_of), 1..3);
+        prop_oneof![
+            // Pipelines and and-or chains.
+            (prop::collection::vec(inner.clone(), 1..3), prop::bool::ANY).prop_map(
+                |(cmds, neg)| {
+                    // Wrap a multi-command pipeline back into a brace
+                    // group so the recursion type stays Command.
+                    Command::BraceGroup(
+                        vec![ListItem {
+                            and_or: AndOr::single(Pipeline {
+                                negated: neg,
+                                commands: cmds,
+                            }),
+                            background: false,
+                        }],
+                        Vec::new(),
+                        Span::default(),
+                    )
+                }
+            ),
+            (items.clone(), items.clone()).prop_map(|(t, e)| {
+                Command::If(
+                    IfClause {
+                        cond: t.clone(),
+                        then_body: e.clone(),
+                        elifs: Vec::new(),
+                        else_body: Some(t),
+                    },
+                    Vec::new(),
+                    Span::default(),
+                )
+            }),
+            (items.clone(), items.clone()).prop_map(|(c, b)| {
+                Command::While(
+                    WhileClause { cond: c, body: b },
+                    Vec::new(),
+                    Span::default(),
+                )
+            }),
+            (ident(), prop::collection::vec(word(), 0..3), items.clone()).prop_map(
+                |(var, words, body)| {
+                    Command::For(
+                        ForClause {
+                            var,
+                            words: if words.is_empty() { None } else { Some(words) },
+                            body,
+                        },
+                        Vec::new(),
+                        Span::default(),
+                    )
+                }
+            ),
+            (
+                word(),
+                prop::collection::vec((word_flat(), items.clone()), 1..3)
+            )
+                .prop_map(|(subject, arms)| {
+                    Command::Case(
+                        CaseClause {
+                            subject,
+                            arms: arms
+                                .into_iter()
+                                .map(|(p, body)| CaseArm {
+                                    patterns: vec![p],
+                                    body,
+                                })
+                                .collect(),
+                        },
+                        Vec::new(),
+                        Span::default(),
+                    )
+                }),
+            items
+                .clone()
+                .prop_map(|i| Command::Subshell(i, Vec::new(), Span::default())),
+            (ident(), inner).prop_map(|(name, body)| Command::FunctionDef {
+                name,
+                body: Box::new(Command::BraceGroup(
+                    vec![item_of(body)],
+                    Vec::new(),
+                    Span::default(),
+                )),
+                span: Span::default(),
+            }),
+        ]
+    })
+}
+
+fn script() -> impl Strategy<Value = Script> {
+    prop::collection::vec(command().prop_map(item_of), 1..4).prop_map(|items| Script {
+        items,
+        heredocs: Vec::new(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn printed_ast_reparses_to_fixpoint(ast in script()) {
+        let printed = ast.to_source();
+        let reparsed = parse_script(&printed).map_err(|e| {
+            TestCaseError::fail(format!("printed AST failed to parse: {e}\n---\n{printed}"))
+        })?;
+        let reprinted = reparsed.to_source();
+        prop_assert_eq!(
+            printed.clone(),
+            reprinted,
+            "print→parse→print not a fixpoint\n---\n{}",
+            printed
+        );
+    }
+
+    #[test]
+    fn printed_words_survive(w in word()) {
+        // Embed a word as an argument and round-trip it.
+        let script = Script {
+            items: vec![item_of(Command::Simple(SimpleCommand {
+                assignments: Vec::new(),
+                words: vec![
+                    Word {
+                        parts: vec![WordPart::Literal("cmd".to_string())],
+                        span: Span::default(),
+                    },
+                    w,
+                ],
+                redirects: Vec::new(),
+                span: Span::default(),
+            }))],
+            heredocs: Vec::new(),
+        };
+        let printed = script.to_source();
+        let reparsed = parse_script(&printed).map_err(|e| {
+            TestCaseError::fail(format!("word failed to parse: {e}\n---\n{printed}"))
+        })?;
+        prop_assert_eq!(printed.clone(), reparsed.to_source(), "{}", printed);
+    }
+
+    #[test]
+    fn random_text_never_panics_the_parser(src in "[ -~\\n]{0,80}") {
+        // Any byte soup either parses or errors; no panics, no hangs.
+        let _ = parse_script(&src);
+    }
+}

@@ -1,0 +1,526 @@
+//! Integration tests for the shell parser, including every script figure
+//! from the paper.
+
+use shoal_shparse::{parse_script, AndOrOp, Command, ParamOp, RedirOp, WordPart};
+
+/// Convenience: parse and unwrap.
+fn p(src: &str) -> shoal_shparse::Script {
+    match parse_script(src) {
+        Ok(s) => s,
+        Err(e) => panic!("failed to parse {src:?}: {e}"),
+    }
+}
+
+/// The first simple command of the first item.
+fn first_simple(script: &shoal_shparse::Script) -> &shoal_shparse::SimpleCommand {
+    match &script.items[0].and_or.first.commands[0] {
+        Command::Simple(s) => s,
+        other => panic!("expected simple command, got {other:?}"),
+    }
+}
+
+#[test]
+fn simple_command_words() {
+    let s = p("echo hello world");
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 3);
+    assert_eq!(c.name_literal().as_deref(), Some("echo"));
+    assert_eq!(c.words[2].as_literal().as_deref(), Some("world"));
+}
+
+#[test]
+fn assignments_before_command() {
+    let s = p("FOO=bar BAZ= env");
+    let c = first_simple(&s);
+    assert_eq!(c.assignments.len(), 2);
+    assert_eq!(c.assignments[0].name, "FOO");
+    assert_eq!(c.assignments[0].value.as_literal().as_deref(), Some("bar"));
+    assert_eq!(c.assignments[1].name, "BAZ");
+    assert!(c.assignments[1].value.parts.is_empty());
+    assert_eq!(c.name_literal().as_deref(), Some("env"));
+}
+
+#[test]
+fn bare_assignment() {
+    let s = p("STEAMROOT=/home/user/.steam");
+    let c = first_simple(&s);
+    assert!(c.words.is_empty());
+    assert_eq!(c.assignments[0].name, "STEAMROOT");
+}
+
+#[test]
+fn assignment_is_positional_only_first() {
+    // An `X=y` after the command name is an argument, not an assignment.
+    let s = p("env X=y");
+    let c = first_simple(&s);
+    assert!(c.assignments.is_empty());
+    assert_eq!(c.words.len(), 2);
+}
+
+#[test]
+fn pipeline_structure() {
+    let s = p("cat f | grep x | wc -l");
+    let pipe = &s.items[0].and_or.first;
+    assert_eq!(pipe.commands.len(), 3);
+    assert!(!pipe.negated);
+}
+
+#[test]
+fn negated_pipeline() {
+    let s = p("! grep -q err log");
+    assert!(s.items[0].and_or.first.negated);
+}
+
+#[test]
+fn and_or_chain() {
+    let s = p("make && make install || echo failed");
+    let chain = &s.items[0].and_or;
+    assert_eq!(chain.rest.len(), 2);
+    assert_eq!(chain.rest[0].0, AndOrOp::And);
+    assert_eq!(chain.rest[1].0, AndOrOp::Or);
+}
+
+#[test]
+fn background_and_sequence() {
+    let s = p("sleep 5 & echo done; echo again");
+    assert_eq!(s.items.len(), 3);
+    assert!(s.items[0].background);
+    assert!(!s.items[1].background);
+}
+
+#[test]
+fn comments_are_skipped() {
+    let s = p("# a comment line\necho hi # trailing\n# another\n");
+    assert_eq!(s.items.len(), 1);
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 2);
+}
+
+#[test]
+fn single_and_double_quotes() {
+    let s = p(r#"printf '%s\n' "a b" c"#);
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 4);
+    assert!(matches!(c.words[1].parts[0], WordPart::SingleQuoted(_)));
+    assert!(matches!(c.words[2].parts[0], WordPart::DoubleQuoted(_)));
+    assert_eq!(c.words[2].as_literal().as_deref(), Some("a b"));
+}
+
+#[test]
+fn escapes_in_words() {
+    let s = p(r"echo a\ b");
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 2);
+    assert_eq!(c.words[1].as_literal().as_deref(), Some("a b"));
+}
+
+#[test]
+fn parameter_expansions() {
+    let s = p(r#"echo $HOME ${PATH} ${x:-default} ${y:?msg} ${0%/*} ${z##*/} ${#w}"#);
+    let c = first_simple(&s);
+    let param = |i: usize| match &c.words[i].parts[0] {
+        WordPart::Param(p) => p,
+        other => panic!("expected param, got {other:?}"),
+    };
+    assert_eq!(param(1).name, "HOME");
+    assert!(param(1).op.is_none());
+    assert_eq!(param(2).name, "PATH");
+    assert!(matches!(param(3).op, Some(ParamOp::Default(_, true))));
+    assert!(matches!(param(4).op, Some(ParamOp::Error(Some(_), true))));
+    assert_eq!(param(5).name, "0");
+    assert!(matches!(
+        param(5).op,
+        Some(ParamOp::RemoveSmallestSuffix(_))
+    ));
+    assert!(matches!(param(6).op, Some(ParamOp::RemoveLargestPrefix(_))));
+    assert!(matches!(param(7).op, Some(ParamOp::Length)));
+}
+
+#[test]
+fn special_parameters() {
+    let s = p(r#"echo $0 $1 $# $? $$ $! $- $* "$@""#);
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 10);
+    for (i, name) in [
+        (1, "0"),
+        (2, "1"),
+        (3, "#"),
+        (4, "?"),
+        (5, "$"),
+        (6, "!"),
+        (7, "-"),
+        (8, "*"),
+    ] {
+        match &c.words[i].parts[0] {
+            WordPart::Param(p) => assert_eq!(p.name, name),
+            other => panic!("word {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn command_substitution() {
+    let s = p(r#"out="$(ls -l | wc -l)""#);
+    let c = first_simple(&s);
+    let value = &c.assignments[0].value;
+    let WordPart::DoubleQuoted(inner) = &value.parts[0] else {
+        panic!("expected double-quoted value");
+    };
+    let WordPart::CmdSub(script) = &inner[0] else {
+        panic!("expected command substitution");
+    };
+    assert_eq!(script.items[0].and_or.first.commands.len(), 2);
+}
+
+#[test]
+fn backquote_substitution() {
+    let s = p("files=`ls /tmp`");
+    let c = first_simple(&s);
+    let WordPart::CmdSub(script) = &c.assignments[0].value.parts[0] else {
+        panic!("expected backquote command substitution");
+    };
+    assert_eq!(first_simple(script).name_literal().as_deref(), Some("ls"));
+}
+
+#[test]
+fn arithmetic_substitution() {
+    let s = p("echo $((1 + 2 * (3 - 1)))");
+    let c = first_simple(&s);
+    let WordPart::Arith(text) = &c.words[1].parts[0] else {
+        panic!("expected arithmetic part");
+    };
+    assert_eq!(text, "1 + 2 * (3 - 1)");
+}
+
+#[test]
+fn globs_and_tilde() {
+    let s = p("ls *.log ?x [a-z]* ~ ~alice/docs");
+    let c = first_simple(&s);
+    assert!(matches!(c.words[1].parts[0], WordPart::Glob(ref g) if g == "*"));
+    assert!(matches!(c.words[2].parts[0], WordPart::Glob(ref g) if g == "?"));
+    assert!(matches!(c.words[3].parts[0], WordPart::Glob(ref g) if g == "[a-z]"));
+    assert!(matches!(c.words[4].parts[0], WordPart::Tilde(None)));
+    assert!(matches!(c.words[5].parts[0], WordPart::Tilde(Some(ref u)) if u == "alice"));
+}
+
+#[test]
+fn redirections() {
+    let s = p("cmd <in >out 2>>err 2>&1 <>rw >|clob");
+    let c = first_simple(&s);
+    assert_eq!(c.redirects.len(), 6);
+    assert_eq!(c.redirects[0].op, RedirOp::In);
+    assert_eq!(c.redirects[1].op, RedirOp::Out);
+    assert_eq!(c.redirects[2].op, RedirOp::Append);
+    assert_eq!(c.redirects[2].fd, Some(2));
+    assert_eq!(c.redirects[3].op, RedirOp::DupOut);
+    assert_eq!(c.redirects[4].op, RedirOp::ReadWrite);
+    assert_eq!(c.redirects[5].op, RedirOp::Clobber);
+}
+
+#[test]
+fn heredoc_basic() {
+    let s = p("cat <<EOF\nline one\nline two\nEOF\necho after");
+    assert_eq!(s.items.len(), 2);
+    let c = first_simple(&s);
+    let RedirOp::HereDoc { strip, body } = c.redirects[0].op else {
+        panic!("expected here-doc");
+    };
+    assert!(!strip);
+    assert_eq!(s.heredoc_body(body), "line one\nline two\n");
+}
+
+#[test]
+fn heredoc_strip_tabs() {
+    let s = p("cat <<-END\n\tindented\n\tEND\necho x");
+    let RedirOp::HereDoc { strip, body } = first_simple(&s).redirects[0].op else {
+        panic!("expected here-doc");
+    };
+    assert!(strip);
+    assert_eq!(s.heredoc_body(body), "indented\n");
+}
+
+#[test]
+fn two_heredocs_one_line() {
+    let s = p("cat <<A <<B\nbody a\nA\nbody b\nB\n");
+    let c = first_simple(&s);
+    assert_eq!(c.redirects.len(), 2);
+    let RedirOp::HereDoc { body: b0, .. } = c.redirects[0].op else {
+        panic!()
+    };
+    let RedirOp::HereDoc { body: b1, .. } = c.redirects[1].op else {
+        panic!()
+    };
+    assert_eq!(s.heredoc_body(b0), "body a\n");
+    assert_eq!(s.heredoc_body(b1), "body b\n");
+}
+
+#[test]
+fn if_elif_else() {
+    let src = "if test -f a; then echo a; elif test -f b; then echo b; else echo c; fi";
+    let s = p(src);
+    let Command::If(clause, _, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected if");
+    };
+    assert_eq!(clause.elifs.len(), 1);
+    assert!(clause.else_body.is_some());
+}
+
+#[test]
+fn while_and_until() {
+    let s = p("while read line; do echo \"$line\"; done < input");
+    let Command::While(clause, redirs, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected while");
+    };
+    assert_eq!(clause.body.len(), 1);
+    assert_eq!(redirs.len(), 1);
+    let s2 = p("until test -f done.flag; do sleep 1; done");
+    assert!(matches!(
+        s2.items[0].and_or.first.commands[0],
+        Command::Until(..)
+    ));
+}
+
+#[test]
+fn for_loop_with_words() {
+    let s = p("for f in a b \"c d\"; do rm \"$f\"; done");
+    let Command::For(clause, _, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected for");
+    };
+    assert_eq!(clause.var, "f");
+    assert_eq!(clause.words.as_ref().unwrap().len(), 3);
+}
+
+#[test]
+fn for_loop_implicit_args() {
+    let s = p("for arg; do echo \"$arg\"; done");
+    let Command::For(clause, _, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected for");
+    };
+    assert!(clause.words.is_none());
+}
+
+#[test]
+fn case_statement() {
+    let src = "case $x in\n  a|b) echo ab ;;\n  *Linux) echo linux ;;\n  *) echo other ;;\nesac";
+    let s = p(src);
+    let Command::Case(clause, _, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected case");
+    };
+    assert_eq!(clause.arms.len(), 3);
+    assert_eq!(clause.arms[0].patterns.len(), 2);
+    // `*Linux` keeps its glob structure.
+    let pat = &clause.arms[1].patterns[0];
+    assert!(matches!(pat.parts[0], WordPart::Glob(ref g) if g == "*"));
+}
+
+#[test]
+fn case_with_open_paren_patterns() {
+    let s = p("case $x in (a) echo a ;; (b) echo b ;; esac");
+    let Command::Case(clause, _, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected case");
+    };
+    assert_eq!(clause.arms.len(), 2);
+}
+
+#[test]
+fn subshell_and_brace_group() {
+    let s = p("(cd /tmp && ls) > out");
+    let Command::Subshell(items, redirs, _) = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected subshell");
+    };
+    assert_eq!(items.len(), 1);
+    assert_eq!(redirs.len(), 1);
+    let s2 = p("{ echo a; echo b; } 2>err");
+    let Command::BraceGroup(items, redirs, _) = &s2.items[0].and_or.first.commands[0] else {
+        panic!("expected brace group");
+    };
+    assert_eq!(items.len(), 2);
+    assert_eq!(redirs.len(), 1);
+}
+
+#[test]
+fn function_definition() {
+    let s = p("cleanup() { rm -f \"$tmp\"; }\ncleanup");
+    let Command::FunctionDef { name, body, .. } = &s.items[0].and_or.first.commands[0] else {
+        panic!("expected function def");
+    };
+    assert_eq!(name, "cleanup");
+    assert!(matches!(**body, Command::BraceGroup(..)));
+}
+
+#[test]
+fn multiline_continuation() {
+    let s = p("echo a \\\n  b");
+    let c = first_simple(&s);
+    assert_eq!(c.words.len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// The paper's figures
+// ---------------------------------------------------------------------
+
+/// Fig. 1: the Steam updater bug.
+pub const FIG1: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+"#;
+
+/// Fig. 2: the obviously safe fix.
+pub const FIG2: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 3: the obviously unsafe fix (one character away from Fig. 2).
+pub const FIG3: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" = "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+
+/// Fig. 5: the suffix fix with the dead `grep '^desc'` filter.
+pub const FIG5: &str = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"#;
+
+#[test]
+fn fig1_parses() {
+    let s = p(FIG1);
+    assert_eq!(s.items.len(), 2);
+    // Item 0: the assignment with the nested `cd … && echo $PWD`.
+    let c = first_simple(&s);
+    assert_eq!(c.assignments[0].name, "STEAMROOT");
+    let WordPart::DoubleQuoted(inner) = &c.assignments[0].value.parts[0] else {
+        panic!("expected quoted value");
+    };
+    let WordPart::CmdSub(sub) = &inner[0] else {
+        panic!("expected command substitution");
+    };
+    assert_eq!(sub.items[0].and_or.rest.len(), 1);
+    assert_eq!(sub.items[0].and_or.rest[0].0, AndOrOp::And);
+    // Item 1: `rm -fr "$STEAMROOT"/*`.
+    let Command::Simple(rm) = &s.items[1].and_or.first.commands[0] else {
+        panic!("expected rm");
+    };
+    assert_eq!(rm.name_literal().as_deref(), Some("rm"));
+    let target = &rm.words[2];
+    assert_eq!(target.parts.len(), 3); // "…" + /  + *
+    assert!(matches!(target.parts[2], WordPart::Glob(ref g) if g == "*"));
+}
+
+#[test]
+fn fig2_and_fig3_parse_and_differ_only_in_operator() {
+    let s2 = p(FIG2);
+    let s3 = p(FIG3);
+    let cond_of = |s: &shoal_shparse::Script| {
+        let Command::If(clause, _, _) = &s.items[1].and_or.first.commands[0] else {
+            panic!("expected if");
+        };
+        let Command::Simple(t) = &clause.cond[0].and_or.first.commands[0] else {
+            panic!("expected test");
+        };
+        t.words
+            .iter()
+            .filter_map(|w| w.as_literal())
+            .collect::<Vec<_>>()
+    };
+    let c2 = cond_of(&s2);
+    let c3 = cond_of(&s3);
+    assert!(c2.contains(&"!=".to_string()));
+    assert!(c3.contains(&"=".to_string()));
+    assert!(!c3.contains(&"!=".to_string()));
+}
+
+#[test]
+fn fig5_parses() {
+    let s = p(FIG5);
+    assert_eq!(s.items.len(), 3);
+    let Command::Case(clause, _, _) = &s.items[1].and_or.first.commands[0] else {
+        panic!("expected case");
+    };
+    assert_eq!(clause.arms.len(), 2);
+    // The subject is a command substitution over the 3-stage pipeline.
+    let WordPart::CmdSub(sub) = &clause.subject.parts[0] else {
+        panic!("expected cmdsub subject");
+    };
+    assert_eq!(sub.items[0].and_or.first.commands.len(), 3);
+}
+
+#[test]
+fn paper_variant_snippet() {
+    // §3 "Key takeaways": robustness to split variables.
+    let s = p("c=\"/*\"; rm -fr $STEAMROOT$c");
+    assert_eq!(s.items.len(), 2);
+    let Command::Simple(rm) = &s.items[1].and_or.first.commands[0] else {
+        panic!("expected rm");
+    };
+    let target = &rm.words[2];
+    assert_eq!(target.parts.len(), 2);
+    assert!(matches!(&target.parts[0], WordPart::Param(p) if p.name == "STEAMROOT"));
+    assert!(matches!(&target.parts[1], WordPart::Param(p) if p.name == "c"));
+}
+
+#[test]
+fn paper_hex_pipeline_parses() {
+    let s = p("grep -oE \"$hex\" | sed 's/^/0x/' | sort -g");
+    assert_eq!(s.items[0].and_or.first.commands.len(), 3);
+}
+
+#[test]
+fn paper_rm_cat_snippet() {
+    let s = p("rm -r $1\ncat $1/config");
+    assert_eq!(s.items.len(), 2);
+}
+
+#[test]
+fn curl_pipe_sh() {
+    let s = p("curl sw.com/up.sh | verify --no-RW ~/mine | sh");
+    assert_eq!(s.items[0].and_or.first.commands.len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Error cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn errors_reported() {
+    for bad in [
+        "echo 'unterminated",
+        "echo \"unterminated",
+        "if true; then echo x",     // missing fi
+        "while true; do echo x",    // missing done
+        "case x in a) echo a",      // missing esac
+        "echo $(",                  // unterminated cmdsub
+        "cat <<EOF\nno terminator", // unterminated heredoc
+        "fi",                       // stray reserved word
+        "echo |",                   // missing command after pipe
+        "a && ",                    // missing command after &&
+        "( echo x",                 // unterminated subshell
+    ] {
+        assert!(
+            parse_script(bad).is_err(),
+            "expected parse error for {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn error_spans_have_lines() {
+    let err = parse_script("echo ok\necho 'oops").unwrap_err();
+    assert_eq!(err.span.line, 2);
+}

@@ -1,0 +1,117 @@
+//! Print/reparse round-trip stability.
+//!
+//! For every corpus script: parse it, print it, parse the printed form,
+//! and print again. The two printed forms must be identical — any
+//! divergence means the printer and parser disagree about structure.
+
+use shoal_shparse::parse_script;
+
+fn assert_roundtrip(src: &str) {
+    let ast1 = parse_script(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+    let printed1 = ast1.to_source();
+    let ast2 = parse_script(&printed1).unwrap_or_else(|e| {
+        panic!("reparse of printed form failed: {e}\n--- printed:\n{printed1}")
+    });
+    let printed2 = ast2.to_source();
+    assert_eq!(printed1, printed2, "printing is not a fixpoint for {src:?}");
+}
+
+#[test]
+fn roundtrip_simple() {
+    for src in [
+        "echo hello world",
+        "FOO=bar BAZ= env",
+        "cat f | grep x | wc -l",
+        "make && make install || echo failed",
+        "sleep 5 & echo done; echo again",
+        "! grep -q err log",
+        "cmd <in >out 2>>err 2>&1",
+        "echo 'single' \"double $x\" mixed\\ word",
+    ] {
+        assert_roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_expansions() {
+    for src in [
+        "echo $HOME ${PATH} ${x:-default} ${y:?msg} ${0%/*} ${z##*/} ${#w}",
+        "echo ${a-x} ${b=y} ${c+z} ${d?}",
+        "out=$(ls -l | wc -l)",
+        "files=`ls /tmp`",
+        "echo $((1 + 2))",
+        "ls *.log ?x [a-z]* ~ ~alice/docs",
+        "echo $0 $# $? $$ $! $- $* \"$@\"",
+    ] {
+        assert_roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_compound() {
+    for src in [
+        "if test -f a; then echo a; elif test -f b; then echo b; else echo c; fi",
+        "while read line; do echo \"$line\"; done < input",
+        "until test -f done.flag; do sleep 1; done",
+        "for f in a b \"c d\"; do rm \"$f\"; done",
+        "for arg; do echo \"$arg\"; done",
+        "case $x in a|b) echo ab ;; *Linux) echo linux ;; *) echo other ;; esac",
+        "(cd /tmp && ls) > out",
+        "{ echo a; echo b; } 2>err",
+        "cleanup() { rm -f \"$tmp\"; }\ncleanup",
+        "f() ( cd /x; ls )",
+    ] {
+        assert_roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_heredocs() {
+    for src in [
+        "cat <<EOF\nline one\nline two\nEOF\necho after",
+        "cat <<-END\n\tindented\n\tEND\necho x",
+        "cat <<A <<B\nbody a\nA\nbody b\nB\n",
+    ] {
+        assert_roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_paper_figures() {
+    let fig1 = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -fr "$STEAMROOT"/*
+"#;
+    let fig2 = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+    rm -fr "$STEAMROOT"/*
+else
+    echo "Bad script path: $0"; exit 1
+fi
+"#;
+    let fig5 = r#"#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"#;
+    for src in [fig1, fig2, fig5] {
+        assert_roundtrip(src);
+    }
+}
+
+#[test]
+fn roundtrip_nested() {
+    for src in [
+        "if true; then if false; then echo deep; fi; fi",
+        "while true; do case $x in a) for i in 1 2; do echo $i; done ;; esac; done",
+        "echo $(echo $(echo inner))",
+        "x=\"pre$(cmd a | cmd b)post\"",
+        "if [ \"$(realpath \"$r/\")\" != \"/\" ]; then rm -fr \"$r\"/*; fi",
+    ] {
+        assert_roundtrip(src);
+    }
+}

@@ -1,0 +1,37 @@
+//! `shoal-spec`: command specifications as data.
+//!
+//! Commands are "fundamentally opaque, written by different developers
+//! and in arbitrary languages" (§3); the analysis therefore consumes
+//! *specifications* of their behavior from a queryable library. This
+//! crate defines:
+//!
+//! * [`syntax`] — the invocation-syntax DSL: which flags a command takes,
+//!   which options carry arguments, how many operands it accepts and of
+//!   what kind. This is the paper's "domain-specific language designed to
+//!   express only legitimate invocations" (Fig. 4, left), following the
+//!   XBD utility argument conventions. It also provides the argv parser
+//!   that classifies a concrete invocation against the DSL.
+//! * [`hoare`] — Hoare-style specification cases: a guard (which
+//!   invocation shape the case covers), preconditions over the file
+//!   system, postcondition effects, an exit status, and optional stream
+//!   output shape. The paper's example
+//!   `{(∃ $p) ∧ (arg 0 $p path.FD)} rm -f -r $p {(∄ $p) ∧ exit 0}`
+//!   is [`hoare::SpecCase`] number 0 of `rm` in the library.
+//! * [`library`] — the hand-written ground-truth library for the core
+//!   utilities the paper's examples use (`rm`, `cp`, `mv`, `mkdir`,
+//!   `touch`, `cat`, `ls`, `realpath`, `grep`, `sed`, `cut`, `sort`, …).
+//!   The miner (shoal-miner) reconstructs these from documentation +
+//!   probing; experiment E4 diffs the two.
+//! * [`text`] — a line-oriented textual serialization with a parser, so
+//!   specs can live in files, be diffed, and be community-maintained
+//!   ("a community-sourced repository of annotations à la TypeScript",
+//!   §4).
+
+pub mod hoare;
+pub mod library;
+pub mod syntax;
+pub mod text;
+
+pub use hoare::{CommandSpec, Cond, Effect, ExitSpec, Guard, NodeReq, SpecCase};
+pub use library::SpecLibrary;
+pub use syntax::{ArgKind, CmdSyntax, FlagSpec, Invocation, InvocationError, OptSpec};

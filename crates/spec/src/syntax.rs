@@ -1,0 +1,415 @@
+//! The invocation-syntax DSL and the argv classifier.
+//!
+//! A [`CmdSyntax`] describes the *legitimate invocations* of one utility
+//! in the XBD utility-argument-conventions style: Boolean flags (which
+//! may cluster: `rm -fr` ≡ `rm -f -r`), options with arguments, and a
+//! bounded number of typed operands. [`CmdSyntax::classify`] parses a
+//! concrete argv against the DSL, producing an [`Invocation`] — the
+//! normal form every downstream consumer (spec cases, the miner's
+//! invocation enumerator, the analyzer) works with.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What kind of value an option argument or operand is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// A file-system path.
+    Path,
+    /// An uninterpreted string.
+    Str,
+    /// A decimal number.
+    Number,
+    /// A regular-expression or glob pattern.
+    Pattern,
+}
+
+impl fmt::Display for ArgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArgKind::Path => "path",
+            ArgKind::Str => "str",
+            ArgKind::Number => "number",
+            ArgKind::Pattern => "pattern",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl ArgKind {
+    /// Parses the textual form used by [`crate::text`].
+    pub fn parse(s: &str) -> Option<ArgKind> {
+        Some(match s {
+            "path" => ArgKind::Path,
+            "str" => ArgKind::Str,
+            "number" => ArgKind::Number,
+            "pattern" => ArgKind::Pattern,
+            _ => return None,
+        })
+    }
+}
+
+/// A Boolean flag (`-f`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagSpec {
+    /// The flag character.
+    pub flag: char,
+    /// One-line description (from documentation).
+    pub description: String,
+}
+
+/// An option that carries an argument (`-o FILE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptSpec {
+    /// The option character.
+    pub flag: char,
+    /// The kind of its argument.
+    pub arg: ArgKind,
+    /// One-line description (from documentation).
+    pub description: String,
+}
+
+/// The invocation syntax of one utility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdSyntax {
+    /// Utility name.
+    pub name: String,
+    /// Boolean flags.
+    pub flags: Vec<FlagSpec>,
+    /// Argument-carrying options.
+    pub options: Vec<OptSpec>,
+    /// Minimum number of operands.
+    pub min_operands: usize,
+    /// Maximum number of operands (`None` = unbounded).
+    pub max_operands: Option<usize>,
+    /// The kind of the operands.
+    pub operand_kind: ArgKind,
+}
+
+/// A classified invocation: the normal form of one concrete command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// Utility name.
+    pub name: String,
+    /// Flags present (deduplicated, sorted).
+    pub flags: BTreeSet<char>,
+    /// Options present with their argument values.
+    pub options: BTreeMap<char, String>,
+    /// Positional operands in order.
+    pub operands: Vec<String>,
+}
+
+/// Why an argv failed to classify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationError {
+    /// A flag/option character the syntax does not define.
+    UnknownFlag(char),
+    /// An option that requires an argument appeared last.
+    MissingOptionArg(char),
+    /// Fewer operands than `min_operands`.
+    TooFewOperands { got: usize, min: usize },
+    /// More operands than `max_operands`.
+    TooManyOperands { got: usize, max: usize },
+}
+
+impl fmt::Display for InvocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvocationError::UnknownFlag(c) => write!(f, "unknown flag -{c}"),
+            InvocationError::MissingOptionArg(c) => {
+                write!(f, "option -{c} requires an argument")
+            }
+            InvocationError::TooFewOperands { got, min } => {
+                write!(f, "expected at least {min} operand(s), got {got}")
+            }
+            InvocationError::TooManyOperands { got, max } => {
+                write!(f, "expected at most {max} operand(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvocationError {}
+
+impl CmdSyntax {
+    /// A syntax with no flags/options and `min..=max` path operands.
+    pub fn simple(name: &str, min: usize, max: Option<usize>) -> CmdSyntax {
+        CmdSyntax {
+            name: name.to_string(),
+            flags: Vec::new(),
+            options: Vec::new(),
+            min_operands: min,
+            max_operands: max,
+            operand_kind: ArgKind::Path,
+        }
+    }
+
+    /// Adds a Boolean flag (builder style).
+    pub fn flag(mut self, c: char, description: &str) -> CmdSyntax {
+        self.flags.push(FlagSpec {
+            flag: c,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Adds an option with argument (builder style).
+    pub fn option(mut self, c: char, arg: ArgKind, description: &str) -> CmdSyntax {
+        self.options.push(OptSpec {
+            flag: c,
+            arg,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Sets the operand kind (builder style).
+    pub fn operands_of(mut self, kind: ArgKind) -> CmdSyntax {
+        self.operand_kind = kind;
+        self
+    }
+
+    /// Is `c` a defined Boolean flag?
+    pub fn has_flag(&self, c: char) -> bool {
+        self.flags.iter().any(|f| f.flag == c)
+    }
+
+    /// Is `c` a defined argument-carrying option?
+    pub fn has_option(&self, c: char) -> bool {
+        self.options.iter().any(|o| o.flag == c)
+    }
+
+    /// Classifies `args` (argv without the command name) against this
+    /// syntax: flag clustering, `--` end-of-options, option arguments
+    /// either attached (`-oX`) or separate (`-o X`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvocationError`] when the argv is not a legitimate
+    /// invocation per the syntax.
+    pub fn classify(&self, args: &[String]) -> Result<Invocation, InvocationError> {
+        let mut flags = BTreeSet::new();
+        let mut options = BTreeMap::new();
+        let mut operands = Vec::new();
+        let mut no_more_options = false;
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if no_more_options || !arg.starts_with('-') || arg == "-" {
+                operands.push(arg.clone());
+                continue;
+            }
+            if arg == "--" {
+                no_more_options = true;
+                continue;
+            }
+            let mut chars = arg[1..].chars();
+            while let Some(c) = chars.next() {
+                if self.has_flag(c) {
+                    flags.insert(c);
+                } else if self.has_option(c) {
+                    let rest: String = chars.collect();
+                    let value = if !rest.is_empty() {
+                        rest
+                    } else {
+                        match it.next() {
+                            Some(v) => v.clone(),
+                            None => return Err(InvocationError::MissingOptionArg(c)),
+                        }
+                    };
+                    options.insert(c, value);
+                    break;
+                } else {
+                    return Err(InvocationError::UnknownFlag(c));
+                }
+            }
+        }
+        if operands.len() < self.min_operands {
+            return Err(InvocationError::TooFewOperands {
+                got: operands.len(),
+                min: self.min_operands,
+            });
+        }
+        if let Some(max) = self.max_operands {
+            if operands.len() > max {
+                return Err(InvocationError::TooManyOperands {
+                    got: operands.len(),
+                    max,
+                });
+            }
+        }
+        Ok(Invocation {
+            name: self.name.clone(),
+            flags,
+            options,
+            operands,
+        })
+    }
+
+    /// Enumerates every *flag subset* invocation shape with the given
+    /// placeholder operands — the miner's sweep (Fig. 4, mid). Options
+    /// with arguments are left out of the power set (probed separately)
+    /// to keep the sweep linear in practice.
+    pub fn enumerate_flag_sets(&self) -> Vec<BTreeSet<char>> {
+        let flags: Vec<char> = self.flags.iter().map(|f| f.flag).collect();
+        let n = flags.len().min(12); // Cap the power set defensively.
+        let mut out = Vec::with_capacity(1 << n);
+        for mask in 0u32..(1 << n) {
+            let mut set = BTreeSet::new();
+            for (i, &f) in flags.iter().take(n).enumerate() {
+                if mask & (1 << i) != 0 {
+                    set.insert(f);
+                }
+            }
+            out.push(set);
+        }
+        out
+    }
+}
+
+impl Invocation {
+    /// Builds an invocation directly (tests, the miner).
+    pub fn new(name: &str, flags: &[char], operands: &[&str]) -> Invocation {
+        Invocation {
+            name: name.to_string(),
+            flags: flags.iter().copied().collect(),
+            options: BTreeMap::new(),
+            operands: operands.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Does the invocation carry flag `c`?
+    pub fn has_flag(&self, c: char) -> bool {
+        self.flags.contains(&c)
+    }
+
+    /// Renders back to an argv (canonical order: flags, options,
+    /// operands).
+    pub fn to_argv(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for f in &self.flags {
+            out.push(format!("-{f}"));
+        }
+        for (o, v) in &self.options {
+            out.push(format!("-{o}"));
+            out.push(v.clone());
+        }
+        out.extend(self.operands.iter().cloned());
+        out
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for a in self.to_argv() {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm_syntax() -> CmdSyntax {
+        CmdSyntax::simple("rm", 1, None)
+            .flag('f', "force")
+            .flag('r', "recursive")
+            .flag('i', "interactive")
+            .flag('v', "verbose")
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classify_separate_flags() {
+        let inv = rm_syntax()
+            .classify(&argv(&["-f", "-r", "a", "b"]))
+            .unwrap();
+        assert!(inv.has_flag('f') && inv.has_flag('r'));
+        assert_eq!(inv.operands, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn classify_clustered_flags() {
+        // The paper's `rm -fr` — clustering per XBD conventions.
+        let inv = rm_syntax().classify(&argv(&["-fr", "x"])).unwrap();
+        assert!(inv.has_flag('f') && inv.has_flag('r'));
+        assert_eq!(
+            inv,
+            rm_syntax().classify(&argv(&["-f", "-r", "x"])).unwrap(),
+            "-fr and -f -r are the same invocation"
+        );
+    }
+
+    #[test]
+    fn classify_double_dash() {
+        let inv = rm_syntax().classify(&argv(&["--", "-f"])).unwrap();
+        assert!(inv.flags.is_empty());
+        assert_eq!(inv.operands, vec!["-f"]);
+    }
+
+    #[test]
+    fn classify_dash_operand() {
+        let syn = CmdSyntax::simple("cat", 0, None);
+        let inv = syn.classify(&argv(&["-"])).unwrap();
+        assert_eq!(inv.operands, vec!["-"]);
+    }
+
+    #[test]
+    fn classify_errors() {
+        assert_eq!(
+            rm_syntax().classify(&argv(&["-z", "x"])),
+            Err(InvocationError::UnknownFlag('z'))
+        );
+        assert_eq!(
+            rm_syntax().classify(&argv(&[])),
+            Err(InvocationError::TooFewOperands { got: 0, min: 1 })
+        );
+        let one = CmdSyntax::simple("realpath", 1, Some(1));
+        assert_eq!(
+            one.classify(&argv(&["a", "b"])),
+            Err(InvocationError::TooManyOperands { got: 2, max: 1 })
+        );
+    }
+
+    #[test]
+    fn options_with_arguments() {
+        let syn = CmdSyntax::simple("cut", 0, None)
+            .option('f', ArgKind::Number, "fields")
+            .option('d', ArgKind::Str, "delimiter");
+        let attached = syn.classify(&argv(&["-f2"])).unwrap();
+        assert_eq!(attached.options.get(&'f').map(String::as_str), Some("2"));
+        let separate = syn.classify(&argv(&["-f", "2", "-d", ":"])).unwrap();
+        assert_eq!(separate.options.get(&'f').map(String::as_str), Some("2"));
+        assert_eq!(separate.options.get(&'d').map(String::as_str), Some(":"));
+        assert_eq!(
+            syn.classify(&argv(&["-f"])),
+            Err(InvocationError::MissingOptionArg('f'))
+        );
+    }
+
+    #[test]
+    fn flag_set_enumeration() {
+        let sets = rm_syntax().enumerate_flag_sets();
+        assert_eq!(sets.len(), 16); // 2^4 subsets.
+        assert!(sets.iter().any(|s| s.is_empty()));
+        assert!(sets.iter().any(|s| s.len() == 4));
+        // The paper's enumeration: rm { , -f, -r, -f -r } $p is a subset.
+        for want in [vec![], vec!['f'], vec!['r'], vec!['f', 'r']] {
+            let want: BTreeSet<char> = want.into_iter().collect();
+            assert!(sets.contains(&want));
+        }
+    }
+
+    #[test]
+    fn invocation_display_and_argv() {
+        let inv = Invocation::new("rm", &['r', 'f'], &["/tmp/x"]);
+        assert_eq!(inv.to_string(), "rm -f -r /tmp/x");
+        let back = rm_syntax().classify(&inv.to_argv()).unwrap();
+        assert_eq!(back, inv);
+    }
+}

@@ -1,0 +1,469 @@
+//! Textual serialization of command specifications.
+//!
+//! Specs are data the community should be able to read, diff, and
+//! contribute (§4 "Ergonomic annotations"); this module defines a
+//! line-oriented format and a parser for it. The miner writes this
+//! format; experiment E4 diffs mined files against the ground truth.
+//!
+//! ```text
+//! command rm
+//!   flag f ignore nonexistent files, never prompt
+//!   flag r remove directories and their contents recursively
+//!   operands 1..* path
+//!   case [+f +r] { each:any } => deletes(each) ; exit 0
+//!   case [+r -f] { each:exists } => deletes(each) ; exit 0
+//!   case [-r -f] { each:dir } => stderr ; fails
+//! end
+//! ```
+
+use crate::hoare::{CommandSpec, Cond, Effect, ExitSpec, Guard, NodeReq, SpecCase, EACH, REST};
+use crate::syntax::{ArgKind, CmdSyntax};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from the spec-text parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+fn operand_ref_to_text(i: usize) -> String {
+    match i {
+        EACH => "each".to_string(),
+        REST => "rest".to_string(),
+        n => n.to_string(),
+    }
+}
+
+fn operand_ref_from_text(s: &str) -> Option<usize> {
+    match s {
+        "each" => Some(EACH),
+        "rest" => Some(REST),
+        n => n.parse().ok(),
+    }
+}
+
+/// Renders one spec in the textual format.
+pub fn render_spec(spec: &CommandSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "command {}", spec.syntax.name);
+    for f in &spec.syntax.flags {
+        let _ = writeln!(out, "  flag {} {}", f.flag, f.description);
+    }
+    for o in &spec.syntax.options {
+        let _ = writeln!(out, "  opt {} {} {}", o.flag, o.arg, o.description);
+    }
+    let max = match spec.syntax.max_operands {
+        None => "*".to_string(),
+        Some(m) => m.to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "  operands {}..{} {}",
+        spec.syntax.min_operands, max, spec.syntax.operand_kind
+    );
+    for c in &spec.cases {
+        let _ = write!(out, "  case [");
+        let mut first = true;
+        for f in &c.guard.requires_flags {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "+{f}");
+            first = false;
+        }
+        for f in &c.guard.forbids_flags {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "-{f}");
+            first = false;
+        }
+        if let Some((min, max)) = c.guard.operand_count {
+            if !first {
+                out.push(' ');
+            }
+            let max = match max {
+                None => "*".to_string(),
+                Some(m) => m.to_string(),
+            };
+            let _ = write!(out, "#{min}..{max}");
+        }
+        let _ = write!(out, "] {{ ");
+        for (i, p) in c.pre.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let Cond::OperandIs(op, req) = p;
+            let _ = write!(out, "{}:{req}", operand_ref_to_text(*op));
+        }
+        let _ = write!(out, " }} => ");
+        if c.effects.is_empty() {
+            let _ = write!(out, "nothing");
+        }
+        for (i, e) in c.effects.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = match e {
+                Effect::Deletes(i) => write!(out, "deletes({})", operand_ref_to_text(*i)),
+                Effect::DeletesChildren(i) => {
+                    write!(out, "deletes-children({})", operand_ref_to_text(*i))
+                }
+                Effect::CreatesFile(i) => {
+                    write!(out, "creates-file({})", operand_ref_to_text(*i))
+                }
+                Effect::CreatesDir(i) => write!(out, "creates-dir({})", operand_ref_to_text(*i)),
+                Effect::CreatesDirChain(i) => {
+                    write!(out, "creates-dir-chain({})", operand_ref_to_text(*i))
+                }
+                Effect::Reads(i) => write!(out, "reads({})", operand_ref_to_text(*i)),
+                Effect::Writes(i) => write!(out, "writes({})", operand_ref_to_text(*i)),
+                Effect::CopiesTo { src, dst } => write!(
+                    out,
+                    "copies({}->{})",
+                    operand_ref_to_text(*src),
+                    operand_ref_to_text(*dst)
+                ),
+                Effect::MovesTo { src, dst } => write!(
+                    out,
+                    "moves({}->{})",
+                    operand_ref_to_text(*src),
+                    operand_ref_to_text(*dst)
+                ),
+                Effect::ChangesCwdTo(i) => write!(out, "cd({})", operand_ref_to_text(*i)),
+                Effect::WritesStdout => write!(out, "stdout"),
+                Effect::WritesStderr => write!(out, "stderr"),
+            };
+        }
+        let _ = match c.exit {
+            ExitSpec::Success => write!(out, " ; exit 0"),
+            ExitSpec::Failure => write!(out, " ; fails"),
+            ExitSpec::Unknown => write!(out, " ; exit ?"),
+        };
+        if let Some(pat) = &c.stdout_line {
+            let _ = write!(out, " ; type {pat}");
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Renders a whole library, sorted by command name.
+pub fn render_library(lib: &crate::library::SpecLibrary) -> String {
+    let mut out = String::new();
+    for name in lib.names() {
+        out.push_str(&render_spec(lib.get(name).expect("listed name")));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one or more specs in the textual format.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse_specs(text: &str) -> Result<Vec<CommandSpec>, SpecParseError> {
+    let mut specs = Vec::new();
+    let mut current: Option<CommandSpec> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        let err = |m: String| SpecParseError {
+            message: m,
+            line: lineno,
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("command ") {
+            if current.is_some() {
+                return Err(err("nested `command` (missing `end`?)".into()));
+            }
+            current = Some(CommandSpec {
+                syntax: CmdSyntax::simple(name.trim(), 0, None),
+                cases: Vec::new(),
+            });
+            continue;
+        }
+        if line == "end" {
+            match current.take() {
+                Some(s) => specs.push(s),
+                None => return Err(err("`end` without `command`".into())),
+            }
+            continue;
+        }
+        let Some(spec) = current.as_mut() else {
+            return Err(err(format!("unexpected {line:?} outside a command block")));
+        };
+        if let Some(rest) = line.strip_prefix("flag ") {
+            let mut it = rest.splitn(2, ' ');
+            let c = it
+                .next()
+                .and_then(|s| s.chars().next())
+                .ok_or_else(|| err("flag needs a character".into()))?;
+            let desc = it.next().unwrap_or("").to_string();
+            spec.syntax = spec.syntax.clone().flag(c, &desc);
+        } else if let Some(rest) = line.strip_prefix("opt ") {
+            let mut it = rest.splitn(3, ' ');
+            let c = it
+                .next()
+                .and_then(|s| s.chars().next())
+                .ok_or_else(|| err("opt needs a character".into()))?;
+            let kind = it
+                .next()
+                .and_then(ArgKind::parse)
+                .ok_or_else(|| err("opt needs an argument kind".into()))?;
+            let desc = it.next().unwrap_or("").to_string();
+            spec.syntax = spec.syntax.clone().option(c, kind, &desc);
+        } else if let Some(rest) = line.strip_prefix("operands ") {
+            let mut it = rest.split_whitespace();
+            let range = it
+                .next()
+                .ok_or_else(|| err("operands needs a range".into()))?;
+            let (min, max) = range
+                .split_once("..")
+                .ok_or_else(|| err("operand range must be min..max".into()))?;
+            spec.syntax.min_operands =
+                min.parse().map_err(|_| err("bad operand minimum".into()))?;
+            spec.syntax.max_operands = if max == "*" {
+                None
+            } else {
+                Some(max.parse().map_err(|_| err("bad operand maximum".into()))?)
+            };
+            if let Some(kind) = it.next() {
+                spec.syntax.operand_kind =
+                    ArgKind::parse(kind).ok_or_else(|| err("bad operand kind".into()))?;
+            }
+        } else if let Some(rest) = line.strip_prefix("case ") {
+            spec.cases.push(parse_case(rest, lineno)?);
+        } else {
+            return Err(err(format!("unrecognized line {line:?}")));
+        }
+    }
+    if current.is_some() {
+        return Err(SpecParseError {
+            message: "missing `end` at end of input".into(),
+            line: text.lines().count(),
+        });
+    }
+    Ok(specs)
+}
+
+fn parse_case(rest: &str, lineno: usize) -> Result<SpecCase, SpecParseError> {
+    let err = |m: String| SpecParseError {
+        message: m,
+        line: lineno,
+    };
+    // `[guard] { pre } => effects ; exit ; type pattern`
+    let rest = rest.trim();
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err("case guard must be `[…]`".into()))?;
+    if !rest.starts_with('[') {
+        return Err(err("case guard must be `[…]`".into()));
+    }
+    let mut guard = Guard::always();
+    for tok in rest[1..close].split_whitespace() {
+        if let Some(f) = tok.strip_prefix('+') {
+            guard
+                .requires_flags
+                .push(f.chars().next().ok_or_else(|| err("empty +flag".into()))?);
+        } else if let Some(f) = tok.strip_prefix('-') {
+            guard
+                .forbids_flags
+                .push(f.chars().next().ok_or_else(|| err("empty -flag".into()))?);
+        } else if let Some(range) = tok.strip_prefix('#') {
+            let (min, max) = range
+                .split_once("..")
+                .ok_or_else(|| err("count guard must be #min..max".into()))?;
+            let min = min.parse().map_err(|_| err("bad count minimum".into()))?;
+            let max = if max == "*" {
+                None
+            } else {
+                Some(max.parse().map_err(|_| err("bad count maximum".into()))?)
+            };
+            guard.operand_count = Some((min, max));
+        } else {
+            return Err(err(format!("bad guard token {tok:?}")));
+        }
+    }
+    let after = rest[close + 1..].trim();
+    let open = after
+        .find('{')
+        .ok_or_else(|| err("case needs `{ pre }`".into()))?;
+    let close_brace = after
+        .find('}')
+        .ok_or_else(|| err("unclosed `{ pre }`".into()))?;
+    let mut case = SpecCase::new(guard);
+    let pre = after[open + 1..close_brace].trim();
+    if !pre.is_empty() {
+        for tok in pre.split(',') {
+            let tok = tok.trim();
+            let (op, req) = tok
+                .split_once(':')
+                .ok_or_else(|| err(format!("bad precondition {tok:?}")))?;
+            let op = operand_ref_from_text(op.trim())
+                .ok_or_else(|| err(format!("bad operand ref {op:?}")))?;
+            let req = NodeReq::parse(req.trim())
+                .ok_or_else(|| err(format!("bad node requirement {req:?}")))?;
+            case.pre.push(Cond::OperandIs(op, req));
+        }
+    }
+    let after = after[close_brace + 1..].trim();
+    let after = after
+        .strip_prefix("=>")
+        .ok_or_else(|| err("case needs `=>` after preconditions".into()))?
+        .trim();
+    let mut sections = after.split(';');
+    let effects_text = sections.next().unwrap_or("").trim();
+    if effects_text != "nothing" && !effects_text.is_empty() {
+        for tok in effects_text.split(',') {
+            case.effects.push(parse_effect(tok.trim(), lineno)?);
+        }
+    }
+    let exit_text = sections
+        .next()
+        .ok_or_else(|| err("case needs an exit clause".into()))?
+        .trim();
+    case.exit = match exit_text {
+        "exit 0" => ExitSpec::Success,
+        "fails" => ExitSpec::Failure,
+        "exit ?" => ExitSpec::Unknown,
+        other => return Err(err(format!("bad exit clause {other:?}"))),
+    };
+    if let Some(ty) = sections.next() {
+        let ty = ty.trim();
+        let pat = ty
+            .strip_prefix("type ")
+            .ok_or_else(|| err("trailing clause must be `type <pattern>`".into()))?;
+        case.stdout_line = Some(pat.to_string());
+    }
+    Ok(case)
+}
+
+fn parse_effect(tok: &str, lineno: usize) -> Result<Effect, SpecParseError> {
+    let err = |m: String| SpecParseError {
+        message: m,
+        line: lineno,
+    };
+    if tok == "stdout" {
+        return Ok(Effect::WritesStdout);
+    }
+    if tok == "stderr" {
+        return Ok(Effect::WritesStderr);
+    }
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(format!("bad effect {tok:?}")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(format!("bad effect {tok:?}")))?;
+    let head = &tok[..open];
+    let arg = &tok[open + 1..close];
+    let single = |arg: &str| {
+        operand_ref_from_text(arg).ok_or_else(|| err(format!("bad operand ref {arg:?}")))
+    };
+    Ok(match head {
+        "deletes" => Effect::Deletes(single(arg)?),
+        "deletes-children" => Effect::DeletesChildren(single(arg)?),
+        "creates-file" => Effect::CreatesFile(single(arg)?),
+        "creates-dir" => Effect::CreatesDir(single(arg)?),
+        "creates-dir-chain" => Effect::CreatesDirChain(single(arg)?),
+        "reads" => Effect::Reads(single(arg)?),
+        "writes" => Effect::Writes(single(arg)?),
+        "cd" => Effect::ChangesCwdTo(single(arg)?),
+        "copies" | "moves" => {
+            let (src, dst) = arg
+                .split_once("->")
+                .ok_or_else(|| err(format!("bad pair effect {tok:?}")))?;
+            let src = single(src.trim())?;
+            let dst = single(dst.trim())?;
+            if head == "copies" {
+                Effect::CopiesTo { src, dst }
+            } else {
+                Effect::MovesTo { src, dst }
+            }
+        }
+        other => return Err(err(format!("unknown effect {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::SpecLibrary;
+
+    #[test]
+    fn whole_library_roundtrips() {
+        let lib = SpecLibrary::builtin();
+        let text = render_library(&lib);
+        let parsed = parse_specs(&text).expect("library text parses");
+        assert_eq!(parsed.len(), lib.len());
+        for spec in parsed {
+            let original = lib.get(spec.name()).expect("known command");
+            assert_eq!(
+                &spec,
+                original,
+                "round-trip changed spec for {}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_minimal_spec() {
+        let text = "command zap\n  flag q quiet\n  operands 1..* path\n  case [+q] { 0:file } => deletes(0) ; exit 0\nend\n";
+        let specs = parse_specs(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        let s = &specs[0];
+        assert_eq!(s.name(), "zap");
+        assert!(s.syntax.has_flag('q'));
+        assert_eq!(s.cases.len(), 1);
+        assert_eq!(s.cases[0].effects, vec![Effect::Deletes(0)]);
+    }
+
+    #[test]
+    fn parse_case_variants() {
+        let text = "command x\n  operands 0..* path\n  case [#2..*] { rest:file } => reads(rest), stdout ; exit ?\n  case [] {  } => nothing ; fails ; type [0-9]+\nend\n";
+        let specs = parse_specs(text).unwrap();
+        let s = &specs[0];
+        assert_eq!(s.cases[0].guard.operand_count, Some((2, None)));
+        assert_eq!(s.cases[0].pre, vec![Cond::OperandIs(REST, NodeReq::File)]);
+        assert_eq!(s.cases[0].exit, ExitSpec::Unknown);
+        assert_eq!(s.cases[1].effects, vec![]);
+        assert_eq!(s.cases[1].exit, ExitSpec::Failure);
+        assert_eq!(s.cases[1].stdout_line.as_deref(), Some("[0-9]+"));
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let bad = "command x\n  bogus line\nend\n";
+        let e = parse_specs(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_specs("end\n").is_err());
+        assert!(parse_specs("command a\ncommand b\n").is_err());
+        assert!(parse_specs("command a\n").is_err(), "missing end");
+        assert!(parse_specs("command a\n case { } => nothing ; exit 0\nend").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a library\n\ncommand noop\n  operands 0..0 path\n  # trivial case\n  case [] { } => nothing ; exit 0\nend\n";
+        let specs = parse_specs(text).unwrap();
+        assert_eq!(specs[0].name(), "noop");
+    }
+}

@@ -1,0 +1,284 @@
+//! Least-fixpoint stream-invariant inference for circular dataflow.
+//!
+//! §4 ("Feedback loops and circular dataflow") observes that crawlers,
+//! indexers, and ML workloads wire commands into cycles, and proposes an
+//! "iterative 'least fixpoint' approach: start with an empty invariant
+//! set and then gradually expand it until a property needs no further
+//! expansion". This module implements exactly that over a dataflow graph
+//! whose nodes are streams and whose edges are filter signatures:
+//!
+//! ```text
+//! type[n] ← seed[n] ∪ ⋃ { sig_e(type[src(e)]) : e into n }
+//! ```
+//!
+//! iterated from ⊥ (the empty language) until no node's type grows.
+//! Equality is decided semantically (language equivalence), not
+//! syntactically. A widening threshold keeps pathological cycles finite:
+//! after `widen_after` iterations a still-growing node is widened to the
+//! full line type.
+
+use crate::sig::Sig;
+use shoal_relang::Regex;
+
+/// A node index in the dataflow graph.
+pub type NodeId = usize;
+
+/// One edge: data flows from `from` through `sig` into `to`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Producing node.
+    pub from: NodeId,
+    /// Consuming node.
+    pub to: NodeId,
+    /// The transformation applied along the edge.
+    pub sig: Sig,
+}
+
+/// A dataflow graph over stream nodes.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowGraph {
+    names: Vec<String>,
+    seeds: Vec<Regex>,
+    edges: Vec<Edge>,
+}
+
+/// The result of fixpoint inference.
+#[derive(Debug, Clone)]
+pub struct FixpointOutcome {
+    /// Final line type per node.
+    pub types: Vec<Regex>,
+    /// Iterations until stabilization.
+    pub iterations: usize,
+    /// Nodes that had to be widened.
+    pub widened: Vec<NodeId>,
+}
+
+impl DataflowGraph {
+    /// An empty graph.
+    pub fn new() -> DataflowGraph {
+        DataflowGraph::default()
+    }
+
+    /// Adds a stream node with an initial (seed) line type; `⊥` (empty)
+    /// for pure intermediate streams.
+    pub fn node(&mut self, name: &str, seed: Regex) -> NodeId {
+        self.names.push(name.to_string());
+        self.seeds.push(seed);
+        self.names.len() - 1
+    }
+
+    /// Adds an edge carrying `sig` from `from` to `to`.
+    pub fn edge(&mut self, from: NodeId, to: NodeId, sig: Sig) {
+        self.edges.push(Edge { from, to, sig });
+    }
+
+    /// Node names (for reports).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Runs least-fixpoint inference. `widen_after` bounds the number of
+    /// growth steps per node before widening to `.*`.
+    pub fn solve(&self, widen_after: usize) -> FixpointOutcome {
+        let n = self.names.len();
+        let mut types: Vec<Regex> = vec![Regex::empty(); n];
+        let mut grew_count = vec![0usize; n];
+        let mut widened = Vec::new();
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let mut changed = false;
+            for i in 0..n {
+                let mut parts = vec![self.seeds[i].clone()];
+                for e in self.edges.iter().filter(|e| e.to == i) {
+                    let inflow = match e.sig.apply(&types[e.from]) {
+                        Ok(t) => t,
+                        // A bound violation mid-fixpoint means the cycle
+                        // can carry lines outside the stage's bound; the
+                        // safe invariant contribution is the bound image.
+                        Err(_) => match &e.sig {
+                            Sig::Mono { output, .. } => output.clone(),
+                            Sig::Poly {
+                                bound,
+                                prefix,
+                                suffix,
+                            } => Regex::concat(vec![prefix.clone(), bound.clone(), suffix.clone()]),
+                            _ => Regex::any_line(),
+                        },
+                    };
+                    parts.push(inflow);
+                }
+                let next = Regex::alt(parts);
+                if !next.is_subset_of(&types[i]) {
+                    grew_count[i] += 1;
+                    if grew_count[i] > widen_after {
+                        types[i] = Regex::any_line();
+                        if !widened.contains(&i) {
+                            widened.push(i);
+                        }
+                    } else {
+                        types[i] = next.or(&types[i]);
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        FixpointOutcome {
+            types,
+            iterations,
+            widened,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_is_plain_propagation() {
+        // source --grep err--> mid --wc -l--> out
+        let mut g = DataflowGraph::new();
+        let src = g.node("source", Regex::any_line());
+        let mid = g.node("mid", Regex::empty());
+        let out = g.node("out", Regex::empty());
+        g.edge(
+            src,
+            mid,
+            Sig::Filter {
+                keep: Regex::grep_pattern("err").unwrap(),
+            },
+        );
+        g.edge(
+            mid,
+            out,
+            Sig::mono(Regex::any_line(), Regex::parse("[0-9]+").unwrap()),
+        );
+        let fx = g.solve(8);
+        assert!(fx.widened.is_empty());
+        assert!(fx.types[mid].matches(b"an err line"));
+        assert!(!fx.types[mid].matches(b"fine"));
+        assert!(fx.types[out].matches(b"42"));
+    }
+
+    #[test]
+    fn self_loop_identity_converges_immediately() {
+        // A tail -f style cycle that feeds a stream back into itself
+        // unchanged: the invariant is the seed.
+        let mut g = DataflowGraph::new();
+        let n = g.node("loop", Regex::parse("seed[0-9]*").unwrap());
+        g.edge(n, n, Sig::identity());
+        let fx = g.solve(8);
+        assert!(fx.types[n].equiv(&Regex::parse("seed[0-9]*").unwrap()));
+        assert!(fx.widened.is_empty());
+        assert!(fx.iterations <= 3);
+    }
+
+    #[test]
+    fn cycle_through_filter_converges() {
+        // worklist = seed ∪ grep '^task:' (worklist): stable at seed ∪
+        // (task-lines of seed).
+        let mut g = DataflowGraph::new();
+        let n = g.node("worklist", Regex::parse("task:[a-z]+|done").unwrap());
+        g.edge(
+            n,
+            n,
+            Sig::Filter {
+                keep: Regex::grep_pattern("^task:").unwrap(),
+            },
+        );
+        let fx = g.solve(8);
+        assert!(fx.types[n].matches(b"task:abc"));
+        assert!(fx.types[n].matches(b"done"));
+        assert!(fx.widened.is_empty());
+    }
+
+    #[test]
+    fn growing_cycle_widens() {
+        // Each trip around prepends "x": the exact invariant x*seed is
+        // not reached by finite unions, so widening must kick in.
+        let mut g = DataflowGraph::new();
+        let n = g.node("grow", Regex::lit("seed"));
+        g.edge(n, n, Sig::poly_wrap(Regex::lit("x"), Regex::eps()));
+        let fx = g.solve(5);
+        assert_eq!(fx.widened, vec![n]);
+        assert!(fx.types[n].equiv(&Regex::any_line()));
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        // a -> b through prefix "b:", b -> a through grep 'keep'.
+        // Seed on a only.
+        let mut g = DataflowGraph::new();
+        let a = g.node("a", Regex::lit("keep"));
+        let b = g.node("b", Regex::empty());
+        g.edge(a, b, Sig::poly_wrap(Regex::lit("b:"), Regex::eps()));
+        g.edge(
+            b,
+            a,
+            Sig::Filter {
+                keep: Regex::grep_pattern("nomatch").unwrap(),
+            },
+        );
+        let fx = g.solve(8);
+        // b carries b:keep; nothing flows back (filter kills it).
+        assert!(fx.types[b].matches(b"b:keep"));
+        assert!(fx.types[a].equiv(&Regex::lit("keep")));
+        assert!(fx.widened.is_empty());
+    }
+
+    #[test]
+    fn iterations_scale_with_cycle_length() {
+        // A ring of k identity edges oriented *against* the solver's
+        // update order needs ~k iterations to carry the seed around
+        // (E7's measured series). With the flow aligned to update order
+        // the chaotic (Gauss-Seidel) iteration collapses the ring in
+        // O(1) sweeps; both behaviors are asserted.
+        for k in [2usize, 4, 8] {
+            // Against update order: edge i → i-1; seed at the last node.
+            let mut g = DataflowGraph::new();
+            let nodes: Vec<NodeId> = (0..k)
+                .map(|i| {
+                    let seed = if i == k - 1 {
+                        Regex::lit("v")
+                    } else {
+                        Regex::empty()
+                    };
+                    g.node(&format!("n{i}"), seed)
+                })
+                .collect();
+            for i in 1..k {
+                g.edge(nodes[i], nodes[i - 1], Sig::identity());
+            }
+            g.edge(nodes[0], nodes[k - 1], Sig::identity());
+            let fx = g.solve(16);
+            for t in &fx.types {
+                assert!(t.matches(b"v"));
+            }
+            assert!(
+                fx.iterations >= k,
+                "ring of {k} took {} iterations",
+                fx.iterations
+            );
+
+            // With update order: converges in a constant number of sweeps.
+            let mut g2 = DataflowGraph::new();
+            let first = g2.node("m0", Regex::lit("v"));
+            let mut prev = first;
+            for i in 1..k {
+                let n = g2.node(&format!("m{i}"), Regex::empty());
+                g2.edge(prev, n, Sig::identity());
+                prev = n;
+            }
+            g2.edge(prev, first, Sig::identity());
+            let fx2 = g2.solve(16);
+            for t in &fx2.types {
+                assert!(t.matches(b"v"));
+            }
+            assert!(fx2.iterations <= 3);
+        }
+    }
+}

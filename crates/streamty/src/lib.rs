@@ -1,0 +1,54 @@
+//! `shoal-streamty`: regular types for Unix streams.
+//!
+//! §3 introduces "*regular types*, a new type system for string shapes
+//! centered around the familiar and concise representation of regular
+//! languages", describing "the shape of entire streams or, more
+//! conveniently, of each line in the stream". This crate implements that
+//! type system:
+//!
+//! * [`sig`] — filter signatures: monomorphic (`grep '^desc' :: .* →
+//!   desc.*`), *intersection* filters (grep's output is input ∩ pattern,
+//!   which is what makes Fig. 5's dead pipe decidable), and the §4
+//!   **polymorphic** signatures (`sed 's/^/0x/' :: ∀α. α → 0xα`,
+//!   `sort -g :: ∀α ⊆ numeric. α → α`);
+//! * [`commands`] — deriving a signature from a classified invocation of
+//!   the standard filters (`grep`, `sed`, `cut`, `sort`, `head`, `tail`,
+//!   `tr`, `uniq`, `wc`, `cat`, …), including flag handling (`-v`, `-o`,
+//!   `-i`, `-c`, `-q`);
+//! * [`pipeline`] — the pipeline checker: propagate a line type through
+//!   the stages, reporting dead stages (empty output language) and input
+//!   mismatches (input ⊄ bound);
+//! * [`fixpoint`] — least-fixpoint inference of stream invariants for
+//!   circular dataflow graphs (§4 "Feedback loops and circular
+//!   dataflow"), with widening;
+//! * [`aliases`] — the extensible library of descriptive types (`any`,
+//!   `hex`, `url`, `longlist`, …) from §4 "Ergonomic annotations".
+//!
+//! # Examples
+//!
+//! ```
+//! use shoal_relang::Regex;
+//! use shoal_streamty::sig::Sig;
+//!
+//! // The paper's §4 pipeline: grep -oE "$hex" | sed 's/^/0x/' | sort -g
+//! let hex = Regex::parse("[0-9a-f]+").unwrap();
+//! let extract = Sig::mono(Regex::any_line(), hex.clone());
+//! let prefix = Sig::poly_wrap(Regex::lit("0x"), Regex::eps());
+//! let sortg = shoal_streamty::commands::sort_g_bound();
+//!
+//! let t1 = extract.apply(&Regex::any_line()).unwrap();
+//! let t2 = prefix.apply(&t1).unwrap();
+//! assert!(t2.is_subset_of(&sortg)); // 0x[0-9a-f]+ ⊆ sort -g's bound
+//! ```
+
+pub mod aliases;
+pub mod commands;
+pub mod fixpoint;
+pub mod pipeline;
+pub mod sig;
+
+pub use aliases::TypeAliases;
+pub use commands::sig_for;
+pub use fixpoint::{DataflowGraph, FixpointOutcome};
+pub use pipeline::{check_pipeline, StageReport, StageVerdict};
+pub use sig::{Sig, SigError};

@@ -1,0 +1,218 @@
+//! The pipeline type checker.
+//!
+//! Given an initial line type (from the producer's spec or `.*` when
+//! unknown) and the signatures of the downstream stages, propagate the
+//! type left to right and report, per stage:
+//!
+//! * **dead output** — the stage's output language is empty though its
+//!   input was not: everything downstream sees an empty stream. This is
+//!   Fig. 5's `grep '^desc'` verdict.
+//! * **input mismatch** — the stage's bound rejects its input type
+//!   (`sort -g` fed non-numeric lines).
+
+use crate::sig::Sig;
+use shoal_relang::Regex;
+use std::fmt;
+
+/// Per-stage verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageVerdict {
+    /// Types flow through.
+    Ok,
+    /// Output language is empty although input was not.
+    DeadOutput,
+    /// Input type violates the stage's bound; the payload is the bound
+    /// and an example offending line.
+    InputMismatch {
+        /// The bound that was violated.
+        expected: Regex,
+        /// A line in the input type but outside the bound.
+        witness: Option<String>,
+    },
+}
+
+/// The report for one stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage label (usually the command text).
+    pub name: String,
+    /// Input line type.
+    pub input: Regex,
+    /// Output line type (empty when the stage errored).
+    pub output: Regex,
+    /// Verdict.
+    pub verdict: StageVerdict,
+}
+
+impl fmt::Display for StageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :: {} → {}", self.name, self.input, self.output)?;
+        match &self.verdict {
+            StageVerdict::Ok => Ok(()),
+            StageVerdict::DeadOutput => write!(f, "  [DEAD: no line can pass]"),
+            StageVerdict::InputMismatch { expected, witness } => {
+                write!(f, "  [TYPE ERROR: input ⊄ {expected}")?;
+                if let Some(w) = witness {
+                    write!(f, ", e.g. {w:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Checks a pipeline: `initial` is the producer's output line type; each
+/// element of `stages` is a labelled signature. Propagation continues
+/// past errors (with the stage's nominal output) so one run reports all
+/// problems.
+pub fn check_pipeline(initial: &Regex, stages: &[(String, Sig)]) -> Vec<StageReport> {
+    let mut current = initial.clone();
+    let mut reports = Vec::with_capacity(stages.len());
+    for (name, sig) in stages {
+        let input = current.clone();
+        let (output, verdict) = match sig.apply(&input) {
+            Ok(out) => {
+                if out.is_empty() && !input.is_empty() {
+                    (out, StageVerdict::DeadOutput)
+                } else {
+                    (out, StageVerdict::Ok)
+                }
+            }
+            Err(e) => {
+                // Continue with the stage's most general output.
+                let fallback = match sig {
+                    Sig::Mono { output, .. } => output.clone(),
+                    Sig::Poly {
+                        bound,
+                        prefix,
+                        suffix,
+                    } => Regex::concat(vec![prefix.clone(), bound.clone(), suffix.clone()]),
+                    _ => Regex::any_line(),
+                };
+                (
+                    fallback,
+                    StageVerdict::InputMismatch {
+                        expected: e.expected,
+                        witness: e.witness,
+                    },
+                )
+            }
+        };
+        reports.push(StageReport {
+            name: name.clone(),
+            input,
+            output: output.clone(),
+            verdict,
+        });
+        current = output;
+    }
+    reports
+}
+
+/// True when any stage reported a problem.
+pub fn has_problem(reports: &[StageReport]) -> bool {
+    reports.iter().any(|r| r.verdict != StageVerdict::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::sig_for;
+    use shoal_spec::Invocation;
+
+    fn stage(name: &str, flags: &[char], operands: &[&str]) -> (String, Sig) {
+        let inv = Invocation::new(name, flags, operands);
+        (format!("{inv}"), sig_for(&inv).expect("known filter"))
+    }
+
+    #[test]
+    fn fig5_pipeline_reports_dead_grep() {
+        // lsb_release -a | grep '^desc' | cut -f 2
+        let lsb = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
+        let mut cut = Invocation::new("cut", &[], &[]);
+        cut.options.insert('f', "2".to_string());
+        let stages = vec![
+            stage("grep", &[], &["^desc"]),
+            ("cut -f 2".to_string(), sig_for(&cut).unwrap()),
+        ];
+        let reports = check_pipeline(&lsb, &stages);
+        assert_eq!(reports[0].verdict, StageVerdict::DeadOutput);
+        assert!(has_problem(&reports));
+    }
+
+    #[test]
+    fn fig5_corrected_pipeline_is_clean() {
+        let lsb = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
+        let stages = vec![stage("grep", &[], &["^Desc"])];
+        let reports = check_pipeline(&lsb, &stages);
+        assert_eq!(reports[0].verdict, StageVerdict::Ok);
+        assert!(reports[0]
+            .output
+            .witness_string()
+            .unwrap()
+            .starts_with("Description:"));
+    }
+
+    #[test]
+    fn hex_pipeline_types_with_polymorphism() {
+        // grep -oE "[0-9a-f]+" | sed 's/^/0x/' | sort -g
+        let stages = vec![
+            stage("grep", &['o', 'E'], &["[0-9a-f]+"]),
+            stage("sed", &[], &["s/^/0x/"]),
+            stage("sort", &['g'], &[]),
+        ];
+        let reports = check_pipeline(&Regex::any_line(), &stages);
+        assert!(
+            !has_problem(&reports),
+            "{:?}",
+            reports.last().unwrap().verdict
+        );
+        // The final type is exactly 0x[0-9a-f]+.
+        assert!(reports[2]
+            .output
+            .equiv(&Regex::parse("0x[0-9a-f]+").unwrap()));
+    }
+
+    #[test]
+    fn sort_g_rejects_words() {
+        let stages = vec![stage("sort", &['g'], &[])];
+        let words = Regex::parse("[a-z]+").unwrap();
+        let reports = check_pipeline(&words, &stages);
+        assert!(matches!(
+            reports[0].verdict,
+            StageVerdict::InputMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn propagation_continues_after_error() {
+        // sort -g errors, but wc -l downstream still gets a type.
+        let stages = vec![stage("sort", &['g'], &[]), stage("wc", &['l'], &[])];
+        let words = Regex::parse("[a-z]+").unwrap();
+        let reports = check_pipeline(&words, &stages);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[1].verdict, StageVerdict::Ok);
+        assert!(reports[1].output.matches(b"3"));
+    }
+
+    #[test]
+    fn chained_filters_accumulate() {
+        // grep err | grep -v warn: output is (err-lines) minus (warn-lines).
+        let stages = vec![
+            stage("grep", &[], &["err"]),
+            stage("grep", &['v'], &["warn"]),
+        ];
+        let reports = check_pipeline(&Regex::any_line(), &stages);
+        let out = &reports[1].output;
+        assert!(out.matches(b"an err here"));
+        assert!(!out.matches(b"err and warn"));
+        assert!(!out.matches(b"all fine"));
+    }
+
+    #[test]
+    fn contradictory_filters_go_dead() {
+        let stages = vec![stage("grep", &[], &["^a"]), stage("grep", &[], &["^b"])];
+        let reports = check_pipeline(&Regex::any_line(), &stages);
+        assert_eq!(reports[1].verdict, StageVerdict::DeadOutput);
+    }
+}

@@ -1,0 +1,303 @@
+//! Filter signatures and their application to line types.
+//!
+//! A stream's type is the regular language of its individual lines
+//! (lines never contain `\n`). A [`Sig`] describes how one pipeline
+//! stage transforms that type. Four shapes cover the standard filters:
+//!
+//! * [`Sig::Filter`] — output = input ∩ keep. This is grep: it never
+//!   invents lines, so its output type is the *intersection* of what
+//!   arrives and what the pattern selects. The paper's Fig. 5 verdict
+//!   ("the intersection of grep's combined input and output constraints
+//!   is the empty language") is exactly this signature going empty.
+//! * [`Sig::Mono`] — a fixed input/output pair,
+//!   `grep '^desc' :: .* → desc.*` style. Used when the output shape
+//!   does not depend on the input shape (`cut -f2`, `wc -l`,
+//!   `grep -o`).
+//! * [`Sig::Poly`] — the §4 polymorphic shape `∀α ⊆ bound. α → pre·α·suf`.
+//!   With `pre = suf = ε` this is the bounded identity (`sort -g`); with
+//!   `pre = 0x` it is the paper's `sed 's/^/0x/' :: ∀α. α → 0xα`.
+//! * [`Sig::FilterOut`] — output = input ∩ ¬drop (`grep -v`).
+
+use shoal_relang::Regex;
+use std::fmt;
+
+/// A pipeline-stage signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sig {
+    /// Output = input ∩ `keep`.
+    Filter {
+        /// Language of lines the filter lets through.
+        keep: Regex,
+    },
+    /// Output = input ∩ ¬`drop`.
+    FilterOut {
+        /// Language of lines the filter removes.
+        drop: Regex,
+    },
+    /// Fixed `input → output`, requiring input ⊆ `input`.
+    Mono {
+        /// Greatest line type the stage accepts.
+        input: Regex,
+        /// Line type of the output.
+        output: Regex,
+    },
+    /// `∀α ⊆ bound. α → prefix·α·suffix`.
+    Poly {
+        /// Upper bound on the instantiation.
+        bound: Regex,
+        /// Prepended language.
+        prefix: Regex,
+        /// Appended language.
+        suffix: Regex,
+    },
+}
+
+/// Why a signature rejected its input type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigError {
+    /// The offending input type.
+    pub input: Regex,
+    /// The bound the input failed to satisfy.
+    pub expected: Regex,
+    /// A line demonstrating the mismatch (in input, outside the bound).
+    pub witness: Option<String>,
+}
+
+impl fmt::Display for SigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input type {} is not contained in {}",
+            self.input, self.expected
+        )?;
+        if let Some(w) = &self.witness {
+            write!(f, " (e.g. line {w:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SigError {}
+
+impl Sig {
+    /// The identity signature (`cat`).
+    pub fn identity() -> Sig {
+        Sig::Poly {
+            bound: Regex::any_line(),
+            prefix: Regex::eps(),
+            suffix: Regex::eps(),
+        }
+    }
+
+    /// A bounded identity (`sort -g`-style).
+    pub fn bounded_identity(bound: Regex) -> Sig {
+        Sig::Poly {
+            bound,
+            prefix: Regex::eps(),
+            suffix: Regex::eps(),
+        }
+    }
+
+    /// A monomorphic signature.
+    pub fn mono(input: Regex, output: Regex) -> Sig {
+        Sig::Mono { input, output }
+    }
+
+    /// An unbounded polymorphic wrap (`sed 's/^/0x/'`-style).
+    pub fn poly_wrap(prefix: Regex, suffix: Regex) -> Sig {
+        Sig::Poly {
+            bound: Regex::any_line(),
+            prefix,
+            suffix,
+        }
+    }
+
+    /// Applies the signature to an input line type, yielding the output
+    /// line type.
+    ///
+    /// # Errors
+    ///
+    /// [`SigError`] when the input type violates the signature's bound —
+    /// the "does not type-check" verdict. Filters never error (they
+    /// accept anything).
+    pub fn apply(&self, input: &Regex) -> Result<Regex, SigError> {
+        match self {
+            Sig::Filter { keep } => Ok(input.intersect(keep)),
+            Sig::FilterOut { drop } => Ok(input.difference(drop)),
+            Sig::Mono {
+                input: bound,
+                output,
+            } => {
+                if input.is_subset_of(bound) {
+                    Ok(output.clone())
+                } else {
+                    Err(SigError {
+                        input: input.clone(),
+                        expected: bound.clone(),
+                        witness: input.difference(bound).witness_string(),
+                    })
+                }
+            }
+            Sig::Poly {
+                bound,
+                prefix,
+                suffix,
+            } => {
+                if input.is_subset_of(bound) {
+                    Ok(Regex::concat(vec![
+                        prefix.clone(),
+                        input.clone(),
+                        suffix.clone(),
+                    ]))
+                } else {
+                    Err(SigError {
+                        input: input.clone(),
+                        expected: bound.clone(),
+                        witness: input.difference(bound).witness_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Applies *monomorphically*: polymorphic structure is forgotten, as
+    /// in the paper's §4 illustration of why simple types lose
+    /// information. `sed 's/^/0x/'` becomes `.* → 0x.*`, so the fact
+    /// that the 0x prefix is followed by the *input* language is lost.
+    /// Used by experiment E6 as the ablation baseline.
+    pub fn apply_mono(&self, input: &Regex) -> Result<Regex, SigError> {
+        match self {
+            Sig::Poly {
+                bound,
+                prefix,
+                suffix,
+            } => Sig::Mono {
+                input: bound.clone(),
+                output: Regex::concat(vec![prefix.clone(), bound.clone(), suffix.clone()]),
+            }
+            .apply(input),
+            other => other.apply(input),
+        }
+    }
+}
+
+impl fmt::Display for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sig::Filter { keep } => write!(f, ".* → (input ∩ {keep})"),
+            Sig::FilterOut { drop } => write!(f, ".* → (input \\ {drop})"),
+            Sig::Mono { input, output } => write!(f, "{input} → {output}"),
+            Sig::Poly {
+                bound,
+                prefix,
+                suffix,
+            } => {
+                write!(f, "∀α ⊆ {bound}. α → ")?;
+                if *prefix != Regex::Eps {
+                    write!(f, "{prefix}·")?;
+                }
+                write!(f, "α")?;
+                if *suffix != Regex::Eps {
+                    write!(f, "·{suffix}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_intersects() {
+        let lsb = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
+        let bad = Sig::Filter {
+            keep: Regex::grep_pattern("^desc").unwrap(),
+        };
+        let good = Sig::Filter {
+            keep: Regex::grep_pattern("^Desc").unwrap(),
+        };
+        assert!(bad.apply(&lsb).unwrap().is_empty());
+        assert!(!good.apply(&lsb).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_out_subtracts() {
+        let input = Regex::parse("(ok|err).*").unwrap();
+        let sig = Sig::FilterOut {
+            drop: Regex::grep_pattern("^err").unwrap(),
+        };
+        let out = sig.apply(&input).unwrap();
+        assert!(out.matches(b"ok fine"));
+        assert!(!out.matches(b"err bad"));
+    }
+
+    #[test]
+    fn mono_checks_bound() {
+        let sig = Sig::mono(
+            Regex::parse("[0-9]+").unwrap(),
+            Regex::parse("n=[0-9]+").unwrap(),
+        );
+        assert!(sig.apply(&Regex::parse("[0-4]+").unwrap()).is_ok());
+        let err = sig.apply(&Regex::parse("[0-9a-z]+").unwrap()).unwrap_err();
+        assert!(err.witness.is_some());
+    }
+
+    #[test]
+    fn poly_wraps_input() {
+        // The paper's sed example: ∀α. α → 0xα.
+        let sed = Sig::poly_wrap(Regex::lit("0x"), Regex::eps());
+        let hex = Regex::parse("[0-9a-f]+").unwrap();
+        let out = sed.apply(&hex).unwrap();
+        assert!(out.matches(b"0xdeadbeef"));
+        assert!(!out.matches(b"deadbeef"));
+        assert!(out.equiv(&Regex::parse("0x[0-9a-f]+").unwrap()));
+    }
+
+    #[test]
+    fn paper_e6_mono_vs_poly() {
+        // Monomorphic sed forgets the hex constraint; polymorphic keeps it.
+        let sed = Sig::poly_wrap(Regex::lit("0x"), Regex::eps());
+        let hex = Regex::parse("[0-9a-f]+").unwrap();
+        let sortg_bound = Regex::parse("0x[0-9a-f]+.*").unwrap();
+
+        let poly_out = sed.apply(&hex).unwrap();
+        assert!(
+            poly_out.is_subset_of(&sortg_bound),
+            "polymorphic typing validates"
+        );
+
+        let mono_out = sed.apply_mono(&hex).unwrap();
+        assert!(
+            !mono_out.is_subset_of(&sortg_bound),
+            "monomorphic typing cannot validate (0x.* ⊄ 0x[0-9a-f]+.*)"
+        );
+    }
+
+    #[test]
+    fn bounded_identity_rejects_bad_input() {
+        let sortg = Sig::bounded_identity(Regex::parse("0x[0-9a-f]+.*").unwrap());
+        let hex = Regex::parse("0x[0-9a-f]+").unwrap();
+        assert!(sortg.apply(&hex).is_ok());
+        let words = Regex::parse("[a-z]+").unwrap();
+        let err = sortg.apply(&words).unwrap_err();
+        assert_eq!(err.expected, Regex::parse("0x[0-9a-f]+.*").unwrap());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let id = Sig::identity();
+        let t = Regex::parse("x[0-9]*").unwrap();
+        assert!(id.apply(&t).unwrap().equiv(&t));
+    }
+
+    #[test]
+    fn display_readable() {
+        let sed = Sig::poly_wrap(Regex::lit("0x"), Regex::eps());
+        assert_eq!(sed.to_string(), "∀α ⊆ .*. α → 0x·α");
+        let sortg = Sig::bounded_identity(Regex::parse("[0-9]+").unwrap());
+        assert!(sortg.to_string().contains("α → α"));
+    }
+}

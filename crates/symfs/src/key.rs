@@ -1,0 +1,211 @@
+//! File-system location identities.
+//!
+//! An [`FsKey`] names a location in a way that survives the shell's many
+//! spellings of the same path. A key is a *base* — either the file-system
+//! root (for fully resolved paths) or a symbolic anchor ("wherever the
+//! string in `$1` resolves to") — plus a sequence of known component
+//! names. Two accesses with the same key definitely touch the same node;
+//! accesses with different symbolic bases may or may not alias (the
+//! engine treats them as independent, a documented under-approximation).
+
+use crate::path::{normalize_lexical, split_components};
+use std::fmt;
+
+/// Identifier of a symbolic path base (allocated by the analysis engine,
+/// one per unknown path-valued expression).
+pub type SymBase = u32;
+
+/// The anchor of an [`FsKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Base {
+    /// The file-system root: the key's components are an absolute path.
+    Root,
+    /// A symbolic location: "wherever symbolic path #n resolves".
+    Sym(SymBase),
+}
+
+/// The identity of a file-system location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FsKey {
+    /// The anchor.
+    pub base: Base,
+    /// Component names below the anchor (normalized: no `.`, `..`, or
+    /// empty components).
+    pub comps: Vec<String>,
+}
+
+impl FsKey {
+    /// The root key (`/`).
+    pub fn root() -> FsKey {
+        FsKey {
+            base: Base::Root,
+            comps: Vec::new(),
+        }
+    }
+
+    /// A key for a concrete absolute path (normalized lexically).
+    /// Returns `None` for relative paths.
+    pub fn absolute(path: &str) -> Option<FsKey> {
+        if !path.starts_with('/') {
+            return None;
+        }
+        let norm = normalize_lexical(path);
+        Some(FsKey {
+            base: Base::Root,
+            comps: split_components(&norm)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        })
+    }
+
+    /// A key anchored at symbolic base `sym` with no suffix.
+    pub fn symbolic(sym: SymBase) -> FsKey {
+        FsKey {
+            base: Base::Sym(sym),
+            comps: Vec::new(),
+        }
+    }
+
+    /// A key anchored at symbolic base `sym` with a relative suffix.
+    /// Suffixes containing `..` cannot be anchored (they may escape the
+    /// base) and yield `None`.
+    pub fn symbolic_with(sym: SymBase, rel: &str) -> Option<FsKey> {
+        let comps = split_components(rel);
+        if comps.contains(&"..") {
+            return None;
+        }
+        Some(FsKey {
+            base: Base::Sym(sym),
+            comps: comps.into_iter().map(str::to_string).collect(),
+        })
+    }
+
+    /// The key for `self`'s child named `name`.
+    pub fn child(&self, name: &str) -> FsKey {
+        let mut comps = self.comps.clone();
+        comps.push(name.to_string());
+        FsKey {
+            base: self.base,
+            comps,
+        }
+    }
+
+    /// The parent key, unless `self` is a bare anchor.
+    pub fn parent(&self) -> Option<FsKey> {
+        if self.comps.is_empty() {
+            match self.base {
+                Base::Root => Some(FsKey::root()),
+                Base::Sym(_) => None,
+            }
+        } else {
+            let mut comps = self.comps.clone();
+            comps.pop();
+            Some(FsKey {
+                base: self.base,
+                comps,
+            })
+        }
+    }
+
+    /// Is `self` an ancestor of (or equal to) `other`? Keys with
+    /// different bases never relate.
+    pub fn is_ancestor_or_equal(&self, other: &FsKey) -> bool {
+        self.base == other.base
+            && self.comps.len() <= other.comps.len()
+            && self
+                .comps
+                .iter()
+                .zip(other.comps.iter())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Is this the file-system root itself?
+    pub fn is_root(&self) -> bool {
+        self.base == Base::Root && self.comps.is_empty()
+    }
+
+    /// All proper ancestors, nearest first (excluding the bare anchor for
+    /// symbolic keys — we know nothing above a symbolic base).
+    pub fn proper_ancestors(&self) -> Vec<FsKey> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        while let Some(p) = cur.parent() {
+            if p == cur {
+                break;
+            }
+            out.push(p.clone());
+            cur = p;
+        }
+        out
+    }
+}
+
+impl fmt::Display for FsKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            Base::Root => {
+                if self.comps.is_empty() {
+                    write!(f, "/")
+                } else {
+                    write!(f, "/{}", self.comps.join("/"))
+                }
+            }
+            Base::Sym(n) => {
+                write!(f, "<sym{n}>")?;
+                for c in &self.comps {
+                    write!(f, "/{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_keys_normalize() {
+        let k = FsKey::absolute("/a//b/./c/../d").unwrap();
+        assert_eq!(k.to_string(), "/a/b/d");
+        assert_eq!(FsKey::absolute("relative"), None);
+        assert!(FsKey::absolute("/").unwrap().is_root());
+    }
+
+    #[test]
+    fn symbolic_suffixes() {
+        let k = FsKey::symbolic_with(3, "config/app.toml").unwrap();
+        assert_eq!(k.to_string(), "<sym3>/config/app.toml");
+        assert_eq!(FsKey::symbolic_with(3, "../escape"), None);
+        assert_eq!(FsKey::symbolic_with(3, "./x").unwrap().comps, vec!["x"]);
+    }
+
+    #[test]
+    fn parents_and_ancestors() {
+        let k = FsKey::absolute("/a/b/c").unwrap();
+        assert_eq!(k.parent().unwrap().to_string(), "/a/b");
+        assert_eq!(FsKey::root().parent().unwrap(), FsKey::root());
+        assert_eq!(FsKey::symbolic(1).parent(), None);
+        let ancestors = k.proper_ancestors();
+        assert_eq!(ancestors.len(), 3);
+        assert_eq!(ancestors[0].to_string(), "/a/b");
+        assert_eq!(ancestors[2].to_string(), "/");
+    }
+
+    #[test]
+    fn ancestry_relation() {
+        let a = FsKey::absolute("/a").unwrap();
+        let abc = FsKey::absolute("/a/b/c").unwrap();
+        assert!(a.is_ancestor_or_equal(&abc));
+        assert!(abc.is_ancestor_or_equal(&abc));
+        assert!(!abc.is_ancestor_or_equal(&a));
+        assert!(FsKey::root().is_ancestor_or_equal(&abc));
+        // Different bases never relate.
+        assert!(!FsKey::symbolic(1).is_ancestor_or_equal(&abc));
+        assert!(!FsKey::symbolic(1).is_ancestor_or_equal(&FsKey::symbolic(2)));
+        let s1c = FsKey::symbolic(1).child("c");
+        assert!(FsKey::symbolic(1).is_ancestor_or_equal(&s1c));
+    }
+}

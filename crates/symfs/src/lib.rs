@@ -1,0 +1,46 @@
+//! `shoal-symfs`: a symbolic model of the file system.
+//!
+//! §4 of the paper ("File system effects") calls for "track\\[ing\\]
+//! constraints on the nodes in the file system to which individual paths
+//! resolve; when competing constraints are inconsistent, the system
+//! determines that the script contains a bug arising from command
+//! composition." This crate is that tracker:
+//!
+//! * [`path`] — concrete path algebra: lexical normalization, joining,
+//!   `realpath`-style canonicalization, the machinery behind "the identity
+//!   of filesystem locations referrable to by arbitrarily many
+//!   path-strings";
+//! * [`key`] — [`key::FsKey`]: the identity of a location, anchored either
+//!   at the root (fully resolved) or at a *symbolic base* (e.g. "wherever
+//!   `$1` points") plus a known relative suffix (e.g. `config`);
+//! * [`state`] — [`state::SymFs`]: a symbolic heap mapping keys to node
+//!   states (file / directory / absent), enforcing the tree axioms
+//!   (children imply directory parents; absence propagates downward),
+//!   distinguishing *assumptions about the initial world* from *effects
+//!   the script performed*, and reporting contradictions — the signal
+//!   behind the paper's `rm -r $1; cat $1/config` always-fails example.
+//!
+//! # Examples
+//!
+//! ```
+//! use shoal_symfs::key::FsKey;
+//! use shoal_symfs::state::{NodeState, Require, SymFs};
+//!
+//! // The paper's §4 snippet: `rm -r $1` then `cat $1/config`.
+//! let mut fs = SymFs::new();
+//! let dollar1 = FsKey::symbolic(0);
+//! // `rm -r $1` succeeded: $1 existed, and is now gone.
+//! assert!(matches!(fs.require(&dollar1, NodeState::Dir), Require::Assumed));
+//! fs.delete_tree(&dollar1);
+//! // `cat $1/config` needs $1/config to exist — contradiction.
+//! let config = dollar1.child("config");
+//! assert!(matches!(fs.require(&config, NodeState::File), Require::Contradiction(_)));
+//! ```
+
+pub mod key;
+pub mod path;
+pub mod state;
+
+pub use key::{Base, FsKey};
+pub use path::{is_ancestor_or_equal, join, normalize_lexical, parent, split_components};
+pub use state::{NodeState, Require, SymFs};

@@ -1,0 +1,185 @@
+//! Concrete path algebra.
+//!
+//! The shell manipulates paths as strings, and many distinct strings name
+//! the same location (`/a//b/.`, `/a/b`, `/a/c/../b`). Reasoning like the
+//! paper's Fig. 2 — where a check on `realpath`'s *normalized* output must
+//! transfer to the *un-normalized* `$STEAMROOT` — starts with a precise
+//! lexical normalization.
+
+/// Splits a path into its component names, dropping empty components and
+/// `.`. Keeps `..` (resolving it is [`normalize_lexical`]'s job).
+pub fn split_components(path: &str) -> Vec<&str> {
+    path.split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect()
+}
+
+/// Lexically normalizes a path: collapses repeated slashes, removes `.`,
+/// and resolves `..` against preceding components. Absolute inputs yield
+/// absolute outputs; `..` at the root stays at the root (POSIX). For
+/// relative paths, leading `..` components are preserved.
+///
+/// This is a *lexical* operation — it does not consult any file system
+/// and therefore, like `realpath -m`'s lexical mode, may differ from
+/// kernel resolution in the presence of symlinks. The symbolic engine
+/// treats symlinks as out of scope (see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use shoal_symfs::normalize_lexical;
+/// assert_eq!(normalize_lexical("/a//b/./c/"), "/a/b/c");
+/// assert_eq!(normalize_lexical("/a/b/../c"), "/a/c");
+/// assert_eq!(normalize_lexical("/.."), "/");
+/// assert_eq!(normalize_lexical("a/../../b"), "../b");
+/// assert_eq!(normalize_lexical(""), ".");
+/// ```
+pub fn normalize_lexical(path: &str) -> String {
+    let absolute = path.starts_with('/');
+    let mut stack: Vec<&str> = Vec::new();
+    for comp in split_components(path) {
+        if comp == ".." {
+            if stack.last().is_some_and(|c| *c != "..") {
+                stack.pop();
+            } else if !absolute {
+                // Leading `..` is preserved in relative paths.
+                stack.push("..");
+            }
+            // In absolute paths, `/..` is `/`: drop it.
+        } else {
+            stack.push(comp);
+        }
+    }
+    if absolute {
+        let mut out = String::from("/");
+        out.push_str(&stack.join("/"));
+        if out.len() > 1 && out.ends_with('/') {
+            out.pop();
+        }
+        out
+    } else if stack.is_empty() {
+        ".".to_string()
+    } else {
+        stack.join("/")
+    }
+}
+
+/// Joins `rel` onto `base` with shell `cd` semantics: absolute `rel`
+/// replaces `base`; otherwise the result is `base/rel`, normalized.
+///
+/// # Examples
+///
+/// ```
+/// use shoal_symfs::join;
+/// assert_eq!(join("/home/user", "docs"), "/home/user/docs");
+/// assert_eq!(join("/home/user", "/etc"), "/etc");
+/// assert_eq!(join("/home/user", ".."), "/home");
+/// ```
+pub fn join(base: &str, rel: &str) -> String {
+    if rel.starts_with('/') {
+        normalize_lexical(rel)
+    } else if rel.is_empty() {
+        normalize_lexical(base)
+    } else {
+        normalize_lexical(&format!("{base}/{rel}"))
+    }
+}
+
+/// The parent directory of a normalized absolute path (`/` is its own
+/// parent). Returns `None` for relative paths.
+pub fn parent(path: &str) -> Option<String> {
+    if !path.starts_with('/') {
+        return None;
+    }
+    let norm = normalize_lexical(path);
+    if norm == "/" {
+        return Some("/".to_string());
+    }
+    match norm.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(norm[..i].to_string()),
+        None => None,
+    }
+}
+
+/// Is `maybe_ancestor` an ancestor of (or equal to) `path`? Both must be
+/// normalized absolute paths.
+pub fn is_ancestor_or_equal(maybe_ancestor: &str, path: &str) -> bool {
+    if maybe_ancestor == "/" {
+        return path.starts_with('/');
+    }
+    path == maybe_ancestor
+        || (path.starts_with(maybe_ancestor)
+            && path.as_bytes().get(maybe_ancestor.len()) == Some(&b'/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize_lexical("/"), "/");
+        assert_eq!(normalize_lexical("//"), "/");
+        assert_eq!(normalize_lexical("/a/b"), "/a/b");
+        assert_eq!(normalize_lexical("/a/b/"), "/a/b");
+        assert_eq!(normalize_lexical("a/b"), "a/b");
+        assert_eq!(normalize_lexical("./a"), "a");
+        assert_eq!(normalize_lexical("."), ".");
+        assert_eq!(normalize_lexical(""), ".");
+    }
+
+    #[test]
+    fn normalize_dotdot() {
+        assert_eq!(normalize_lexical("/a/../b"), "/b");
+        assert_eq!(normalize_lexical("/a/b/../../c"), "/c");
+        assert_eq!(normalize_lexical("/../a"), "/a");
+        assert_eq!(normalize_lexical("/a/../../.."), "/");
+        assert_eq!(normalize_lexical("a/.."), ".");
+        assert_eq!(normalize_lexical("../a"), "../a");
+        assert_eq!(normalize_lexical("../../a/.."), "../..");
+    }
+
+    #[test]
+    fn join_semantics() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", ""), "/a");
+        assert_eq!(join("/a/b", "../c"), "/a/c");
+        assert_eq!(join("/a", "/x/y"), "/x/y");
+        assert_eq!(
+            join("/home/jcarb/.steam", "upd.sh"),
+            "/home/jcarb/.steam/upd.sh"
+        );
+    }
+
+    #[test]
+    fn parent_of() {
+        assert_eq!(parent("/a/b/c").as_deref(), Some("/a/b"));
+        assert_eq!(parent("/a").as_deref(), Some("/"));
+        assert_eq!(parent("/").as_deref(), Some("/"));
+        assert_eq!(parent("rel/a"), None);
+    }
+
+    #[test]
+    fn ancestry() {
+        assert!(is_ancestor_or_equal("/", "/anything"));
+        assert!(is_ancestor_or_equal("/a", "/a/b/c"));
+        assert!(is_ancestor_or_equal("/a/b", "/a/b"));
+        assert!(!is_ancestor_or_equal("/a/b", "/a/bc"));
+        assert!(!is_ancestor_or_equal("/a/b", "/a"));
+    }
+
+    #[test]
+    fn steam_bug_expansion_cases() {
+        // `${0%/*}` on `~/.steam/upd.sh` gives the parent; `cd` there
+        // succeeds and `$PWD` is the parent directory.
+        assert_eq!(
+            join("/anywhere", "/home/jcarb/.steam"),
+            "/home/jcarb/.steam"
+        );
+        // `${0%/*}` on `upd.sh` (no slash) leaves `upd.sh`; `cd upd.sh`
+        // fails; STEAMROOT ends up empty — the path algebra is only
+        // reached on the success branch.
+        assert_eq!(join("/home/jcarb", "upd.sh"), "/home/jcarb/upd.sh");
+    }
+}

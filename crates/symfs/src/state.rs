@@ -1,0 +1,435 @@
+//! The symbolic file-system heap.
+//!
+//! [`SymFs`] tracks what the analysis knows about every file-system
+//! location a script touches. Knowledge comes from two places:
+//!
+//! * **assumptions** about the initial world, recorded when a command's
+//!   precondition could be satisfied ("`rm -r $1` succeeded, so `$1` must
+//!   have existed") — these are constraints on the environment under
+//!   which the current execution path is feasible;
+//! * **effects**, the script's own changes ("after `rm -r $1`, `$1` is
+//!   gone").
+//!
+//! A [`Require::Contradiction`] means the current path *cannot* satisfy a
+//! command's precondition no matter what the initial world looked like —
+//! the command always fails on this path. That is exactly the paper's §4
+//! verdict for `rm -r $1; cat $1/config`.
+//!
+//! The heap enforces the tree axioms:
+//!
+//! 1. if a node exists, every ancestor exists and is a directory;
+//! 2. if a node is absent, every descendant is absent;
+//! 3. a file has no children.
+
+use crate::key::FsKey;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What is known about one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// A regular file (or at least: not a directory).
+    File,
+    /// A directory.
+    Dir,
+    /// Exists, kind unknown (e.g. `test -e` succeeded).
+    Exists,
+    /// Does not exist.
+    Absent,
+}
+
+impl NodeState {
+    /// Can a node simultaneously satisfy both states?
+    pub fn compatible(self, other: NodeState) -> bool {
+        use NodeState::*;
+        match (self, other) {
+            (Absent, Absent) => true,
+            (Absent, _) | (_, Absent) => false,
+            (File, Dir) | (Dir, File) => false,
+            _ => true,
+        }
+    }
+
+    /// The more specific of two compatible states.
+    pub fn refine(self, other: NodeState) -> NodeState {
+        use NodeState::*;
+        match (self, other) {
+            (Exists, s) | (s, Exists) => s,
+            (s, _) => s,
+        }
+    }
+
+    /// True when the node exists in this state.
+    pub fn exists(self) -> bool {
+        !matches!(self, NodeState::Absent)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeState::File => "a file",
+            NodeState::Dir => "a directory",
+            NodeState::Exists => "present",
+            NodeState::Absent => "absent",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of requiring a state at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Require {
+    /// Already known to hold.
+    Satisfied,
+    /// Unknown before; now assumed about the initial world.
+    Assumed,
+    /// Impossible on this path: the explanation names the conflicting
+    /// knowledge.
+    Contradiction(String),
+}
+
+impl Require {
+    /// True unless the requirement is contradictory.
+    pub fn ok(&self) -> bool {
+        !matches!(self, Require::Contradiction(_))
+    }
+}
+
+/// The symbolic heap. Cloneable: the engine forks it per execution path.
+#[derive(Debug, Clone, Default)]
+pub struct SymFs {
+    /// Current knowledge per location (sorted for deterministic output).
+    entries: BTreeMap<FsKey, NodeState>,
+    /// Assumptions made about the *initial* world, in order.
+    assumptions: Vec<(FsKey, NodeState)>,
+}
+
+impl SymFs {
+    /// An empty heap: nothing known beyond the existence of `/`.
+    pub fn new() -> SymFs {
+        let mut fs = SymFs::default();
+        fs.entries.insert(FsKey::root(), NodeState::Dir);
+        fs
+    }
+
+    /// Direct lookup of what is currently known about `key`, including
+    /// knowledge derived from the tree axioms.
+    pub fn lookup(&self, key: &FsKey) -> Option<NodeState> {
+        if let Some(&s) = self.entries.get(key) {
+            return Some(s);
+        }
+        // Axiom 2/3: an absent or file-typed ancestor forces absence.
+        for anc in key.proper_ancestors() {
+            match self.entries.get(&anc) {
+                Some(NodeState::Absent) | Some(NodeState::File) => return Some(NodeState::Absent),
+                _ => {}
+            }
+        }
+        // Axiom 1: a known child forces this node to be a directory.
+        let has_known_child = self
+            .entries
+            .range(key.clone()..)
+            .take_while(|(k, _)| key.is_ancestor_or_equal(k))
+            .any(|(k, s)| k != key && s.exists());
+        if has_known_child {
+            return Some(NodeState::Dir);
+        }
+        None
+    }
+
+    /// Requires `state` at `key`. If unknown, assumes it (constraining
+    /// the initial world); if known-compatible, refines; if impossible,
+    /// reports the contradiction.
+    pub fn require(&mut self, key: &FsKey, state: NodeState) -> Require {
+        match self.lookup(key) {
+            Some(known) if known.compatible(state) => {
+                self.entries.insert(key.clone(), known.refine(state));
+                if state.exists() {
+                    // Existence also pins the ancestors as directories.
+                    if let Require::Contradiction(c) = self.require_ancestors(key) {
+                        return Require::Contradiction(c);
+                    }
+                }
+                Require::Satisfied
+            }
+            Some(known) => Require::Contradiction(format!(
+                "{key} is {known} here, but the command needs it to be {state}"
+            )),
+            None => {
+                if state.exists() {
+                    if let Require::Contradiction(c) = self.require_ancestors(key) {
+                        return Require::Contradiction(c);
+                    }
+                }
+                self.entries.insert(key.clone(), state);
+                self.assumptions.push((key.clone(), state));
+                Require::Assumed
+            }
+        }
+    }
+
+    /// Ancestors of an existing node must be directories.
+    fn require_ancestors(&mut self, key: &FsKey) -> Require {
+        for anc in key.proper_ancestors() {
+            match self.lookup(&anc) {
+                Some(NodeState::Dir) => {}
+                Some(other) if other.compatible(NodeState::Dir) => {
+                    self.entries.insert(anc, NodeState::Dir);
+                }
+                Some(other) => {
+                    return Require::Contradiction(format!(
+                        "{key} needs {anc} to be a directory, but it is {other} here"
+                    ))
+                }
+                None => {
+                    self.entries.insert(anc.clone(), NodeState::Dir);
+                    self.assumptions.push((anc, NodeState::Dir));
+                }
+            }
+        }
+        Require::Satisfied
+    }
+
+    /// Records an effect: the node (and implicitly its subtree) now has
+    /// `state`, regardless of what it was.
+    pub fn set(&mut self, key: &FsKey, state: NodeState) {
+        match state {
+            NodeState::Absent => self.delete_tree(key),
+            NodeState::File => {
+                let _ = self.create_file(key);
+            }
+            _ => {
+                self.entries.insert(key.clone(), state);
+            }
+        }
+    }
+
+    /// Records the effect of `rm -r`: the node and its entire subtree are
+    /// gone.
+    pub fn delete_tree(&mut self, key: &FsKey) {
+        let doomed: Vec<FsKey> = self
+            .entries
+            .keys()
+            .filter(|k| key.is_ancestor_or_equal(k))
+            .cloned()
+            .collect();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+        self.entries.insert(key.clone(), NodeState::Absent);
+    }
+
+    /// Records the effect of `rm dir/*`: the node's *children* are gone
+    /// but the node itself remains.
+    pub fn delete_children(&mut self, key: &FsKey) {
+        let doomed: Vec<FsKey> = self
+            .entries
+            .keys()
+            .filter(|k| *k != key && key.is_ancestor_or_equal(k))
+            .cloned()
+            .collect();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+    }
+
+    /// Creates a file (as `touch` / `>` do), together with its directory
+    /// chain. Any previously-known descendants are erased: a file has no
+    /// children (axiom 3), so whatever was recorded beneath this key is
+    /// gone in the new state.
+    pub fn create_file(&mut self, key: &FsKey) -> Require {
+        let r = self.require_ancestors(key);
+        if r.ok() {
+            let stale: Vec<FsKey> = self
+                .entries
+                .keys()
+                .filter(|k| *k != key && key.is_ancestor_or_equal(k))
+                .cloned()
+                .collect();
+            for k in stale {
+                self.entries.remove(&k);
+            }
+            self.entries.insert(key.clone(), NodeState::File);
+        }
+        r
+    }
+
+    /// Creates a directory (as `mkdir -p` does).
+    pub fn create_dir(&mut self, key: &FsKey) -> Require {
+        let r = self.require_ancestors(key);
+        if r.ok() {
+            self.entries.insert(key.clone(), NodeState::Dir);
+        }
+        r
+    }
+
+    /// The assumptions accumulated about the initial world.
+    pub fn assumptions(&self) -> &[(FsKey, NodeState)] {
+        &self.assumptions
+    }
+
+    /// Is the knowledge that currently *determines* `key`'s state an
+    /// assumption about the initial world (as opposed to an effect the
+    /// script performed)? Used to separate "fails because the script
+    /// deleted it" (report-worthy) from "fails on the path where we
+    /// assumed it never existed" (ordinary).
+    pub fn determined_by_assumption(&self, key: &FsKey) -> bool {
+        if let Some(&s) = self.entries.get(key) {
+            return self.assumptions.iter().any(|(k, st)| k == key && *st == s);
+        }
+        // Derived knowledge: find the ancestor that forces the state.
+        for anc in key.proper_ancestors() {
+            if let Some(&s) = self.entries.get(&anc) {
+                if matches!(s, NodeState::Absent | NodeState::File) {
+                    return self.assumptions.iter().any(|(k, st)| *k == anc && *st == s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Every location with known state, in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&FsKey, NodeState)> {
+        self.entries.iter().map(|(k, &s)| (k, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: &str) -> FsKey {
+        FsKey::absolute(p).expect("absolute")
+    }
+
+    #[test]
+    fn require_then_satisfied() {
+        let mut fs = SymFs::new();
+        assert_eq!(
+            fs.require(&key("/etc/passwd"), NodeState::File),
+            Require::Assumed
+        );
+        assert_eq!(
+            fs.require(&key("/etc/passwd"), NodeState::File),
+            Require::Satisfied
+        );
+        // The ancestor was forced to a directory.
+        assert_eq!(fs.lookup(&key("/etc")), Some(NodeState::Dir));
+    }
+
+    #[test]
+    fn file_dir_conflict() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/data"), NodeState::File);
+        let r = fs.require(&key("/data"), NodeState::Dir);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn exists_refines() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/x"), NodeState::Exists);
+        assert_eq!(fs.require(&key("/x"), NodeState::File), Require::Satisfied);
+        assert_eq!(fs.lookup(&key("/x")), Some(NodeState::File));
+    }
+
+    #[test]
+    fn absent_propagates_down() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/gone"), NodeState::Absent);
+        assert_eq!(fs.lookup(&key("/gone/child/deep")), Some(NodeState::Absent));
+        let r = fs.require(&key("/gone/child"), NodeState::File);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn file_cannot_have_children() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/notes.txt"), NodeState::File);
+        let r = fs.require(&key("/notes.txt/inner"), NodeState::File);
+        assert!(!r.ok(), "a file has no children");
+    }
+
+    #[test]
+    fn child_implies_dir_parent() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/a/b"), NodeState::File);
+        // `/a` must be a directory: requiring it to be a file conflicts.
+        let r = fs.require(&key("/a"), NodeState::File);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn rm_then_cat_contradiction() {
+        // The paper's §4 composition bug, concrete-path version.
+        let mut fs = SymFs::new();
+        assert!(fs.require(&key("/work"), NodeState::Exists).ok());
+        fs.delete_tree(&key("/work"));
+        let r = fs.require(&key("/work/config"), NodeState::File);
+        assert!(
+            !r.ok(),
+            "cat /work/config must always fail after rm -r /work"
+        );
+    }
+
+    #[test]
+    fn rm_then_cat_symbolic() {
+        let mut fs = SymFs::new();
+        let base = FsKey::symbolic(0);
+        assert!(fs.require(&base, NodeState::Exists).ok());
+        fs.delete_tree(&base);
+        let r = fs.require(&base.child("config"), NodeState::File);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn mkdir_then_touch_ok() {
+        let mut fs = SymFs::new();
+        assert!(fs.create_dir(&key("/build")).ok());
+        assert!(fs.create_file(&key("/build/out.o")).ok());
+        assert_eq!(fs.lookup(&key("/build")), Some(NodeState::Dir));
+        assert_eq!(fs.lookup(&key("/build/out.o")), Some(NodeState::File));
+    }
+
+    #[test]
+    fn delete_children_keeps_node() {
+        let mut fs = SymFs::new();
+        fs.create_dir(&key("/steam")).ok();
+        fs.create_file(&key("/steam/bin")).ok();
+        fs.delete_children(&key("/steam"));
+        assert_eq!(fs.lookup(&key("/steam")), Some(NodeState::Dir));
+        assert_eq!(fs.lookup(&key("/steam/bin")), None);
+    }
+
+    #[test]
+    fn recreate_after_delete() {
+        // Deleting then recreating is consistent: effects are ordered.
+        let mut fs = SymFs::new();
+        fs.require(&key("/tmp/f"), NodeState::File);
+        fs.delete_tree(&key("/tmp/f"));
+        assert!(fs.create_file(&key("/tmp/f")).ok());
+        assert_eq!(fs.lookup(&key("/tmp/f")), Some(NodeState::File));
+    }
+
+    #[test]
+    fn assumptions_recorded_in_order() {
+        let mut fs = SymFs::new();
+        fs.require(&key("/a/b"), NodeState::File);
+        let keys: Vec<String> = fs
+            .assumptions()
+            .iter()
+            .map(|(k, _)| k.to_string())
+            .collect();
+        assert!(keys.contains(&"/a/b".to_string()));
+        assert!(keys.contains(&"/a".to_string()));
+    }
+
+    #[test]
+    fn different_sym_bases_do_not_alias() {
+        let mut fs = SymFs::new();
+        fs.require(&FsKey::symbolic(0), NodeState::File);
+        // A different base can still be a directory.
+        assert!(fs.require(&FsKey::symbolic(1), NodeState::Dir).ok());
+    }
+}

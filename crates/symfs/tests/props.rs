@@ -1,0 +1,196 @@
+//! Property-based tests for the symbolic file system: the tree axioms
+//! hold under arbitrary operation sequences, and lexical path
+//! normalization behaves like a normal form.
+
+use proptest::prelude::*;
+use shoal_symfs::key::FsKey;
+use shoal_symfs::state::{NodeState, SymFs};
+use shoal_symfs::{is_ancestor_or_equal, join, normalize_lexical};
+
+/// Strategy: path components from a small alphabet (plus dot-dot and
+/// dot to stress normalization).
+fn component() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("..".to_string()),
+        Just(".".to_string()),
+        Just("".to_string()),
+    ]
+}
+
+fn raw_path() -> impl Strategy<Value = String> {
+    (prop::bool::ANY, prop::collection::vec(component(), 0..6)).prop_map(|(abs, comps)| {
+        let body = comps.join("/");
+        if abs {
+            format!("/{body}")
+        } else {
+            body
+        }
+    })
+}
+
+/// Strategy: one file-system operation.
+#[derive(Debug, Clone)]
+enum Op {
+    RequireFile(String),
+    RequireDir(String),
+    RequireAbsent(String),
+    CreateFile(String),
+    CreateDir(String),
+    DeleteTree(String),
+    DeleteChildren(String),
+}
+
+fn abs_key_path() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 1..4)
+        .prop_map(|cs| format!("/{}", cs.join("/")))
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        abs_key_path().prop_map(Op::RequireFile),
+        abs_key_path().prop_map(Op::RequireDir),
+        abs_key_path().prop_map(Op::RequireAbsent),
+        abs_key_path().prop_map(Op::CreateFile),
+        abs_key_path().prop_map(Op::CreateDir),
+        abs_key_path().prop_map(Op::DeleteTree),
+        abs_key_path().prop_map(Op::DeleteChildren),
+    ]
+}
+
+fn apply(fs: &mut SymFs, op: &Op) {
+    let key = |p: &str| FsKey::absolute(p).expect("absolute");
+    match op {
+        Op::RequireFile(p) => {
+            let _ = fs.require(&key(p), NodeState::File);
+        }
+        Op::RequireDir(p) => {
+            let _ = fs.require(&key(p), NodeState::Dir);
+        }
+        Op::RequireAbsent(p) => {
+            let _ = fs.require(&key(p), NodeState::Absent);
+        }
+        Op::CreateFile(p) => {
+            let _ = fs.create_file(&key(p));
+        }
+        Op::CreateDir(p) => {
+            let _ = fs.create_dir(&key(p));
+        }
+        Op::DeleteTree(p) => fs.delete_tree(&key(p)),
+        Op::DeleteChildren(p) => fs.delete_children(&key(p)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalization_is_idempotent(p in raw_path()) {
+        let once = normalize_lexical(&p);
+        let twice = normalize_lexical(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalized_paths_have_no_dots_or_doubles(p in raw_path()) {
+        let n = normalize_lexical(&p);
+        prop_assert!(!n.contains("//"), "{n}");
+        // `.` is the normal form of the empty relative path; no other
+        // `.` components survive.
+        if n != "." {
+            prop_assert!(!n.split('/').any(|c| c == "."), "{n}");
+        }
+        if n.starts_with('/') {
+            prop_assert!(!n.split('/').any(|c| c == ".."), "absolute {n} kept ..");
+        }
+        if n.len() > 1 {
+            prop_assert!(!n.ends_with('/'), "{n}");
+        }
+    }
+
+    #[test]
+    fn join_produces_normalized(b in raw_path(), r in raw_path()) {
+        // Join against an absolute base always yields a normalized
+        // absolute path.
+        let base = if b.starts_with('/') { b } else { format!("/{b}") };
+        let base = normalize_lexical(&base);
+        let joined = join(&base, &r);
+        prop_assert_eq!(joined.clone(), normalize_lexical(&joined));
+        prop_assert!(joined.starts_with('/'));
+    }
+
+    #[test]
+    fn ancestor_relation_is_a_partial_order(a in abs_key_path(), b in abs_key_path()) {
+        let na = normalize_lexical(&a);
+        let nb = normalize_lexical(&b);
+        prop_assert!(is_ancestor_or_equal(&na, &na));
+        if is_ancestor_or_equal(&na, &nb) && is_ancestor_or_equal(&nb, &na) {
+            prop_assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn tree_axioms_hold_after_any_ops(ops in prop::collection::vec(op(), 0..24)) {
+        let mut fs = SymFs::new();
+        for o in &ops {
+            apply(&mut fs, o);
+        }
+        // Axiom: an existing node's ancestors are all directories.
+        let entries: Vec<(FsKey, NodeState)> =
+            fs.entries().map(|(k, s)| (k.clone(), s)).collect();
+        for (k, s) in &entries {
+            if s.exists() {
+                for anc in k.proper_ancestors() {
+                    let anc_state = fs.lookup(&anc);
+                    prop_assert!(
+                        anc_state == Some(NodeState::Dir),
+                        "{k} is {s} but ancestor {anc} is {anc_state:?} (ops: {ops:?})"
+                    );
+                }
+            }
+        }
+        // Axiom: nothing exists under an absent or file node.
+        for (k, s) in &entries {
+            if matches!(s, NodeState::Absent | NodeState::File) {
+                for (other, os) in &entries {
+                    if other != k && k.is_ancestor_or_equal(other) {
+                        prop_assert!(
+                            !os.exists(),
+                            "{other} is {os} under {k} which is {s} (ops: {ops:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn require_is_idempotent(ops in prop::collection::vec(op(), 0..12), p in abs_key_path()) {
+        let mut fs = SymFs::new();
+        for o in &ops {
+            apply(&mut fs, o);
+        }
+        let key = FsKey::absolute(&p).unwrap();
+        let mut fs2 = fs.clone();
+        let first = fs2.require(&key, NodeState::File).ok();
+        let state_after_first = fs2.lookup(&key);
+        let second = fs2.require(&key, NodeState::File).ok();
+        prop_assert_eq!(first, second, "second require changed feasibility");
+        prop_assert_eq!(state_after_first, fs2.lookup(&key));
+    }
+
+    #[test]
+    fn delete_tree_erases_subtree(ops in prop::collection::vec(op(), 0..12), p in abs_key_path()) {
+        let mut fs = SymFs::new();
+        for o in &ops {
+            apply(&mut fs, o);
+        }
+        let key = FsKey::absolute(&p).unwrap();
+        fs.delete_tree(&key);
+        prop_assert_eq!(fs.lookup(&key), Some(NodeState::Absent));
+        let child = key.child("probe");
+        prop_assert_eq!(fs.lookup(&child), Some(NodeState::Absent));
+    }
+}

@@ -1,0 +1,62 @@
+//! "Better late than sorry": the higher-order stream monitor.
+//!
+//! When static typing cannot conclude, a monitor guards the typed
+//! neighbor at run time. This example wires a monitor between an
+//! untrusted producer and a numeric consumer, in both halt and flag
+//! modes, and shows guard synthesis from a failed static obligation.
+//!
+//! ```sh
+//! cargo run --example runtime_monitor
+//! ```
+
+use shoal::monitor::{synthesize_guard, MonitorReport, OnViolation, StreamMonitor};
+use shoal::relang::Regex;
+
+fn run(label: &str, policy: OnViolation, input: &[u8]) -> MonitorReport {
+    let hex = Regex::parse("0x[0-9a-f]+").unwrap();
+    let mut monitor = StreamMonitor::new(&hex, policy);
+    let mut downstream: Vec<u8> = Vec::new();
+    monitor.feed(input, &mut downstream).unwrap();
+    let report = monitor.finish();
+    println!("--- {label} ---");
+    println!("input:      {:?}", String::from_utf8_lossy(input));
+    println!("downstream: {:?}", String::from_utf8_lossy(&downstream));
+    println!(
+        "checked {} line(s), {} violation(s){}{}",
+        report.lines,
+        report.violations,
+        report
+            .first_violation
+            .map(|l| format!(", first at line {l}"))
+            .unwrap_or_default(),
+        if report.halted {
+            " — HALTED before the bad line escaped"
+        } else {
+            ""
+        }
+    );
+    println!();
+    report
+}
+
+fn main() {
+    println!("=== Monitoring a stream against line type 0x[0-9a-f]+ ===\n");
+    let clean = b"0xdead\n0xbeef\n0x42\n";
+    let corrupt = b"0xdead\nnot-hex-at-all\n0x42\n";
+
+    run("clean stream, halt mode", OnViolation::Halt, clean);
+    let halted = run("corrupt stream, halt mode", OnViolation::Halt, corrupt);
+    assert!(halted.halted);
+    run(
+        "corrupt stream, flag mode (forward but count)",
+        OnViolation::Flag,
+        corrupt,
+    );
+
+    println!("=== Guard synthesis for an untypable stage ===\n");
+    // `mystery-gen` has no signature; `sort -g` downstream has a bound.
+    let obligation = Regex::parse("0x[0-9a-f]+").unwrap();
+    let guarded = synthesize_guard("mystery-gen /data | sort -g", 0, &obligation);
+    println!("original: mystery-gen /data | sort -g");
+    println!("guarded:  {guarded}");
+}

@@ -1,0 +1,68 @@
+//! Regular stream types in action: the paper's Fig. 5 dead pipe and the
+//! §4 polymorphic hexadecimal pipeline.
+//!
+//! ```sh
+//! cargo run --example stream_types
+//! ```
+
+use shoal::core::{analyze_source, DiagCode};
+use shoal::relang::Regex;
+use shoal::spec::Invocation;
+use shoal::streamty::pipeline::check_pipeline;
+use shoal::streamty::sig::Sig;
+use shoal::streamty::{sig_for, TypeAliases};
+
+fn main() {
+    println!("=== Fig. 5: the dead `grep '^desc'` filter ===\n");
+    // Type of `lsb_release -a` output, from its specification.
+    let lsb = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
+    for pattern in ["^desc", "^Desc"] {
+        let grep = Sig::Filter {
+            keep: Regex::grep_pattern(pattern).unwrap(),
+        };
+        let reports = check_pipeline(&lsb, &[(format!("grep '{pattern}'"), grep)]);
+        let r = &reports[0];
+        println!("grep '{pattern}' :: {} → {}", r.input, r.output);
+        match r.output.witness_string() {
+            Some(w) => println!("  passes e.g. {w:?}\n"),
+            None => println!("  DEAD: no line of lsb_release output can pass\n"),
+        }
+    }
+
+    println!("=== §4: polymorphic types for the hex pipeline ===\n");
+    let stages: Vec<(String, Sig)> = [
+        Invocation::new("grep", &['o', 'E'], &["[0-9a-f]+"]),
+        Invocation::new("sed", &[], &["s/^/0x/"]),
+        Invocation::new("sort", &['g'], &[]),
+    ]
+    .into_iter()
+    .map(|inv| {
+        let sig = sig_for(&inv).expect("known filter");
+        (inv.to_string(), sig)
+    })
+    .collect();
+    for (name, sig) in &stages {
+        println!("  {name} :: {sig}");
+    }
+    let reports = check_pipeline(&Regex::any_line(), &stages);
+    println!();
+    for r in &reports {
+        println!("  {r}");
+    }
+    let aliases = TypeAliases::builtin();
+    let final_ty = &reports.last().unwrap().output;
+    println!(
+        "\nfinal type: {final_ty}{}",
+        aliases
+            .type_of(final_ty)
+            .map(|n| format!("  (≤ `{n}`)"))
+            .unwrap_or_default()
+    );
+
+    println!("\n=== The same checks, end to end through the analyzer ===\n");
+    let fig5 = shoal::corpus::figures::FIG5;
+    let report = analyze_source(fig5).unwrap();
+    for d in report.with_code(DiagCode::DeadPipe) {
+        println!("{d}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The §5 security scenario: `curl sw.com/up.sh | verify --no-RW ~/mine | sh`.
+//!
+//! A security-conscious user wants to run a downloaded installer but
+//! protect a directory. `verify` checks the script against the policy
+//! statically, and reports exactly which commands would need runtime
+//! containment when the static answer is inconclusive.
+//!
+//! ```sh
+//! cargo run --example verify_policy
+//! ```
+
+use shoal::monitor::{verify_source, Policy};
+use shoal::spec::SpecLibrary;
+
+const WELL_BEHAVED_INSTALLER: &str = r#"#!/bin/sh
+mkdir -p /opt/coolapp
+touch /opt/coolapp/coolapp.bin
+ln /opt/coolapp/coolapp.bin /opt/coolapp/latest
+cat /opt/coolapp/latest
+"#;
+
+const GREEDY_INSTALLER: &str = r#"#!/bin/sh
+mkdir -p /opt/coolapp
+cat /home/me/mine/ssh-keys > /opt/coolapp/telemetry
+rm -rf /home/me/mine/competitor-app
+"#;
+
+const SHIFTY_INSTALLER: &str = r#"#!/bin/sh
+TARGET="$1"
+mkdir -p /opt/coolapp
+rm -rf "$TARGET"
+"#;
+
+fn main() {
+    let specs = SpecLibrary::builtin();
+    let policy = Policy::no_rw("/home/me/mine");
+    for (name, src) in [
+        ("well-behaved installer", WELL_BEHAVED_INSTALLER),
+        ("greedy installer", GREEDY_INSTALLER),
+        ("shifty installer (dynamic target)", SHIFTY_INSTALLER),
+    ] {
+        println!("=== verify --no-RW /home/me/mine  ({name}) ===");
+        let report = verify_source(src, &policy, &specs).expect("parses");
+        if report.conclusively_safe() {
+            println!(
+                "conclusively safe: {} command(s) verified, nothing touches the protected tree\n",
+                report.commands_checked
+            );
+            continue;
+        }
+        for f in &report.findings {
+            println!(
+                "  {}: {:?} {} of {} by `{}`",
+                f.span, f.certainty, f.access, f.prefix, f.what
+            );
+        }
+        for (span, what) in &report.unclassified {
+            println!("  {span}: `{what}` cannot be classified statically");
+        }
+        println!(
+            "  → {} definite violation(s); residual obligations need runtime containment\n",
+            report.definite().len()
+        );
+    }
+}

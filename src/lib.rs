@@ -1,0 +1,44 @@
+//! # shoal — semantics-driven static analysis for Unix shell programs
+//!
+//! A from-scratch Rust reproduction of *"From Ahead-of- to Just-in-Time
+//! and Back Again: Static Analysis for Unix Shell Programs"* (HotOS
+//! 2025). The paper argues the shell can enjoy ahead-of-time,
+//! semantics-driven analysis; this workspace builds the system the paper
+//! envisions:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`relang`] | regular-language engine (regexes, NFA/DFA, decision procedures) |
+//! | [`shparse`] | POSIX shell parser with full word structure |
+//! | [`symfs`] | symbolic file-system model |
+//! | [`spec`] | command specifications (invocation DSL + Hoare cases) |
+//! | [`miner`] | Fig. 4 spec mining: docs → probing → compiled specs |
+//! | [`streamty`] | regular stream types (incl. polymorphic signatures) |
+//! | [`core`] | the symbolic execution engine and checkers |
+//! | [`lint`] | the ShellCheck-style syntactic baseline |
+//! | [`monitor`] | runtime stream monitoring and `verify` policies |
+//! | [`corpus`] | paper figures and evaluation corpora |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shoal::core::{analyze_source, DiagCode};
+//!
+//! // The Steam updater bug (the paper's Fig. 1).
+//! let report = analyze_source(r#"
+//! STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+//! rm -fr "$STEAMROOT"/*
+//! "#).unwrap();
+//! assert!(report.has(DiagCode::DangerousDelete));
+//! ```
+
+pub use shoal_core as core;
+pub use shoal_corpus as corpus;
+pub use shoal_lint as lint;
+pub use shoal_miner as miner;
+pub use shoal_monitor as monitor;
+pub use shoal_relang as relang;
+pub use shoal_shparse as shparse;
+pub use shoal_spec as spec;
+pub use shoal_streamty as streamty;
+pub use shoal_symfs as symfs;

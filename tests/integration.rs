@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: the full pipeline from source text
+//! through parsing, symbolic execution, stream typing, linting, mining,
+//! and policy verification — exercised together through the umbrella
+//! crate, the way a downstream user would.
+
+use shoal::core::{analyze_source, AnalysisOptions, DiagCode};
+use shoal::corpus::{figures, variants, BugClass};
+use shoal::lint::lint_source;
+use shoal::miner::{evaluate_mined, mine_command};
+use shoal::monitor::{verify_source, Policy};
+use shoal::spec::SpecLibrary;
+
+/// E1 in miniature: the analyzer separates the three figures; the
+/// baseline cannot.
+#[test]
+fn analyzer_separates_figures_linter_does_not() {
+    let analyzer_flags = |src: &str| analyze_source(src).unwrap().has(DiagCode::DangerousDelete);
+    let lint_flags = |src: &str| lint_source(src).unwrap().iter().any(|l| l.code == "SC2115");
+    assert!(analyzer_flags(figures::FIG1));
+    assert!(!analyzer_flags(figures::FIG2));
+    assert!(analyzer_flags(figures::FIG3));
+    // The syntactic baseline fires on all three alike.
+    assert!(lint_flags(figures::FIG1));
+    assert!(lint_flags(figures::FIG2));
+    assert!(lint_flags(figures::FIG3));
+}
+
+/// E3 in miniature: every dangerous variant is caught; every safe
+/// look-alike is proven clean.
+#[test]
+fn variant_robustness() {
+    for v in variants::dangerous_variants() {
+        let report = analyze_source(&v.script).unwrap();
+        assert!(
+            report.has(DiagCode::DangerousDelete),
+            "dangerous variant {:?} missed:\n{}",
+            v.name,
+            v.script
+        );
+    }
+    for v in variants::safe_lookalikes() {
+        let report = analyze_source(&v.script).unwrap();
+        assert!(
+            !report.has(DiagCode::DangerousDelete),
+            "safe look-alike {:?} wrongly flagged: {:#?}",
+            v.name,
+            report.with_code(DiagCode::DangerousDelete)
+        );
+    }
+}
+
+/// E8 in miniature: on a small labeled corpus the analyzer's per-class
+/// detection maps to the injected ground truth.
+#[test]
+fn labeled_corpus_detection() {
+    let corpus = shoal::corpus::generate_corpus(3, 7);
+    for s in &corpus {
+        let report =
+            analyze_source(&s.script).unwrap_or_else(|e| panic!("{} failed to parse: {e}", s.name));
+        let expected_code = match s.class {
+            BugClass::DangerousDelete => Some(DiagCode::DangerousDelete),
+            BugClass::DeadPipe => Some(DiagCode::DeadPipe),
+            BugClass::AlwaysFails => Some(DiagCode::AlwaysFails),
+            BugClass::Benign => None,
+        };
+        match expected_code {
+            Some(code) => assert!(
+                report.has(code),
+                "{}: expected {code} in {:#?}\n{}",
+                s.name,
+                report.diagnostics,
+                s.script
+            ),
+            None => {
+                for code in [
+                    DiagCode::DangerousDelete,
+                    DiagCode::DeadPipe,
+                    DiagCode::AlwaysFails,
+                ] {
+                    assert!(
+                        !report.has(code),
+                        "{}: benign script flagged with {code}: {:#?}\n{}",
+                        s.name,
+                        report.with_code(code),
+                        s.script
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mined specifications slot into the engine in place of hand-written
+/// ones and reproduce the rm/cat verdict.
+#[test]
+fn mined_specs_drive_the_engine() {
+    use shoal::core::engine::Engine;
+    use shoal::core::World;
+    use shoal::shparse::parse_script;
+
+    let mut engine = Engine::new(AnalysisOptions::default());
+    // Replace the ground-truth `cat` spec with the mined one.
+    let mined_cat = mine_command("cat").expect("cat is documented");
+    engine.specs.insert(mined_cat);
+    let script = parse_script("rm -r \"$1\"\ncat \"$1\"/config\n").unwrap();
+    let worlds = engine.exec_items(vec![World::initial()], &script.items);
+    let found = worlds
+        .iter()
+        .flat_map(|w| &w.diags)
+        .any(|d| d.code == DiagCode::AlwaysFails);
+    assert!(found, "mined cat spec must still expose the contradiction");
+}
+
+/// Mining quality holds across the whole documented corpus.
+#[test]
+fn mining_accuracy_across_corpus() {
+    let lib = SpecLibrary::builtin();
+    let mut total = 0.0;
+    let mut n = 0;
+    for name in shoal::miner::manpages::all_documented() {
+        let mined = mine_command(name).unwrap();
+        let score = evaluate_mined(&mined, lib.get(name));
+        total += score.accuracy;
+        n += 1;
+    }
+    let mean = total / n as f64;
+    assert!(mean > 0.97, "mean mining accuracy {mean}");
+}
+
+/// The §5 scenario end to end: verify an installer against `--no-RW`.
+#[test]
+fn curl_to_sh_policy_check() {
+    let specs = SpecLibrary::builtin();
+    let policy = Policy::no_rw("/home/me/mine");
+    let bad = "cat /home/me/mine/wallet.dat\n";
+    let report = verify_source(bad, &policy, &specs).unwrap();
+    assert_eq!(report.definite().len(), 1);
+    let good = "mkdir -p /opt/x\ntouch /opt/x/done\n";
+    let report = verify_source(good, &policy, &specs).unwrap();
+    assert!(report.conclusively_safe());
+}
+
+/// The ablation switch: without concrete pruning, Fig. 2's guard cannot
+/// discharge the warning (the infeasible world survives).
+#[test]
+fn pruning_ablation_changes_fig2_verdict() {
+    use shoal::core::analyze_source_with;
+    let with_pruning = analyze_source_with(figures::FIG2, AnalysisOptions::default()).unwrap();
+    assert!(!with_pruning.has(DiagCode::DangerousDelete));
+    let no_pruning = analyze_source_with(
+        figures::FIG2,
+        AnalysisOptions {
+            enable_pruning: false,
+            ..AnalysisOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        no_pruning.has(DiagCode::DangerousDelete),
+        "without pruning the guard cannot protect the rm"
+    );
+}
+
+/// Stream types can be disabled (isolating the symbolic-execution cost
+/// in E9); dead pipes are then not reported.
+#[test]
+fn stream_type_switch() {
+    use shoal::core::analyze_source_with;
+    let on = analyze_source_with(figures::FIG5, AnalysisOptions::default()).unwrap();
+    assert!(on.has(DiagCode::DeadPipe));
+    let off = analyze_source_with(
+        figures::FIG5,
+        AnalysisOptions {
+            enable_stream_types: false,
+            ..AnalysisOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!off.has(DiagCode::DeadPipe));
+}
+
+/// Parser → printer → analyzer: analyzing the pretty-printed form gives
+/// the same headline verdicts as the original.
+#[test]
+fn verdicts_stable_under_reprinting() {
+    for (name, src) in figures::all() {
+        let ast = shoal::shparse::parse_script(src).unwrap();
+        let printed = ast.to_source();
+        let orig = analyze_source(src).unwrap();
+        let re = analyze_source(&printed)
+            .unwrap_or_else(|e| panic!("{name} reprinted form failed: {e}\n{printed}"));
+        for code in [
+            DiagCode::DangerousDelete,
+            DiagCode::DeadPipe,
+            DiagCode::AlwaysFails,
+        ] {
+            assert_eq!(
+                orig.has(code),
+                re.has(code),
+                "{name}: verdict for {code} changed after reprinting\n{printed}"
+            );
+        }
+    }
+}
+
+/// Scaling scripts stay within the world cap and terminate quickly.
+#[test]
+fn scaling_scripts_analyze() {
+    use shoal::corpus::scale;
+    for n in [10, 50] {
+        let report = analyze_source(&scale::straight_line(n)).unwrap();
+        assert!(report.paths_completed >= 1);
+    }
+    let branchy = analyze_source(&scale::branchy(8)).unwrap();
+    assert!(branchy.paths_completed >= 1);
+    let pipes = analyze_source(&scale::wide_pipeline(12)).unwrap();
+    assert!(pipes.paths_completed >= 1);
+    let loops = analyze_source(&scale::loopy(5)).unwrap();
+    assert!(loops.paths_completed >= 1);
+}
