@@ -1,18 +1,15 @@
-//! Spec-mining throughput: the ahead-of-time cost of building the
-//! specification library (Fig. 4 is run once per command, offline).
+//! Spec-mining throughput (on the in-repo harness): the ahead-of-time
+//! cost of building the specification library (Fig. 4 is run once per
+//! command, offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use shoal_miner::mine_command;
-use std::hint::black_box;
+use shoal_obs::bench::{bench, black_box, header};
 
-fn bench_mining(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mine");
-    g.sample_size(10);
+fn main() {
+    header("mining");
     for name in ["rm", "cp", "cd"] {
-        g.bench_function(name, |b| b.iter(|| mine_command(black_box(name)).unwrap()));
+        bench(&format!("mine/{name}"), || {
+            black_box(mine_command(black_box(name)).unwrap());
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_mining);
-criterion_main!(benches);

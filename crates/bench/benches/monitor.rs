@@ -1,10 +1,9 @@
-//! Monitoring overhead (E10's criterion counterpart): raw pass-through
-//! vs. monitored pass-through.
+//! Monitoring overhead (E10's bench counterpart, on the in-repo
+//! harness): raw pass-through vs. monitored pass-through.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use shoal_monitor::{OnViolation, StreamMonitor};
+use shoal_obs::bench::{bench, black_box, header};
 use shoal_relang::Regex;
-use std::hint::black_box;
 
 fn stream(n: usize) -> Vec<u8> {
     let mut out = Vec::new();
@@ -14,31 +13,27 @@ fn stream(n: usize) -> Vec<u8> {
     out
 }
 
-fn bench_monitor(c: &mut Criterion) {
+fn main() {
+    header("monitor");
     let data = stream(10_000);
     let ty = Regex::parse("0x[0-9a-f]+ value=[0-9]+").unwrap();
-    let mut g = c.benchmark_group("stream_10k_lines");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("baseline_linewise_copy", |b| {
-        b.iter(|| {
-            let mut sink = Vec::with_capacity(data.len());
-            for line in black_box(&data).split(|b| *b == b'\n') {
-                sink.extend_from_slice(line);
-                sink.push(b'\n');
-            }
-            sink
-        })
+    let base = bench("stream_10k_lines/baseline_linewise_copy", || {
+        let mut sink = Vec::with_capacity(data.len());
+        for line in black_box(&data).split(|b| *b == b'\n') {
+            sink.extend_from_slice(line);
+            sink.push(b'\n');
+        }
+        black_box(sink);
     });
-    g.bench_function("monitored", |b| {
-        b.iter(|| {
-            let mut m = StreamMonitor::new(&ty, OnViolation::Flag);
-            let mut sink = Vec::with_capacity(data.len());
-            m.feed(black_box(&data), &mut sink).unwrap();
-            m.finish()
-        })
+    let monitored = bench("stream_10k_lines/monitored", || {
+        let mut m = StreamMonitor::new(&ty, OnViolation::Flag);
+        let mut sink = Vec::with_capacity(data.len());
+        m.feed(black_box(&data), &mut sink).unwrap();
+        black_box(m.finish());
     });
-    g.finish();
+    println!(
+        "    (monitored / baseline = {:.2}x over {} bytes)",
+        monitored.ns_per_iter / base.ns_per_iter,
+        data.len()
+    );
 }
-
-criterion_group!(benches, bench_monitor);
-criterion_main!(benches);

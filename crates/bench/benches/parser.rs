@@ -1,33 +1,28 @@
-//! Parser throughput over generated scripts of increasing size.
+//! Parser throughput over generated scripts of increasing size (on the
+//! in-repo harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use shoal_corpus::scale;
+use shoal_obs::bench::{bench, black_box, header};
 use shoal_shparse::parse_script;
-use std::hint::black_box;
 
-fn bench_parse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parse");
+fn main() {
+    header("parser");
     for n in [10usize, 100, 1000] {
         let src = scale::straight_line(n);
-        g.throughput(Throughput::Bytes(src.len() as u64));
-        g.bench_with_input(BenchmarkId::new("straight_line", n), &src, |b, s| {
-            b.iter(|| parse_script(black_box(s)).unwrap())
+        let m = bench(&format!("parse/straight_line/{n}"), || {
+            black_box(parse_script(black_box(&src)).unwrap());
         });
+        let mb_s = src.len() as f64 / m.ns_per_iter * 1e3;
+        println!("    ({:.1} MB/s over {} bytes)", mb_s, src.len());
     }
     let fig2 = shoal_corpus::figures::FIG2;
-    g.bench_function("fig2", |b| {
-        b.iter(|| parse_script(black_box(fig2)).unwrap())
+    bench("parse/fig2", || {
+        black_box(parse_script(black_box(fig2)).unwrap());
     });
-    g.finish();
-}
 
-fn bench_roundtrip(c: &mut Criterion) {
     let src = scale::straight_line(100);
     let ast = parse_script(&src).unwrap();
-    c.bench_function("print_100_lines", |b| {
-        b.iter(|| black_box(&ast).to_source())
+    bench("print_100_lines", || {
+        black_box(black_box(&ast).to_source());
     });
 }
-
-criterion_group!(benches, bench_parse, bench_roundtrip);
-criterion_main!(benches);

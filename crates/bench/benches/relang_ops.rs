@@ -1,70 +1,55 @@
-//! Criterion benches for the regular-language engine: the decision
-//! procedures are the analyzer's inner loop, so their costs bound
-//! everything else.
+//! Benches for the regular-language engine (on the in-repo harness):
+//! the decision procedures are the analyzer's inner loop, so their
+//! costs bound everything else.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shoal_obs::bench::{bench, black_box, header};
 use shoal_relang::{Dfa, Regex};
-use std::hint::black_box;
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
+    header("relang_ops");
     let patterns = [
         ("literal", "simple-literal-string"),
         ("lsb", r"(Distributor ID|Description|Release|Codename):\t.*"),
         ("path", r"/?([^/\n]+/)*[^/\n]+"),
         ("numeric", r"[-+]?[0-9]+(\.[0-9]*)?([eE][-+]?[0-9]+)?.*"),
     ];
-    let mut g = c.benchmark_group("dfa_compile");
     for (name, pat) in patterns {
         let re = Regex::parse(pat).unwrap();
-        g.bench_function(name, |b| b.iter(|| Dfa::from_regex(black_box(&re))));
+        bench(&format!("dfa_compile/{name}"), || {
+            black_box(Dfa::from_regex(black_box(&re)));
+        });
     }
-    g.finish();
-}
 
-fn bench_decisions(c: &mut Criterion) {
     let lsb = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
     let desc = Regex::grep_pattern("^desc").unwrap();
     let hex = Regex::parse("0x[0-9a-f]+").unwrap();
     let bound = Regex::parse("0x[0-9a-f]+.*").unwrap();
-    let mut g = c.benchmark_group("decisions");
-    g.bench_function("emptiness_of_intersection", |b| {
-        b.iter(|| black_box(lsb.intersect(&desc)).is_empty())
+    bench("decisions/emptiness_of_intersection", || {
+        black_box(black_box(&lsb).intersect(&desc).is_empty());
     });
-    g.bench_function("containment", |b| {
-        b.iter(|| black_box(&hex).is_subset_of(&bound))
+    bench("decisions/containment", || {
+        black_box(black_box(&hex).is_subset_of(&bound));
     });
-    g.bench_function("equivalence", |b| b.iter(|| black_box(&hex).equiv(&hex)));
-    g.bench_function("witness", |b| b.iter(|| black_box(&lsb).witness()));
-    g.finish();
-}
+    bench("decisions/equivalence", || {
+        black_box(black_box(&hex).equiv(&hex));
+    });
+    bench("decisions/witness", || {
+        black_box(black_box(&lsb).witness());
+    });
 
-fn bench_quotients(c: &mut Criterion) {
     let paths = Dfa::from_regex(&Regex::parse(r"/?([^/\n]+/)*[^/\n]+").unwrap());
     let suffix = Dfa::from_regex(&Regex::parse(r"/(.|\n)*").unwrap());
-    c.bench_function("right_quotient_dirname", |b| {
-        b.iter_batched(
-            || (paths.clone(), suffix.clone()),
-            |(p, s)| p.right_quotient(&s),
-            BatchSize::SmallInput,
-        )
+    bench("right_quotient_dirname", || {
+        black_box(black_box(&paths).right_quotient(&suffix));
     });
-}
 
-fn bench_matching(c: &mut Criterion) {
     let re = Regex::parse(r"(Distributor ID|Description|Release|Codename):\t.*").unwrap();
     let dfa = Dfa::from_regex(&re);
     let line = b"Description:\tUbuntu 24.04.1 LTS";
-    let mut g = c.benchmark_group("match_line");
-    g.bench_function("dfa", |b| b.iter(|| dfa.matches(black_box(line))));
-    g.bench_function("derivatives", |b| b.iter(|| re.matches(black_box(line))));
-    g.finish();
+    bench("match_line/dfa", || {
+        black_box(dfa.matches(black_box(line)));
+    });
+    bench("match_line/derivatives", || {
+        black_box(re.matches(black_box(line)));
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_decisions,
-    bench_quotients,
-    bench_matching
-);
-criterion_main!(benches);

@@ -1,47 +1,38 @@
-//! Symbolic-execution cost (E9's criterion counterpart): figures,
-//! scaling scripts, and the pruning ablation.
+//! Symbolic-execution cost (E9's bench counterpart, on the in-repo
+//! harness): figures, scaling scripts, and the pruning ablation. Also
+//! measures the acceptance criterion for the observability layer: with
+//! recording disabled, `analyze_source_with` must stay within noise of
+//! its uninstrumented speed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shoal_core::{analyze_source_with, AnalysisOptions};
 use shoal_corpus::{figures, scale};
-use std::hint::black_box;
+use shoal_obs::bench::{bench, black_box, header};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(20);
+fn main() {
+    header("symexec");
     for (name, src) in [
         ("fig1", figures::FIG1),
         ("fig2", figures::FIG2),
         ("fig5", figures::FIG5),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| analyze_source_with(black_box(src), AnalysisOptions::default()).unwrap())
+        bench(&format!("figures/{name}"), || {
+            black_box(analyze_source_with(black_box(src), AnalysisOptions::default()).unwrap());
         });
     }
-    g.finish();
-}
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("straight_line");
-    g.sample_size(10);
     for n in [10usize, 50] {
         let src = scale::straight_line(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, s| {
-            b.iter(|| analyze_source_with(black_box(s), AnalysisOptions::default()).unwrap())
+        bench(&format!("straight_line/{n}"), || {
+            black_box(analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap());
         });
     }
-    g.finish();
-}
 
-fn bench_pruning_ablation(c: &mut Criterion) {
     let src = scale::branchy(6);
-    let mut g = c.benchmark_group("branchy6");
-    g.sample_size(20);
-    g.bench_function("with_pruning", |b| {
-        b.iter(|| analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap())
+    bench("branchy6/with_pruning", || {
+        black_box(analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap());
     });
-    g.bench_function("without_pruning", |b| {
-        b.iter(|| {
+    bench("branchy6/without_pruning", || {
+        black_box(
             analyze_source_with(
                 black_box(&src),
                 AnalysisOptions {
@@ -49,16 +40,19 @@ fn bench_pruning_ablation(c: &mut Criterion) {
                     ..AnalysisOptions::default()
                 },
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_figures,
-    bench_scaling,
-    bench_pruning_ablation
-);
-criterion_main!(benches);
+    // Observability overhead when *enabled* (the disabled path is the
+    // default for every bench above).
+    shoal_obs::install();
+    bench("fig1/with_recording", || {
+        black_box(
+            analyze_source_with(black_box(figures::FIG1), AnalysisOptions::default()).unwrap(),
+        );
+        // Keep the trace from growing without bound across iterations.
+        shoal_obs::take_events();
+    });
+    shoal_obs::set_enabled(false);
+}

@@ -385,8 +385,27 @@ pub fn e8_corpus() {
         std::collections::BTreeMap::new();
     let mut lint_fp = 0usize;
     let mut lint_tp = 0usize;
+    let mut agg_exec_us = 0u64;
+    let mut agg_forks = 0u64;
+    let mut agg_pruned = 0u64;
+    let mut max_peak = 0usize;
+    let mut capped = 0usize;
     for s in &corpus {
-        let report = analyze_source(&s.script).expect("parses");
+        let report = analyze_source_with(
+            &s.script,
+            AnalysisOptions {
+                profile: true,
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("parses");
+        if let Some(p) = &report.profile {
+            agg_exec_us += p.exec_us;
+            agg_forks += p.forks;
+            agg_pruned += p.worlds_pruned;
+            max_peak = max_peak.max(p.peak_live_worlds);
+        }
+        capped += usize::from(!report.cap_hits.is_empty());
         let lints = lint_source(&s.script).expect("parses");
         let lint_hit = lints.iter().any(|l| matches!(l.code, "SC2115" | "SC2086"));
         let detected = |class: BugClass| -> bool {
@@ -464,74 +483,108 @@ pub fn e8_corpus() {
         "\nlint (SC2115/SC2086 as bug signal): {lint_tp}/{buggy} buggy flagged, {lint_fp}/{benign} benign flagged"
     );
     println!("(the lint row is the paper's 'inherently noisy' claim, quantified)");
+    println!(
+        "\nexploration cost over {} scripts: {} µs symbolic execution, {} fork(s), \
+         {} pruned, peak {} live world(s), {} script(s) hit a cap",
+        corpus.len(),
+        agg_exec_us,
+        agg_forks,
+        agg_pruned,
+        max_peak,
+        capped
+    );
 }
 
-/// E9 — analysis-cost scaling and the pruning ablation.
+/// E9 — analysis-cost scaling and the pruning ablation, reported from
+/// the engine's own [`shoal_core::ProfileReport`] (exact peak live
+/// worlds and per-phase time, not wall-clock guesses).
 pub fn e9_scaling() {
     banner("E9", "Analysis cost scaling; concrete-pruning ablation");
-    println!("{:<26} {:>10} {:>12}", "script", "paths", "time");
+    let profiled = |src: &str, pruning: bool| {
+        analyze_source_with(
+            src,
+            AnalysisOptions {
+                enable_pruning: pruning,
+                profile: true,
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("parses")
+    };
+    println!(
+        "{:<26} {:>8} {:>6} {:>12} {:>12}",
+        "script", "paths", "peak", "exec", "total"
+    );
     for n in [10usize, 50, 100, 200] {
-        let src = scale::straight_line(n);
-        let t = Instant::now();
-        let report = analyze_source(&src).expect("parses");
+        let report = profiled(&scale::straight_line(n), true);
+        let p = report.profile.as_ref().unwrap();
         println!(
-            "{:<26} {:>10} {:>11.1?}",
+            "{:<26} {:>8} {:>6} {:>9} µs {:>9} µs",
             format!("straight-line n={n}"),
-            report.paths_completed,
-            t.elapsed()
+            report.terminal_worlds,
+            p.peak_live_worlds,
+            p.exec_us,
+            p.total_us
         );
     }
     for n in [4usize, 8, 16] {
-        let src = scale::wide_pipeline(n);
-        let t = Instant::now();
-        let report = analyze_source(&src).expect("parses");
+        let report = profiled(&scale::wide_pipeline(n), true);
+        let p = report.profile.as_ref().unwrap();
         println!(
-            "{:<26} {:>10} {:>11.1?}",
+            "{:<26} {:>8} {:>6} {:>9} µs {:>9} µs",
             format!("pipeline width={n}"),
-            report.paths_completed,
-            t.elapsed()
+            report.terminal_worlds,
+            p.peak_live_worlds,
+            p.exec_us,
+            p.total_us
         );
     }
     println!("\ncorrelated branches (all test $1), with vs. without concrete pruning:");
     println!(
-        "{:<16} {:>14} {:>12} {:>14} {:>12}",
-        "branches", "paths(prune)", "time", "paths(ablate)", "time"
+        "{:<10} {:>12} {:>8} {:>10} {:>14} {:>10} {:>10}",
+        "branches", "paths(prune)", "pruned", "time", "paths(ablate)", "peak", "time"
     );
     for k in [2usize, 4, 6, 8] {
         let src = scale::branchy(k);
-        let t1 = Instant::now();
-        let with = analyze_source_with(&src, AnalysisOptions::default()).expect("parses");
-        let d1 = t1.elapsed();
-        let t2 = Instant::now();
-        let without = analyze_source_with(
-            &src,
-            AnalysisOptions {
-                enable_pruning: false,
-                ..AnalysisOptions::default()
-            },
-        )
-        .expect("parses");
-        let d2 = t2.elapsed();
+        let with = profiled(&src, true);
+        let without = profiled(&src, false);
+        let (pw, pwo) = (
+            with.profile.as_ref().unwrap(),
+            without.profile.as_ref().unwrap(),
+        );
         println!(
-            "{:<16} {:>14} {:>11.1?} {:>14} {:>11.1?}",
+            "{:<10} {:>12} {:>8} {:>7} µs {:>14} {:>10} {:>7} µs",
             format!("k={k}"),
-            with.paths_completed,
-            d1,
-            without.paths_completed,
-            d2
+            with.terminal_worlds,
+            pw.worlds_pruned,
+            pw.total_us,
+            without.terminal_worlds,
+            pwo.peak_live_worlds,
+            pwo.total_us
         );
     }
     println!("\nindependent branches (k distinct variables): 2^k genuine paths, capped at 64:");
-    println!("{:<16} {:>10} {:>12}", "branches", "paths", "time");
+    println!(
+        "{:<10} {:>8} {:>6} {:>9} {:>12} cap hits",
+        "branches", "paths", "peak", "dropped", "time"
+    );
     for k in [2usize, 4, 6, 8] {
-        let src = scale::branchy_independent(k);
-        let t = Instant::now();
-        let report = analyze_source(&src).expect("parses");
+        let report = profiled(&scale::branchy_independent(k), true);
+        let p = report.profile.as_ref().unwrap();
+        let hits = report
+            .cap_hits
+            .iter()
+            .map(|h| format!("{} at line {} ({}×)", h.reason, h.line, h.hits))
+            .collect::<Vec<_>>()
+            .join(", ");
         println!(
-            "{:<16} {:>10} {:>11.1?}",
+            "{:<10} {:>8} {:>6} {:>9} {:>9} µs {}",
             format!("k={k}"),
-            report.paths_completed,
-            t.elapsed()
+            report.terminal_worlds,
+            p.peak_live_worlds,
+            p.cap_dropped,
+            p.total_us,
+            if hits.is_empty() { "-".into() } else { hits }
         );
     }
 }

@@ -25,8 +25,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let rest = &args[1..];
-    match cmd.as_str() {
-        "analyze" => cmd_analyze(rest),
+    let (obs, rest) = match ObsFlags::extract(rest) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("shoal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rest = &rest[..];
+    let code = match cmd.as_str() {
+        "analyze" | "check" => cmd_analyze(rest, &obs),
         "lint" => cmd_lint(rest),
         "typecheck" => cmd_typecheck(rest),
         "mine" => cmd_mine(rest),
@@ -43,6 +51,67 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             ExitCode::from(2)
         }
+    };
+    if let Err(e) = obs.finish() {
+        eprintln!("shoal: {e}");
+        return ExitCode::from(2);
+    }
+    code
+}
+
+/// Cross-cutting observability flags, accepted by every subcommand:
+/// `--stats` prints a metrics table on exit, `--trace FILE` writes the
+/// recorded event stream as JSONL, `--profile` attaches per-phase
+/// timings to analysis reports. Any of them turns the recorder on;
+/// without them the instrumentation stays disabled (one atomic load).
+struct ObsFlags {
+    stats: bool,
+    trace: Option<String>,
+    profile: bool,
+}
+
+impl ObsFlags {
+    fn extract(args: &[String]) -> Result<(ObsFlags, Vec<String>), String> {
+        let mut flags = ObsFlags {
+            stats: false,
+            trace: None,
+            profile: false,
+        };
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--stats" => flags.stats = true,
+                "--profile" => flags.profile = true,
+                "--trace" => {
+                    i += 1;
+                    let Some(path) = args.get(i) else {
+                        return Err("--trace needs an output file (.jsonl)".into());
+                    };
+                    flags.trace = Some(path.clone());
+                }
+                _ => rest.push(args[i].clone()),
+            }
+            i += 1;
+        }
+        if flags.stats || flags.trace.is_some() || flags.profile {
+            shoal_obs::install();
+        }
+        Ok((flags, rest))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace {
+            let events = shoal_obs::take_events();
+            let jsonl = shoal_obs::trace_to_jsonl(&events);
+            std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("shoal: wrote {} trace event(s) to {path}", events.len());
+        }
+        if self.stats {
+            let snap = shoal_obs::snapshot();
+            eprint!("{}", shoal_obs::stats::render_snapshot(&snap));
+        }
+        Ok(())
     }
 }
 
@@ -51,6 +120,7 @@ shoal — semantics-driven static analysis for Unix shell programs
 
 USAGE:
     shoal analyze SCRIPT...            symbolic analysis (all checkers)
+    shoal check SCRIPT...              alias for analyze
     shoal lint SCRIPT...               syntactic baseline linter
     shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
     shoal mine COMMAND...              mine specs from docs + probing
@@ -58,6 +128,11 @@ USAGE:
     shoal monitor --type T [--halt]    monitor stdin line types
     shoal explain COMMAND              print a command's specification
     shoal coach SCRIPT...              optimization suggestions (§5)
+
+OBSERVABILITY (any subcommand):
+    --stats           print a counters/gauges/histograms table on exit
+    --trace FILE      write the recorded event stream as JSONL
+    --profile         attach per-phase timings to analysis reports
 ";
 
 fn read_script(path: &str) -> Result<String, String> {
@@ -72,11 +147,15 @@ fn read_script(path: &str) -> Result<String, String> {
     }
 }
 
-fn cmd_analyze(paths: &[String]) -> ExitCode {
+fn cmd_analyze(paths: &[String], obs: &ObsFlags) -> ExitCode {
     if paths.is_empty() {
         eprintln!("shoal analyze: no scripts given");
         return ExitCode::from(2);
     }
+    let opts = shoal_core::AnalysisOptions {
+        profile: obs.profile,
+        ..shoal_core::AnalysisOptions::default()
+    };
     let mut worst = ExitCode::SUCCESS;
     for path in paths {
         let src = match read_script(path) {
@@ -86,7 +165,7 @@ fn cmd_analyze(paths: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match shoal_core::analyze_source(&src) {
+        match shoal_core::analyze_source_with(&src, opts.clone()) {
             Err(e) => {
                 eprintln!("{path}: parse error: {e}");
                 worst = ExitCode::from(2);
@@ -107,14 +186,42 @@ fn cmd_analyze(paths: &[String]) -> ExitCode {
                     }
                 }
                 println!(
-                    "{path}: {} execution path(s) explored{}",
-                    report.paths_completed,
+                    "{path}: {} execution path(s) explored, peak {} live world(s){}",
+                    report.terminal_worlds,
+                    report.worlds_explored,
                     if report.incomplete { " (capped)" } else { "" }
                 );
+                for hit in &report.cap_hits {
+                    println!(
+                        "{path}: cap hit: {} at line {} ({} hit(s), {} world(s) dropped)",
+                        hit.reason, hit.line, hit.hits, hit.dropped
+                    );
+                }
+                if let Some(p) = &report.profile {
+                    print!("{}", render_profile(path, p));
+                }
             }
         }
     }
     worst
+}
+
+fn render_profile(path: &str, p: &shoal_core::ProfileReport) -> String {
+    let rows = vec![
+        ("parse".to_string(), format!("{} µs", p.parse_us)),
+        ("exec".to_string(), format!("{} µs", p.exec_us)),
+        ("idempotence".to_string(), format!("{} µs", p.idempotence_us)),
+        ("report".to_string(), format!("{} µs", p.report_us)),
+        ("total".to_string(), format!("{} µs", p.total_us)),
+        (
+            "peak live worlds".to_string(),
+            p.peak_live_worlds.to_string(),
+        ),
+        ("forks".to_string(), p.forks.to_string()),
+        ("worlds pruned".to_string(), p.worlds_pruned.to_string()),
+        ("cap dropped".to_string(), p.cap_dropped.to_string()),
+    ];
+    shoal_obs::stats::render_table(&format!("profile ({path})"), &rows)
 }
 
 fn cmd_lint(paths: &[String]) -> ExitCode {

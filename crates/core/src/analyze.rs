@@ -9,8 +9,10 @@
 
 use crate::diag::{DiagCode, Diagnostic};
 use crate::engine::Engine;
+use crate::stats::{CapHit, ProfileReport};
 use crate::world::World;
 use shoal_shparse::{parse_script, ParseError, Script};
+use std::time::Instant;
 
 /// Analysis configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +27,9 @@ pub struct AnalysisOptions {
     /// (§3 "pruning via concrete state whenever possible"). Disabling
     /// this is the E9 ablation.
     pub enable_pruning: bool,
+    /// Attach a [`ProfileReport`] (per-phase wall time plus exploration
+    /// counters) to the report.
+    pub profile: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -34,6 +39,7 @@ impl Default for AnalysisOptions {
             max_worlds: 64,
             enable_stream_types: true,
             enable_pruning: true,
+            profile: false,
         }
     }
 }
@@ -45,11 +51,21 @@ pub struct AnalysisReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of execution paths that reached the end of the script.
     pub paths_completed: usize,
-    /// Peak world count is not tracked exactly; this is the number of
-    /// terminal worlds (a lower bound on explored states).
+    /// Exact peak size of the live world set during exploration
+    /// (tracked by the engine's branch accounting).
     pub worlds_explored: usize,
+    /// Number of terminal worlds — the old meaning of
+    /// `worlds_explored`, kept under its proper name.
+    pub terminal_worlds: usize,
     /// True when exploration hit a cap somewhere.
     pub incomplete: bool,
+    /// Where exploration hit bounds (machine-readable: which cap,
+    /// which line, how many worlds lost). Empty when exploration was
+    /// exhaustive.
+    pub cap_hits: Vec<CapHit>,
+    /// Per-phase timings and exploration counters; present when
+    /// [`AnalysisOptions::profile`] was set.
+    pub profile: Option<ProfileReport>,
 }
 
 impl AnalysisReport {
@@ -75,6 +91,7 @@ pub fn analyze_script_annotated(
     opts: AnalysisOptions,
     annotations: crate::annotations::Annotations,
 ) -> AnalysisReport {
+    let opts_profile = opts.profile;
     let mut engine = Engine::new(opts);
     let mut initial = World::initial();
     // `#@ var NAME : TYPE` constrains the initial environment.
@@ -88,7 +105,13 @@ pub fn analyze_script_annotated(
         let v = initial.fresh_sym(ty, &format!("${name} (annotated)"));
         initial.set_var(&name, v);
     }
-    let mut worlds = engine.exec_items(vec![initial], &script.items);
+    let t_start = Instant::now();
+    let mut worlds = {
+        let _span = shoal_obs::span!("exec_items");
+        engine.exec_items(vec![initial], &script.items)
+    };
+    let exec_us = t_start.elapsed().as_micros() as u64;
+    let t_idem = Instant::now();
     // Idempotence pass (§4, CoLiS criterion): a path succeeded only
     // because some location was in state S initially, and the script
     // left it in a different state — so an immediate second run of the
@@ -119,6 +142,8 @@ pub fn analyze_script_annotated(
         }
     }
     let worlds = worlds;
+    let idempotence_us = t_idem.elapsed().as_micros() as u64;
+    let t_report = Instant::now();
     let paths_completed = worlds.len();
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut incomplete = false;
@@ -140,11 +165,38 @@ pub fn analyze_script_annotated(
     diagnostics.sort_by(|a, b| {
         (a.span.line, a.code, a.message.clone()).cmp(&(b.span.line, b.code, b.message.clone()))
     });
+    let report_us = t_report.elapsed().as_micros() as u64;
+    let stats = &engine.stats;
+    let peak_live = stats.peak_live.get().max(1);
+    shoal_obs::event!(
+        "join",
+        site = "analyze",
+        terminal_worlds = paths_completed,
+        peak_live = peak_live,
+        forks = stats.forks.get(),
+        pruned = stats.pruned.get(),
+        cap_dropped = stats.cap_dropped.get()
+    );
+    shoal_obs::counter_add("analyze.runs", 1);
+    let profile = opts_profile.then(|| ProfileReport {
+        parse_us: 0,
+        exec_us,
+        idempotence_us,
+        report_us,
+        total_us: t_start.elapsed().as_micros() as u64,
+        peak_live_worlds: peak_live,
+        forks: stats.forks.get(),
+        worlds_pruned: stats.pruned.get(),
+        cap_dropped: stats.cap_dropped.get(),
+    });
     AnalysisReport {
         diagnostics,
         paths_completed,
-        worlds_explored: paths_completed,
+        worlds_explored: peak_live,
+        terminal_worlds: paths_completed,
         incomplete,
+        cap_hits: stats.take_cap_hits(),
+        profile,
     }
 }
 
@@ -163,9 +215,21 @@ pub fn analyze_source(src: &str) -> Result<AnalysisReport, ParseError> {
 ///
 /// Returns the parse error if the source is not valid shell.
 pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisReport, ParseError> {
-    let script = parse_script(src)?;
+    let t_parse = Instant::now();
+    let script = {
+        let _span = shoal_obs::span!("parse");
+        parse_script(src)?
+    };
+    let parse_us = t_parse.elapsed().as_micros() as u64;
+    let attach_parse = |mut report: AnalysisReport| {
+        if let Some(p) = report.profile.as_mut() {
+            p.parse_us = parse_us;
+            p.total_us += parse_us;
+        }
+        report
+    };
     match crate::annotations::parse_annotations(src) {
-        Ok(annotations) => Ok(analyze_script_annotated(&script, opts, annotations)),
+        Ok(annotations) => Ok(attach_parse(analyze_script_annotated(&script, opts, annotations))),
         Err(e) => {
             // A malformed annotation must not hide the analysis; report
             // it as a note and continue un-annotated.
@@ -179,7 +243,7 @@ pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisR
                     e.to_string(),
                 ),
             );
-            Ok(report)
+            Ok(attach_parse(report))
         }
     }
 }

@@ -101,7 +101,7 @@ pub fn exec_builtin(
                     }
                 }
             }
-            exec_test(eng, world, &args)
+            exec_test(eng, world, &args, span)
         }
         "export" => {
             // `export X=v` assignments were already applied by the
@@ -145,7 +145,7 @@ pub fn exec_builtin(
             w.last_exit = ExitStatus::Unknown;
             vec![w]
         }
-        "realpath" => exec_realpath(eng, world, fields),
+        "realpath" => exec_realpath(eng, world, fields, span),
         "eval" => {
             // Dynamic evaluation is the analyzer's hard boundary: havoc.
             let mut w = world;
@@ -297,11 +297,11 @@ fn exec_cd(eng: &Engine, world: World, fields: &[Field], span: Span) -> Vec<Worl
             out.push(w);
         }
     }
-    let _ = eng;
     if out.is_empty() {
         w0.last_exit = ExitStatus::Unknown;
         out.push(w0);
     }
+    eng.account_branch("cd", span.line, 2, out.len(), out.last());
     out
 }
 
@@ -323,7 +323,7 @@ fn absolutize(world: &World, target: &SymStr) -> SymStr {
 /// Models `realpath ARG` with critical-value splitting (see crate docs):
 /// the output is related to the input at exactly the values that matter
 /// for root-wipe reasoning: `""` and `"/"`.
-fn exec_realpath(eng: &Engine, world: World, fields: &[Field]) -> Vec<World> {
+fn exec_realpath(eng: &Engine, world: World, fields: &[Field], span: Span) -> Vec<World> {
     let Some(f) = fields.iter().find(|f| {
         f.value()
             .as_literal()
@@ -414,6 +414,7 @@ fn exec_realpath(eng: &Engine, world: World, fields: &[Field]) -> Vec<World> {
             out.push(w);
         }
     }
+    let attempted = if sym.is_some() { 3 } else { 1 };
     if out.is_empty() {
         let mut w = world;
         let v = w.fresh_sym(
@@ -424,11 +425,12 @@ fn exec_realpath(eng: &Engine, world: World, fields: &[Field]) -> Vec<World> {
         w.last_exit = ExitStatus::Zero;
         out.push(w);
     }
+    eng.account_branch("realpath", span.line, attempted, out.len(), out.last());
     out
 }
 
 /// Evaluates `test` arguments, forking per outcome with refinement.
-fn exec_test(eng: &Engine, world: World, args: &[&Field]) -> Vec<World> {
+fn exec_test(eng: &Engine, world: World, args: &[&Field], span: Span) -> Vec<World> {
     let vals: Vec<SymStr> = args.iter().map(|f| f.value()).collect();
     let lits: Vec<Option<String>> = vals.iter().map(SymStr::as_literal).collect();
     match vals.len() {
@@ -439,30 +441,30 @@ fn exec_test(eng: &Engine, world: World, args: &[&Field]) -> Vec<World> {
         }
         1 => {
             // `test STRING`: true iff non-empty.
-            fork_on_emptiness(eng, world, &vals[0], /* true_when_empty */ false)
+            fork_on_emptiness(eng, world, &vals[0], /* true_when_empty */ false, span)
         }
         2 => {
             let op = lits[0].as_deref();
             match op {
-                Some("-z") => fork_on_emptiness(eng, world, &vals[1], true),
-                Some("-n") => fork_on_emptiness(eng, world, &vals[1], false),
-                Some("!") => negate_all(exec_test(eng, world, &args[1..])),
-                Some("-e") => fork_on_fs(world, &vals[1], NodeState::Exists),
+                Some("-z") => fork_on_emptiness(eng, world, &vals[1], true, span),
+                Some("-n") => fork_on_emptiness(eng, world, &vals[1], false, span),
+                Some("!") => negate_all(exec_test(eng, world, &args[1..], span)),
+                Some("-e") => fork_on_fs(eng, world, &vals[1], NodeState::Exists, span),
                 Some("-f") | Some("-s") | Some("-r") | Some("-w") | Some("-x") => {
-                    fork_on_fs(world, &vals[1], NodeState::File)
+                    fork_on_fs(eng, world, &vals[1], NodeState::File, span)
                 }
-                Some("-d") => fork_on_fs(world, &vals[1], NodeState::Dir),
-                _ => fork_on_emptiness(eng, world, &vals[1], false),
+                Some("-d") => fork_on_fs(eng, world, &vals[1], NodeState::Dir, span),
+                _ => fork_on_emptiness(eng, world, &vals[1], false, span),
             }
         }
         3 => {
             if lits[0].as_deref() == Some("!") {
-                return negate_all(exec_test(eng, world, &args[1..]));
+                return negate_all(exec_test(eng, world, &args[1..], span));
             }
             let op = lits[1].as_deref();
             match op {
-                Some("=") | Some("==") => fork_on_equality(eng, world, &vals[0], &vals[2], false),
-                Some("!=") => fork_on_equality(eng, world, &vals[0], &vals[2], true),
+                Some("=") | Some("==") => fork_on_equality(eng, world, &vals[0], &vals[2], false, span),
+                Some("!=") => fork_on_equality(eng, world, &vals[0], &vals[2], true, span),
                 Some("-eq") | Some("-ne") | Some("-lt") | Some("-le") | Some("-gt")
                 | Some("-ge") => {
                     let result = match (&lits[0], &lits[2]) {
@@ -498,7 +500,7 @@ fn exec_test(eng: &Engine, world: World, args: &[&Field]) -> Vec<World> {
         }
         _ => {
             if lits[0].as_deref() == Some("!") {
-                return negate_all(exec_test(eng, world, &args[1..]));
+                return negate_all(exec_test(eng, world, &args[1..], span));
             }
             // `-a` / `-o` and longer forms: give up precisely, stay sound.
             let mut w = world;
@@ -516,7 +518,13 @@ fn negate_all(mut worlds: Vec<World>) -> Vec<World> {
 }
 
 /// Forks on a value being empty vs. non-empty, refining constraints.
-fn fork_on_emptiness(eng: &Engine, world: World, v: &SymStr, true_when_empty: bool) -> Vec<World> {
+fn fork_on_emptiness(
+    eng: &Engine,
+    world: World,
+    v: &SymStr,
+    true_when_empty: bool,
+    span: Span,
+) -> Vec<World> {
     let status = |empty: bool| {
         if empty == true_when_empty {
             ExitStatus::Zero
@@ -563,6 +571,7 @@ fn fork_on_emptiness(eng: &Engine, world: World, v: &SymStr, true_when_empty: bo
             out.push(w);
         }
     }
+    eng.account_branch("test_empty", span.line, 2, out.len(), out.last());
     out
 }
 
@@ -574,6 +583,7 @@ fn fork_on_equality(
     a: &SymStr,
     b: &SymStr,
     negated: bool,
+    span: Span,
 ) -> Vec<World> {
     let status = |eq: bool| {
         if eq != negated {
@@ -634,11 +644,12 @@ fn fork_on_equality(
             out.push(w);
         }
     }
+    eng.account_branch("test_eq", span.line, 2, out.len(), out.last());
     out
 }
 
 /// Forks on a file-system predicate, refining the symbolic heap.
-fn fork_on_fs(world: World, v: &SymStr, want: NodeState) -> Vec<World> {
+fn fork_on_fs(eng: &Engine, world: World, v: &SymStr, want: NodeState, span: Span) -> Vec<World> {
     let mut w0 = world;
     let key = w0.fs_key(v);
     let Some(key) = key else {
@@ -670,9 +681,11 @@ fn fork_on_fs(world: World, v: &SymStr, want: NodeState) -> Vec<World> {
             out.push(w);
         }
     }
+    let attempted = 1 + complements.len();
     if out.is_empty() {
         w0.last_exit = ExitStatus::Unknown;
         out.push(w0);
     }
+    eng.account_branch("test_fs", span.line, attempted, out.len(), out.last());
     out
 }

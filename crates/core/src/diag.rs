@@ -89,6 +89,10 @@ pub struct Diagnostic {
     /// The execution path on which it happens, when the engine can
     /// describe one (path-condition trail).
     pub path_condition: Vec<String>,
+    /// For [`DiagCode::AnalysisIncomplete`]: which exploration bound was
+    /// hit, machine-readable (`None` for non-cap incompleteness such as
+    /// `eval` or malformed annotations).
+    pub cap_reason: Option<crate::stats::CapReason>,
 }
 
 impl Diagnostic {
@@ -100,7 +104,14 @@ impl Diagnostic {
             span,
             message: message.into(),
             path_condition: Vec::new(),
+            cap_reason: None,
         }
+    }
+
+    /// Tags the diagnostic with the exploration bound that caused it.
+    pub fn with_cap(mut self, reason: crate::stats::CapReason) -> Self {
+        self.cap_reason = Some(reason);
+        self
     }
 }
 

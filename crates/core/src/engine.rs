@@ -15,6 +15,7 @@ use crate::checkers::{classify_delete, delete_diag, is_platform_source};
 use crate::diag::{DiagCode, Diagnostic, Severity};
 use crate::expand::{expand_word, expand_word_single, Field};
 use crate::glob::{match_verdict, word_pattern_to_regex, MatchVerdict};
+use crate::stats::{CapReason, EngineStats};
 use crate::value::{Seg, SymStr};
 use crate::world::{ExitStatus, World};
 use shoal_relang::Regex;
@@ -36,6 +37,8 @@ pub struct Engine {
     pub opts: AnalysisOptions,
     /// Inline `#@` annotations in effect (§4 "Ergonomic annotations").
     pub annotations: crate::annotations::Annotations,
+    /// Exploration accounting (exact fork/prune/cap counters).
+    pub stats: EngineStats,
 }
 
 impl Engine {
@@ -45,29 +48,81 @@ impl Engine {
             specs: SpecLibrary::builtin(),
             opts,
             annotations: crate::annotations::Annotations::default(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Accounts one primitive branch decision: one world considered
+    /// `attempted` successor candidates, of which `survived` remain.
+    /// This is the *only* place fork/prune counters move, keeping
+    /// `terminal = 1 + forks − pruned − cap_dropped` exact (see
+    /// [`crate::stats`]).
+    pub(crate) fn account_branch(
+        &self,
+        site: &'static str,
+        line: u32,
+        attempted: usize,
+        survived: usize,
+        from: Option<&World>,
+    ) {
+        if attempted > 1 {
+            let new = (attempted - 1) as u64;
+            self.stats.forks.set(self.stats.forks.get() + new);
+            shoal_obs::counter_add("engine.forks", new);
+            shoal_obs::event!(
+                "fork",
+                site = site,
+                line = line,
+                new_worlds = new,
+                survived = survived,
+                pc = from
+                    .and_then(|w| w.path_conditions.last().cloned())
+                    .unwrap_or_default(),
+                pc_len = from.map(|w| w.path_conditions.len()).unwrap_or(0)
+            );
+        }
+        if survived < attempted {
+            let n = (attempted - survived) as u64;
+            self.stats.pruned.set(self.stats.pruned.get() + n);
+            shoal_obs::counter_add("engine.pruned", n);
+            shoal_obs::event!(
+                "prune",
+                site = site,
+                line = line,
+                dropped = n,
+                pc = from
+                    .and_then(|w| w.path_conditions.last().cloned())
+                    .unwrap_or_default()
+            );
         }
     }
 
     /// Caps the world set, attaching an incompleteness note when
     /// truncating.
     fn cap(&self, mut worlds: Vec<World>, span: Span) -> Vec<World> {
+        self.stats.note_live(worlds.len());
         if worlds.len() > self.opts.max_worlds {
+            let dropped = worlds.len() - self.opts.max_worlds;
             worlds.truncate(self.opts.max_worlds);
+            self.stats.note_cap(CapReason::MaxWorlds, span.line, dropped);
             if let Some(w) = worlds.first_mut() {
                 let already = w
                     .diags
                     .iter()
                     .any(|d| d.code == DiagCode::AnalysisIncomplete && d.span == span);
                 if !already {
-                    w.report(Diagnostic::new(
-                        DiagCode::AnalysisIncomplete,
-                        Severity::Note,
-                        span,
-                        format!(
-                            "path explosion: exploration capped at {} worlds",
-                            self.opts.max_worlds
-                        ),
-                    ));
+                    w.report(
+                        Diagnostic::new(
+                            DiagCode::AnalysisIncomplete,
+                            Severity::Note,
+                            span,
+                            format!(
+                                "path explosion: exploration capped at {} worlds",
+                                self.opts.max_worlds
+                            ),
+                        )
+                        .with_cap(CapReason::MaxWorlds),
+                    );
                 }
             }
         }
@@ -77,6 +132,7 @@ impl Engine {
     /// Executes a list of items over a set of worlds.
     pub fn exec_items(&self, worlds: Vec<World>, items: &[ListItem]) -> Vec<World> {
         let mut worlds = worlds;
+        self.stats.note_live(worlds.len());
         for item in items {
             let span = item.and_or.span();
             let (halted, active): (Vec<World>, Vec<World>) =
@@ -111,6 +167,7 @@ impl Engine {
                         next.push(w)
                     }
                     (_, ExitStatus::Unknown) => {
+                        self.account_branch("and_or", pipe.span().line, 2, 2, Some(&w));
                         let mut skip = w.clone();
                         skip.assume(match op {
                             AndOrOp::And => "left side failed",
@@ -320,7 +377,7 @@ impl Engine {
             Command::Simple(sc) => self.exec_simple(world, sc),
             Command::BraceGroup(items, _, _) => self.exec_items(vec![world], items),
             Command::Subshell(items, _, _) => self.exec_subshell(world, items),
-            Command::If(clause, _, _) => self.exec_if(vec![world], clause),
+            Command::If(clause, _, span) => self.exec_if(vec![world], clause, *span),
             Command::While(clause, _, span) => self.exec_while(vec![world], clause, false, *span),
             Command::Until(clause, _, span) => self.exec_while(vec![world], clause, true, *span),
             Command::For(clause, _, span) => self.exec_for(world, clause, *span),
@@ -374,7 +431,7 @@ impl Engine {
             .collect()
     }
 
-    fn exec_if(&self, worlds: Vec<World>, clause: &IfClause) -> Vec<World> {
+    fn exec_if(&self, worlds: Vec<World>, clause: &IfClause, span: Span) -> Vec<World> {
         let after_cond = self.exec_items(worlds, &clause.cond);
         let mut out = Vec::new();
         let mut then_worlds = Vec::new();
@@ -388,6 +445,7 @@ impl Engine {
                 ExitStatus::Zero => then_worlds.push(w),
                 ExitStatus::NonZero => else_worlds.push(w),
                 ExitStatus::Unknown => {
+                    self.account_branch("if", span.line, 2, 2, Some(&w));
                     let mut t = w.clone();
                     t.assume("condition succeeded");
                     then_worlds.push(t);
@@ -413,6 +471,7 @@ impl Engine {
                     ExitStatus::Zero => taken.push(w),
                     ExitStatus::NonZero => next_rest.push(w),
                     ExitStatus::Unknown => {
+                        self.account_branch("elif", span.line, 2, 2, Some(&w));
                         taken.push(w.clone());
                         next_rest.push(w);
                     }
@@ -466,6 +525,7 @@ impl Engine {
                         exited.push(w);
                     }
                     None => {
+                        self.account_branch("while", span.line, 2, 2, Some(&w));
                         let mut stop = w.clone();
                         stop.assume("loop condition ended");
                         stop.last_exit = ExitStatus::Zero;
@@ -480,6 +540,9 @@ impl Engine {
         }
         // Beyond the unrolling bound: havoc body-assigned variables and
         // assume the loop eventually exits.
+        if !active.is_empty() {
+            self.stats.note_cap(CapReason::LoopBound, span.line, 0);
+        }
         for mut w in active {
             havoc_assigned(&mut w, &clause.body);
             w.assume(format!(
@@ -530,6 +593,7 @@ impl Engine {
         for (w, fields) in branches {
             if fields.len() > self.opts.loop_bound.max(8) {
                 // Too many iterations to enumerate: havoc the variable.
+                self.stats.note_cap(CapReason::LoopBound, span.line, 0);
                 let mut w = w;
                 let v = w.fresh_sym(Regex::any_line(), &format!("${}", clause.var));
                 w.set_var(&clause.var, v);
@@ -595,18 +659,23 @@ impl Engine {
                         // unmatched continues.
                         let sym = subject.as_single_sym().map(|(id, _)| id);
                         let mut matched = current.clone();
+                        let mut unmatched = current;
                         let mut feasible = true;
+                        let mut un_feasible = true;
                         if let (Some(id), true) = (sym, self.opts.enable_pruning) {
                             feasible = matched.refine_sym(id, &pattern);
+                            un_feasible = unmatched.refine_sym(id, &pattern.complement());
                         }
+                        self.account_branch(
+                            "case",
+                            span.line,
+                            2,
+                            usize::from(feasible) + usize::from(un_feasible),
+                            Some(&unmatched),
+                        );
                         if feasible {
                             matched.assume(format!("{} matches case pattern", subject.describe()));
                             out.extend(self.exec_items(vec![matched], &arm.body));
-                        }
-                        let mut unmatched = current;
-                        let mut un_feasible = true;
-                        if let (Some(id), true) = (sym, self.opts.enable_pruning) {
-                            un_feasible = unmatched.refine_sym(id, &pattern.complement());
                         }
                         if un_feasible {
                             unmatched.assume(format!(
@@ -739,18 +808,24 @@ impl Engine {
     }
 
     fn cap_pairs<T>(&self, mut pairs: Vec<(World, T)>, span: Span) -> Vec<(World, T)> {
+        self.stats.note_live(pairs.len());
         if pairs.len() > self.opts.max_worlds {
+            let dropped = pairs.len() - self.opts.max_worlds;
             pairs.truncate(self.opts.max_worlds);
+            self.stats.note_cap(CapReason::Expansion, span.line, dropped);
             if let Some((w, _)) = pairs.first_mut() {
-                w.report(Diagnostic::new(
-                    DiagCode::AnalysisIncomplete,
-                    Severity::Note,
-                    span,
-                    format!(
-                        "expansion explosion: capped at {} worlds",
-                        self.opts.max_worlds
-                    ),
-                ));
+                w.report(
+                    Diagnostic::new(
+                        DiagCode::AnalysisIncomplete,
+                        Severity::Note,
+                        span,
+                        format!(
+                            "expansion explosion: capped at {} worlds",
+                            self.opts.max_worlds
+                        ),
+                    )
+                    .with_cap(CapReason::Expansion),
+                );
             }
         }
         pairs
@@ -824,6 +899,7 @@ impl Engine {
                     }
                     (Some(k), None) => {
                         // Whole node. Fork on existence unless -f.
+                        let before = next.len();
                         let want = if recursive {
                             NodeState::Exists
                         } else {
@@ -870,6 +946,7 @@ impl Engine {
                             // A directory without -r fails; we folded
                             // that into the File requirement above.
                         }
+                        self.account_branch("rm", span.line, 2, next.len() - before, next.last());
                     }
                     (None, _) => {
                         w.last_exit = ExitStatus::Unknown;
@@ -1016,6 +1093,7 @@ impl Engine {
             w.last_exit = ExitStatus::NonZero;
             out.push(w);
         }
+        self.account_branch("spec", span.line, cases.len(), out.len(), out.last());
         self.cap(out, span)
     }
 

@@ -416,6 +416,7 @@ pub fn expand_param(
             let mut fresh = || fresh_world.fresh_sym_id();
             let cases = remove_affix(&value, &pattern, affix, longest, &mut fresh);
             let consumed = fresh_world;
+            let attempted = cases.len().max(1);
             for case in cases {
                 let mut w = consumed.clone();
                 if let (Some(id), Some(refine), true) = (
@@ -435,6 +436,13 @@ pub fn expand_param(
             if out.is_empty() {
                 out.push((world, SymStr::empty()));
             }
+            eng.account_branch(
+                "remove_affix",
+                0,
+                attempted,
+                out.len(),
+                out.last().map(|(w, _)| w),
+            );
             out
         }
     }
@@ -477,14 +485,21 @@ fn split_on_unset(
                 set_val.refine_sym(id, &nonempty);
                 set_val.concretize();
             }
-            if feasible {
-                set_world.assume(format!("${name} is non-empty"));
-                out.extend(on_set(set_world, set_val));
-            }
             let mut unset_world = world;
             let mut unset_ok = true;
             if let (Some(id), true) = (sym, eng.opts.enable_pruning) {
                 unset_ok = unset_world.refine_sym(id, &Regex::eps());
+            }
+            eng.account_branch(
+                "param_split",
+                0,
+                2,
+                usize::from(feasible) + usize::from(unset_ok),
+                Some(&unset_world),
+            );
+            if feasible {
+                set_world.assume(format!("${name} is non-empty"));
+                out.extend(on_set(set_world, set_val));
             }
             if unset_ok {
                 unset_world.assume(format!("${name} is empty"));

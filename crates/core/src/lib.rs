@@ -42,6 +42,7 @@ pub mod diag;
 pub mod engine;
 pub mod expand;
 pub mod glob;
+pub mod stats;
 pub mod value;
 pub mod world;
 
@@ -50,5 +51,6 @@ pub use analyze::{
 };
 pub use annotations::{parse_annotations, AnnotationError, Annotations};
 pub use diag::{DiagCode, Diagnostic, Severity};
+pub use stats::{CapHit, CapReason, EngineStats, ProfileReport};
 pub use value::{Seg, SymStr};
 pub use world::{ExitStatus, World};

@@ -1,0 +1,174 @@
+//! Exploration accounting: exact fork/prune/cap counters and cap-hit
+//! records.
+//!
+//! The engine threads an [`EngineStats`] through every world-set
+//! transformation via interior mutability (all `Engine` methods take
+//! `&self`). Counting happens only at *primitive* branch sites — places
+//! where one world maps to `n` successor worlds without recursing
+//! through `exec_items` — so the balance
+//!
+//! ```text
+//! terminal_worlds = 1 + forks − pruned − cap_dropped
+//! ```
+//!
+//! holds exactly by construction (each transition is counted once, at
+//! its origin). Composition sites (lists, pipelines, loops, captures)
+//! preserve world counts and are deliberately not instrumented.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+/// Which exploration bound was hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapReason {
+    /// The live world set exceeded `max_worlds` and was truncated.
+    MaxWorlds,
+    /// Word expansion produced more than `max_worlds` (world, fields)
+    /// pairs and was truncated.
+    Expansion,
+    /// A loop ran past `loop_bound` iterations and was widened (havoc);
+    /// no worlds are dropped, but precision is lost.
+    LoopBound,
+}
+
+impl CapReason {
+    /// Stable machine-readable name (`max_worlds`, `expansion`,
+    /// `loop_bound`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CapReason::MaxWorlds => "max_worlds",
+            CapReason::Expansion => "expansion",
+            CapReason::LoopBound => "loop_bound",
+        }
+    }
+}
+
+impl fmt::Display for CapReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One place where exploration hit a bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapHit {
+    /// Which bound.
+    pub reason: CapReason,
+    /// Source line of the capped construct.
+    pub line: u32,
+    /// Worlds dropped from exploration here (0 for loop widening, which
+    /// keeps the worlds but havocs their state).
+    pub dropped: usize,
+    /// How many times this site hit the bound.
+    pub hits: usize,
+}
+
+/// Per-run exploration counters, updated through `&self`.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Worlds created beyond the first at branch sites.
+    pub forks: Cell<u64>,
+    /// Infeasible branch candidates discarded by refinement.
+    pub pruned: Cell<u64>,
+    /// Worlds dropped at `max_worlds` caps.
+    pub cap_dropped: Cell<u64>,
+    /// Peak size of any live world set processed at one point.
+    pub peak_live: Cell<usize>,
+    /// Where exploration hit bounds, deduplicated by (reason, line).
+    pub cap_hits: RefCell<Vec<CapHit>>,
+}
+
+impl EngineStats {
+    /// Observes a live world-set size, updating the peak.
+    #[inline]
+    pub fn note_live(&self, n: usize) {
+        if n > self.peak_live.get() {
+            self.peak_live.set(n);
+            shoal_obs::gauge_max("engine.peak_live_worlds", n as u64);
+        }
+    }
+
+    /// Records a bound hit (merging repeats at the same site) and emits
+    /// a `cap_hit` trace event.
+    pub fn note_cap(&self, reason: CapReason, line: u32, dropped: usize) {
+        self.cap_dropped.set(self.cap_dropped.get() + dropped as u64);
+        let mut hits = self.cap_hits.borrow_mut();
+        match hits.iter_mut().find(|h| h.reason == reason && h.line == line) {
+            Some(h) => {
+                h.dropped += dropped;
+                h.hits += 1;
+            }
+            None => hits.push(CapHit {
+                reason,
+                line,
+                dropped,
+                hits: 1,
+            }),
+        }
+        shoal_obs::counter_add("engine.cap_hits", 1);
+        shoal_obs::counter_add("engine.cap_dropped", dropped as u64);
+        shoal_obs::event!(
+            "cap_hit",
+            reason = reason.as_str(),
+            line = line,
+            dropped = dropped
+        );
+    }
+
+    /// Drains the cap-hit records (for the final report).
+    pub fn take_cap_hits(&self) -> Vec<CapHit> {
+        std::mem::take(&mut *self.cap_hits.borrow_mut())
+    }
+}
+
+/// Optional per-run profile attached to an `AnalysisReport` (the
+/// `--profile` view): exact peak worlds, per-phase wall time, and the
+/// branch accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Parsing time (µs); 0 when analysis started from an AST.
+    pub parse_us: u64,
+    /// Symbolic execution time (µs).
+    pub exec_us: u64,
+    /// Idempotence-pass time (µs).
+    pub idempotence_us: u64,
+    /// Diagnostic dedup/sort time (µs).
+    pub report_us: u64,
+    /// End-to-end time (µs).
+    pub total_us: u64,
+    /// Exact peak size of the live world set.
+    pub peak_live_worlds: usize,
+    /// Worlds created beyond the first at branch sites.
+    pub forks: u64,
+    /// Infeasible branch candidates pruned by refinement.
+    pub worlds_pruned: u64,
+    /// Worlds dropped at `max_worlds` caps.
+    pub cap_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_hits_merge_by_site() {
+        let s = EngineStats::default();
+        s.note_cap(CapReason::MaxWorlds, 3, 10);
+        s.note_cap(CapReason::MaxWorlds, 3, 5);
+        s.note_cap(CapReason::LoopBound, 3, 0);
+        let hits = s.take_cap_hits();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].dropped, 15);
+        assert_eq!(hits[0].hits, 2);
+        assert_eq!(s.cap_dropped.get(), 15);
+        assert!(s.take_cap_hits().is_empty());
+    }
+
+    #[test]
+    fn peak_live_is_monotone() {
+        let s = EngineStats::default();
+        s.note_live(3);
+        s.note_live(1);
+        assert_eq!(s.peak_live.get(), 3);
+    }
+}

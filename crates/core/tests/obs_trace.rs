@@ -1,0 +1,102 @@
+//! End-to-end trace reconciliation: the fork/prune/cap events the
+//! engine emits into the global recorder must tell the same story as
+//! the per-engine counters in the report, and the JSONL export must
+//! parse back losslessly.
+//!
+//! The recorder is process-global, so this file contains exactly ONE
+//! test function: cargo runs test *binaries* sequentially, but tests
+//! *within* a binary in parallel threads, and a second test here would
+//! race on `install`/`take_events`.
+
+use shoal_core::{analyze_source_with, AnalysisOptions};
+use shoal_corpus::figures;
+use shoal_obs::{install, parse_jsonl, set_enabled, take_events, trace_to_jsonl, Value};
+
+fn field_u64(ev: &shoal_obs::Event, key: &str) -> u64 {
+    match ev.field(key) {
+        Some(Value::U64(n)) => *n,
+        other => panic!("event {:?} field {key}: expected u64, got {other:?}", ev.kind),
+    }
+}
+
+#[test]
+fn events_reconcile_with_report_and_round_trip_jsonl() {
+    for (name, src) in [
+        ("fig1", figures::FIG1),
+        ("fig2", figures::FIG2),
+        ("fig3", figures::FIG3),
+    ] {
+        install();
+        let report = analyze_source_with(
+            src,
+            AnalysisOptions {
+                profile: true,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        let events = take_events();
+        set_enabled(false);
+        let p = report.profile.as_ref().unwrap();
+
+        // Sum the per-site events and check them against the engine's
+        // own counters, then against the terminal world count.
+        let mut forks = 0u64;
+        let mut pruned = 0u64;
+        let mut cap_dropped = 0u64;
+        let mut joins = 0u64;
+        for ev in &events {
+            match ev.kind {
+                "fork" => forks += field_u64(ev, "new_worlds"),
+                "prune" => pruned += field_u64(ev, "dropped"),
+                "cap_hit" => cap_dropped += field_u64(ev, "dropped"),
+                "join" => joins += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(forks, p.forks, "{name}: fork events ≠ fork counter");
+        assert_eq!(pruned, p.worlds_pruned, "{name}: prune events ≠ prune counter");
+        assert_eq!(
+            cap_dropped, p.cap_dropped,
+            "{name}: cap_hit events ≠ cap counter"
+        );
+        assert_eq!(joins, 1, "{name}: exactly one join event per analysis");
+        assert_eq!(
+            report.terminal_worlds as i64,
+            1 + forks as i64 - pruned as i64 - cap_dropped as i64,
+            "{name}: event stream does not explain the terminal world count"
+        );
+
+        // Span events for both phases made it into the trace.
+        let spans: Vec<&shoal_obs::Event> = events.iter().filter(|e| e.kind == "span").collect();
+        for phase in ["parse", "exec_items"] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|e| matches!(e.field("name"), Some(Value::Str(s)) if s == phase)),
+                "{name}: missing span event for {phase}"
+            );
+        }
+
+        // JSONL round trip: one valid JSON object per event, kinds and
+        // counts preserved.
+        let jsonl = trace_to_jsonl(&events);
+        let parsed = parse_jsonl(&jsonl).expect("exported trace is valid JSONL");
+        assert_eq!(parsed.len(), events.len(), "{name}: JSONL line count");
+        let fork_lines = jsonl.lines().filter(|l| l.contains("\"fork\"")).count() as u64;
+        assert!(
+            fork_lines >= 1,
+            "{name}: fork events survive export (forks={forks})"
+        );
+
+        // The metrics side saw the same traffic.
+        let snap = shoal_obs::snapshot();
+        assert_eq!(snap.counter("engine.forks").unwrap_or(0), forks);
+        assert_eq!(snap.counter("engine.pruned").unwrap_or(0), pruned);
+        assert_eq!(
+            snap.gauge("engine.peak_live_worlds"),
+            Some(p.peak_live_worlds as u64),
+            "{name}: peak gauge"
+        );
+    }
+}

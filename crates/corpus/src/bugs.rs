@@ -9,8 +9,7 @@
 //! deterministic per seed; filler commands vary so no two scripts are
 //! textually identical.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use shoal_obs::XorShift64;
 
 /// The injected bug class (the ground-truth label).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,7 +49,7 @@ pub struct LabeledScript {
 }
 
 /// Deterministic filler lines that do not affect the injected bug.
-fn filler(rng: &mut StdRng) -> String {
+fn filler(rng: &mut XorShift64) -> String {
     let options = [
         "echo \"starting step\"",
         "date",
@@ -64,7 +63,7 @@ fn filler(rng: &mut StdRng) -> String {
     options[rng.random_range(0..options.len())].to_string()
 }
 
-fn with_filler(rng: &mut StdRng, core_lines: &[String]) -> String {
+fn with_filler(rng: &mut XorShift64, core_lines: &[String]) -> String {
     let mut lines: Vec<String> = vec!["#!/bin/sh".to_string()];
     for core in core_lines {
         for _ in 0..rng.random_range(1..4) {
@@ -81,7 +80,7 @@ fn with_filler(rng: &mut StdRng, core_lines: &[String]) -> String {
 /// Generates `per_class` scripts for each bug class (plus the same
 /// number of benign twins per class), deterministically from `seed`.
 pub fn generate_corpus(per_class: usize, seed: u64) -> Vec<LabeledScript> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let mut out = Vec::new();
     for i in 0..per_class {
         out.push(dangerous_delete(i, &mut rng));
@@ -94,7 +93,7 @@ pub fn generate_corpus(per_class: usize, seed: u64) -> Vec<LabeledScript> {
     out
 }
 
-fn dangerous_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn dangerous_delete(i: usize, rng: &mut XorShift64) -> LabeledScript {
     // The variable comes from a fallible command substitution: it may be
     // empty.
     let var = ["ROOT", "BASE", "TARGET", "INSTALL_DIR"][i % 4];
@@ -109,7 +108,7 @@ fn dangerous_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
     }
 }
 
-fn benign_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn benign_delete(i: usize, rng: &mut XorShift64) -> LabeledScript {
     // Same surface shape, but the variable is guarded (or anchored).
     let var = ["ROOT", "BASE", "TARGET", "INSTALL_DIR"][i % 4];
     let core = if i.is_multiple_of(2) {
@@ -132,7 +131,7 @@ fn benign_delete(i: usize, rng: &mut StdRng) -> LabeledScript {
     }
 }
 
-fn dead_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn dead_pipe(i: usize, rng: &mut XorShift64) -> LabeledScript {
     // lsb_release emits capitalized labels; the filter is
     // wrongly-cased or structurally impossible.
     let bad_filters = ["'^desc'", "'^release:'", "'^CODENAME'", "'^distributor id'"];
@@ -147,7 +146,7 @@ fn dead_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
     }
 }
 
-fn live_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn live_pipe(i: usize, rng: &mut XorShift64) -> LabeledScript {
     let good_filters = ["'^Desc'", "'^Release'", "'^Codename'", "'^Distributor'"];
     let core = vec![format!(
         "v=$(lsb_release -a | grep {} | cut -f 2)\necho \"$v\"",
@@ -160,7 +159,7 @@ fn live_pipe(i: usize, rng: &mut StdRng) -> LabeledScript {
     }
 }
 
-fn always_fails(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn always_fails(i: usize, rng: &mut XorShift64) -> LabeledScript {
     // Delete a tree, then use a path under it.
     let use_cmd = ["cat", "ls", "grep x"][i % 3];
     let sub = ["config", "data/db", "state"][i % 3];
@@ -172,7 +171,7 @@ fn always_fails(i: usize, rng: &mut StdRng) -> LabeledScript {
     }
 }
 
-fn sometimes_fails(i: usize, rng: &mut StdRng) -> LabeledScript {
+fn sometimes_fails(i: usize, rng: &mut XorShift64) -> LabeledScript {
     // Surface twin: the later use targets a different root, or the tree
     // is recreated in between.
     let core = if i.is_multiple_of(2) {

@@ -10,8 +10,7 @@
 //! to emulate LLM imprecision; experiment E4 shows probing recovering
 //! from phantom flags.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use shoal_obs::XorShift64;
 use shoal_spec::{ArgKind, CmdSyntax};
 
 /// An extraction-noise model (all probabilities in `[0, 1]`).
@@ -157,7 +156,7 @@ fn apply_noise(syntax: &mut CmdSyntax, noise: &NoiseModel) {
     if noise.drop_flag == 0.0 && noise.phantom_flag == 0.0 {
         return;
     }
-    let mut rng = StdRng::seed_from_u64(noise.seed);
+    let mut rng = XorShift64::seed_from_u64(noise.seed);
     syntax.flags.retain(|_| !rng.random_bool(noise.drop_flag));
     if rng.random_bool(noise.phantom_flag) {
         // Invent a flag the command does not actually accept.

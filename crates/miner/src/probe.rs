@@ -57,11 +57,23 @@ pub fn probe_command(syntax: &CmdSyntax) -> Vec<Observation> {
         .min(syntax.max_operands.unwrap_or(usize::MAX))
         .max(1);
     let mut out = Vec::new();
+    let mut flag_sets = 0u64;
     for flags in syntax.enumerate_flag_sets() {
+        flag_sets += 1;
         for env in environments(n_operands) {
             out.push(probe_one(&syntax.name, &flags, env));
         }
     }
+    shoal_obs::counter_add("miner.probe_commands", 1);
+    shoal_obs::counter_add("miner.probe_invocations", out.len() as u64);
+    shoal_obs::event!(
+        "probe_command",
+        command = syntax.name.as_str(),
+        flag_sets = flag_sets,
+        observations = out.len(),
+        rejected = out.iter().filter(|o| o.rejected).count(),
+        succeeded = out.iter().filter(|o| o.success()).count()
+    );
     out
 }
 

@@ -71,10 +71,26 @@ impl StreamMonitor {
             return Verdict::Halted;
         }
         self.report.lines += 1;
-        if self.dfa.matches(line) {
+        // Per-line check latency is only clocked while recording: the
+        // disabled path must stay a single branch on top of the DFA run.
+        let t = shoal_obs::enabled().then(std::time::Instant::now);
+        let ok = self.dfa.matches(line);
+        if let Some(t) = t {
+            shoal_obs::counter_add("monitor.lines", 1);
+            shoal_obs::counter_add("monitor.bytes_checked", line.len() as u64);
+            shoal_obs::hist_record("monitor.check_latency_ns", t.elapsed().as_nanos() as u64);
+        }
+        if ok {
             Verdict::Ok
         } else {
             self.report.violations += 1;
+            shoal_obs::counter_add("monitor.violations", 1);
+            shoal_obs::event!(
+                "monitor_violation",
+                line_no = self.report.lines,
+                line_len = line.len(),
+                halting = self.policy == OnViolation::Halt
+            );
             if self.report.first_violation.is_none() {
                 self.report.first_violation = Some(self.report.lines);
             }
@@ -120,6 +136,7 @@ impl StreamMonitor {
             self.partial.extend_from_slice(&chunk[start..]);
         }
         self.report.bytes_forwarded += forwarded;
+        shoal_obs::counter_add("monitor.bytes_forwarded", forwarded as u64);
         Ok(forwarded)
     }
 
@@ -153,7 +170,9 @@ impl StreamMonitor {
                     if had_newline {
                         sink.write_all(b"\n")?;
                     }
-                    self.report.bytes_forwarded += line.len() + usize::from(had_newline);
+                    let n = line.len() + usize::from(had_newline);
+                    self.report.bytes_forwarded += n;
+                    shoal_obs::counter_add("monitor.bytes_forwarded", n as u64);
                 }
             }
         }

@@ -112,7 +112,21 @@ impl VerifyReport {
 /// Verifies a parsed script against a policy.
 pub fn verify_script(script: &Script, policy: &Policy, specs: &SpecLibrary) -> VerifyReport {
     let mut report = VerifyReport::default();
-    visit_items(&script.items, policy, specs, &mut report);
+    {
+        let _span = shoal_obs::span!("verify");
+        visit_items(&script.items, policy, specs, &mut report);
+    }
+    shoal_obs::counter_add("verify.runs", 1);
+    shoal_obs::counter_add("verify.commands_checked", report.commands_checked as u64);
+    shoal_obs::counter_add("verify.findings", report.findings.len() as u64);
+    shoal_obs::counter_add("verify.unclassified", report.unclassified.len() as u64);
+    shoal_obs::event!(
+        "verify",
+        commands_checked = report.commands_checked,
+        findings = report.findings.len(),
+        unclassified = report.unclassified.len(),
+        safe = report.conclusively_safe()
+    );
     report
 }
 

@@ -1,0 +1,76 @@
+//! A micro-benchmark harness replacing `criterion` in the offline build.
+//!
+//! Bench targets stay `harness = false` binaries: their `main` calls
+//! [`bench`] per case and prints `name ... ns/iter` lines. Sampling is
+//! simple — warm up, auto-scale the iteration count to a target sample
+//! duration, take the median of several samples — which is plenty to
+//! spot order-of-magnitude regressions (the acceptance bar for the
+//! instrumentation in this workspace is "< 2% when disabled", measured
+//! over many iterations).
+//!
+//! `SHOAL_BENCH_FAST=1` shrinks sampling for smoke runs in CI.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn fast_mode() -> bool {
+    std::env::var("SHOAL_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Times one sample of `iters` runs of `f`, returning ns/iter.
+fn sample<F: FnMut()>(iters: u64, f: &mut F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The result of one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    pub ns_per_iter: f64,
+    pub spread_ns: f64,
+    pub iters_per_sample: u64,
+}
+
+/// Measures `f` without printing (used by overhead-comparison tests).
+pub fn measure<F: FnMut()>(mut f: F) -> Measurement {
+    let (target, samples) = if fast_mode() {
+        (Duration::from_millis(10), 3)
+    } else {
+        (Duration::from_millis(60), 7)
+    };
+    // Warm-up and iteration scaling: grow until one sample ≥ target.
+    let mut iters = 1u64;
+    loop {
+        let ns = sample(iters, &mut f);
+        if ns * iters as f64 >= target.as_nanos() as f64 || iters >= 1 << 30 {
+            break;
+        }
+        iters = (iters * 2).max((target.as_nanos() as f64 / ns.max(1.0)) as u64);
+    }
+    let mut runs: Vec<f64> = (0..samples).map(|_| sample(iters, &mut f)).collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = runs[runs.len() / 2];
+    Measurement {
+        ns_per_iter: median,
+        spread_ns: runs[runs.len() - 1] - runs[0],
+        iters_per_sample: iters,
+    }
+}
+
+/// Runs and reports one benchmark case.
+pub fn bench<F: FnMut()>(name: &str, f: F) -> Measurement {
+    let m = measure(f);
+    println!(
+        "{name:<44} {:>12.1} ns/iter (±{:.1}, {} iters/sample)",
+        m.ns_per_iter, m.spread_ns, m.iters_per_sample
+    );
+    m
+}
+
+/// Prints the standard header for a bench binary.
+pub fn header(group: &str) {
+    println!("== bench: {group} ==");
+}

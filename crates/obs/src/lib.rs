@@ -1,0 +1,72 @@
+//! Zero-dependency observability for the shoal analysis pipeline.
+//!
+//! The paper's engine explores many symbolic executions; this crate makes
+//! that exploration *visible* without making it slower. Three layers:
+//!
+//! * **spans and events** ([`recorder`]) — structured records (`fork`,
+//!   `prune`, `cap_hit`, timed spans) collected into a process-global
+//!   recorder. When recording is disabled (the default) every
+//!   instrumentation site costs one relaxed atomic load and constructs
+//!   nothing.
+//! * **metrics** ([`metrics`]) — named counters, high-watermark gauges,
+//!   and power-of-two-bucket histograms, snapshotted for the `--stats`
+//!   table or JSONL export.
+//! * **export** ([`json`], [`stats`]) — a hand-rolled JSON writer/parser
+//!   (the build environment has no registry access, so no `serde`) and a
+//!   human-readable table renderer.
+//!
+//! The crate also hosts the tiny in-repo stand-ins for the external dev
+//! tools the offline build cannot fetch: [`rng`] (xorshift64* instead of
+//! `rand`), [`prop`] (a seeded property-test harness instead of
+//! `proptest`), and [`bench`] (a ns/iter micro-benchmark harness instead
+//! of `criterion`).
+
+pub mod bench;
+pub mod json;
+pub mod metrics;
+pub mod prop;
+pub mod recorder;
+pub mod rng;
+pub mod stats;
+
+pub use metrics::{counter_add, gauge_max, hist_record, snapshot, MetricsSnapshot};
+pub use recorder::{
+    enabled, install, is_installed, parse_jsonl, record_event, set_enabled, span, take_events,
+    trace_to_jsonl, Event, SpanGuard, Value,
+};
+pub use rng::XorShift64;
+
+/// Records a structured event iff recording is enabled.
+///
+/// ```
+/// shoal_obs::event!("fork", site = "exec_if", live = 3u64);
+/// ```
+///
+/// Field values are converted with [`Value::from`]; when the recorder is
+/// disabled the field expressions are **not evaluated**, so call sites
+/// may format freely.
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::record_event(
+                $kind,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+/// Opens a timed span; the returned guard records a `span` event (with
+/// `duration_us`) and a duration histogram sample when dropped. Inert
+/// (no clock read) while recording is disabled.
+///
+/// ```
+/// let _g = shoal_obs::span!("exec_items");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

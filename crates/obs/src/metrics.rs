@@ -1,0 +1,167 @@
+//! Named counters, high-watermark gauges, and power-of-two-bucket
+//! histograms.
+//!
+//! All helpers early-return on the recorder's disabled flag, so the
+//! instrumented hot paths (regex operations, monitor lines, fixpoint
+//! iterations) cost one relaxed atomic load when observability is off.
+//! When on, each update takes the global mutex — acceptable for
+//! profiling runs, which are explicitly opt-in.
+
+use crate::recorder::enabled;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// log2 bucket count: values up to 2^63 land in the last bucket.
+pub const BUCKETS: usize = 64;
+
+/// An exponential (power-of-two) histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let bucket = (64 - v.leading_zeros()) as usize; // v=0 → 0, 1 → 1, 2..3 → 2, …
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket midpoints (upper bound of the
+    /// containing bucket) — good enough for order-of-magnitude profiling.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+fn with_store(f: impl FnOnce(&mut Store)) {
+    let mut guard = STORE.lock().unwrap();
+    f(guard.get_or_insert_with(Store::default));
+}
+
+/// Clears all metrics (called by [`crate::install`]).
+pub fn reset() {
+    *STORE.lock().unwrap() = None;
+}
+
+/// Adds to a named counter. No-op while recording is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if enabled() {
+        with_store(|s| *s.counters.entry(name.to_string()).or_insert(0) += n);
+    }
+}
+
+/// Raises a named high-watermark gauge. No-op while disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if enabled() {
+        with_store(|s| {
+            let g = s.gauges.entry(name.to_string()).or_insert(0);
+            *g = (*g).max(v);
+        });
+    }
+}
+
+/// Records a histogram sample. No-op while disabled.
+#[inline]
+pub fn hist_record(name: &'static str, v: u64) {
+    if enabled() {
+        hist_record_name(name.to_string(), v);
+    }
+}
+
+/// Like [`hist_record`] for dynamically-built names (callers must have
+/// checked `enabled()` or accept the allocation).
+pub fn hist_record_name(name: String, v: u64) {
+    with_store(|s| s.histograms.entry(name).or_default().record(v));
+}
+
+/// A point-in-time copy of every metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The value of a named counter, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of a named high-watermark gauge, if it was ever raised.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram recorded under `name`, if any samples exist.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// Snapshots all metrics without clearing them.
+pub fn snapshot() -> MetricsSnapshot {
+    let guard = STORE.lock().unwrap();
+    match guard.as_ref() {
+        None => MetricsSnapshot::default(),
+        Some(s) => MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s.histograms.clone(),
+        },
+    }
+}

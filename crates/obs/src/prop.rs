@@ -1,0 +1,187 @@
+//! A small seeded property-test harness replacing `proptest` in the
+//! offline build.
+//!
+//! No shrinking — instead every case's seed is derived deterministically
+//! from the suite name and case index, and a failure message prints the
+//! reproduction environment variables:
+//!
+//! ```text
+//! SHOAL_PROP_SEED=0x1234abcd cargo test -p shoal-relang backends_agree
+//! ```
+//!
+//! `SHOAL_PROP_CASES` scales the case count globally (CI can crank it
+//! up; `SHOAL_PROP_CASES=10` smoke-tests quickly).
+
+use crate::rng::{splitmix64, XorShift64};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A source of random test data, handed to each property case.
+pub struct Gen {
+    rng: XorShift64,
+}
+
+impl Gen {
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: XorShift64::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform in `[range.start, range.end)`.
+    pub fn usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.rng.random_range(range)
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn ratio(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// A uniform element of `xs`.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        self.rng.choose(xs)
+    }
+
+    /// An index into `weights`, chosen proportionally (replaces
+    /// `prop_oneof!` weighting).
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut roll = self.rng.next_u64() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w as u64 {
+                return i;
+            }
+            roll -= w as u64;
+        }
+        weights.len() - 1
+    }
+
+    /// A string of `len ∈ range` chars drawn from `alphabet`.
+    pub fn string_of(&mut self, alphabet: &str, range: std::ops::Range<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let n = self.usize(range);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// A vector of `len ∈ range` elements built by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(range);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A random subsequence of `xs` (each element kept with p=1/2).
+    pub fn subsequence<T: Clone>(&mut self, xs: &[T]) -> Vec<T> {
+        xs.iter().filter(|_| self.bool()).cloned().collect()
+    }
+
+    /// `Some(f(g))` with probability `p`.
+    pub fn option<T>(&mut self, p: f64, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+        if self.ratio(p) {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+}
+
+fn case_count(default: u32) -> u32 {
+    std::env::var("SHOAL_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let t = text.trim();
+    t.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .or_else(|| t.parse().ok())
+}
+
+/// Runs `property` against `cases` deterministic seeds. Panics (failing
+/// the enclosing `#[test]`) on the first failing case, printing a
+/// `SHOAL_PROP_SEED` reproduction line.
+pub fn run_cases(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
+    // Explicit seed: reproduce exactly one case.
+    if let Some(seed) = std::env::var("SHOAL_PROP_SEED").ok().and_then(|v| parse_seed(&v)) {
+        let mut g = Gen::from_seed(seed);
+        property(&mut g);
+        return;
+    }
+    let base = splitmix64(name.bytes().fold(0u64, |h, b| {
+        splitmix64(h ^ b as u64)
+    }));
+    for i in 0..case_count(cases) {
+        let seed = splitmix64(base ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::from_seed(seed);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property {name} failed on case {i}/{cases}: {msg}\n\
+                 reproduce with: SHOAL_PROP_SEED=0x{seed:x} cargo test {name}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        let counter = std::sync::Mutex::new(&mut n);
+        run_cases("smoke", 16, |g| {
+            let x = g.usize(0..100);
+            assert!(x < 100);
+            **counter.lock().unwrap() += 1;
+        });
+        assert_eq!(n, 16);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("always-fails", 4, |_| panic!("boom"));
+        }));
+        let msg = match result {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("SHOAL_PROP_SEED=0x"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight() {
+        let mut g = Gen::from_seed(9);
+        for _ in 0..200 {
+            let i = g.weighted(&[0, 3, 1]);
+            assert!(i == 1 || i == 2);
+        }
+    }
+}

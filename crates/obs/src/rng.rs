@@ -1,0 +1,107 @@
+//! A tiny deterministic PRNG (xorshift64* seeded through splitmix64),
+//! replacing the `rand` dependency the offline build cannot fetch.
+//!
+//! Not cryptographic; used only for corpus generation, doc-mining noise
+//! models, and property-test case generation, all of which need
+//! *reproducibility* (fixed seed → fixed sequence) more than quality.
+
+/// xorshift64* with a splitmix64-mixed seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+/// One round of splitmix64 — used to spread weak seeds (0, 1, 2, …)
+/// across the whole state space.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl XorShift64 {
+    /// Seeds the generator; any seed (including 0) is fine.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mixed = splitmix64(seed);
+        XorShift64 {
+            state: if mixed == 0 { 0x9e3779b97f4a7c15 } else { mixed },
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// A uniform `usize` in `[range.start, range.end)`; mirrors
+    /// `rand::Rng::random_range` for the call sites ported off `rand`.
+    pub fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift mapping; bias is < 2^-53 for the tiny spans used
+        // here, and determinism is what actually matters.
+        range.start + ((self.next_u64() >> 11) % span) as usize
+    }
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniform element of `slice` (panics on empty input).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.random_range(0..slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = XorShift64::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShift64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = XorShift64::seed_from_u64(1);
+        assert!(r.random_bool(1.0));
+        assert!(!r.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 gave {hits}/10000");
+    }
+}

@@ -348,6 +348,7 @@ impl Regex {
 
     /// Does the (possibly extended) regex match `input` exactly?
     pub fn matches(&self, input: &[u8]) -> bool {
+        shoal_obs::counter_add("relang.matches", 1);
         let mut r = self.clone();
         for &b in input {
             r = crate::deriv::deriv(&r, b);
@@ -371,11 +372,13 @@ impl Regex {
 
     /// Is `self ⊆ other`?
     pub fn is_subset_of(&self, other: &Regex) -> bool {
+        shoal_obs::counter_add("relang.subset_checks", 1);
         self.difference(other).is_empty()
     }
 
     /// Do the two languages coincide?
     pub fn equiv(&self, other: &Regex) -> bool {
+        shoal_obs::counter_add("relang.equiv_checks", 1);
         self.is_subset_of(other) && other.is_subset_of(self)
     }
 
@@ -493,7 +496,7 @@ mod tests {
         assert!(r.matches(b"xxxx"));
         assert!(!r.matches(b"xxxxx"));
         let unb = Regex::byte(b'x').repeat(2, None);
-        assert!(unb.matches(&vec![b'x'; 17]));
+        assert!(unb.matches(&[b'x'; 17]));
         assert!(!unb.matches(b"x"));
     }
 

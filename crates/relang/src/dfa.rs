@@ -53,6 +53,7 @@ impl Dfa {
     /// Builds a DFA from any (possibly extended) regex via Brzozowski
     /// derivatives, then minimizes it.
     pub fn from_regex(r: &Regex) -> Dfa {
+        shoal_obs::counter_add("relang.dfa_compile", 1);
         let mut ids: HashMap<Regex, u32> = HashMap::new();
         let mut order: Vec<Regex> = Vec::new();
         let mut trans: Vec<Vec<(ByteClass, u32)>> = Vec::new();
@@ -313,6 +314,7 @@ impl Dfa {
 
     /// Product construction combining acceptance with `op`.
     pub fn product(&self, other: &Dfa, op: impl Fn(bool, bool) -> bool) -> Dfa {
+        shoal_obs::counter_add("relang.dfa_product", 1);
         // Combined alphabet partition: pairs of class indices that occur.
         let mut pair_ids: HashMap<(u16, u16), u16> = HashMap::new();
         let mut byte_map = vec![0u16; 256];

@@ -1,87 +1,101 @@
-//! Property-based tests for the regular-language engine.
+//! Property-based tests for the regular-language engine, on the in-repo
+//! seeded harness (`shoal_obs::prop`).
 //!
 //! The central invariant: the three execution backends (Brzozowski
 //! derivatives, Thompson NFA simulation, compiled DFA) recognize exactly
 //! the same language, and the Boolean algebra of languages agrees with
 //! pointwise matching.
 
-use proptest::prelude::*;
+use shoal_obs::prop::{run_cases, Gen};
 use shoal_relang::{ByteClass, Dfa, Nfa, Regex};
 
-/// Strategy: random classical regexes over the alphabet {a, b, c}.
-fn classical_regex() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::eps()),
-        Just(Regex::byte(b'a')),
-        Just(Regex::byte(b'b')),
-        Just(Regex::byte(b'c')),
-        Just(Regex::class(ByteClass::from_bytes(b"ab"))),
-        Just(Regex::class(ByteClass::from_bytes(b"bc"))),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
-            inner.clone().prop_map(|r| r.star()),
-            inner.prop_map(|r| r.opt()),
-        ]
-    })
+/// A random classical regex over the alphabet {a, b, c}, with bounded
+/// depth (mirrors the old `prop_recursive(4, 24, 3, …)` strategy).
+fn classical_regex(g: &mut Gen, depth: usize) -> Regex {
+    if depth == 0 || g.ratio(0.3) {
+        return match g.usize(0..6) {
+            0 => Regex::eps(),
+            1 => Regex::byte(b'a'),
+            2 => Regex::byte(b'b'),
+            3 => Regex::byte(b'c'),
+            4 => Regex::class(ByteClass::from_bytes(b"ab")),
+            _ => Regex::class(ByteClass::from_bytes(b"bc")),
+        };
+    }
+    match g.usize(0..4) {
+        0 => Regex::concat(g.vec_of(2..4, |g| classical_regex(g, depth - 1))),
+        1 => Regex::alt(g.vec_of(2..4, |g| classical_regex(g, depth - 1))),
+        2 => classical_regex(g, depth - 1).star(),
+        _ => classical_regex(g, depth - 1).opt(),
+    }
 }
 
-/// Strategy: random inputs over the same alphabet.
-fn input() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(
-        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd')],
-        0..10,
-    )
+/// A random input over {a, b, c, d} (d exercises out-of-alphabet bytes).
+fn input(g: &mut Gen) -> Vec<u8> {
+    g.vec_of(0..10, |g| *g.pick(b"abcd"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn backends_agree(r in classical_regex(), s in input()) {
+#[test]
+fn backends_agree() {
+    run_cases("backends_agree", 128, |g| {
+        let r = classical_regex(g, 4);
+        let s = input(g);
         let via_deriv = r.matches(&s);
         let nfa = Nfa::compile(&r).expect("classical");
         let via_nfa = nfa.matches(&s);
         let dfa = Dfa::from_regex(&r);
         let via_dfa = dfa.matches(&s);
         let via_subset = Dfa::from_nfa(&nfa).matches(&s);
-        prop_assert_eq!(via_deriv, via_nfa);
-        prop_assert_eq!(via_deriv, via_dfa);
-        prop_assert_eq!(via_deriv, via_subset);
-    }
+        assert_eq!(via_deriv, via_nfa, "{r} on {s:?}");
+        assert_eq!(via_deriv, via_dfa, "{r} on {s:?}");
+        assert_eq!(via_deriv, via_subset, "{r} on {s:?}");
+    });
+}
 
-    #[test]
-    fn boolean_algebra_pointwise(a in classical_regex(), b in classical_regex(), s in input()) {
-        prop_assert_eq!(a.or(&b).matches(&s), a.matches(&s) || b.matches(&s));
-        prop_assert_eq!(a.intersect(&b).matches(&s), a.matches(&s) && b.matches(&s));
-        prop_assert_eq!(a.complement().matches(&s), !a.matches(&s));
-        prop_assert_eq!(a.difference(&b).matches(&s), a.matches(&s) && !b.matches(&s));
-    }
+#[test]
+fn boolean_algebra_pointwise() {
+    run_cases("boolean_algebra_pointwise", 128, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
+        let s = input(g);
+        assert_eq!(a.or(&b).matches(&s), a.matches(&s) || b.matches(&s));
+        assert_eq!(a.intersect(&b).matches(&s), a.matches(&s) && b.matches(&s));
+        assert_eq!(a.complement().matches(&s), !a.matches(&s));
+        assert_eq!(a.difference(&b).matches(&s), a.matches(&s) && !b.matches(&s));
+    });
+}
 
-    #[test]
-    fn subset_laws(a in classical_regex(), b in classical_regex()) {
-        prop_assert!(a.is_subset_of(&a.or(&b)));
-        prop_assert!(a.intersect(&b).is_subset_of(&a));
-        prop_assert!(a.is_subset_of(&a));
-        prop_assert!(Regex::empty().is_subset_of(&a));
-    }
+#[test]
+fn subset_laws() {
+    run_cases("subset_laws", 96, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
+        assert!(a.is_subset_of(&a.or(&b)));
+        assert!(a.intersect(&b).is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(Regex::empty().is_subset_of(&a));
+    });
+}
 
-    #[test]
-    fn witness_is_member(r in classical_regex()) {
+#[test]
+fn witness_is_member() {
+    run_cases("witness_is_member", 128, |g| {
+        let r = classical_regex(g, 4);
         match r.witness() {
-            Some(w) => prop_assert!(r.matches(&w), "witness {w:?} not in language"),
-            None => prop_assert!(r.is_empty()),
+            Some(w) => assert!(r.matches(&w), "witness {w:?} not in language of {r}"),
+            None => assert!(r.is_empty()),
         }
-    }
+    });
+}
 
-    #[test]
-    fn witness_is_shortest(r in classical_regex()) {
+#[test]
+fn witness_is_shortest() {
+    run_cases("witness_is_shortest", 96, |g| {
+        let r = classical_regex(g, 4);
         if let Some(w) = r.witness() {
             // No strictly shorter member exists: check all shorter strings
             // over the tiny alphabet when feasible.
-            if w.len() >= 1 && w.len() <= 3 {
+            if !w.is_empty() && w.len() <= 3 {
                 let alphabet = [b'a', b'b', b'c', b'd'];
                 let mut shorter_member = false;
                 let mut stack: Vec<Vec<u8>> = vec![vec![]];
@@ -98,49 +112,68 @@ proptest! {
                         }
                     }
                 }
-                prop_assert!(!shorter_member, "witness {w:?} is not shortest");
+                assert!(!shorter_member, "witness {w:?} of {r} is not shortest");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn minimize_preserves_language(r in classical_regex(), s in input()) {
+#[test]
+fn minimize_preserves_language() {
+    run_cases("minimize_preserves_language", 96, |g| {
+        let r = classical_regex(g, 3);
+        let s = input(g);
         let d = Dfa::from_regex(&r);
         let m = d.minimize();
-        prop_assert_eq!(d.matches(&s), m.matches(&s));
-        prop_assert!(d.equiv(&m));
-    }
+        assert_eq!(d.matches(&s), m.matches(&s));
+        assert!(d.equiv(&m));
+    });
+}
 
-    #[test]
-    fn display_roundtrip(r in classical_regex()) {
+#[test]
+fn display_roundtrip() {
+    run_cases("display_roundtrip", 128, |g| {
+        let r = classical_regex(g, 3);
         let printed = r.to_string();
         let reparsed = Regex::parse(&printed)
             .unwrap_or_else(|e| panic!("printed {printed:?} failed to reparse: {e}"));
-        prop_assert!(r.equiv(&reparsed), "{} reparsed to a different language", printed);
-    }
+        assert!(r.equiv(&reparsed), "{printed} reparsed to a different language");
+    });
+}
 
-    #[test]
-    fn equivalence_is_congruence(a in classical_regex(), b in classical_regex()) {
+#[test]
+fn equivalence_is_congruence() {
+    run_cases("equivalence_is_congruence", 96, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
         // a ∪ b ≡ b ∪ a, (a ∪ b) ∩ a ≡ a, and a \ a ≡ ∅.
-        prop_assert!(a.or(&b).equiv(&b.or(&a)));
-        prop_assert!(a.or(&b).intersect(&a).equiv(&a));
-        prop_assert!(a.difference(&a).is_empty());
-    }
+        assert!(a.or(&b).equiv(&b.or(&a)));
+        assert!(a.or(&b).intersect(&a).equiv(&a));
+        assert!(a.difference(&a).is_empty());
+    });
+}
 
-    #[test]
-    fn star_laws(a in classical_regex(), s in input()) {
+#[test]
+fn star_laws() {
+    run_cases("star_laws", 96, |g| {
+        let a = classical_regex(g, 3);
+        let s = input(g);
         // a* a* ≡ a*, and s ∈ a ⇒ s ∈ a*.
         let star = a.star();
-        prop_assert_eq!(star.then(&star).matches(&s), star.matches(&s));
+        assert_eq!(star.then(&star).matches(&s), star.matches(&s));
         if a.matches(&s) {
-            prop_assert!(star.matches(&s));
+            assert!(star.matches(&s));
         }
-    }
+    });
+}
 
-    #[test]
-    fn grep_literal_is_substring_search(needle in "[a-c]{1,4}", hay in "[a-d]{0,10}") {
+#[test]
+fn grep_literal_is_substring_search() {
+    run_cases("grep_literal_is_substring_search", 128, |g| {
+        let needle = g.string_of("abc", 1..5);
+        let hay = g.string_of("abcd", 0..11);
         let pat = Regex::grep_pattern(&needle).expect("literal pattern");
         let selected = pat.matches(hay.as_bytes());
-        prop_assert_eq!(selected, hay.contains(&needle));
-    }
+        assert_eq!(selected, hay.contains(&needle), "needle {needle:?} hay {hay:?}");
+    });
 }

@@ -1,160 +1,159 @@
-//! Property-based round-trip tests for the spec text format: any
-//! well-formed specification renders to text that parses back to the
-//! identical specification. This is what makes the format safe as the
-//! community-maintained interchange the paper calls for (§4).
+//! Property-based round-trip tests for the spec text format (on the
+//! in-repo seeded harness): any well-formed specification renders to
+//! text that parses back to the identical specification. This is what
+//! makes the format safe as the community-maintained interchange the
+//! paper calls for (§4).
 
-use proptest::prelude::*;
+use shoal_obs::prop::{run_cases, Gen};
 use shoal_spec::hoare::{Cond, Effect, ExitSpec, Guard, NodeReq, SpecCase, EACH, REST};
 use shoal_spec::text::{parse_specs, render_spec};
 use shoal_spec::{ArgKind, CmdSyntax, CommandSpec};
 
-fn name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_-]{0,6}"
+fn name(g: &mut Gen) -> String {
+    let mut s = g.string_of("abcdefghijklmnopqrstuvwxyz", 1..2);
+    s.push_str(&g.string_of("abcdefghijklmnopqrstuvwxyz0123456789_-", 0..7));
+    s
 }
 
-fn flag_char() -> impl Strategy<Value = char> {
-    prop_oneof![
-        prop::char::range('a', 'z'),
-        prop::char::range('A', 'Z'),
-        prop::char::range('0', '9'),
-    ]
+fn flag_char(g: &mut Gen) -> char {
+    *g.pick(
+        &"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+            .chars()
+            .collect::<Vec<char>>(),
+    )
 }
 
 /// Single-line descriptions without format-significant characters.
-fn description() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 ,.()-]{0,24}".prop_map(|s| s.trim().to_string())
+fn description(g: &mut Gen) -> String {
+    g.string_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,.()-", 0..25)
+        .trim()
+        .to_string()
 }
 
-fn arg_kind() -> impl Strategy<Value = ArgKind> {
-    prop_oneof![
-        Just(ArgKind::Path),
-        Just(ArgKind::Str),
-        Just(ArgKind::Number),
-        Just(ArgKind::Pattern),
-    ]
+fn arg_kind(g: &mut Gen) -> ArgKind {
+    *g.pick(&[ArgKind::Path, ArgKind::Str, ArgKind::Number, ArgKind::Pattern])
 }
 
-fn syntax() -> impl Strategy<Value = CmdSyntax> {
-    (
-        name(),
-        prop::collection::btree_set(flag_char(), 0..4),
-        prop::collection::vec(description(), 4),
-        0usize..3,
-        prop::option::of(0usize..4),
-        arg_kind(),
-    )
-        .prop_map(|(name, flags, descs, min, max_extra, kind)| {
-            let mut syn = CmdSyntax::simple(&name, min, None);
-            for (i, f) in flags.into_iter().enumerate() {
-                syn = syn.flag(f, &descs[i % descs.len()]);
-            }
-            syn.max_operands = max_extra.map(|e| min + e);
-            syn.operand_kind = kind;
-            syn
-        })
+fn syntax(g: &mut Gen) -> CmdSyntax {
+    let name = name(g);
+    // A sorted de-duplicated flag set (mirrors the old btree_set strategy).
+    let mut flags: Vec<char> = g.vec_of(0..4, flag_char);
+    flags.sort_unstable();
+    flags.dedup();
+    let descs: Vec<String> = (0..4).map(|_| description(g)).collect();
+    let min = g.usize(0..3);
+    let max_extra = g.option(0.5, |g| g.usize(0..4));
+    let kind = arg_kind(g);
+    let mut syn = CmdSyntax::simple(&name, min, None);
+    for (i, f) in flags.into_iter().enumerate() {
+        syn = syn.flag(f, &descs[i % descs.len()]);
+    }
+    syn.max_operands = max_extra.map(|e| min + e);
+    syn.operand_kind = kind;
+    syn
 }
 
-fn node_req() -> impl Strategy<Value = NodeReq> {
-    prop_oneof![
-        Just(NodeReq::File),
-        Just(NodeReq::Dir),
-        Just(NodeReq::Exists),
-        Just(NodeReq::Absent),
-        Just(NodeReq::Any),
-    ]
+fn node_req(g: &mut Gen) -> NodeReq {
+    *g.pick(&[
+        NodeReq::File,
+        NodeReq::Dir,
+        NodeReq::Exists,
+        NodeReq::Absent,
+        NodeReq::Any,
+    ])
 }
 
-fn operand_ref() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(EACH), Just(REST), 0usize..4]
+fn operand_ref(g: &mut Gen) -> usize {
+    match g.usize(0..3) {
+        0 => EACH,
+        1 => REST,
+        _ => g.usize(0..4),
+    }
 }
 
-fn effect() -> impl Strategy<Value = Effect> {
-    prop_oneof![
-        operand_ref().prop_map(Effect::Deletes),
-        operand_ref().prop_map(Effect::DeletesChildren),
-        operand_ref().prop_map(Effect::CreatesFile),
-        operand_ref().prop_map(Effect::CreatesDir),
-        operand_ref().prop_map(Effect::CreatesDirChain),
-        operand_ref().prop_map(Effect::Reads),
-        operand_ref().prop_map(Effect::Writes),
-        (operand_ref(), operand_ref()).prop_map(|(src, dst)| Effect::CopiesTo { src, dst }),
-        (operand_ref(), operand_ref()).prop_map(|(src, dst)| Effect::MovesTo { src, dst }),
-        operand_ref().prop_map(Effect::ChangesCwdTo),
-        Just(Effect::WritesStdout),
-        Just(Effect::WritesStderr),
-    ]
+fn effect(g: &mut Gen) -> Effect {
+    match g.usize(0..12) {
+        0 => Effect::Deletes(operand_ref(g)),
+        1 => Effect::DeletesChildren(operand_ref(g)),
+        2 => Effect::CreatesFile(operand_ref(g)),
+        3 => Effect::CreatesDir(operand_ref(g)),
+        4 => Effect::CreatesDirChain(operand_ref(g)),
+        5 => Effect::Reads(operand_ref(g)),
+        6 => Effect::Writes(operand_ref(g)),
+        7 => Effect::CopiesTo {
+            src: operand_ref(g),
+            dst: operand_ref(g),
+        },
+        8 => Effect::MovesTo {
+            src: operand_ref(g),
+            dst: operand_ref(g),
+        },
+        9 => Effect::ChangesCwdTo(operand_ref(g)),
+        10 => Effect::WritesStdout,
+        _ => Effect::WritesStderr,
+    }
 }
 
-fn exit_spec() -> impl Strategy<Value = ExitSpec> {
-    prop_oneof![
-        Just(ExitSpec::Success),
-        Just(ExitSpec::Failure),
-        Just(ExitSpec::Unknown)
-    ]
+fn exit_spec(g: &mut Gen) -> ExitSpec {
+    *g.pick(&[ExitSpec::Success, ExitSpec::Failure, ExitSpec::Unknown])
 }
 
-fn case(available_flags: Vec<char>) -> impl Strategy<Value = SpecCase> {
-    let flags = prop::sample::subsequence(available_flags.clone(), 0..=available_flags.len());
-    let forbids = prop::sample::subsequence(available_flags.clone(), 0..=available_flags.len());
-    (
-        flags,
-        forbids,
-        prop::option::of((0usize..3, prop::option::of(0usize..3))),
-        prop::collection::vec((operand_ref(), node_req()), 0..3),
-        prop::collection::vec(effect(), 0..4),
-        exit_spec(),
-        prop::option::of("[a-zA-Z0-9*+.()|\\[\\]-]{1,16}"),
-    )
-        .prop_map(|(req, mut forbid, count, pre, effects, exit, stdout)| {
-            forbid.retain(|f| !req.contains(f));
-            SpecCase {
-                guard: Guard {
-                    requires_flags: req,
-                    forbids_flags: forbid,
-                    operand_count: count.map(|(min, extra)| (min, extra.map(|e| min + e))),
-                },
-                pre: pre
-                    .into_iter()
-                    .map(|(op, r)| Cond::OperandIs(op, r))
-                    .collect(),
-                effects,
-                exit,
-                stdout_line: stdout,
-            }
-        })
+fn case(g: &mut Gen, available_flags: &[char]) -> SpecCase {
+    let req = g.subsequence(available_flags);
+    let mut forbid = g.subsequence(available_flags);
+    let count = g.option(0.5, |g| {
+        let min = g.usize(0..3);
+        (min, g.option(0.5, |g| g.usize(0..3)))
+    });
+    let pre = g.vec_of(0..3, |g| (operand_ref(g), node_req(g)));
+    let effects = g.vec_of(0..4, effect);
+    let exit = exit_spec(g);
+    let stdout = g.option(0.5, |g| {
+        g.string_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789*+.()|[]-", 1..17)
+    });
+    forbid.retain(|f| !req.contains(f));
+    SpecCase {
+        guard: Guard {
+            requires_flags: req,
+            forbids_flags: forbid,
+            operand_count: count.map(|(min, extra)| (min, extra.map(|e| min + e))),
+        },
+        pre: pre.into_iter().map(|(op, r)| Cond::OperandIs(op, r)).collect(),
+        effects,
+        exit,
+        stdout_line: stdout,
+    }
 }
 
-fn spec() -> impl Strategy<Value = CommandSpec> {
-    syntax().prop_flat_map(|syn| {
-        let flags: Vec<char> = syn.flags.iter().map(|f| f.flag).collect();
-        prop::collection::vec(case(flags), 0..4).prop_map(move |cases| CommandSpec {
-            syntax: syn.clone(),
-            cases,
-        })
-    })
+fn spec(g: &mut Gen) -> CommandSpec {
+    let syn = syntax(g);
+    let flags: Vec<char> = syn.flags.iter().map(|f| f.flag).collect();
+    let cases = g.vec_of(0..4, |g| case(g, &flags));
+    CommandSpec { syntax: syn, cases }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn render_parse_roundtrip(s in spec()) {
+#[test]
+fn render_parse_roundtrip() {
+    run_cases("render_parse_roundtrip", 192, |g| {
+        let s = spec(g);
         let text = render_spec(&s);
-        let parsed = parse_specs(&text).map_err(|e| {
-            TestCaseError::fail(format!("rendered spec failed to parse: {e}\n---\n{text}"))
-        })?;
-        prop_assert_eq!(parsed.len(), 1);
-        prop_assert_eq!(&parsed[0], &s, "round-trip changed the spec\n---\n{}", text);
-    }
+        let parsed = parse_specs(&text)
+            .unwrap_or_else(|e| panic!("rendered spec failed to parse: {e}\n---\n{text}"));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(&parsed[0], &s, "round-trip changed the spec\n---\n{text}");
+    });
+}
 
-    #[test]
-    fn rendering_two_specs_concatenates(a in spec(), b in spec()) {
+#[test]
+fn rendering_two_specs_concatenates() {
+    run_cases("rendering_two_specs_concatenates", 192, |g| {
+        let a = spec(g);
+        let b = spec(g);
         let text = format!("{}\n{}", render_spec(&a), render_spec(&b));
-        let parsed = parse_specs(&text).map_err(|e| {
-            TestCaseError::fail(format!("concatenated specs failed: {e}"))
-        })?;
-        prop_assert_eq!(parsed.len(), 2);
-        prop_assert_eq!(&parsed[0], &a);
-        prop_assert_eq!(&parsed[1], &b);
-    }
+        let parsed =
+            parse_specs(&text).unwrap_or_else(|e| panic!("concatenated specs failed: {e}"));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(&parsed[0], &a);
+        assert_eq!(&parsed[1], &b);
+    });
 }

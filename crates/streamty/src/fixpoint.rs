@@ -126,6 +126,16 @@ impl DataflowGraph {
                 break;
             }
         }
+        shoal_obs::counter_add("streamty.fixpoint_runs", 1);
+        shoal_obs::counter_add("streamty.fixpoint_iterations", iterations as u64);
+        shoal_obs::counter_add("streamty.widened_nodes", widened.len() as u64);
+        shoal_obs::event!(
+            "fixpoint",
+            nodes = n,
+            edges = self.edges.len(),
+            iterations = iterations,
+            widened = widened.len()
+        );
         FixpointOutcome {
             types,
             iterations,

@@ -1,79 +1,99 @@
-//! Property-based tests for signature application: the soundness
-//! relations every downstream consumer relies on.
+//! Property-based tests for signature application (on the in-repo
+//! seeded harness): the soundness relations every downstream consumer
+//! relies on.
 
-use proptest::prelude::*;
+use shoal_obs::prop::{run_cases, Gen};
 use shoal_relang::{ByteClass, Regex};
 use shoal_streamty::sig::Sig;
 
-fn classical_regex() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::eps()),
-        Just(Regex::byte(b'a')),
-        Just(Regex::byte(b'b')),
-        Just(Regex::class(ByteClass::from_bytes(b"ab"))),
-        Just(Regex::class(ByteClass::range(b'0', b'9'))),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::concat),
-            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
-            inner.prop_map(|r| r.star()),
-        ]
-    })
+fn classical_regex(g: &mut Gen, depth: usize) -> Regex {
+    if depth == 0 || g.ratio(0.35) {
+        return match g.usize(0..5) {
+            0 => Regex::eps(),
+            1 => Regex::byte(b'a'),
+            2 => Regex::byte(b'b'),
+            3 => Regex::class(ByteClass::from_bytes(b"ab")),
+            _ => Regex::class(ByteClass::range(b'0', b'9')),
+        };
+    }
+    match g.usize(0..3) {
+        0 => Regex::concat(g.vec_of(2..3, |g| classical_regex(g, depth - 1))),
+        1 => Regex::alt(g.vec_of(2..3, |g| classical_regex(g, depth - 1))),
+        _ => classical_regex(g, depth - 1).star(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn filter_output_is_subset_of_input(input in classical_regex(), keep in classical_regex()) {
+#[test]
+fn filter_output_is_subset_of_input() {
+    run_cases("filter_output_is_subset_of_input", 96, |g| {
+        let input = classical_regex(g, 3);
+        let keep = classical_regex(g, 3);
         let sig = Sig::Filter { keep };
         let out = sig.apply(&input).expect("filters never reject");
-        prop_assert!(out.is_subset_of(&input), "a filter invented lines");
-    }
+        assert!(out.is_subset_of(&input), "a filter invented lines");
+    });
+}
 
-    #[test]
-    fn filter_out_output_is_subset_of_input(input in classical_regex(), drop in classical_regex()) {
+#[test]
+fn filter_out_output_is_subset_of_input() {
+    run_cases("filter_out_output_is_subset_of_input", 96, |g| {
+        let input = classical_regex(g, 3);
+        let drop = classical_regex(g, 3);
         let sig = Sig::FilterOut { drop: drop.clone() };
         let out = sig.apply(&input).expect("filters never reject");
-        prop_assert!(out.is_subset_of(&input));
-        prop_assert!(out.disjoint(&drop), "dropped lines leaked through");
-    }
+        assert!(out.is_subset_of(&input));
+        assert!(out.disjoint(&drop), "dropped lines leaked through");
+    });
+}
 
-    #[test]
-    fn filter_then_filterout_partition_input(input in classical_regex(), pat in classical_regex()) {
+#[test]
+fn filter_then_filterout_partition_input() {
+    run_cases("filter_then_filterout_partition_input", 96, |g| {
+        let input = classical_regex(g, 3);
+        let pat = classical_regex(g, 3);
         // grep P + grep -v P together cover the input exactly.
         let keep = Sig::Filter { keep: pat.clone() }.apply(&input).unwrap();
         let dropped = Sig::FilterOut { drop: pat }.apply(&input).unwrap();
-        prop_assert!(keep.or(&dropped).equiv(&input));
-        prop_assert!(keep.disjoint(&dropped));
-    }
+        assert!(keep.or(&dropped).equiv(&input));
+        assert!(keep.disjoint(&dropped));
+    });
+}
 
-    #[test]
-    fn poly_wrap_is_exact(input in classical_regex(), prefix in "[a-z]{0,3}") {
+#[test]
+fn poly_wrap_is_exact() {
+    run_cases("poly_wrap_is_exact", 96, |g| {
+        let input = classical_regex(g, 3);
+        let prefix = g.string_of("abcdefghijklmnopqrstuvwxyz", 0..4);
         let sig = Sig::poly_wrap(Regex::lit(&prefix), Regex::eps());
         let out = sig.apply(&input).expect("unbounded poly accepts anything");
         let expected = Regex::lit(&prefix).then(&input);
-        prop_assert!(out.equiv(&expected));
-    }
+        assert!(out.equiv(&expected));
+    });
+}
 
-    #[test]
-    fn mono_application_overapproximates_poly(input in classical_regex(), prefix in "[a-z]{0,2}") {
+#[test]
+fn mono_application_overapproximates_poly() {
+    run_cases("mono_application_overapproximates_poly", 96, |g| {
+        let input = classical_regex(g, 3);
+        let prefix = g.string_of("abcdefghijklmnopqrstuvwxyz", 0..3);
         // Forgetting polymorphism must never *shrink* the output type:
         // the monomorphic reading is an over-approximation, which is why
         // it loses proofs (E6) but stays sound.
         let sig = Sig::poly_wrap(Regex::lit(&prefix), Regex::eps());
         let poly = sig.apply(&input).unwrap();
         let mono = sig.apply_mono(&input).unwrap();
-        prop_assert!(poly.is_subset_of(&mono), "mono lost strings poly can produce");
-    }
+        assert!(poly.is_subset_of(&mono), "mono lost strings poly can produce");
+    });
+}
 
-    #[test]
-    fn bounded_identity_is_identity_within_bound(input in classical_regex()) {
+#[test]
+fn bounded_identity_is_identity_within_bound() {
+    run_cases("bounded_identity_is_identity_within_bound", 96, |g| {
+        let input = classical_regex(g, 3);
         // Any input is within the `.*`-line bound after intersecting.
         let line_input = input.intersect(&Regex::any_line());
         let sig = Sig::bounded_identity(Regex::any_line());
         let out = sig.apply(&line_input).expect("within bound");
-        prop_assert!(out.equiv(&line_input));
-    }
+        assert!(out.equiv(&line_input));
+    });
 }

@@ -1,37 +1,29 @@
-//! Property-based tests for the symbolic file system: the tree axioms
-//! hold under arbitrary operation sequences, and lexical path
-//! normalization behaves like a normal form.
+//! Property-based tests for the symbolic file system (on the in-repo
+//! seeded harness): the tree axioms hold under arbitrary operation
+//! sequences, and lexical path normalization behaves like a normal form.
 
-use proptest::prelude::*;
+use shoal_obs::prop::{run_cases, Gen};
 use shoal_symfs::key::FsKey;
 use shoal_symfs::state::{NodeState, SymFs};
 use shoal_symfs::{is_ancestor_or_equal, join, normalize_lexical};
 
-/// Strategy: path components from a small alphabet (plus dot-dot and
-/// dot to stress normalization).
-fn component() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("c".to_string()),
-        Just("..".to_string()),
-        Just(".".to_string()),
-        Just("".to_string()),
-    ]
+/// Path components from a small alphabet (plus dot-dot and dot to
+/// stress normalization).
+fn component(g: &mut Gen) -> String {
+    g.pick(&["a", "b", "c", "..", ".", ""]).to_string()
 }
 
-fn raw_path() -> impl Strategy<Value = String> {
-    (prop::bool::ANY, prop::collection::vec(component(), 0..6)).prop_map(|(abs, comps)| {
-        let body = comps.join("/");
-        if abs {
-            format!("/{body}")
-        } else {
-            body
-        }
-    })
+fn raw_path(g: &mut Gen) -> String {
+    let abs = g.bool();
+    let body = g.vec_of(0..6, component).join("/");
+    if abs {
+        format!("/{body}")
+    } else {
+        body
+    }
 }
 
-/// Strategy: one file-system operation.
+/// One file-system operation.
 #[derive(Debug, Clone)]
 enum Op {
     RequireFile(String),
@@ -43,21 +35,22 @@ enum Op {
     DeleteChildren(String),
 }
 
-fn abs_key_path() -> impl Strategy<Value = String> {
-    prop::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 1..4)
-        .prop_map(|cs| format!("/{}", cs.join("/")))
+fn abs_key_path(g: &mut Gen) -> String {
+    let comps = g.vec_of(1..4, |g| *g.pick(&["a", "b", "c"]));
+    format!("/{}", comps.join("/"))
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        abs_key_path().prop_map(Op::RequireFile),
-        abs_key_path().prop_map(Op::RequireDir),
-        abs_key_path().prop_map(Op::RequireAbsent),
-        abs_key_path().prop_map(Op::CreateFile),
-        abs_key_path().prop_map(Op::CreateDir),
-        abs_key_path().prop_map(Op::DeleteTree),
-        abs_key_path().prop_map(Op::DeleteChildren),
-    ]
+fn op(g: &mut Gen) -> Op {
+    let p = abs_key_path(g);
+    match g.usize(0..7) {
+        0 => Op::RequireFile(p),
+        1 => Op::RequireDir(p),
+        2 => Op::RequireAbsent(p),
+        3 => Op::CreateFile(p),
+        4 => Op::CreateDir(p),
+        5 => Op::DeleteTree(p),
+        _ => Op::DeleteChildren(p),
+    }
 }
 
 fn apply(fs: &mut SymFs, op: &Op) {
@@ -83,68 +76,80 @@ fn apply(fs: &mut SymFs, op: &Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn normalization_is_idempotent(p in raw_path()) {
+#[test]
+fn normalization_is_idempotent() {
+    run_cases("normalization_is_idempotent", 256, |g| {
+        let p = raw_path(g);
         let once = normalize_lexical(&p);
         let twice = normalize_lexical(&once);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    #[test]
-    fn normalized_paths_have_no_dots_or_doubles(p in raw_path()) {
+#[test]
+fn normalized_paths_have_no_dots_or_doubles() {
+    run_cases("normalized_paths_have_no_dots_or_doubles", 256, |g| {
+        let p = raw_path(g);
         let n = normalize_lexical(&p);
-        prop_assert!(!n.contains("//"), "{n}");
+        assert!(!n.contains("//"), "{n}");
         // `.` is the normal form of the empty relative path; no other
         // `.` components survive.
         if n != "." {
-            prop_assert!(!n.split('/').any(|c| c == "."), "{n}");
+            assert!(!n.split('/').any(|c| c == "."), "{n}");
         }
         if n.starts_with('/') {
-            prop_assert!(!n.split('/').any(|c| c == ".."), "absolute {n} kept ..");
+            assert!(!n.split('/').any(|c| c == ".."), "absolute {n} kept ..");
         }
         if n.len() > 1 {
-            prop_assert!(!n.ends_with('/'), "{n}");
+            assert!(!n.ends_with('/'), "{n}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn join_produces_normalized(b in raw_path(), r in raw_path()) {
+#[test]
+fn join_produces_normalized() {
+    run_cases("join_produces_normalized", 256, |g| {
+        let b = raw_path(g);
+        let r = raw_path(g);
         // Join against an absolute base always yields a normalized
         // absolute path.
         let base = if b.starts_with('/') { b } else { format!("/{b}") };
         let base = normalize_lexical(&base);
         let joined = join(&base, &r);
-        prop_assert_eq!(joined.clone(), normalize_lexical(&joined));
-        prop_assert!(joined.starts_with('/'));
-    }
+        assert_eq!(joined.clone(), normalize_lexical(&joined));
+        assert!(joined.starts_with('/'));
+    });
+}
 
-    #[test]
-    fn ancestor_relation_is_a_partial_order(a in abs_key_path(), b in abs_key_path()) {
+#[test]
+fn ancestor_relation_is_a_partial_order() {
+    run_cases("ancestor_relation_is_a_partial_order", 256, |g| {
+        let a = abs_key_path(g);
+        let b = abs_key_path(g);
         let na = normalize_lexical(&a);
         let nb = normalize_lexical(&b);
-        prop_assert!(is_ancestor_or_equal(&na, &na));
+        assert!(is_ancestor_or_equal(&na, &na));
         if is_ancestor_or_equal(&na, &nb) && is_ancestor_or_equal(&nb, &na) {
-            prop_assert_eq!(na, nb);
+            assert_eq!(na, nb);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tree_axioms_hold_after_any_ops(ops in prop::collection::vec(op(), 0..24)) {
+#[test]
+fn tree_axioms_hold_after_any_ops() {
+    run_cases("tree_axioms_hold_after_any_ops", 256, |g| {
+        let ops = g.vec_of(0..24, op);
         let mut fs = SymFs::new();
         for o in &ops {
             apply(&mut fs, o);
         }
         // Axiom: an existing node's ancestors are all directories.
-        let entries: Vec<(FsKey, NodeState)> =
-            fs.entries().map(|(k, s)| (k.clone(), s)).collect();
+        let entries: Vec<(FsKey, NodeState)> = fs.entries().map(|(k, s)| (k.clone(), s)).collect();
         for (k, s) in &entries {
             if s.exists() {
                 for anc in k.proper_ancestors() {
                     let anc_state = fs.lookup(&anc);
-                    prop_assert!(
+                    assert!(
                         anc_state == Some(NodeState::Dir),
                         "{k} is {s} but ancestor {anc} is {anc_state:?} (ops: {ops:?})"
                     );
@@ -156,7 +161,7 @@ proptest! {
             if matches!(s, NodeState::Absent | NodeState::File) {
                 for (other, os) in &entries {
                     if other != k && k.is_ancestor_or_equal(other) {
-                        prop_assert!(
+                        assert!(
                             !os.exists(),
                             "{other} is {os} under {k} which is {s} (ops: {ops:?})"
                         );
@@ -164,10 +169,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn require_is_idempotent(ops in prop::collection::vec(op(), 0..12), p in abs_key_path()) {
+#[test]
+fn require_is_idempotent() {
+    run_cases("require_is_idempotent", 256, |g| {
+        let ops = g.vec_of(0..12, op);
+        let p = abs_key_path(g);
         let mut fs = SymFs::new();
         for o in &ops {
             apply(&mut fs, o);
@@ -177,20 +186,24 @@ proptest! {
         let first = fs2.require(&key, NodeState::File).ok();
         let state_after_first = fs2.lookup(&key);
         let second = fs2.require(&key, NodeState::File).ok();
-        prop_assert_eq!(first, second, "second require changed feasibility");
-        prop_assert_eq!(state_after_first, fs2.lookup(&key));
-    }
+        assert_eq!(first, second, "second require changed feasibility");
+        assert_eq!(state_after_first, fs2.lookup(&key));
+    });
+}
 
-    #[test]
-    fn delete_tree_erases_subtree(ops in prop::collection::vec(op(), 0..12), p in abs_key_path()) {
+#[test]
+fn delete_tree_erases_subtree() {
+    run_cases("delete_tree_erases_subtree", 256, |g| {
+        let ops = g.vec_of(0..12, op);
+        let p = abs_key_path(g);
         let mut fs = SymFs::new();
         for o in &ops {
             apply(&mut fs, o);
         }
         let key = FsKey::absolute(&p).unwrap();
         fs.delete_tree(&key);
-        prop_assert_eq!(fs.lookup(&key), Some(NodeState::Absent));
+        assert_eq!(fs.lookup(&key), Some(NodeState::Absent));
         let child = key.child("probe");
-        prop_assert_eq!(fs.lookup(&child), Some(NodeState::Absent));
-    }
+        assert_eq!(fs.lookup(&child), Some(NodeState::Absent));
+    });
 }

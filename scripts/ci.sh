@@ -1,0 +1,40 @@
+#!/bin/sh
+# Offline-safe CI: the workspace has zero external dependencies, so
+# everything here must work with no network and no registry cache.
+#
+#   tier-1   build + test of the root package (the gate every change
+#            must keep green)
+#   full     the whole workspace, plus clippy with warnings denied
+#
+# Usage: scripts/ci.sh [tier1|full]   (default: full)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+mode="${1:-full}"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+if [ "$mode" = "tier1" ]; then
+    echo "==> tier-1 OK"
+    exit 0
+fi
+
+echo "==> workspace: cargo build --release --workspace"
+cargo build --release --workspace --offline
+echo "==> workspace: cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> workspace: cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint step"
+fi
+
+echo "==> CI OK"
