@@ -26,6 +26,7 @@ pub fn e1_figures() {
         "{:<22} {:<14} {:<18} {:<18}",
         "script", "ground truth", "shoal verdict", "lint SC2115"
     );
+    let mut witnesses: Vec<(&str, String)> = Vec::new();
     for (name, src, truth) in [
         ("Fig. 1 (bug)", figures::FIG1, "dangerous"),
         ("Fig. 2 (safe fix)", figures::FIG2, "safe"),
@@ -33,6 +34,21 @@ pub fn e1_figures() {
     ] {
         let report = analyze_source(src).expect("parses");
         let shoal_verdict = if report.has(DiagCode::DangerousDelete) {
+            // The verdict is only as good as its witness: every flagged
+            // figure must carry structured provenance naming the
+            // execution path that reaches the deletion.
+            let d = report.with_code(DiagCode::DangerousDelete)[0];
+            let p = d
+                .provenance
+                .as_ref()
+                .unwrap_or_else(|| panic!("E1: {name} finding lacks witness provenance"));
+            assert!(
+                !p.trail.is_empty(),
+                "E1: {name} witness trail is empty — the danger only \
+                 manifests under path constraints"
+            );
+            let steps: Vec<&str> = p.trail.iter().map(|t| t.what.as_str()).collect();
+            witnesses.push((name, format!("world {}: {}", p.world, steps.join(" → "))));
             "FLAGGED"
         } else {
             "clean"
@@ -44,6 +60,21 @@ pub fn e1_figures() {
             "clean"
         };
         println!("{name:<22} {truth:<14} {shoal_verdict:<18} {lint_verdict:<18}");
+    }
+    // Fig. 1's witness must tell the actual story: cd fails, so
+    // $STEAMROOT expands empty, so the glob deletes from /.
+    let fig1_witness = &witnesses
+        .iter()
+        .find(|(n, _)| n.starts_with("Fig. 1"))
+        .expect("E1: Fig. 1 must be flagged")
+        .1;
+    assert!(
+        fig1_witness.contains("fails") && fig1_witness.contains("STEAMROOT"),
+        "E1: Fig. 1 witness does not narrate the cd-failure/empty-STEAMROOT path: {fig1_witness}"
+    );
+    println!("\nwitness paths (structured provenance, asserted above):");
+    for (name, w) in &witnesses {
+        println!("  {name:<22} {w}");
     }
     println!(
         "\nclaim check: shoal separates the safe fix from the unsafe one; the\n\
@@ -102,6 +133,18 @@ pub fn e3_variants() {
     for v in variants::all_variants() {
         let report = analyze_source(&v.script).expect("parses");
         let s = report.has(DiagCode::DangerousDelete);
+        if s {
+            // Every flag must be justified by a witness world, not just
+            // a verdict bit (straight-line dangers have an empty trail;
+            // the provenance record itself is still mandatory).
+            for d in report.with_code(DiagCode::DangerousDelete) {
+                assert!(
+                    d.provenance.is_some(),
+                    "E3: {} finding lacks witness provenance",
+                    v.name
+                );
+            }
+        }
         let l = lint_source(&v.script)
             .expect("parses")
             .iter()
@@ -836,4 +879,26 @@ mystery-gen | grep '^desc'
         "  ({} suggestion(s) from static rw-dependency and type information)",
         suggestions.len()
     );
+}
+
+/// `xp all --json FILE` — one machine-readable results file covering
+/// the corpus (figures + syntactic variants), serialized with the same
+/// serializer as `shoal analyze --format json` (`shoal-report/v1`).
+/// Diagnostics carry full structured provenance, so downstream tooling
+/// can diff witness paths across runs, not just verdicts.
+pub fn all_json(path: &str) -> std::io::Result<()> {
+    let mut entries: Vec<(String, shoal_core::AnalysisReport)> = Vec::new();
+    for (name, src) in figures::all() {
+        let report = analyze_source(src).expect("figures parse");
+        entries.push((format!("corpus/{name}.sh"), report));
+    }
+    for v in variants::all_variants() {
+        let report = analyze_source(&v.script).expect("variants parse");
+        entries.push((format!("variants/{}.sh", v.name), report));
+    }
+    let mut text = shoal_core::provenance::reports_json(&entries).to_text();
+    text.push('\n');
+    std::fs::write(path, text)?;
+    println!("wrote {} script report(s) to {path}", entries.len());
+    Ok(())
 }

@@ -27,6 +27,14 @@ fn main() -> ExitCode {
         "e12" => experiments::e12_platform_rwdeps(),
         "e13" => experiments::e13_extensions(),
         "all" => {
+            // `xp all --json [FILE]` additionally writes one
+            // machine-readable results file (same serializer as
+            // `shoal analyze --format json`).
+            let json_out: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| "xp_results.json".to_string())
+            });
             experiments::e1_figures();
             experiments::e2_dead_pipe();
             experiments::e3_variants();
@@ -40,11 +48,19 @@ fn main() -> ExitCode {
             experiments::e11_verify();
             experiments::e12_platform_rwdeps();
             experiments::e13_extensions();
+            if let Some(path) = json_out {
+                if let Err(e) = experiments::all_json(&path) {
+                    eprintln!("xp: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         _ => {
             eprintln!(
-                "usage: xp <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all>\n\
-                 Each subcommand regenerates one experiment from EXPERIMENTS.md."
+                "usage: xp <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all> [--json [FILE]]\n\
+                 Each subcommand regenerates one experiment from EXPERIMENTS.md.\n\
+                 `all --json` also writes a machine-readable results file\n\
+                 (default xp_results.json, shoal-report/v1 schema)."
             );
             return ExitCode::from(2);
         }

@@ -13,6 +13,8 @@
 //! * `verify --no-RW PREFIX SCRIPT` — the §5 security checker.
 //! * `monitor --type T [--halt]` — the runtime stream monitor
 //!   (stdin → stdout).
+//! * `explain SCRIPT [INDEX]` — replay the witness execution path of a
+//!   finding (its provenance trail) step by step.
 //! * `explain COMMAND` — print the ground-truth specification.
 
 use std::io::{BufReader, Read, Write};
@@ -126,8 +128,15 @@ USAGE:
     shoal mine COMMAND...              mine specs from docs + probing
     shoal verify --no-RW PREFIX SCRIPT check a script against a policy
     shoal monitor --type T [--halt]    monitor stdin line types
+    shoal explain SCRIPT [INDEX]       replay the witness path of finding #INDEX
     shoal explain COMMAND              print a command's specification
     shoal coach SCRIPT...              optimization suggestions (§5)
+
+ANALYZE/CHECK OPTIONS:
+    --format text|json|sarif    output format (json embeds provenance;
+                                sarif is SARIF 2.1.0 with codeFlows)
+    --emit-world-tree FILE      write the explored world tree (.dot ->
+                                GraphViz, .json -> JSON, else both)
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -147,7 +156,49 @@ fn read_script(path: &str) -> Result<String, String> {
     }
 }
 
-fn cmd_analyze(paths: &[String], obs: &ObsFlags) -> ExitCode {
+/// Output format of `analyze`/`check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
+    // Subcommand-local flags: --format, --emit-world-tree.
+    let mut format = OutputFormat::Text;
+    let mut tree_file: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => OutputFormat::Text,
+                    Some("json") => OutputFormat::Json,
+                    Some("sarif") => OutputFormat::Sarif,
+                    other => {
+                        eprintln!(
+                            "shoal analyze: --format must be text, json, or sarif (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--emit-world-tree" => {
+                i += 1;
+                let Some(f) = args.get(i) else {
+                    eprintln!("shoal analyze: --emit-world-tree needs an output file");
+                    return ExitCode::from(2);
+                };
+                tree_file = Some(f.clone());
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
     if paths.is_empty() {
         eprintln!("shoal analyze: no scripts given");
         return ExitCode::from(2);
@@ -157,7 +208,8 @@ fn cmd_analyze(paths: &[String], obs: &ObsFlags) -> ExitCode {
         ..shoal_core::AnalysisOptions::default()
     };
     let mut worst = ExitCode::SUCCESS;
-    for path in paths {
+    let mut entries: Vec<(String, shoal_core::AnalysisReport)> = Vec::new();
+    for path in &paths {
         let src = match read_script(path) {
             Ok(s) => s,
             Err(e) => {
@@ -171,39 +223,94 @@ fn cmd_analyze(paths: &[String], obs: &ObsFlags) -> ExitCode {
                 worst = ExitCode::from(2);
             }
             Ok(report) => {
-                if report.diagnostics.is_empty() {
-                    println!("{path}: no findings across all explored executions");
-                } else {
-                    for d in &report.diagnostics {
-                        println!("{path}: {d}");
-                    }
-                    if report
-                        .diagnostics
-                        .iter()
-                        .any(|d| d.severity >= shoal_core::Severity::Warning)
-                    {
-                        worst = ExitCode::FAILURE;
-                    }
+                if report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.severity >= shoal_core::Severity::Warning)
+                {
+                    worst = ExitCode::FAILURE;
                 }
-                println!(
-                    "{path}: {} execution path(s) explored, peak {} live world(s){}",
-                    report.terminal_worlds,
-                    report.worlds_explored,
-                    if report.incomplete { " (capped)" } else { "" }
-                );
-                for hit in &report.cap_hits {
+                if format == OutputFormat::Text {
+                    if report.diagnostics.is_empty() {
+                        println!("{path}: no findings across all explored executions");
+                    } else {
+                        for d in &report.diagnostics {
+                            println!("{path}: {d}");
+                        }
+                    }
                     println!(
-                        "{path}: cap hit: {} at line {} ({} hit(s), {} world(s) dropped)",
-                        hit.reason, hit.line, hit.hits, hit.dropped
+                        "{path}: {} execution path(s) explored, peak {} live world(s){}",
+                        report.terminal_worlds,
+                        report.worlds_explored,
+                        if report.incomplete { " (capped)" } else { "" }
                     );
+                    for hit in &report.cap_hits {
+                        println!(
+                            "{path}: cap hit: {} at line {} ({} hit(s), {} world(s) dropped)",
+                            hit.reason, hit.line, hit.hits, hit.dropped
+                        );
+                    }
+                    if let Some(p) = &report.profile {
+                        print!("{}", render_profile(path, p));
+                    }
                 }
-                if let Some(p) = &report.profile {
-                    print!("{}", render_profile(path, p));
-                }
+                entries.push((path.clone(), report));
             }
         }
     }
+    if let Some(file) = &tree_file {
+        if let Err(e) = emit_world_trees(file, &entries) {
+            eprintln!("shoal: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match format {
+        OutputFormat::Text => {}
+        OutputFormat::Json => {
+            println!("{}", shoal_core::provenance::reports_json(&entries).to_text());
+        }
+        OutputFormat::Sarif => {
+            println!("{}", shoal_core::provenance::sarif_json(&entries).to_text());
+        }
+    }
     worst
+}
+
+/// Writes the world tree(s) for the analyzed scripts. `.dot` writes
+/// GraphViz DOT, `.json` writes JSON, and any other name writes both
+/// (as `FILE.dot` + `FILE.json`). With several scripts, each gets a
+/// numbered file (`FILE.2.dot`, …) in input order.
+fn emit_world_trees(
+    file: &str,
+    entries: &[(String, shoal_core::AnalysisReport)],
+) -> Result<(), String> {
+    let write = |path: &str, contents: &str| -> Result<(), String> {
+        std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("shoal: wrote world tree to {path}");
+        Ok(())
+    };
+    for (i, (_, report)) in entries.iter().enumerate() {
+        let numbered = |name: &str| -> String {
+            if i == 0 {
+                name.to_string()
+            } else {
+                match name.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}.{}.{ext}", i + 1),
+                    None => format!("{name}.{}", i + 1),
+                }
+            }
+        };
+        let tree = &report.world_tree;
+        if file.ends_with(".dot") {
+            write(&numbered(file), &tree.to_dot())?;
+        } else if file.ends_with(".json") {
+            write(&numbered(file), &tree.to_json().to_text())?;
+        } else {
+            write(&numbered(&format!("{file}.dot")), &tree.to_dot())?;
+            write(&numbered(&format!("{file}.json")), &tree.to_json().to_text())?;
+        }
+    }
+    Ok(())
 }
 
 fn render_profile(path: &str, p: &shoal_core::ProfileReport) -> String {
@@ -506,6 +613,13 @@ fn cmd_coach(paths: &[String]) -> ExitCode {
 }
 
 fn cmd_explain(names: &[String]) -> ExitCode {
+    // Dispatch: a path to an existing script (or "-") replays a
+    // finding's witness path; anything else is a spec name.
+    if let Some(first) = names.first() {
+        if first == "-" || std::path::Path::new(first).is_file() {
+            return cmd_explain_script(names);
+        }
+    }
     let specs = shoal_spec::SpecLibrary::builtin();
     if names.is_empty() {
         println!("specified commands: {}", specs.names().join(", "));
@@ -525,5 +639,45 @@ fn cmd_explain(names: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `shoal explain SCRIPT [INDEX]`: analyze the script and replay the
+/// witness execution of finding #INDEX (default 0) step by step.
+fn cmd_explain_script(args: &[String]) -> ExitCode {
+    let path = &args[0];
+    let index: usize = match args.get(1) {
+        None => 0,
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("shoal explain: finding index must be a number (got {s:?})");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let src = match read_script(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("shoal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match shoal_core::analyze_source(&src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match shoal_core::provenance::explain_diag(path, &src, &report, index) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shoal explain: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

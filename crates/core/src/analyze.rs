@@ -9,6 +9,7 @@
 
 use crate::diag::{DiagCode, Diagnostic};
 use crate::engine::Engine;
+use crate::provenance::WorldTree;
 use crate::stats::{CapHit, ProfileReport};
 use crate::world::World;
 use shoal_shparse::{parse_script, ParseError, Script};
@@ -66,6 +67,10 @@ pub struct AnalysisReport {
     /// Per-phase timings and exploration counters; present when
     /// [`AnalysisOptions::profile`] was set.
     pub profile: Option<ProfileReport>,
+    /// The explored world tree (provenance layer): one node per world,
+    /// with fork site, added constraint, and outcome. Its terminal-leaf
+    /// count equals [`AnalysisReport::terminal_worlds`].
+    pub world_tree: WorldTree,
 }
 
 impl AnalysisReport {
@@ -134,7 +139,8 @@ pub fn analyze_script_annotated(
                         "not idempotent: this command succeeds only while {key} is {assumed},                          but the script leaves it {} — a second run fails here",
                         now.map(|s| s.to_string()).unwrap_or_else(|| "changed".into())
                     ),
-                ));
+                )
+                .with_origin("checker:idempotence"));
             }
         }
         for d in findings {
@@ -145,6 +151,16 @@ pub fn analyze_script_annotated(
     let idempotence_us = t_idem.elapsed().as_micros() as u64;
     let t_report = Instant::now();
     let paths_completed = worlds.len();
+    // Close the world tree: every surviving world is a terminal leaf,
+    // so the tree's terminal-leaf count reconciles exactly with
+    // `terminal_worlds`.
+    {
+        let mut tree = engine.tree.borrow_mut();
+        for w in &worlds {
+            tree.mark_terminal(w.id);
+        }
+    }
+    let world_tree = engine.tree.replace(WorldTree::new());
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     let mut incomplete = false;
     for w in &worlds {
@@ -152,18 +168,26 @@ pub fn analyze_script_annotated(
             if d.code == DiagCode::AnalysisIncomplete {
                 incomplete = true;
             }
-            // Deduplicate by (code, line, message) keeping the first
+            // Deduplicate by (span, code, message) keeping the first
             // (whose path condition is usually the shortest).
             let dup = diagnostics
                 .iter()
-                .any(|e| e.code == d.code && e.span.line == d.span.line && e.message == d.message);
+                .any(|e| e.code == d.code && e.span == d.span && e.message == d.message);
             if !dup {
                 diagnostics.push(d.clone());
             }
         }
     }
+    // Deterministic order regardless of world-exploration order:
+    // full span, then code, then message.
     diagnostics.sort_by(|a, b| {
-        (a.span.line, a.code, a.message.clone()).cmp(&(b.span.line, b.code, b.message.clone()))
+        (a.span.line, a.span.start, a.span.end, a.code, &a.message).cmp(&(
+            b.span.line,
+            b.span.start,
+            b.span.end,
+            b.code,
+            &b.message,
+        ))
     });
     let report_us = t_report.elapsed().as_micros() as u64;
     let stats = &engine.stats;
@@ -197,6 +221,7 @@ pub fn analyze_script_annotated(
         incomplete,
         cap_hits: stats.take_cap_hits(),
         profile,
+        world_tree,
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::diag::{DiagCode, Diagnostic, Severity};
 use crate::engine::Engine;
 use crate::expand::Field;
+use crate::provenance::TrailKind;
 use crate::value::SymStr;
 use crate::world::{ExitStatus, World};
 use shoal_relang::Regex;
@@ -154,7 +155,8 @@ pub fn exec_builtin(
                 Severity::Note,
                 span,
                 "`eval` executes dynamically-constructed code; analysis does not follow it",
-            ));
+            )
+            .with_origin("builtin:eval"));
             w.last_exit = ExitStatus::Unknown;
             vec![w]
         }
@@ -245,9 +247,11 @@ fn exec_cd(eng: &Engine, world: World, fields: &[Field], span: Span) -> Vec<Worl
                  shells go to $HOME instead)",
                 target.describe()
             ),
-        ));
+        )
+        .with_origin("builtin:cd"));
     }
     let key = w0.fs_key(&target);
+    let parent = w0.id;
     // Success world: target is a directory (and in particular not the
     // empty string — `cd ""` fails).
     {
@@ -265,11 +269,14 @@ fn exec_cd(eng: &Engine, world: World, fields: &[Field], span: Span) -> Vec<Worl
                 target.concretize();
             }
         }
+        let text = format!("cd {} succeeds", target.describe());
         if feasible {
             w.cwd = absolutize(&w, &target);
-            w.assume(format!("cd {} succeeds", target.describe()));
+            eng.branch_child(parent, &mut w, "cd", span, TrailKind::Branch, text);
             w.last_exit = ExitStatus::Zero;
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "cd", span, text);
         }
     }
     // Failure world: target is absent or not a directory.
@@ -291,10 +298,13 @@ fn exec_cd(eng: &Engine, world: World, fields: &[Field], span: Span) -> Vec<Worl
             }
             None => true,
         };
+        let text = format!("cd {} fails", target.describe());
         if feasible {
-            w.assume(format!("cd {} fails", target.describe()));
+            eng.branch_child(parent, &mut w, "cd", span, TrailKind::Branch, text);
             w.last_exit = ExitStatus::NonZero;
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "cd", span, text);
         }
     }
     if out.is_empty() {
@@ -383,10 +393,13 @@ fn exec_realpath(eng: &Engine, world: World, fields: &[Field], span: Span) -> Ve
         })
         .collect();
     let critical = ["", "/"];
+    let parent = world.id;
     if let Some(id) = sym {
         for crit in critical {
             let mut w = world.clone();
+            let text = format!("{} = {:?}", arg.describe(), crit);
             if !w.refine_sym(id, &Regex::lit(crit)) {
+                eng.branch_pruned(parent, "realpath", span, text);
                 continue;
             }
             let resolved = normalize_lexical(&format!("{crit}{suffix}"));
@@ -395,7 +408,7 @@ fn exec_realpath(eng: &Engine, world: World, fields: &[Field], span: Span) -> Ve
             } else {
                 "/".to_string()
             };
-            w.assume(format!("{} = {:?}", arg.describe(), crit));
+            eng.branch_child(parent, &mut w, "realpath", span, TrailKind::Constraint, text);
             w.emit_stdout(SymStr::lit(&format!("{resolved}\n")));
             w.last_exit = ExitStatus::Zero;
             out.push(w);
@@ -403,15 +416,18 @@ fn exec_realpath(eng: &Engine, world: World, fields: &[Field], span: Span) -> Ve
         // The non-critical world: output is an absolute path ≠ "/".
         let mut w = world.clone();
         let neither = Regex::lit("").or(&Regex::lit("/")).complement();
+        let text = format!("{} is neither \"\" nor \"/\"", arg.describe());
         if w.refine_sym(id, &neither) {
             let v = w.fresh_sym(
                 Regex::parse_must(r"/[^/\n]+(/[^/\n]+)*"),
                 &format!("realpath {}", arg.describe()),
             );
-            w.assume(format!("{} is neither \"\" nor \"/\"", arg.describe()));
+            eng.branch_child(parent, &mut w, "realpath", span, TrailKind::Constraint, text);
             w.emit_stdout(v.concat(&SymStr::lit("\n")));
             w.last_exit = ExitStatus::Zero;
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "realpath", span, text);
         }
     }
     let attempted = if sym.is_some() { 3 } else { 1 };
@@ -544,6 +560,7 @@ fn fork_on_emptiness(
     }
     let mut out = Vec::new();
     let sym = v.as_single_sym().map(|(id, _)| id);
+    let parent = world.id;
     // Empty world.
     {
         let mut w = world.clone();
@@ -551,10 +568,13 @@ fn fork_on_emptiness(
             (Some(id), true) => w.refine_sym(id, &Regex::eps()),
             _ => true,
         };
+        let text = format!("{} is empty", v.describe());
         if feasible {
-            w.assume(format!("{} is empty", v.describe()));
+            eng.branch_child(parent, &mut w, "test_empty", span, TrailKind::Constraint, text);
             w.last_exit = status(true);
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_empty", span, text);
         }
     }
     // Non-empty world.
@@ -565,10 +585,13 @@ fn fork_on_emptiness(
             (Some(id), true) => w.refine_sym(id, &nonempty),
             _ => true,
         };
+        let text = format!("{} is non-empty", v.describe());
         if feasible {
-            w.assume(format!("{} is non-empty", v.describe()));
+            eng.branch_child(parent, &mut w, "test_empty", span, TrailKind::Constraint, text);
             w.last_exit = status(false);
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_empty", span, text);
         }
     }
     eng.account_branch("test_empty", span.line, 2, out.len(), out.last());
@@ -618,6 +641,7 @@ fn fork_on_equality(
         _ => (None, None),
     };
     let mut out = Vec::new();
+    let parent = world.id;
     // Equal world.
     {
         let mut w = world.clone();
@@ -625,10 +649,13 @@ fn fork_on_equality(
             (Some(id), Some(lit), true) => w.refine_sym(*id, &Regex::lit(lit)),
             _ => true,
         };
+        let text = format!("{} = {}", a.describe(), b.describe());
         if feasible {
-            w.assume(format!("{} = {}", a.describe(), b.describe()));
+            eng.branch_child(parent, &mut w, "test_eq", span, TrailKind::Constraint, text);
             w.last_exit = status(true);
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_eq", span, text);
         }
     }
     // Unequal world.
@@ -638,10 +665,13 @@ fn fork_on_equality(
             (Some(id), Some(lit), true) => w.refine_sym(*id, &Regex::lit(lit).complement()),
             _ => true,
         };
+        let text = format!("{} != {}", a.describe(), b.describe());
         if feasible {
-            w.assume(format!("{} != {}", a.describe(), b.describe()));
+            eng.branch_child(parent, &mut w, "test_eq", span, TrailKind::Constraint, text);
             w.last_exit = status(false);
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_eq", span, text);
         }
     }
     eng.account_branch("test_eq", span.line, 2, out.len(), out.last());
@@ -657,13 +687,17 @@ fn fork_on_fs(eng: &Engine, world: World, v: &SymStr, want: NodeState, span: Spa
         return vec![w0];
     };
     let mut out = Vec::new();
+    let parent = w0.id;
     // True world.
     {
         let mut w = w0.clone();
+        let text = format!("{key} is {want}");
         if w.fs.require(&key, want).ok() {
-            w.assume(format!("{key} is {want}"));
+            eng.branch_child(parent, &mut w, "test_fs", span, TrailKind::FsState, text);
             w.last_exit = ExitStatus::Zero;
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_fs", span, text);
         }
     }
     // False world: the complementary states.
@@ -675,10 +709,13 @@ fn fork_on_fs(eng: &Engine, world: World, v: &SymStr, want: NodeState, span: Spa
     };
     for &c in complements {
         let mut w = w0.clone();
+        let text = format!("{key} is {c}");
         if w.fs.require(&key, c).ok() {
-            w.assume(format!("{key} is {c}"));
+            eng.branch_child(parent, &mut w, "test_fs", span, TrailKind::FsState, text);
             w.last_exit = ExitStatus::NonZero;
             out.push(w);
+        } else {
+            eng.branch_pruned(parent, "test_fs", span, text);
         }
     }
     let attempted = 1 + complements.len();

@@ -113,6 +113,7 @@ pub fn delete_diag(danger: DeleteDanger, target_desc: &str, span: Span) -> Diagn
         span,
         format!("rm may delete everything user-writable: {detail} (target: {target_desc})"),
     )
+    .with_origin("checker:delete")
 }
 
 /// Does a symbol label mark a platform-dependent source (`uname`,

@@ -8,6 +8,7 @@
 //! semantics-driven findings actionable where syntactic lint findings
 //! are noise (§2).
 
+use crate::provenance::Provenance;
 use shoal_shparse::Span;
 use std::fmt;
 
@@ -34,6 +35,48 @@ pub enum DiagCode {
     AnalysisIncomplete,
     /// A `verify` policy violation (§5 "Security").
     PolicyViolation,
+}
+
+impl DiagCode {
+    /// All codes, in a fixed order (SARIF rule table, docs).
+    pub fn all() -> &'static [DiagCode] {
+        &[
+            DiagCode::DangerousDelete,
+            DiagCode::AlwaysFails,
+            DiagCode::DeadPipe,
+            DiagCode::StreamTypeMismatch,
+            DiagCode::MaybeEmptyExpansion,
+            DiagCode::PlatformDependent,
+            DiagCode::IdempotenceRisk,
+            DiagCode::AnalysisIncomplete,
+            DiagCode::PolicyViolation,
+        ]
+    }
+
+    /// One-line rule description (SARIF `shortDescription`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            DiagCode::DangerousDelete => {
+                "a deletion may hit / or everything under it on some execution"
+            }
+            DiagCode::AlwaysFails => {
+                "a command's precondition is unsatisfiable on some path — it always fails there"
+            }
+            DiagCode::DeadPipe => "a pipeline stage's output language is empty",
+            DiagCode::StreamTypeMismatch => "a stage's input type violates its bound",
+            DiagCode::MaybeEmptyExpansion => {
+                "a variable may be unset or empty where that changes meaning"
+            }
+            DiagCode::PlatformDependent => "behavior depends on the platform",
+            DiagCode::IdempotenceRisk => {
+                "re-running the script behaves differently from the first run"
+            }
+            DiagCode::AnalysisIncomplete => {
+                "the engine hit an exploration limit; results are incomplete"
+            }
+            DiagCode::PolicyViolation => "a verify policy violation",
+        }
+    }
 }
 
 impl fmt::Display for DiagCode {
@@ -93,6 +136,13 @@ pub struct Diagnostic {
     /// hit, machine-readable (`None` for non-cap incompleteness such as
     /// `eval` or malformed annotations).
     pub cap_reason: Option<crate::stats::CapReason>,
+    /// Structured witness: the world that saw the problem and its typed
+    /// constraint trail ([`crate::provenance`]). `None` for findings
+    /// that are not tied to a particular execution.
+    pub provenance: Option<Provenance>,
+    /// Which checker or command spec fired (e.g. `"checker:delete"`,
+    /// `"spec:mkdir"`).
+    pub origin: Option<String>,
 }
 
 impl Diagnostic {
@@ -105,12 +155,20 @@ impl Diagnostic {
             message: message.into(),
             path_condition: Vec::new(),
             cap_reason: None,
+            provenance: None,
+            origin: None,
         }
     }
 
     /// Tags the diagnostic with the exploration bound that caused it.
     pub fn with_cap(mut self, reason: crate::stats::CapReason) -> Self {
         self.cap_reason = Some(reason);
+        self
+    }
+
+    /// Tags the diagnostic with the checker/spec that produced it.
+    pub fn with_origin(mut self, origin: impl Into<String>) -> Self {
+        self.origin = Some(origin.into());
         self
     }
 }
@@ -122,6 +180,14 @@ impl fmt::Display for Diagnostic {
             "{}: {} [{}] {}",
             self.span, self.severity, self.code, self.message
         )?;
+        if let Some(reason) = self.cap_reason {
+            write!(
+                f,
+                " [analysis-incomplete: {} at line {}]",
+                reason.as_str(),
+                self.span.line
+            )?;
+        }
         if !self.path_condition.is_empty() {
             write!(
                 f,
@@ -150,6 +216,22 @@ mod tests {
         assert!(text.contains("line 4"));
         assert!(text.contains("dangerous-delete"));
         assert!(text.contains("$STEAMROOT"));
+    }
+
+    #[test]
+    fn display_renders_cap_reason() {
+        let d = Diagnostic::new(
+            DiagCode::AnalysisIncomplete,
+            Severity::Note,
+            Span::new(0, 5, 7),
+            "exploration capped; dropping 3 world(s)",
+        )
+        .with_cap(crate::stats::CapReason::MaxWorlds);
+        let text = d.to_string();
+        assert!(
+            text.contains("[analysis-incomplete: max_worlds at line 7]"),
+            "cap reason must be visible in text output, got: {text}"
+        );
     }
 
     #[test]

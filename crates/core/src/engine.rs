@@ -15,6 +15,7 @@ use crate::checkers::{classify_delete, delete_diag, is_platform_source};
 use crate::diag::{DiagCode, Diagnostic, Severity};
 use crate::expand::{expand_word, expand_word_single, Field};
 use crate::glob::{match_verdict, word_pattern_to_regex, MatchVerdict};
+use crate::provenance::{TrailKind, WorldId, WorldTree};
 use crate::stats::{CapReason, EngineStats};
 use crate::value::{Seg, SymStr};
 use crate::world::{ExitStatus, World};
@@ -28,6 +29,7 @@ use shoal_spec::{Invocation, SpecLibrary};
 use shoal_streamty::pipeline::{check_pipeline, StageVerdict};
 use shoal_streamty::sig_for;
 use shoal_symfs::state::{NodeState, Require};
+use std::cell::RefCell;
 
 /// The analysis engine: specification library plus options.
 pub struct Engine {
@@ -39,6 +41,10 @@ pub struct Engine {
     pub annotations: crate::annotations::Annotations,
     /// Exploration accounting (exact fork/prune/cap counters).
     pub stats: EngineStats,
+    /// The world tree recorded during exploration: every fork site adds
+    /// child nodes here, and [`crate::analyze`] closes the terminal
+    /// leaves (provenance layer).
+    pub tree: RefCell<WorldTree>,
 }
 
 impl Engine {
@@ -49,7 +55,43 @@ impl Engine {
             opts,
             annotations: crate::annotations::Annotations::default(),
             stats: EngineStats::default(),
+            tree: RefCell::new(WorldTree::new()),
         }
+    }
+
+    /// Registers `w` as a fork child of world `parent` created at
+    /// `site`: assigns its stable id in the world tree and records the
+    /// added constraint both on the tree edge and as a typed trail
+    /// entry on the world.
+    pub(crate) fn branch_child(
+        &self,
+        parent: WorldId,
+        w: &mut World,
+        site: &'static str,
+        span: Span,
+        kind: TrailKind,
+        constraint: impl Into<String>,
+    ) {
+        let text = constraint.into();
+        w.id = self
+            .tree
+            .borrow_mut()
+            .fork_child(parent, site, span.line, text.clone());
+        w.assume_at(span, kind, text);
+    }
+
+    /// Records a fork candidate of world `parent` that refinement
+    /// discarded as infeasible.
+    pub(crate) fn branch_pruned(
+        &self,
+        parent: WorldId,
+        site: &'static str,
+        span: Span,
+        constraint: impl Into<String>,
+    ) {
+        self.tree
+            .borrow_mut()
+            .mark_pruned(parent, site, span.line, constraint);
     }
 
     /// Accounts one primitive branch decision: one world considered
@@ -76,9 +118,9 @@ impl Engine {
                 new_worlds = new,
                 survived = survived,
                 pc = from
-                    .and_then(|w| w.path_conditions.last().cloned())
+                    .and_then(|w| w.trail.last().map(|t| t.what.clone()))
                     .unwrap_or_default(),
-                pc_len = from.map(|w| w.path_conditions.len()).unwrap_or(0)
+                pc_len = from.map(|w| w.trail.len()).unwrap_or(0)
             );
         }
         if survived < attempted {
@@ -91,7 +133,7 @@ impl Engine {
                 line = line,
                 dropped = n,
                 pc = from
-                    .and_then(|w| w.path_conditions.last().cloned())
+                    .and_then(|w| w.trail.last().map(|t| t.what.clone()))
                     .unwrap_or_default()
             );
         }
@@ -103,6 +145,12 @@ impl Engine {
         self.stats.note_live(worlds.len());
         if worlds.len() > self.opts.max_worlds {
             let dropped = worlds.len() - self.opts.max_worlds;
+            {
+                let mut tree = self.tree.borrow_mut();
+                for w in &worlds[self.opts.max_worlds..] {
+                    tree.mark_cap_dropped(w.id);
+                }
+            }
             worlds.truncate(self.opts.max_worlds);
             self.stats.note_cap(CapReason::MaxWorlds, span.line, dropped);
             if let Some(w) = worlds.first_mut() {
@@ -121,7 +169,8 @@ impl Engine {
                                 self.opts.max_worlds
                             ),
                         )
-                        .with_cap(CapReason::MaxWorlds),
+                        .with_cap(CapReason::MaxWorlds)
+                        .with_origin("engine:cap"),
                     );
                 }
             }
@@ -168,17 +217,32 @@ impl Engine {
                     }
                     (_, ExitStatus::Unknown) => {
                         self.account_branch("and_or", pipe.span().line, 2, 2, Some(&w));
+                        let parent = w.id;
                         let mut skip = w.clone();
-                        skip.assume(match op {
-                            AndOrOp::And => "left side failed",
-                            AndOrOp::Or => "left side succeeded",
-                        });
+                        self.branch_child(
+                            parent,
+                            &mut skip,
+                            "and_or",
+                            pipe.span(),
+                            TrailKind::Branch,
+                            match op {
+                                AndOrOp::And => "left side failed",
+                                AndOrOp::Or => "left side succeeded",
+                            },
+                        );
                         next.push(skip);
                         let mut go = w;
-                        go.assume(match op {
-                            AndOrOp::And => "left side succeeded",
-                            AndOrOp::Or => "left side failed",
-                        });
+                        self.branch_child(
+                            parent,
+                            &mut go,
+                            "and_or",
+                            pipe.span(),
+                            TrailKind::Branch,
+                            match op {
+                                AndOrOp::And => "left side succeeded",
+                                AndOrOp::Or => "left side failed",
+                            },
+                        );
                         run.push(go);
                     }
                 }
@@ -302,7 +366,8 @@ impl Engine {
                              and the intersection is empty",
                             report.name, report.input
                         ),
-                    ));
+                    )
+                    .with_origin("checker:streamty"));
                 }
                 StageVerdict::InputMismatch { expected, witness } => {
                     let mut msg = format!(
@@ -312,12 +377,10 @@ impl Engine {
                     if let Some(wit) = witness {
                         msg.push_str(&format!(" (e.g. {wit:?})"));
                     }
-                    world.report(Diagnostic::new(
-                        DiagCode::StreamTypeMismatch,
-                        Severity::Warning,
-                        *span,
-                        msg,
-                    ));
+                    world.report(
+                        Diagnostic::new(DiagCode::StreamTypeMismatch, Severity::Warning, *span, msg)
+                            .with_origin("checker:streamty"),
+                    );
                 }
             }
         }
@@ -446,11 +509,26 @@ impl Engine {
                 ExitStatus::NonZero => else_worlds.push(w),
                 ExitStatus::Unknown => {
                     self.account_branch("if", span.line, 2, 2, Some(&w));
+                    let parent = w.id;
                     let mut t = w.clone();
-                    t.assume("condition succeeded");
+                    self.branch_child(
+                        parent,
+                        &mut t,
+                        "if",
+                        span,
+                        TrailKind::Branch,
+                        "condition succeeded",
+                    );
                     then_worlds.push(t);
                     let mut e = w;
-                    e.assume("condition failed");
+                    self.branch_child(
+                        parent,
+                        &mut e,
+                        "if",
+                        span,
+                        TrailKind::Branch,
+                        "condition failed",
+                    );
                     else_worlds.push(e);
                 }
             }
@@ -472,8 +550,27 @@ impl Engine {
                     ExitStatus::NonZero => next_rest.push(w),
                     ExitStatus::Unknown => {
                         self.account_branch("elif", span.line, 2, 2, Some(&w));
-                        taken.push(w.clone());
-                        next_rest.push(w);
+                        let parent = w.id;
+                        let mut t = w.clone();
+                        self.branch_child(
+                            parent,
+                            &mut t,
+                            "elif",
+                            span,
+                            TrailKind::Branch,
+                            "elif condition succeeded",
+                        );
+                        taken.push(t);
+                        let mut e = w;
+                        self.branch_child(
+                            parent,
+                            &mut e,
+                            "elif",
+                            span,
+                            TrailKind::Branch,
+                            "elif condition failed",
+                        );
+                        next_rest.push(e);
                     }
                 }
             }
@@ -526,12 +623,27 @@ impl Engine {
                     }
                     None => {
                         self.account_branch("while", span.line, 2, 2, Some(&w));
+                        let parent = w.id;
                         let mut stop = w.clone();
-                        stop.assume("loop condition ended");
+                        self.branch_child(
+                            parent,
+                            &mut stop,
+                            "while",
+                            span,
+                            TrailKind::Branch,
+                            "loop condition ended",
+                        );
                         stop.last_exit = ExitStatus::Zero;
                         exited.push(stop);
                         let mut go = w;
-                        go.assume("loop condition held");
+                        self.branch_child(
+                            parent,
+                            &mut go,
+                            "while",
+                            span,
+                            TrailKind::Branch,
+                            "loop condition held",
+                        );
                         looping.push(go);
                     }
                 }
@@ -545,10 +657,14 @@ impl Engine {
         }
         for mut w in active {
             havoc_assigned(&mut w, &clause.body);
-            w.assume(format!(
-                "loop at {span} ran more than {} times",
-                self.opts.loop_bound
-            ));
+            w.assume_at(
+                span,
+                TrailKind::Widen,
+                format!(
+                    "loop at {span} ran more than {} times",
+                    self.opts.loop_bound
+                ),
+            );
             w.last_exit = ExitStatus::Zero;
             exited.push(w);
         }
@@ -599,7 +715,11 @@ impl Engine {
                 w.set_var(&clause.var, v);
                 let mut worlds = self.exec_items(vec![w], &clause.body);
                 for x in worlds.iter_mut() {
-                    x.assume(format!("for loop at {span} iterated many times"));
+                    x.assume_at(
+                        span,
+                        TrailKind::Widen,
+                        format!("for loop at {span} iterated many times"),
+                    );
                 }
                 out.extend(worlds);
                 continue;
@@ -639,7 +759,8 @@ impl Engine {
                         "control flow depends on platform-specific output ({})",
                         subject.describe()
                     ),
-                ));
+                )
+                .with_origin("checker:platform"));
             }
             let mut remaining = Some(w);
             for arm in &clause.arms {
@@ -658,6 +779,7 @@ impl Engine {
                         // Fork: matched world (refined) runs the arm;
                         // unmatched continues.
                         let sym = subject.as_single_sym().map(|(id, _)| id);
+                        let parent = current.id;
                         let mut matched = current.clone();
                         let mut unmatched = current;
                         let mut feasible = true;
@@ -673,16 +795,34 @@ impl Engine {
                             usize::from(feasible) + usize::from(un_feasible),
                             Some(&unmatched),
                         );
+                        let match_text = format!("{} matches case pattern", subject.describe());
+                        let unmatch_text =
+                            format!("{} does not match case pattern", subject.describe());
                         if feasible {
-                            matched.assume(format!("{} matches case pattern", subject.describe()));
+                            self.branch_child(
+                                parent,
+                                &mut matched,
+                                "case",
+                                span,
+                                TrailKind::Constraint,
+                                match_text,
+                            );
                             out.extend(self.exec_items(vec![matched], &arm.body));
+                        } else {
+                            self.branch_pruned(parent, "case", span, match_text);
                         }
                         if un_feasible {
-                            unmatched.assume(format!(
-                                "{} does not match case pattern",
-                                subject.describe()
-                            ));
+                            self.branch_child(
+                                parent,
+                                &mut unmatched,
+                                "case",
+                                span,
+                                TrailKind::Constraint,
+                                unmatch_text,
+                            );
                             remaining = Some(unmatched);
+                        } else {
+                            self.branch_pruned(parent, "case", span, unmatch_text);
                         }
                     }
                 }
@@ -706,6 +846,24 @@ impl Engine {
             let mut next = Vec::new();
             for w in states {
                 for (mut w2, v) in expand_word_single(self, w, &assign.value) {
+                    // Provenance: a computed value that is (or may be)
+                    // empty is the seed of the Fig. 1 class of bugs —
+                    // record it on the witness trail by variable name.
+                    if assign.value.has_expansion() {
+                        if v.as_literal().is_some_and(|l| l.is_empty()) {
+                            w2.assume_at(
+                                assign.value.span,
+                                TrailKind::Constraint,
+                                format!("${} expands to the empty string", assign.name),
+                            );
+                        } else if v.may_be_empty() {
+                            w2.assume_at(
+                                assign.value.span,
+                                TrailKind::Constraint,
+                                format!("${} may expand to the empty string", assign.name),
+                            );
+                        }
+                    }
                     w2.set_var(&assign.name, v);
                     next.push(w2);
                 }
@@ -811,6 +969,12 @@ impl Engine {
         self.stats.note_live(pairs.len());
         if pairs.len() > self.opts.max_worlds {
             let dropped = pairs.len() - self.opts.max_worlds;
+            {
+                let mut tree = self.tree.borrow_mut();
+                for (w, _) in &pairs[self.opts.max_worlds..] {
+                    tree.mark_cap_dropped(w.id);
+                }
+            }
             pairs.truncate(self.opts.max_worlds);
             self.stats.note_cap(CapReason::Expansion, span.line, dropped);
             if let Some((w, _)) = pairs.first_mut() {
@@ -824,7 +988,8 @@ impl Engine {
                             self.opts.max_worlds
                         ),
                     )
-                    .with_cap(CapReason::Expansion),
+                    .with_cap(CapReason::Expansion)
+                    .with_origin("engine:cap"),
                 );
             }
         }
@@ -900,6 +1065,7 @@ impl Engine {
                     (Some(k), None) => {
                         // Whole node. Fork on existence unless -f.
                         let before = next.len();
+                        let parent = w.id;
                         let want = if recursive {
                             NodeState::Exists
                         } else {
@@ -909,6 +1075,14 @@ impl Engine {
                         let require_outcome = exists_w.fs.require(&k, want);
                         let exists_ok = require_outcome.ok();
                         if exists_ok {
+                            self.branch_child(
+                                parent,
+                                &mut exists_w,
+                                "rm",
+                                span,
+                                TrailKind::FsState,
+                                format!("{k} exists"),
+                            );
                             // Without -f, rm succeeds only while the
                             // target exists — and we are about to delete
                             // it: idempotence-sensitive.
@@ -920,16 +1094,28 @@ impl Engine {
                             exists_w.fs.delete_tree(&k);
                             exists_w.last_exit = ExitStatus::Zero;
                             next.push(exists_w);
+                        } else {
+                            self.branch_pruned(parent, "rm", span, format!("{k} exists"));
                         }
                         let mut absent_w = w.clone();
                         let absent_ok = absent_w.fs.require(&k, NodeState::Absent).ok();
                         if absent_ok {
+                            self.branch_child(
+                                parent,
+                                &mut absent_w,
+                                "rm",
+                                span,
+                                TrailKind::FsState,
+                                format!("{k} is absent"),
+                            );
                             absent_w.last_exit = if force {
                                 ExitStatus::Zero
                             } else {
                                 ExitStatus::NonZero
                             };
                             next.push(absent_w);
+                        } else {
+                            self.branch_pruned(parent, "rm", span, format!("{k} is absent"));
                         }
                         if !exists_ok && !absent_ok {
                             // Both impossible: e.g. target is a dir and
@@ -939,7 +1125,8 @@ impl Engine {
                                 Severity::Warning,
                                 span,
                                 format!("rm {} can never succeed here", base.describe()),
-                            ));
+                            )
+                            .with_origin("checker:rm"));
                             w.last_exit = ExitStatus::NonZero;
                             next.push(w);
                         } else if !recursive && exists_ok {
@@ -1000,6 +1187,17 @@ impl Engine {
         let mut any_feasible = false;
         let mut success_feasible = false;
         let success_possible = cases.iter().any(|c| c.exit != ExitSpec::Failure);
+        let multi_case = cases.len() > 1;
+        let case_label = |case: &shoal_spec::SpecCase| {
+            format!(
+                "`{inv}` {}",
+                match case.exit {
+                    ExitSpec::Success => "succeeds",
+                    ExitSpec::Failure => "fails",
+                    ExitSpec::Unknown => "exits either way",
+                }
+            )
+        };
         for case in &cases {
             let mut w = world.clone();
             // Preconditions.
@@ -1022,7 +1220,7 @@ impl Engine {
                             feasible = false;
                         }
                         outcome => {
-                            w.assume(format!("{key} is {want}"));
+                            w.assume_at(span, TrailKind::FsState, format!("{key} is {want}"));
                             // Idempotence sensitivity: this command's
                             // success hinges on `want`; if no other
                             // success case covers the complementary
@@ -1039,7 +1237,20 @@ impl Engine {
                 }
             }
             if !feasible {
+                if multi_case {
+                    self.branch_pruned(world.id, "spec", span, case_label(case));
+                }
                 continue;
+            }
+            if multi_case {
+                self.branch_child(
+                    world.id,
+                    &mut w,
+                    "spec",
+                    span,
+                    TrailKind::FsState,
+                    case_label(case),
+                );
             }
             any_feasible = true;
             if case.exit != ExitSpec::Failure {
@@ -1071,7 +1282,8 @@ impl Engine {
                         Severity::Warning,
                         span,
                         format!("`{inv}` can never succeed here: {message}"),
-                    );
+                    )
+                    .with_origin(format!("spec:{name}"));
                     match out.first_mut() {
                         Some(w) => w.report(diag),
                         None => {

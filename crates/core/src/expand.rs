@@ -15,10 +15,11 @@
 
 use crate::engine::Engine;
 use crate::glob::{remove_affix, word_pattern_to_regex, Affix};
+use crate::provenance::TrailKind;
 use crate::value::SymStr;
 use crate::world::World;
 use shoal_relang::Regex;
-use shoal_shparse::{ParamExp, ParamOp, Word, WordPart};
+use shoal_shparse::{ParamExp, ParamOp, Span, Word, WordPart};
 
 /// Worlds paired with a per-world result.
 pub type Branches<T> = Vec<(World, T)>;
@@ -417,18 +418,36 @@ pub fn expand_param(
             let cases = remove_affix(&value, &pattern, affix, longest, &mut fresh);
             let consumed = fresh_world;
             let attempted = cases.len().max(1);
+            let parent = consumed.id;
+            let forked = cases.len() > 1;
             for case in cases {
                 let mut w = consumed.clone();
+                let text = if case.condition.is_empty() {
+                    "affix removal".to_string()
+                } else {
+                    case.condition.clone()
+                };
                 if let (Some(id), Some(refine), true) = (
                     source_sym,
                     case.source_refinement.as_ref(),
                     eng.opts.enable_pruning,
                 ) {
                     if !w.refine_sym(id, refine) {
-                        continue; // Infeasible case.
+                        // Infeasible case.
+                        eng.branch_pruned(parent, "remove_affix", Span::new(0, 0, 0), text);
+                        continue;
                     }
                 }
-                if !case.condition.is_empty() {
+                if forked {
+                    eng.branch_child(
+                        parent,
+                        &mut w,
+                        "remove_affix",
+                        Span::new(0, 0, 0),
+                        TrailKind::Constraint,
+                        text,
+                    );
+                } else if !case.condition.is_empty() {
                     w.assume(case.condition.clone());
                 }
                 out.push((w, case.result));
@@ -497,13 +516,34 @@ fn split_on_unset(
                 usize::from(feasible) + usize::from(unset_ok),
                 Some(&unset_world),
             );
+            let parent = unset_world.id;
+            let set_text = format!("${name} is non-empty");
             if feasible {
-                set_world.assume(format!("${name} is non-empty"));
+                eng.branch_child(
+                    parent,
+                    &mut set_world,
+                    "param_split",
+                    Span::new(0, 0, 0),
+                    TrailKind::Constraint,
+                    set_text,
+                );
                 out.extend(on_set(set_world, set_val));
+            } else {
+                eng.branch_pruned(parent, "param_split", Span::new(0, 0, 0), set_text);
             }
+            let unset_text = format!("${name} is empty");
             if unset_ok {
-                unset_world.assume(format!("${name} is empty"));
+                eng.branch_child(
+                    parent,
+                    &mut unset_world,
+                    "param_split",
+                    Span::new(0, 0, 0),
+                    TrailKind::Constraint,
+                    unset_text,
+                );
                 out.extend(on_unset(eng, unset_world));
+            } else {
+                eng.branch_pruned(parent, "param_split", Span::new(0, 0, 0), unset_text);
             }
             out
         }

@@ -42,6 +42,7 @@ pub mod diag;
 pub mod engine;
 pub mod expand;
 pub mod glob;
+pub mod provenance;
 pub mod stats;
 pub mod value;
 pub mod world;
@@ -51,6 +52,9 @@ pub use analyze::{
 };
 pub use annotations::{parse_annotations, AnnotationError, Annotations};
 pub use diag::{DiagCode, Diagnostic, Severity};
+pub use provenance::{
+    Provenance, TrailEntry, TrailKind, WorldId, WorldNode, WorldOutcome, WorldTree,
+};
 pub use stats::{CapHit, CapReason, EngineStats, ProfileReport};
 pub use value::{Seg, SymStr};
 pub use world::{ExitStatus, World};

@@ -13,9 +13,10 @@
 //! information onto `$STEAMROOT` everywhere it appears.
 
 use crate::diag::Diagnostic;
+use crate::provenance::{Provenance, TrailEntry, TrailKind, WorldId};
 use crate::value::{Seg, SymId, SymStr};
 use shoal_relang::Regex;
-use shoal_shparse::Command;
+use shoal_shparse::{Command, Span};
 use shoal_symfs::key::SymBase;
 use shoal_symfs::{join, normalize_lexical, FsKey, SymFs};
 use std::collections::BTreeMap;
@@ -45,6 +46,10 @@ impl ExitStatus {
 /// One symbolic execution state.
 #[derive(Debug, Clone)]
 pub struct World {
+    /// This world's node in the run's world tree (assigned at the fork
+    /// site that created it; the initial world is 0). Cloned children
+    /// inherit the parent's id until the engine registers the fork.
+    pub id: WorldId,
     /// Shell variables.
     pub vars: BTreeMap<String, SymStr>,
     /// Positional parameters `$1…`.
@@ -57,8 +62,9 @@ pub struct World {
     pub fs: SymFs,
     /// Status of the last command.
     pub last_exit: ExitStatus,
-    /// Human-readable conjuncts of the path condition.
-    pub path_conditions: Vec<String>,
+    /// Typed conjuncts of the path condition, in the order they were
+    /// assumed (the provenance trail).
+    pub trail: Vec<TrailEntry>,
     /// Diagnostics found on this path.
     pub diags: Vec<Diagnostic>,
     /// True after `exit`.
@@ -91,13 +97,14 @@ impl World {
     /// cwd, empty FS knowledge.
     pub fn initial() -> World {
         let mut w = World {
+            id: 0,
             vars: BTreeMap::new(),
             positional: Vec::new(),
             script_name: SymStr::empty(),
             cwd: SymStr::empty(),
             fs: SymFs::new(),
             last_exit: ExitStatus::Zero,
-            path_conditions: Vec::new(),
+            trail: Vec::new(),
             diags: Vec::new(),
             halted: false,
             capture: None,
@@ -232,14 +239,30 @@ impl World {
         }
     }
 
-    /// Records a path-condition conjunct.
+    /// Records a path-condition conjunct with no structured source
+    /// (kind [`TrailKind::Assumption`], no span).
     pub fn assume(&mut self, condition: impl Into<String>) {
-        self.path_conditions.push(condition.into());
+        self.trail.push(TrailEntry::new(
+            TrailKind::Assumption,
+            Span::new(0, 0, 0),
+            condition,
+        ));
     }
 
-    /// Reports a diagnostic on this path, attaching the path condition.
+    /// Records a typed path-condition conjunct anchored at `span`.
+    pub fn assume_at(&mut self, span: Span, kind: TrailKind, condition: impl Into<String>) {
+        self.trail.push(TrailEntry::new(kind, span, condition));
+    }
+
+    /// Reports a diagnostic on this path, attaching the path condition
+    /// both as the legacy flat description and as structured
+    /// provenance (witness world id + typed trail).
     pub fn report(&mut self, mut diag: Diagnostic) {
-        diag.path_condition = self.path_conditions.clone();
+        diag.path_condition = self.trail.iter().map(|t| t.what.clone()).collect();
+        diag.provenance = Some(Provenance {
+            world: self.id,
+            trail: self.trail.clone(),
+        });
         self.diags.push(diag);
     }
 

@@ -1,0 +1,4 @@
+#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*

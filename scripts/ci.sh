@@ -7,6 +7,9 @@
 #   full     the whole workspace, plus clippy with warnings denied
 #
 # Usage: scripts/ci.sh [tier1|full]   (default: full)
+#
+# SHOAL_BENCH_GATE=1 additionally runs the benchmark-regression gate
+# (scripts/bench_trajectory.sh check) in full mode.
 
 set -eu
 
@@ -35,6 +38,13 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
+fi
+
+# Opt-in performance gate: compare the bench suites against the
+# checked-in BENCH_*.json baselines (fails on >30% regression).
+if [ "${SHOAL_BENCH_GATE:-0}" = "1" ]; then
+    echo "==> bench gate: scripts/bench_trajectory.sh check"
+    scripts/bench_trajectory.sh check
 fi
 
 echo "==> CI OK"
