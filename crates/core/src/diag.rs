@@ -35,6 +35,9 @@ pub enum DiagCode {
     AnalysisIncomplete,
     /// A `verify` policy violation (§5 "Security").
     PolicyViolation,
+    /// A region of the script failed to parse and was skipped by error
+    /// recovery; findings cover only the statements that parsed.
+    ParsePartial,
 }
 
 impl DiagCode {
@@ -50,6 +53,7 @@ impl DiagCode {
             DiagCode::IdempotenceRisk,
             DiagCode::AnalysisIncomplete,
             DiagCode::PolicyViolation,
+            DiagCode::ParsePartial,
         ]
     }
 
@@ -75,6 +79,9 @@ impl DiagCode {
                 "the engine hit an exploration limit; results are incomplete"
             }
             DiagCode::PolicyViolation => "a verify policy violation",
+            DiagCode::ParsePartial => {
+                "a region failed to parse and was skipped; findings cover only the parsed part"
+            }
         }
     }
 }
@@ -91,6 +98,7 @@ impl fmt::Display for DiagCode {
             DiagCode::IdempotenceRisk => "idempotence-risk",
             DiagCode::AnalysisIncomplete => "analysis-incomplete",
             DiagCode::PolicyViolation => "policy-violation",
+            DiagCode::ParsePartial => "parse-partial",
         };
         write!(f, "{s}")
     }

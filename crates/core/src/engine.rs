@@ -29,7 +29,65 @@ use shoal_spec::{Invocation, SpecLibrary};
 use shoal_streamty::pipeline::{check_pipeline, StageVerdict};
 use shoal_streamty::sig_for;
 use shoal_symfs::state::{NodeState, Require};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// Fuel/deadline accounting (interior-mutable like [`EngineStats`]).
+///
+/// Each statement executed over `n` live worlds charges `n` units. Fuel
+/// is an exact decrementing counter; the deadline is polled with one
+/// `Instant::now()` per [`Budget::POLL_EVERY`] charges so the common
+/// case costs a couple of arithmetic ops. Once exhausted, every later
+/// charge reports the same reason, so nested `exec_items` loops unwind
+/// without re-reporting.
+struct Budget {
+    fuel_left: Cell<Option<u64>>,
+    deadline: Option<Instant>,
+    polls: Cell<u32>,
+    exhausted: Cell<Option<CapReason>>,
+    /// The exhaustion diagnostic/cap-hit has been recorded.
+    reported: Cell<bool>,
+}
+
+impl Budget {
+    const POLL_EVERY: u32 = 64;
+
+    fn new(opts: &AnalysisOptions) -> Budget {
+        Budget {
+            fuel_left: Cell::new(opts.fuel),
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            polls: Cell::new(0),
+            exhausted: Cell::new(None),
+            reported: Cell::new(false),
+        }
+    }
+
+    /// Charges `n` units; returns the cap reason once the budget is
+    /// gone. Deadline expiry is checked on the first charge and then
+    /// every `POLL_EVERY` charges.
+    fn charge(&self, n: u64) -> Option<CapReason> {
+        if let Some(reason) = self.exhausted.get() {
+            return Some(reason);
+        }
+        if let Some(fuel) = self.fuel_left.get() {
+            if fuel < n {
+                self.fuel_left.set(Some(0));
+                self.exhausted.set(Some(CapReason::Fuel));
+                return Some(CapReason::Fuel);
+            }
+            self.fuel_left.set(Some(fuel - n));
+        }
+        if let Some(deadline) = self.deadline {
+            let polls = self.polls.get();
+            self.polls.set(polls.wrapping_add(1));
+            if polls.is_multiple_of(Self::POLL_EVERY) && Instant::now() >= deadline {
+                self.exhausted.set(Some(CapReason::Deadline));
+                return Some(CapReason::Deadline);
+            }
+        }
+        None
+    }
+}
 
 /// The analysis engine: specification library plus options.
 pub struct Engine {
@@ -45,17 +103,56 @@ pub struct Engine {
     /// child nodes here, and [`crate::analyze`] closes the terminal
     /// leaves (provenance layer).
     pub tree: RefCell<WorldTree>,
+    /// Fuel/deadline budget built from the options.
+    budget: Budget,
 }
 
 impl Engine {
     /// Creates an engine with the built-in spec library.
     pub fn new(opts: AnalysisOptions) -> Engine {
+        let budget = Budget::new(&opts);
         Engine {
             specs: SpecLibrary::builtin(),
             opts,
             annotations: crate::annotations::Annotations::default(),
             stats: EngineStats::default(),
             tree: RefCell::new(WorldTree::new()),
+            budget,
+        }
+    }
+
+    /// Records budget exhaustion exactly once: a machine-readable cap
+    /// hit plus an [`DiagCode::AnalysisIncomplete`] note on the first
+    /// surviving world (the cap hit alone marks the report incomplete
+    /// when no world survives to carry the note).
+    fn note_budget_exhausted(&self, reason: CapReason, span: Span, worlds: &mut [World]) {
+        if self.budget.reported.replace(true) {
+            return;
+        }
+        self.stats.note_cap(reason, span.line, 0);
+        shoal_obs::event!("budget_exhausted", reason = reason.as_str(), line = span.line);
+        let message = match reason {
+            CapReason::Fuel => format!(
+                "fuel budget ({}) exhausted; statements from line {} on were not analyzed",
+                self.opts.fuel.unwrap_or(0),
+                span.line
+            ),
+            CapReason::Deadline => format!(
+                "deadline ({} ms) expired; statements from line {} on were not analyzed",
+                self.opts
+                    .deadline
+                    .map(|d| d.as_millis())
+                    .unwrap_or_default(),
+                span.line
+            ),
+            other => format!("{other} budget exhausted at line {}", span.line),
+        };
+        if let Some(w) = worlds.first_mut() {
+            w.report(
+                Diagnostic::new(DiagCode::AnalysisIncomplete, Severity::Note, span, message)
+                    .with_cap(reason)
+                    .with_origin("engine:budget"),
+            );
         }
     }
 
@@ -107,6 +204,7 @@ impl Engine {
         survived: usize,
         from: Option<&World>,
     ) {
+        shoal_obs::failpoint!("engine::fork");
         if attempted > 1 {
             let new = (attempted - 1) as u64;
             self.stats.forks.set(self.stats.forks.get() + new);
@@ -184,6 +282,13 @@ impl Engine {
         self.stats.note_live(worlds.len());
         for item in items {
             let span = item.and_or.span();
+            // Budget check *before* the statement: on exhaustion the
+            // remaining statements are skipped but every world — and
+            // every diagnostic already found — survives to the report.
+            if let Some(reason) = self.budget.charge(worlds.len().max(1) as u64) {
+                self.note_budget_exhausted(reason, span, &mut worlds);
+                break;
+            }
             let (halted, active): (Vec<World>, Vec<World>) =
                 worlds.into_iter().partition(|w| w.halted);
             let mut next = halted;
@@ -1001,7 +1106,11 @@ impl Engine {
             world.last_exit = ExitStatus::Unknown;
             return vec![world];
         }
-        let body = world.functions.get(name).cloned().expect("caller checked");
+        let body = world
+            .functions
+            .get(name)
+            .cloned()
+            .expect("exec_function is reached only for names just looked up in world.functions");
         let saved = world.positional.clone();
         world.positional = args.iter().map(Field::value).collect();
         world.call_depth += 1;
@@ -1148,7 +1257,11 @@ impl Engine {
 
     /// Generic spec-driven execution of an external command.
     fn exec_specified(&self, world: World, name: &str, args: &[Field], span: Span) -> Vec<World> {
-        let spec = self.specs.get(name).expect("caller checked").clone();
+        let spec = self
+            .specs
+            .get(name)
+            .expect("exec_specified is reached only for names the spec library resolved")
+            .clone();
         // Build argv, remembering which operand slots are symbolic.
         let mut argv: Vec<String> = Vec::new();
         let mut symbolic: Vec<(String, SymStr)> = Vec::new();

@@ -43,18 +43,21 @@ pub mod engine;
 pub mod expand;
 pub mod glob;
 pub mod provenance;
+pub mod scan;
 pub mod stats;
 pub mod value;
 pub mod world;
 
 pub use analyze::{
-    analyze_script, analyze_source, analyze_source_with, AnalysisOptions, AnalysisReport,
+    analyze_script, analyze_source, analyze_source_resilient, analyze_source_with,
+    AnalysisOptions, AnalysisReport,
 };
 pub use annotations::{parse_annotations, AnnotationError, Annotations};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use provenance::{
     Provenance, TrailEntry, TrailKind, WorldId, WorldNode, WorldOutcome, WorldTree,
 };
+pub use scan::{scan_paths, scan_source, Outcome, ScanOptions, ScanSummary, ScriptResult};
 pub use stats::{CapHit, CapReason, EngineStats, ProfileReport};
 pub use value::{Seg, SymStr};
 pub use world::{ExitStatus, World};

@@ -431,6 +431,10 @@ pub fn report_json(path: &str, report: &AnalysisReport) -> Json {
         ),
         ("incomplete".into(), Json::Bool(report.incomplete)),
         (
+            "parse_partial".into(),
+            Json::Bool(report.parse_partial),
+        ),
+        (
             "cap_hits".into(),
             Json::Arr(
                 report

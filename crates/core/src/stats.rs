@@ -29,16 +29,30 @@ pub enum CapReason {
     /// A loop ran past `loop_bound` iterations and was widened (havoc);
     /// no worlds are dropped, but precision is lost.
     LoopBound,
+    /// The symbolic-step budget ([`crate::analyze::AnalysisOptions::fuel`])
+    /// ran out; statements past the exhaustion point were not analyzed.
+    Fuel,
+    /// The wall-clock budget
+    /// ([`crate::analyze::AnalysisOptions::deadline`]) expired;
+    /// statements past the exhaustion point were not analyzed.
+    Deadline,
+    /// A `relang` DFA construction hit its state cap and degraded to a
+    /// top-approximation (see [`shoal_relang::ApproxReason`]); some
+    /// constraint answers are over-approximate.
+    DfaStates,
 }
 
 impl CapReason {
     /// Stable machine-readable name (`max_worlds`, `expansion`,
-    /// `loop_bound`).
+    /// `loop_bound`, `fuel`, `deadline`, `dfa_states`).
     pub fn as_str(self) -> &'static str {
         match self {
             CapReason::MaxWorlds => "max_worlds",
             CapReason::Expansion => "expansion",
             CapReason::LoopBound => "loop_bound",
+            CapReason::Fuel => "fuel",
+            CapReason::Deadline => "deadline",
+            CapReason::DfaStates => "dfa_states",
         }
     }
 }

@@ -1,0 +1,199 @@
+//! Failpoints: deliberate fault injection for robustness tests.
+//!
+//! A failpoint is a named site in the analyzer (`engine::fork`,
+//! `scan::analyze`, …) that normally does nothing. Tests — and the
+//! `SHOAL_FAILPOINTS` environment variable — can arm a site with an
+//! action, proving that every degradation path in the pipeline actually
+//! degrades instead of being dead code:
+//!
+//! ```text
+//! SHOAL_FAILPOINTS='engine::fork=panic' shoal scan corpus/
+//! SHOAL_FAILPOINTS='engine::fork=panic@fig3,scan::analyze=sleep(50)'
+//! ```
+//!
+//! The spec grammar is `name=action[@filter]`, comma-separated. Actions:
+//!
+//! * `panic` — panic at the site (exercises `catch_unwind` isolation);
+//! * `sleep(MS)` — stall for `MS` milliseconds (exercises deadlines).
+//!
+//! The optional `@filter` arms the site only while the *context*
+//! (a thread-local label, set by drivers per work unit — e.g. the
+//! script path in `shoal scan`) contains the filter substring. This is
+//! how a batch test makes exactly one script fail.
+//!
+//! Like the recorder, a disarmed failpoint costs one relaxed atomic
+//! load; the site never allocates or locks unless some failpoint is
+//! armed process-wide.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a recognizable message.
+    Panic,
+    /// Sleep for this many milliseconds.
+    SleepMs(u64),
+}
+
+/// One armed site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Failpoint {
+    name: String,
+    action: Action,
+    /// Substring the thread-local context must contain, if any.
+    filter: Option<String>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static CONFIG: Mutex<Vec<Failpoint>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Current work-unit label (e.g. the script path under scan).
+    static CONTEXT: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Is any failpoint armed process-wide? One relaxed atomic load.
+#[inline]
+pub fn active() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms failpoints from a spec string (`name=action[@filter],...`).
+/// Replaces the previous configuration.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut points = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, rhs) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint {entry:?}: expected NAME=ACTION"))?;
+        let (action_text, filter) = match rhs.split_once('@') {
+            Some((a, f)) => (a, Some(f.to_string())),
+            None => (rhs, None),
+        };
+        let action = if action_text == "panic" {
+            Action::Panic
+        } else if let Some(ms) = action_text
+            .strip_prefix("sleep(")
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            Action::SleepMs(
+                ms.parse()
+                    .map_err(|_| format!("failpoint {entry:?}: bad sleep millis {ms:?}"))?,
+            )
+        } else {
+            return Err(format!(
+                "failpoint {entry:?}: unknown action {action_text:?} (panic | sleep(MS))"
+            ));
+        };
+        points.push(Failpoint {
+            name: name.trim().to_string(),
+            action,
+            filter,
+        });
+    }
+    let armed = !points.is_empty();
+    *CONFIG.lock().unwrap_or_else(|e| e.into_inner()) = points;
+    ARMED.store(armed, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Arms failpoints from `SHOAL_FAILPOINTS`, if set. Malformed specs are
+/// reported on stderr rather than ignored silently.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("SHOAL_FAILPOINTS") {
+        if let Err(e) = configure(&spec) {
+            eprintln!("shoal: SHOAL_FAILPOINTS: {e}");
+        }
+    }
+}
+
+/// Disarms all failpoints.
+pub fn clear() {
+    CONFIG.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Sets the thread-local context label matched by `@filter` specs.
+pub fn set_context(ctx: &str) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx.to_string());
+}
+
+/// Fires the failpoint `name` if armed (and its filter matches the
+/// current context). Panics when the armed action is `panic` — callers
+/// that must survive wrap the work in `catch_unwind`.
+pub fn hit(name: &str) {
+    if !active() {
+        return;
+    }
+    let action = {
+        let config = CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+        let ctx_match = |f: &Failpoint| match &f.filter {
+            None => true,
+            Some(needle) => CONTEXT.with(|c| c.borrow().contains(needle.as_str())),
+        };
+        config
+            .iter()
+            .find(|f| f.name == name && ctx_match(f))
+            .map(|f| f.action.clone())
+    };
+    match action {
+        None => {}
+        Some(Action::Panic) => panic!("failpoint {name} triggered"),
+        Some(Action::SleepMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; these tests run under one lock
+    // and restore the disarmed state before returning.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_is_free_and_inert() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(!active());
+        hit("engine::fork"); // must not panic
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(configure("no-equals-sign").is_err());
+        assert!(configure("x=explode").is_err());
+        assert!(configure("x=sleep(abc)").is_err());
+    }
+
+    #[test]
+    fn panic_action_fires_and_filter_gates() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        configure("engine::fork=panic@fig3").expect("valid spec");
+        set_context("corpus/fig1.sh");
+        hit("engine::fork"); // filter does not match: inert
+        set_context("corpus/fig3.sh");
+        let r = std::panic::catch_unwind(|| hit("engine::fork"));
+        clear();
+        set_context("");
+        assert!(r.is_err(), "armed failpoint with matching filter must fire");
+    }
+
+    #[test]
+    fn sleep_action_parses() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        configure("scan::analyze=sleep(1)").expect("valid spec");
+        let t = std::time::Instant::now();
+        set_context("");
+        hit("scan::analyze");
+        clear();
+        assert!(t.elapsed() >= std::time::Duration::from_millis(1));
+    }
+}

@@ -22,6 +22,7 @@
 //! of `criterion`).
 
 pub mod bench;
+pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod prop;
@@ -53,6 +54,22 @@ macro_rules! event {
                 $kind,
                 vec![$((stringify!($key), $crate::Value::from($val))),*],
             );
+        }
+    };
+}
+
+/// Fires a failpoint iff one is armed for this site (fault injection for
+/// robustness tests; see [`failpoint`]). Disarmed cost: one relaxed
+/// atomic load.
+///
+/// ```
+/// shoal_obs::failpoint!("engine::fork");
+/// ```
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        if $crate::failpoint::active() {
+            $crate::failpoint::hit($name);
         }
     };
 }

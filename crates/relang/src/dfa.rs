@@ -21,7 +21,64 @@ use crate::ast::Regex;
 use crate::class::ByteClass;
 use crate::deriv::{deriv, local_classes};
 use crate::nfa::Nfa;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+
+/// Default per-thread bound on states materialized by any one DFA
+/// construction (derivative interning, subset construction, products).
+/// Every automaton the analyzer builds in practice is far below this;
+/// the cap exists so a pathological regex degrades to an honest
+/// top-approximation instead of exhausting memory.
+pub const DEFAULT_DFA_STATE_CAP: usize = 4096;
+
+/// Why a DFA is an *approximation* of the requested language rather
+/// than an exact automaton (machine-readable; surfaced in analysis
+/// reports as a cap hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxReason {
+    /// A construction worklist exceeded the per-thread state cap; the
+    /// result is ⊤ (accepts every byte string).
+    StateCap {
+        /// Which construction hit the cap (`from_regex`, `from_nfa`,
+        /// `product`, `union_of_states`, `left_quotient`).
+        site: &'static str,
+        /// The cap that was in effect.
+        cap: usize,
+    },
+}
+
+impl ApproxReason {
+    /// The construction site that gave up.
+    pub fn site(self) -> &'static str {
+        match self {
+            ApproxReason::StateCap { site, .. } => site,
+        }
+    }
+}
+
+thread_local! {
+    static STATE_CAP: Cell<usize> = const { Cell::new(DEFAULT_DFA_STATE_CAP) };
+    static APPROX_HITS: RefCell<Vec<ApproxReason>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The DFA state cap in effect on this thread.
+pub fn dfa_state_cap() -> usize {
+    STATE_CAP.with(Cell::get)
+}
+
+/// Sets this thread's DFA state cap (engines run single-threaded, so a
+/// thread-local keeps concurrent analyses independent). A cap of 0 is
+/// treated as 1.
+pub fn set_dfa_state_cap(cap: usize) {
+    STATE_CAP.with(|c| c.set(cap.max(1)));
+}
+
+/// Drains the approximation events recorded on this thread since the
+/// last call. The analysis driver turns these into report cap hits so
+/// an approximated answer is never silent.
+pub fn take_approx_hits() -> Vec<ApproxReason> {
+    APPROX_HITS.with(|h| std::mem::take(&mut *h.borrow_mut()))
+}
 
 /// A complete DFA over a byte-class-compressed alphabet.
 #[derive(Debug, Clone)]
@@ -36,6 +93,9 @@ pub struct Dfa {
     accept: Vec<bool>,
     /// Start state.
     start: u32,
+    /// Set when this automaton is an approximation (state cap hit
+    /// somewhere in its construction history).
+    approx: Option<ApproxReason>,
 }
 
 /// Intermediate sparse automaton used by both construction routes.
@@ -49,6 +109,42 @@ impl Dfa {
     // ---------------------------------------------------------------
     // Construction
     // ---------------------------------------------------------------
+
+    /// The ⊤ automaton (accepts every byte string), carrying the reason
+    /// it stands in for an exact result. Accepting-everything is the
+    /// honest fallback: emptiness checks stay sound (never claims a
+    /// language empty) and containment proofs fail conservatively.
+    fn top(reason: ApproxReason) -> Dfa {
+        Dfa {
+            classes: vec![ByteClass::ALL],
+            byte_map: vec![0u16; 256],
+            trans: vec![vec![0]],
+            accept: vec![true],
+            start: 0,
+            approx: Some(reason),
+        }
+    }
+
+    /// Records a state-cap hit at `site` and returns the ⊤ fallback.
+    fn cap_blown(site: &'static str) -> Dfa {
+        let cap = dfa_state_cap();
+        let reason = ApproxReason::StateCap { site, cap };
+        APPROX_HITS.with(|h| h.borrow_mut().push(reason));
+        shoal_obs::counter_add("relang.dfa_state_cap", 1);
+        shoal_obs::event!("dfa_state_cap", site = site, cap = cap as u64);
+        Dfa::top(reason)
+    }
+
+    /// `Some` when this automaton over-approximates the requested
+    /// language because a construction hit the state cap.
+    pub fn approx_reason(&self) -> Option<ApproxReason> {
+        self.approx
+    }
+
+    /// Is this automaton an approximation rather than an exact result?
+    pub fn is_approx(&self) -> bool {
+        self.approx.is_some()
+    }
 
     /// Builds a DFA from any (possibly extended) regex via Brzozowski
     /// derivatives, then minimizes it.
@@ -76,7 +172,11 @@ impl Dfa {
         };
 
         let start = intern(r.clone(), &mut order, &mut trans, &mut work, &mut ids);
+        let cap = dfa_state_cap();
         while let Some(id) = work.pop_front() {
+            if order.len() > cap {
+                return Dfa::cap_blown("from_regex");
+            }
             let state = order[id as usize].clone();
             for block in local_classes(&state) {
                 let rep = block.min_byte().expect("partition blocks are non-empty");
@@ -109,7 +209,11 @@ impl Dfa {
         trans.push(Vec::new());
         work.push_back(0);
 
+        let cap = dfa_state_cap();
         while let Some(id) = work.pop_front() {
+            if order.len() > cap {
+                return Dfa::cap_blown("from_nfa");
+            }
             let set = order[id as usize].clone();
             // Partition the alphabet by outgoing transition classes.
             let mut partition = vec![ByteClass::ALL];
@@ -226,6 +330,7 @@ impl Dfa {
             trans,
             accept,
             start: sparse.start,
+            approx: None,
         }
     }
 
@@ -305,6 +410,7 @@ impl Dfa {
             trans,
             accept,
             start: block[remap[self.start as usize]] as u32,
+            approx: self.approx,
         }
     }
 
@@ -346,7 +452,11 @@ impl Dfa {
         order.push(start_pair);
         work.push_back(0u32);
 
+        let cap = dfa_state_cap();
         while let Some(id) = work.pop_front() {
+            if order.len() > cap {
+                return Dfa::cap_blown("product");
+            }
             let (a, b) = order[id as usize];
             let mut row = Vec::with_capacity(classes.len());
             for &rep in &reps {
@@ -378,6 +488,7 @@ impl Dfa {
             trans,
             accept,
             start: 0,
+            approx: self.approx.or(other.approx),
         }
         .minimize()
     }
@@ -578,6 +689,45 @@ mod tests {
     }
 
     #[test]
+    fn state_cap_degrades_to_top() {
+        let saved = dfa_state_cap();
+        let _ = take_approx_hits();
+        set_dfa_state_cap(3);
+        let d = dfa("(a|b)*abb(a|b)*aab");
+        set_dfa_state_cap(saved);
+        assert!(d.is_approx());
+        assert!(matches!(
+            d.approx_reason(),
+            Some(ApproxReason::StateCap {
+                site: "from_regex",
+                cap: 3
+            })
+        ));
+        // ⊤ fallback: sound for emptiness (never claims empty), total.
+        assert!(!d.is_empty_lang());
+        assert!(d.matches(b"anything at all"));
+        let hits = take_approx_hits();
+        assert_eq!(hits.len(), 1, "cap hit must be recorded for the report");
+        // With the default cap the same pattern is exact.
+        assert!(!dfa("(a|b)*abb(a|b)*aab").is_approx());
+    }
+
+    #[test]
+    fn approx_marker_propagates_through_products() {
+        let saved = dfa_state_cap();
+        let _ = take_approx_hits();
+        set_dfa_state_cap(3);
+        let top = dfa("(a|b)*abb(a|b)*aab");
+        set_dfa_state_cap(saved);
+        let exact = dfa("xyz");
+        assert!(top.intersect(&exact).is_approx());
+        assert!(exact.union(&top).is_approx());
+        assert!(top.minimize().is_approx());
+        assert!(!exact.intersect(&exact).is_approx());
+        let _ = take_approx_hits();
+    }
+
+    #[test]
     fn extended_regex_via_derivatives() {
         // (hex strings) minus (digit-only strings).
         let r = Regex::parse_must("[0-9a-f]+").difference(&Regex::parse_must("[0-9]+"));
@@ -626,7 +776,11 @@ impl Dfa {
         let mut queue = VecDeque::new();
         queue.push_back((self.start, k.start));
         seen.insert((self.start, k.start));
+        let cap = dfa_state_cap();
         while let Some((a, b)) = queue.pop_front() {
+            if seen.len() > cap {
+                return Dfa::cap_blown("left_quotient");
+            }
             if k.accept[b as usize] {
                 reached[a as usize] = true;
             }
@@ -663,7 +817,11 @@ impl Dfa {
         ids.insert(s0.clone(), 0);
         order.push(s0);
         work.push_back(0u32);
+        let cap = dfa_state_cap();
         while let Some(id) = work.pop_front() {
+            if order.len() > cap {
+                return Dfa::cap_blown("union_of_states");
+            }
             let set = order[id as usize].clone();
             let mut row = Vec::with_capacity(self.classes.len());
             for ci in 0..self.classes.len() {
@@ -698,6 +856,7 @@ impl Dfa {
             trans,
             accept,
             start: 0,
+            approx: self.approx,
         }
         .minimize()
     }

@@ -50,6 +50,8 @@ pub mod parser;
 pub use ast::Regex;
 pub use class::ByteClass;
 pub use deriv::DerivMatcher;
-pub use dfa::Dfa;
+pub use dfa::{
+    dfa_state_cap, set_dfa_state_cap, take_approx_hits, ApproxReason, Dfa, DEFAULT_DFA_STATE_CAP,
+};
 pub use nfa::Nfa;
 pub use parser::ParseError;

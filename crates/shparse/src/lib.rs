@@ -39,4 +39,6 @@ pub use ast::{
     ParamExp, ParamOp, Pipeline, Redir, RedirOp, Script, SimpleCommand, Span, WhileClause, Word,
     WordPart,
 };
-pub use parse::{parse_script, ParseError};
+pub use parse::{
+    parse_script, parse_script_recovering, ParseDiagnostic, ParseError, RecoveredParse,
+};

@@ -42,7 +42,7 @@ pub fn parse_script(src: &str) -> Result<Script, ParseError> {
     let items = p.parse_list(&[])?;
     p.skip_blank();
     if !p.cur.at_eof() {
-        return Err(p.error_here("unexpected trailing input"));
+        return Err(p.error_at_token("unexpected trailing input"));
     }
     if let Some(pending) = p.pending.first() {
         return Err(ParseError {
@@ -54,6 +54,104 @@ pub fn parse_script(src: &str) -> Result<Script, ParseError> {
         items,
         heredocs: p.heredocs,
     })
+}
+
+/// A syntax error recorded — not raised — while parsing with recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDiagnostic {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error was detected.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.span)
+    }
+}
+
+/// The result of [`parse_script_recovering`]: whatever parsed, plus the
+/// syntax errors that were skipped to get it.
+#[derive(Debug, Clone)]
+pub struct RecoveredParse {
+    /// The statements that parsed cleanly.
+    pub script: Script,
+    /// One entry per syntax error recovered from, in source order.
+    /// Empty means the script parsed exactly as [`parse_script`] would.
+    pub diagnostics: Vec<ParseDiagnostic>,
+}
+
+/// Parses a script, *recovering* from syntax errors instead of failing.
+///
+/// On an error the parser records a [`ParseDiagnostic`], resynchronizes
+/// at the next statement boundary (newline, `;`, or a dangling
+/// `fi`/`done`/`esac`), and continues, so one malformed statement does
+/// not hide findings in the healthy remainder of the script. The strict
+/// [`parse_script`] API is unchanged.
+pub fn parse_script_recovering(src: &str) -> RecoveredParse {
+    let mut p = Parser::new(src);
+    let mut items = Vec::new();
+    let mut diagnostics = Vec::new();
+    loop {
+        let before = p.cur.pos();
+        p.skip_blank();
+        match p.cur.peek() {
+            None => break,
+            Some(b'\n') => {
+                if let Err(e) = p.consume_newline() {
+                    // Unterminated here-document: record it and drop the
+                    // pending collection so later lines parse as code.
+                    diagnostics.push(ParseDiagnostic {
+                        message: e.message,
+                        span: e.span,
+                    });
+                    p.pending.clear();
+                }
+                continue;
+            }
+            Some(b';') if !p.cur.looking_at(";;") => {
+                p.cur.bump();
+                continue;
+            }
+            _ => {}
+        }
+        match p.parse_and_or() {
+            Ok(and_or) => {
+                p.skip_blank();
+                let mut background = false;
+                if p.cur.peek() == Some(b'&') && !p.cur.looking_at("&&") {
+                    p.cur.bump();
+                    background = true;
+                }
+                items.push(ListItem { and_or, background });
+            }
+            Err(e) => {
+                diagnostics.push(ParseDiagnostic {
+                    message: e.message,
+                    span: e.span,
+                });
+                p.resync();
+            }
+        }
+        if p.cur.pos() == before && !p.cur.at_eof() {
+            // Defensive progress guarantee: never loop on the same byte.
+            p.cur.bump();
+        }
+    }
+    if let Some(pending) = p.pending.first() {
+        diagnostics.push(ParseDiagnostic {
+            message: format!("unterminated here-document (delimiter {:?})", pending.delim),
+            span: Span::new(p.cur.pos(), p.cur.pos(), p.cur.line()),
+        });
+    }
+    RecoveredParse {
+        script: Script {
+            items,
+            heredocs: p.heredocs,
+        },
+        diagnostics,
+    }
 }
 
 /// Reserved words, recognized only in command position.
@@ -88,6 +186,61 @@ impl<'a> Parser<'a> {
         ParseError {
             message: message.into(),
             span: Span::new(self.cur.pos(), self.cur.pos() + 1, self.cur.line()),
+        }
+    }
+
+    /// Like [`Parser::error_here`], but the span covers the whole token
+    /// at the cursor (to the next word-ending metacharacter) rather
+    /// than a single byte, so editors highlight the offending token.
+    fn error_at_token(&self, message: impl Into<String>) -> ParseError {
+        let start = self.cur.pos();
+        let mut len = 0;
+        while let Some(b) = self.cur.peek_at(len) {
+            // Operator bytes (`)`, `;`, `&`, …) form the token when they
+            // come first; otherwise stop at the first word end.
+            if len > 0 && is_word_end(b) {
+                break;
+            }
+            len += 1;
+            if len == 1 && is_word_end(b) {
+                break;
+            }
+        }
+        ParseError {
+            message: message.into(),
+            span: Span::new(start, start + len.max(1), self.cur.line()),
+        }
+    }
+
+    /// Error recovery: advances to the next statement boundary — past a
+    /// newline or `;`, or past a dangling `fi`/`done`/`esac` closer —
+    /// discarding any half-collected here-documents on the way.
+    fn resync(&mut self) {
+        self.pending.clear();
+        loop {
+            match self.cur.peek() {
+                None => return,
+                Some(b'\n') => {
+                    self.cur.bump();
+                    return;
+                }
+                Some(b';') => {
+                    self.cur.bump();
+                    if self.cur.peek() == Some(b';') {
+                        self.cur.bump();
+                    }
+                    return;
+                }
+                _ => {
+                    if let Some(w @ ("fi" | "done" | "esac")) = self.peek_reserved() {
+                        for _ in 0..w.len() {
+                            self.cur.bump();
+                        }
+                        return;
+                    }
+                    self.cur.bump();
+                }
+            }
         }
     }
 
@@ -233,10 +386,11 @@ impl<'a> Parser<'a> {
                 None => break,
                 _ => {}
             }
-            if self.cur.looking_at(";;") && terms.contains(&";;") {
-                break;
-            }
-            if self.cur.looking_at(")") && terms.contains(&")") {
+            // A dangling `;;` or `)` always ends the list: either the
+            // enclosing construct expects it (case arm, subshell), or
+            // `parse_script` reports it as trailing input with the
+            // token's own span.
+            if self.cur.looking_at(";;") || self.cur.looking_at(")") {
                 break;
             }
             if let Some(w) = self.peek_reserved() {
@@ -617,7 +771,11 @@ impl<'a> Parser<'a> {
         let line = self.cur.line();
         let mut fd_digits = String::new();
         while self.cur.peek().is_some_and(|b| b.is_ascii_digit()) {
-            fd_digits.push(self.cur.bump().expect("digit") as char);
+            fd_digits.push(
+                self.cur
+                    .bump()
+                    .expect("peek saw an ASCII digit, so bump cannot hit EOF") as char,
+            );
         }
         let fd = if fd_digits.is_empty() {
             None
@@ -753,7 +911,12 @@ impl<'a> Parser<'a> {
                         Some(end) => {
                             let mut text = String::new();
                             for _ in 0..=end {
-                                text.push(self.cur.bump().expect("scanned") as char);
+                                text.push(
+                                    self.cur
+                                        .bump()
+                                        .expect("bounded by `found`, which peeked Some")
+                                        as char,
+                                );
                             }
                             parts.push(WordPart::Glob(text));
                         }
@@ -857,13 +1020,13 @@ impl<'a> Parser<'a> {
                         }
                         Some(b'(') => {
                             depth += 1;
-                            text.push(self.cur.bump().expect("peeked") as char);
+                            text.push(self.cur.bump().expect("peek returned Some, so bump cannot hit EOF") as char);
                         }
                         Some(b')') => {
                             depth = depth.saturating_sub(1);
-                            text.push(self.cur.bump().expect("peeked") as char);
+                            text.push(self.cur.bump().expect("peek returned Some, so bump cannot hit EOF") as char);
                         }
-                        Some(_) => text.push(self.cur.bump().expect("peeked") as char),
+                        Some(_) => text.push(self.cur.bump().expect("peek returned Some, so bump cannot hit EOF") as char),
                     }
                 }
                 Ok(WordPart::Arith(text))

@@ -1,0 +1,111 @@
+//! Parser error recovery: `parse_script_recovering` returns a partial
+//! AST plus diagnostics instead of failing fast, resynchronizing at
+//! statement boundaries (newline / `;` / dangling `fi`/`done`/`esac`).
+
+use shoal_shparse::{parse_script, parse_script_recovering};
+
+#[test]
+fn clean_script_recovers_to_exact_parse() {
+    let src = "x=1\nif [ -z \"$x\" ]; then echo empty; fi\necho done\n";
+    let strict = parse_script(src).expect("valid script");
+    let recovered = parse_script_recovering(src);
+    assert!(recovered.diagnostics.is_empty());
+    assert_eq!(recovered.script.items.len(), strict.items.len());
+}
+
+#[test]
+fn malformed_first_statement_keeps_the_rest() {
+    // The first line is garbage; the Steam-updater lines after it must
+    // still parse.
+    let src = ")\nSTEAMROOT=\"$(cd \"${0%/*}\" && echo $PWD)\"\nrm -rf \"$STEAMROOT/\"*\n";
+    let recovered = parse_script_recovering(src);
+    assert_eq!(recovered.diagnostics.len(), 1);
+    assert_eq!(recovered.diagnostics[0].span.line, 1);
+    assert_eq!(
+        recovered.script.items.len(),
+        2,
+        "the two healthy statements must survive"
+    );
+}
+
+#[test]
+fn resync_consumes_dangling_closers() {
+    // `fi` with no `if`: record, consume the closer, continue.
+    let src = "fi\necho after\n";
+    let recovered = parse_script_recovering(src);
+    assert_eq!(recovered.diagnostics.len(), 1);
+    assert_eq!(recovered.script.items.len(), 1);
+}
+
+#[test]
+fn error_mid_script_skips_to_next_boundary() {
+    let src = "echo one\necho two | | echo broken\necho three\n";
+    let recovered = parse_script_recovering(src);
+    assert!(!recovered.diagnostics.is_empty());
+    assert!(
+        recovered.script.items.len() >= 2,
+        "statements before and after the bad line must parse, got {}",
+        recovered.script.items.len()
+    );
+}
+
+#[test]
+fn multiple_errors_all_recorded_in_order() {
+    let src = ")\necho ok\n;;\necho also ok\n";
+    let recovered = parse_script_recovering(src);
+    assert_eq!(recovered.diagnostics.len(), 2);
+    assert!(recovered.diagnostics[0].span.line < recovered.diagnostics[1].span.line);
+    assert_eq!(recovered.script.items.len(), 2);
+}
+
+#[test]
+fn unterminated_heredoc_is_a_diagnostic_not_a_panic() {
+    let src = "cat <<EOF\nno terminator";
+    let recovered = parse_script_recovering(src);
+    assert!(recovered
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("here-document")));
+}
+
+#[test]
+fn trailing_input_error_spans_the_offending_token() {
+    // Strict parse: the error must point at the `)` token itself.
+    let src = "echo hi )";
+    let err = parse_script(src).expect_err("trailing `)` is an error");
+    assert!(
+        err.message.contains("trailing input"),
+        "got {:?}",
+        err.message
+    );
+    let start = err.span.start;
+    assert_eq!(&src[start..start + 1], ")", "span must start at the token");
+    assert_eq!(err.span.line, 1);
+}
+
+#[test]
+fn trailing_token_span_covers_whole_word_on_right_line() {
+    let src = "echo hi\necho bye ;; after";
+    let err = parse_script(src).expect_err("dangling ;; is an error");
+    assert_eq!(err.span.line, 2, "line must be the token's line");
+    assert_eq!(&src[err.span.start..err.span.start + 1], ";");
+}
+
+#[test]
+fn recovery_never_loses_source_order() {
+    let src = "a=1\n) stray\nb=2\n";
+    let recovered = parse_script_recovering(src);
+    assert_eq!(recovered.diagnostics.len(), 1);
+    assert_eq!(recovered.script.items.len(), 2);
+}
+
+#[test]
+fn unclosed_subshell_swallows_to_eof_but_keeps_prefix() {
+    // An unclosed `(` legitimately consumes the rest of the input
+    // looking for `)`; recovery keeps everything before it and reports
+    // one error instead of panicking or looping.
+    let src = "a=1\n(((\nb=2\n";
+    let recovered = parse_script_recovering(src);
+    assert_eq!(recovered.script.items.len(), 1);
+    assert_eq!(recovered.diagnostics.len(), 1);
+}

@@ -33,6 +33,22 @@ cargo build --release --workspace --offline
 echo "==> workspace: cargo test -q --workspace"
 cargo test -q --workspace --offline
 
+# Robustness gate: batch-scan the repo's own scripts with the hardened
+# driver. Exit 0/1/3 (clean/findings/partial) are all fine; exit 4
+# means a script panicked the analyzer, which is always a bug.
+echo "==> robustness: shoal scan examples/ tests/"
+scan_code=0
+target/release/shoal scan examples/ tests/ >/dev/null || scan_code=$?
+if [ "$scan_code" -ge 4 ]; then
+    echo "FAIL: shoal scan reported a panicked analysis (exit $scan_code)"
+    exit 1
+fi
+
+# Mutation fuzzing at CI depth (the default in-test depth is 96 cases;
+# everything is offline and deterministic).
+echo "==> robustness: mutation property tests (SHOAL_PROP_CASES=256)"
+SHOAL_PROP_CASES=256 cargo test -q --offline --test robustness
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> workspace: cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -1,0 +1,104 @@
+//! Degradation invariants under adversarial input: mutated, truncated,
+//! and byte-flipped corpus scripts must never panic the resilient
+//! pipeline, and partial results must always be marked as such.
+
+use shoal::core::{analyze_source_resilient, AnalysisOptions, DiagCode};
+use shoal::corpus::figures;
+use shoal_obs::prop::{run_cases, Gen};
+use std::time::Duration;
+
+/// Bounded options so a pathological mutant cannot stall the suite.
+fn bounded() -> AnalysisOptions {
+    AnalysisOptions {
+        fuel: Some(50_000),
+        deadline: Some(Duration::from_millis(500)),
+        ..AnalysisOptions::default()
+    }
+}
+
+/// One random corruption: truncate at a byte, flip a byte, or delete a
+/// byte range. Non-UTF-8 results are lossily re-decoded, which is
+/// exactly what `shoal scan` does with arbitrary files.
+fn mutate(g: &mut Gen, src: &str) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    match g.usize(0..3) {
+        0 => {
+            let at = g.usize(0..bytes.len());
+            bytes.truncate(at);
+        }
+        1 => {
+            let at = g.usize(0..bytes.len());
+            bytes[at] = g.usize(0..256) as u8;
+        }
+        _ => {
+            let start = g.usize(0..bytes.len());
+            let end = g.usize(start..bytes.len());
+            bytes.drain(start..end);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn mutated_corpus_never_panics_and_never_hides_partiality() {
+    let sources: Vec<&str> = figures::all().into_iter().map(|(_, s)| s).collect();
+    run_cases("mutated-corpus-no-panic", 96, |g| {
+        let src = *g.pick(&sources);
+        let mutated = mutate(g, src);
+        // The strict parser must fail cleanly (Err), never panic.
+        let _ = shoal::shparse::parse_script(&mutated);
+        // The resilient pipeline must always produce a report.
+        let report = analyze_source_resilient(&mutated, bounded());
+        // Partiality is never silent: the flag and the per-site notes
+        // travel together.
+        assert_eq!(
+            report.parse_partial,
+            report.has(DiagCode::ParsePartial),
+            "parse_partial flag and ParsePartial notes must agree"
+        );
+        // Budget exhaustion always leaves a machine-readable trace.
+        if report
+            .cap_hits
+            .iter()
+            .any(|h| matches!(h.reason, shoal::core::CapReason::Fuel | shoal::core::CapReason::Deadline))
+        {
+            assert!(report.incomplete);
+        }
+    });
+}
+
+#[test]
+fn malformed_first_statement_still_finds_the_steam_bug() {
+    // The acceptance scenario: Fig. 1 with a malformed first statement.
+    // Error recovery must skip the garbage, analyze the rest, find the
+    // dangerous delete, and mark the report parse-partial.
+    let src = format!(")\n{}", figures::FIG1);
+    let report = analyze_source_resilient(&src, AnalysisOptions::default());
+    assert!(report.parse_partial);
+    assert!(report.has(DiagCode::ParsePartial));
+    assert!(
+        report.has(DiagCode::DangerousDelete),
+        "the Fig. 1 finding must survive the malformed first statement; got {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn truncation_mid_word_of_every_figure_is_survivable() {
+    // Exhaustive single-script check (not sampled): every prefix length
+    // of Fig. 1 parses or recovers without panicking.
+    for cut in 0..figures::FIG1.len() {
+        if !figures::FIG1.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &figures::FIG1[..cut];
+        let _ = analyze_source_resilient(prefix, bounded());
+    }
+}
