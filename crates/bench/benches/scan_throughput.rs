@@ -1,0 +1,57 @@
+//! Batch-scan throughput: the hardened driver over a small synthetic
+//! corpus, sequential vs. the work-stealing pool. Byte-identity of the
+//! parallel output is asserted once up front (the determinism *timing*
+//! is covered by the integration tests); the timed loops then measure
+//! `scan_paths` alone so the two cases are directly comparable. On a
+//! single-core box `jobs_auto` degrades to the inline path and the two
+//! numbers should coincide; on a multi-core box `jobs_auto` should win.
+
+use shoal_core::{scan_paths, ScanOptions};
+use shoal_corpus::{figures, scale};
+use shoal_obs::bench::{bench, black_box, header};
+
+fn main() {
+    header("scan_throughput");
+
+    // A fresh on-disk corpus per run: the figure scripts (real
+    // findings) plus mid-size straight-line scripts (world-cap load).
+    let dir = std::env::temp_dir().join(format!("shoal-scan-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench corpus dir");
+    let figures = [figures::FIG1, figures::FIG2, figures::FIG5];
+    let mut n = 0;
+    for _ in 0..4 {
+        for src in figures {
+            std::fs::write(dir.join(format!("s{n:02}.sh")), src).expect("write corpus script");
+            n += 1;
+        }
+        std::fs::write(dir.join(format!("s{n:02}.sh")), scale::straight_line(10))
+            .expect("write corpus script");
+        n += 1;
+    }
+    let roots = vec![dir.clone()];
+
+    let seq_opts = ScanOptions {
+        jobs: 1,
+        ..ScanOptions::default()
+    };
+    let reference = scan_paths(&roots, &seq_opts).render_text();
+
+    let par_opts = ScanOptions {
+        jobs: 0, // auto: available parallelism
+        ..ScanOptions::default()
+    };
+    assert_eq!(
+        scan_paths(&roots, &par_opts).render_text(),
+        reference,
+        "parallel scan output must stay byte-identical"
+    );
+
+    bench("scan/jobs1", || {
+        black_box(scan_paths(&roots, &seq_opts));
+    });
+    bench("scan/jobs_auto", || {
+        black_box(scan_paths(&roots, &par_opts));
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}

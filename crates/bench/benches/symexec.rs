@@ -20,7 +20,10 @@ fn main() {
         });
     }
 
-    for n in [10usize, 50] {
+    // N=200 pins down the asymptotics: with O(1) copy-on-write forks
+    // the cost per statement is flat once the world cap is reached, so
+    // the curve must stay near-linear (sub-quadratic) through 200.
+    for n in [10usize, 50, 200] {
         let src = scale::straight_line(n);
         bench(&format!("straight_line/{n}"), || {
             black_box(analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap());

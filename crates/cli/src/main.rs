@@ -149,10 +149,13 @@ SCAN OPTIONS:
                                 (default 200000; 0 = unlimited)
     --deadline-ms N             wall-clock budget per script in ms
                                 (default 2000; 0 = unlimited)
+    --jobs N                    worker threads for the batch
+                                (default 0 = available parallelism)
   scan walks directories for .sh / shell-shebang files, isolates each
   script's analysis against panics (retrying once with tightened
   budgets), and exits 0 = clean, 1 = findings, 3 = some scripts only
   partially analyzed (parse recovery or budget), 4 = a script panicked.
+  Output is byte-identical for any --jobs value.
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -333,6 +336,16 @@ fn cmd_scan(args: &[String]) -> ExitCode {
                     Some(n) => opts.deadline = Some(std::time::Duration::from_millis(n)),
                     None => {
                         eprintln!("shoal scan: --deadline-ms needs a number (0 = unlimited)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => opts.jobs = n,
+                    None => {
+                        eprintln!("shoal scan: --jobs needs a number (0 = auto)");
                         return ExitCode::from(2);
                     }
                 }

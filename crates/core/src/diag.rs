@@ -137,9 +137,6 @@ pub struct Diagnostic {
     pub span: Span,
     /// What is wrong.
     pub message: String,
-    /// The execution path on which it happens, when the engine can
-    /// describe one (path-condition trail).
-    pub path_condition: Vec<String>,
     /// For [`DiagCode::AnalysisIncomplete`]: which exploration bound was
     /// hit, machine-readable (`None` for non-cap incompleteness such as
     /// `eval` or malformed annotations).
@@ -161,11 +158,21 @@ impl Diagnostic {
             severity,
             span,
             message: message.into(),
-            path_condition: Vec::new(),
             cap_reason: None,
             provenance: None,
             origin: None,
         }
+    }
+
+    /// The execution path on which the finding happens, as flat
+    /// condition strings. Derived on demand from the structured
+    /// [`Provenance`] trail (the trail is shared with the witness world;
+    /// no second copy is stored on the diagnostic).
+    pub fn path_condition(&self) -> Vec<String> {
+        self.provenance
+            .as_ref()
+            .map(|p| p.trail.iter().map(|t| t.what.clone()).collect())
+            .unwrap_or_default()
     }
 
     /// Tags the diagnostic with the exploration bound that caused it.
@@ -196,11 +203,12 @@ impl fmt::Display for Diagnostic {
                 self.span.line
             )?;
         }
-        if !self.path_condition.is_empty() {
+        let path_condition = self.path_condition();
+        if !path_condition.is_empty() {
             write!(
                 f,
                 "\n    on the path where {}",
-                self.path_condition.join(" and ")
+                path_condition.join(" and ")
             )?;
         }
         Ok(())
@@ -213,13 +221,23 @@ mod tests {
 
     #[test]
     fn display_includes_path() {
+        use crate::provenance::{TrailEntry, TrailKind};
         let mut d = Diagnostic::new(
             DiagCode::DangerousDelete,
             Severity::Error,
             Span::new(0, 10, 4),
             "rm -fr may delete everything under /",
         );
-        d.path_condition.push("$STEAMROOT = \"\"".to_string());
+        d.provenance = Some(Provenance {
+            world: 0,
+            trail: [TrailEntry::new(
+                TrailKind::Assumption,
+                Span::new(0, 0, 0),
+                "$STEAMROOT = \"\"",
+            )]
+            .into_iter()
+            .collect(),
+        });
         let text = d.to_string();
         assert!(text.contains("line 4"));
         assert!(text.contains("dangerous-delete"));

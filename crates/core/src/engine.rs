@@ -28,6 +28,7 @@ use shoal_spec::hoare::{operand_indices, Cond, Effect, ExitSpec, NodeReq};
 use shoal_spec::{Invocation, SpecLibrary};
 use shoal_streamty::pipeline::{check_pipeline, StageVerdict};
 use shoal_streamty::sig_for;
+use std::sync::Arc;
 use shoal_symfs::state::{NodeState, Require};
 use std::cell::{Cell, RefCell};
 use std::time::Instant;
@@ -552,7 +553,7 @@ impl Engine {
             Command::Case(clause, _, span) => self.exec_case(world, clause, *span),
             Command::FunctionDef { name, body, .. } => {
                 let mut w = world;
-                w.functions.insert(name.clone(), (**body).clone());
+                w.functions.insert(name.clone(), Arc::new((**body).clone()));
                 w.last_exit = ExitStatus::Zero;
                 vec![w]
             }
@@ -1260,8 +1261,7 @@ impl Engine {
         let spec = self
             .specs
             .get(name)
-            .expect("exec_specified is reached only for names the spec library resolved")
-            .clone();
+            .expect("exec_specified is reached only for names the spec library resolved");
         // Build argv, remembering which operand slots are symbolic.
         let mut argv: Vec<String> = Vec::new();
         let mut symbolic: Vec<(String, SymStr)> = Vec::new();
@@ -1290,7 +1290,10 @@ impl Engine {
                 None => Some(SymStr::lit(text)),
             }
         };
-        let cases: Vec<_> = spec.applicable(&inv).cloned().collect();
+        // Borrowed cases: this runs once per live world per statement,
+        // so cloning the spec (nested `Vec<String>`s) here was a
+        // measurable share of straight-line analysis time.
+        let cases: Vec<&shoal_spec::SpecCase> = spec.applicable(&inv).collect();
         if cases.is_empty() {
             let mut w = world;
             w.last_exit = ExitStatus::Unknown;
@@ -1529,7 +1532,7 @@ impl Engine {
 /// complementary to `want`? (Used for idempotence sensitivity: if
 /// `want` = Absent and no success case accepts an existing node, the
 /// command breaks on re-run once the node exists.)
-fn has_success_case_for_complement(cases: &[shoal_spec::SpecCase], want: NodeState) -> bool {
+fn has_success_case_for_complement(cases: &[&shoal_spec::SpecCase], want: NodeState) -> bool {
     let complement_ok = |req: &NodeReq| match want {
         NodeState::Absent => {
             matches!(
@@ -1555,7 +1558,7 @@ fn first_contradiction(
     _specs: &SpecLibrary,
     w: &World,
     _name: &str,
-    cases: &[shoal_spec::SpecCase],
+    cases: &[&shoal_spec::SpecCase],
     inv: &Invocation,
     symbolic: &[(String, SymStr)],
 ) -> Option<(String, bool)> {

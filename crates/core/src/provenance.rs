@@ -99,14 +99,25 @@ impl TrailEntry {
     }
 }
 
+/// A world's path-condition trail: an append-only, structurally-shared
+/// log of [`TrailEntry`] conjuncts.
+///
+/// Worlds fork constantly and report rarely, so the trail is a
+/// [`shoal_obs::CowList`]: forking a world and attaching a trail to a
+/// diagnostic are both O(1) pointer copies — the entries themselves are
+/// shared between the parent world, its children, and every finding
+/// reported along the way.
+pub type Trail = shoal_obs::CowList<TrailEntry>;
+
 /// The structured witness attached to a diagnostic: which world saw the
 /// problem, and the constraint trail that world had accumulated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Provenance {
     /// The witness world's id in the run's [`WorldTree`].
     pub world: WorldId,
-    /// The witness world's trail at the moment of the report.
-    pub trail: Vec<TrailEntry>,
+    /// The witness world's trail at the moment of the report (shared
+    /// with the world, not copied).
+    pub trail: Trail,
 }
 
 /// How a world's exploration ended.

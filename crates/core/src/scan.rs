@@ -36,6 +36,10 @@ pub struct ScanOptions {
     pub loop_bound: usize,
     /// Maximum simultaneously-live worlds (passed through).
     pub max_worlds: usize,
+    /// Worker threads for the batch (`0` = available parallelism).
+    /// Results are collected in input order, so output is byte-identical
+    /// to a sequential scan regardless of this setting.
+    pub jobs: usize,
 }
 
 impl Default for ScanOptions {
@@ -45,6 +49,7 @@ impl Default for ScanOptions {
             deadline: Some(Duration::from_millis(2_000)),
             loop_bound: 2,
             max_worlds: 64,
+            jobs: 0,
         }
     }
 }
@@ -415,14 +420,25 @@ fn collect(roots: &[PathBuf], summary: &mut ScanSummary) -> Vec<(String, String)
 }
 
 /// Scans every shell script under `roots` (files or directories).
+///
+/// With `opts.jobs != 1` the scripts are distributed over a
+/// work-stealing thread pool ([`shoal_obs::pool`]); the panic shield,
+/// tightened-budget retry, and per-script failpoint context are all
+/// thread-local, and [`shoal_obs::pool::map_indexed`] returns results
+/// in input (= sorted path) order, so the summary — text, JSON, and
+/// exit code — is byte-identical to a sequential scan.
 pub fn scan_paths(roots: &[PathBuf], opts: &ScanOptions) -> ScanSummary {
     let mut summary = ScanSummary::default();
     let scripts = collect(roots, &mut summary);
     shoal_obs::counter_add("scan.scripts", scripts.len() as u64);
-    for (path, src) in &scripts {
+    let jobs = match opts.jobs {
+        0 => shoal_obs::pool::available_parallelism(),
+        n => n,
+    };
+    summary.results = shoal_obs::pool::map_indexed(jobs, &scripts, |_, (path, src)| {
         let _span = shoal_obs::span!("scan_script");
-        summary.results.push(scan_source(path, src, opts));
-    }
+        scan_source(path, src, opts)
+    });
     summary.unreadable.sort();
     summary
 }

@@ -13,13 +13,14 @@
 //! information onto `$STEAMROOT` everywhere it appears.
 
 use crate::diag::Diagnostic;
-use crate::provenance::{Provenance, TrailEntry, TrailKind, WorldId};
+use crate::provenance::{Provenance, Trail, TrailEntry, TrailKind, WorldId};
 use crate::value::{Seg, SymId, SymStr};
+use shoal_obs::{CowList, CowMap, CowVec};
 use shoal_relang::Regex;
 use shoal_shparse::{Command, Span};
 use shoal_symfs::key::SymBase;
 use shoal_symfs::{join, normalize_lexical, FsKey, SymFs};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The engine's view of an exit status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,15 @@ impl ExitStatus {
 }
 
 /// One symbolic execution state.
+///
+/// Every collection-valued field is structurally shared (`Arc`-backed
+/// COW containers from `shoal-obs`, plus the persistent map inside
+/// [`SymFs`]), so **cloning a world — the engine's fork primitive — is
+/// O(1)**: a dozen refcount bumps instead of a deep copy of state that
+/// grows with script length. Mutation stays safe because every write
+/// path goes through copy-on-write (`Arc::make_mut`) or persistent
+/// path-copying: a forked child never observes, and never leaks writes
+/// into, its parent.
 #[derive(Debug, Clone)]
 pub struct World {
     /// This world's node in the run's world tree (assigned at the fork
@@ -51,9 +61,9 @@ pub struct World {
     /// inherit the parent's id until the engine registers the fork.
     pub id: WorldId,
     /// Shell variables.
-    pub vars: BTreeMap<String, SymStr>,
+    pub vars: CowMap<String, SymStr>,
     /// Positional parameters `$1…`.
-    pub positional: Vec<SymStr>,
+    pub positional: CowVec<SymStr>,
     /// `$0`.
     pub script_name: SymStr,
     /// The working directory as a symbolic string.
@@ -63,10 +73,15 @@ pub struct World {
     /// Status of the last command.
     pub last_exit: ExitStatus,
     /// Typed conjuncts of the path condition, in the order they were
-    /// assumed (the provenance trail).
-    pub trail: Vec<TrailEntry>,
-    /// Diagnostics found on this path.
-    pub diags: Vec<Diagnostic>,
+    /// assumed (the provenance trail). A persistent list: pushes are
+    /// O(1) even right after a fork, and [`World::report`] shares it
+    /// with the diagnostic instead of copying it.
+    pub trail: Trail,
+    /// Diagnostics found on this path, oldest first. A persistent list
+    /// for the same reason as `trail`: sibling worlds share the prefix
+    /// they inherited from their fork point, so reporting after a fork
+    /// is O(1) instead of a deep copy of everything found so far.
+    pub diags: CowList<Diagnostic>,
     /// True after `exit`.
     pub halted: bool,
     /// Captured stdout when evaluating a command substitution.
@@ -75,19 +90,20 @@ pub struct World {
     /// assumed, where) for commands that would *not* succeed on a
     /// second run if the script changes that state (see
     /// `checkers`/analyze's idempotence pass).
-    pub fragile_assumptions: Vec<(FsKey, shoal_symfs::state::NodeState, shoal_shparse::Span)>,
-    /// Shell functions defined so far.
-    pub functions: BTreeMap<String, Command>,
+    pub fragile_assumptions: CowList<(FsKey, shoal_symfs::state::NodeState, shoal_shparse::Span)>,
+    /// Shell functions defined so far (bodies behind `Arc`: calling a
+    /// function never copies its AST).
+    pub functions: CowMap<String, Arc<Command>>,
     /// Function-call nesting depth (bounds recursion).
     pub call_depth: u32,
     /// Positional parameters beyond `positional`, materialized lazily as
     /// symbols (the analyzed script may be invoked with arguments).
-    lazy_positional: BTreeMap<usize, SymStr>,
+    lazy_positional: CowMap<usize, SymStr>,
     /// Fresh-symbol counter (world-local; ids are only compared within
     /// one world).
     next_sym: SymId,
     /// String symbol → file-system base anchor.
-    sym_bases: BTreeMap<SymId, SymBase>,
+    sym_bases: CowMap<SymId, SymBase>,
     /// Fresh FS base counter.
     next_base: SymBase,
 }
@@ -98,23 +114,23 @@ impl World {
     pub fn initial() -> World {
         let mut w = World {
             id: 0,
-            vars: BTreeMap::new(),
-            positional: Vec::new(),
+            vars: CowMap::new(),
+            positional: CowVec::new(),
             script_name: SymStr::empty(),
             cwd: SymStr::empty(),
             fs: SymFs::new(),
             last_exit: ExitStatus::Zero,
-            trail: Vec::new(),
-            diags: Vec::new(),
+            trail: Trail::new(),
+            diags: CowList::new(),
             halted: false,
             capture: None,
-            fragile_assumptions: Vec::new(),
-            functions: BTreeMap::new(),
+            fragile_assumptions: CowList::new(),
+            functions: CowMap::new(),
             call_depth: 0,
-            lazy_positional: BTreeMap::new(),
+            lazy_positional: CowMap::new(),
             next_sym: 0,
             next_base: 0,
-            sym_bases: BTreeMap::new(),
+            sym_bases: CowMap::new(),
         };
         // `$0` is a path-shaped string: the script's invocation name.
         let zero = w.fresh_sym(Regex::parse_must("/?([^/\n]+/)*[^/\n]+"), "$0");
@@ -201,15 +217,17 @@ impl World {
     /// infeasible.
     pub fn refine_sym(&mut self, id: SymId, with: &Regex) -> bool {
         let mut ok = true;
-        for v in self.vars.values_mut() {
+        // Refinement rewrites values in place, so these go through the
+        // COW write path (copying each container once if shared).
+        for v in self.vars.to_mut().values_mut() {
             ok &= v.refine_sym(id, with);
             v.concretize();
         }
-        for v in self.positional.iter_mut() {
+        for v in self.positional.to_mut().iter_mut() {
             ok &= v.refine_sym(id, with);
             v.concretize();
         }
-        for v in self.lazy_positional.values_mut() {
+        for v in self.lazy_positional.to_mut().values_mut() {
             ok &= v.refine_sym(id, with);
             v.concretize();
         }
@@ -228,13 +246,11 @@ impl World {
     /// including lazily-materialized ones.
     pub fn shift_positional(&mut self, n: usize) {
         let from_known = n.min(self.positional.len());
-        self.positional.drain(..from_known);
-        let remaining = n - from_known;
-        let _ = remaining;
+        self.positional.to_mut().drain(..from_known);
         let old = std::mem::take(&mut self.lazy_positional);
-        for (idx, v) in old {
-            if idx > n {
-                self.lazy_positional.insert(idx - n, v);
+        for (idx, v) in old.iter() {
+            if *idx > n {
+                self.lazy_positional.insert(idx - n, v.clone());
             }
         }
     }
@@ -254,11 +270,12 @@ impl World {
         self.trail.push(TrailEntry::new(kind, span, condition));
     }
 
-    /// Reports a diagnostic on this path, attaching the path condition
-    /// both as the legacy flat description and as structured
-    /// provenance (witness world id + typed trail).
+    /// Reports a diagnostic on this path, attaching structured
+    /// provenance (witness world id + typed trail). The trail is
+    /// *shared* with this world — an O(1) pointer copy, not a
+    /// materialized duplicate; the flat path-condition strings are
+    /// derived from it on demand by [`Diagnostic::path_condition`].
     pub fn report(&mut self, mut diag: Diagnostic) {
-        diag.path_condition = self.trail.iter().map(|t| t.what.clone()).collect();
         diag.provenance = Some(Provenance {
             world: self.id,
             trail: self.trail.clone(),
@@ -340,7 +357,7 @@ mod tests {
     #[test]
     fn positional_params() {
         let mut w = World::initial();
-        w.positional = vec![SymStr::lit("a"), SymStr::lit("b")];
+        w.positional = vec![SymStr::lit("a"), SymStr::lit("b")].into();
         assert_eq!(w.param("1").unwrap().as_literal().as_deref(), Some("a"));
         assert_eq!(w.param("2").unwrap().as_literal().as_deref(), Some("b"));
         // Beyond the known arguments, `$3` is a stable fresh symbol.

@@ -196,7 +196,7 @@ fn fig1_flagged_on_exactly_the_cd_failure_path() {
     let report = analyze_source(FIG1).unwrap();
     let danger = report.with_code(DiagCode::DangerousDelete);
     assert_eq!(danger.len(), 1, "exactly one root-wipe path: {danger:#?}");
-    let cond = danger[0].path_condition.join(" and ");
+    let cond = danger[0].path_condition().join(" and ");
     assert!(
         cond.contains("fails"),
         "the witness path is the cd-failure one; got: {cond}"

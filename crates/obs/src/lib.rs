@@ -19,15 +19,21 @@
 //! tools the offline build cannot fetch: [`rng`] (xorshift64* instead of
 //! `rand`), [`prop`] (a seeded property-test harness instead of
 //! `proptest`), and [`bench`] (a ns/iter micro-benchmark harness instead
-//! of `criterion`).
+//! of `criterion`) — plus the shared performance infrastructure the
+//! pipeline crates build on: [`share`] (copy-on-write and persistent
+//! containers for O(1) symbolic-state forks, instead of `im`) and
+//! [`pool`] (a work-stealing scoped thread pool for the parallel scan
+//! driver, instead of `rayon`).
 
 pub mod bench;
 pub mod failpoint;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod prop;
 pub mod recorder;
 pub mod rng;
+pub mod share;
 pub mod stats;
 
 pub use metrics::{counter_add, gauge_max, hist_record, snapshot, MetricsSnapshot};
@@ -36,6 +42,7 @@ pub use recorder::{
     trace_to_jsonl, Event, SpanGuard, Value,
 };
 pub use rng::XorShift64;
+pub use share::{CowList, CowMap, CowVec, Pmap};
 
 /// Records a structured event iff recording is enabled.
 ///

@@ -15,7 +15,6 @@
 //! states.
 
 use crate::class::ByteClass;
-use crate::dfa::Dfa;
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -359,9 +358,17 @@ impl Regex {
         r.nullable()
     }
 
-    /// Is the language empty?
+    /// The interned hash-consing id of this term on the current thread
+    /// (structurally equal terms — which, thanks to the canonicalizing
+    /// smart constructors, means equal-by-construction terms — share an
+    /// id). The memoized decision procedures key their caches on these.
+    pub fn term_id(&self) -> crate::memo::TermId {
+        crate::memo::intern(self)
+    }
+
+    /// Is the language empty? Memoized per interned term.
     pub fn is_empty(&self) -> bool {
-        Dfa::from_regex(self).is_empty_lang()
+        crate::memo::is_empty(self)
     }
 
     /// Is the language exactly `{ε}` or `∅`… i.e. does it contain no
@@ -370,26 +377,28 @@ impl Regex {
         self.difference(&Regex::Eps).is_empty()
     }
 
-    /// Is `self ⊆ other`?
+    /// Is `self ⊆ other`? Memoized per interned term pair.
     pub fn is_subset_of(&self, other: &Regex) -> bool {
         shoal_obs::counter_add("relang.subset_checks", 1);
-        self.difference(other).is_empty()
+        crate::memo::is_subset_of(self, other)
     }
 
-    /// Do the two languages coincide?
+    /// Do the two languages coincide? Memoized per interned term pair.
     pub fn equiv(&self, other: &Regex) -> bool {
         shoal_obs::counter_add("relang.equiv_checks", 1);
-        self.is_subset_of(other) && other.is_subset_of(self)
+        crate::memo::equiv(self, other)
     }
 
-    /// Are the two languages disjoint?
+    /// Are the two languages disjoint (emptiness of intersection)?
+    /// Memoized per interned term pair.
     pub fn disjoint(&self, other: &Regex) -> bool {
-        self.intersect(other).is_empty()
+        crate::memo::disjoint(self, other)
     }
 
     /// A shortest string in the language, if the language is non-empty.
+    /// Memoized per interned term.
     pub fn witness(&self) -> Option<Vec<u8>> {
-        Dfa::from_regex(self).witness()
+        crate::memo::witness(self)
     }
 
     /// A witness rendered for diagnostics (lossy UTF-8).

@@ -80,6 +80,26 @@ pub fn take_approx_hits() -> Vec<ApproxReason> {
     APPROX_HITS.with(|h| std::mem::take(&mut *h.borrow_mut()))
 }
 
+/// Number of approximation events currently buffered on this thread
+/// (a capture mark for the memo layer).
+pub(crate) fn approx_hits_len() -> usize {
+    APPROX_HITS.with(|h| h.borrow().len())
+}
+
+/// The approximation events recorded after capture mark `mark`.
+pub(crate) fn approx_hits_since(mark: usize) -> Vec<ApproxReason> {
+    APPROX_HITS.with(|h| h.borrow().get(mark..).unwrap_or_default().to_vec())
+}
+
+/// Re-records previously captured approximation events, as a memo hit
+/// must replay the incompleteness marks of the computation it reuses.
+pub(crate) fn replay_approx_hits(hits: &[ApproxReason]) {
+    if hits.is_empty() {
+        return;
+    }
+    APPROX_HITS.with(|h| h.borrow_mut().extend_from_slice(hits));
+}
+
 /// A complete DFA over a byte-class-compressed alphabet.
 #[derive(Debug, Clone)]
 pub struct Dfa {
@@ -147,8 +167,15 @@ impl Dfa {
     }
 
     /// Builds a DFA from any (possibly extended) regex via Brzozowski
-    /// derivatives, then minimizes it.
+    /// derivatives, then minimizes it. Compilation is memoized per
+    /// interned term (see [`crate::memo`]); this entry point returns a
+    /// cheap clone of the cached automaton on repeats.
     pub fn from_regex(r: &Regex) -> Dfa {
+        crate::memo::compile(r)
+    }
+
+    /// The uncached derivative construction behind [`Dfa::from_regex`].
+    pub(crate) fn from_regex_uncached(r: &Regex) -> Dfa {
         shoal_obs::counter_add("relang.dfa_compile", 1);
         let mut ids: HashMap<Regex, u32> = HashMap::new();
         let mut order: Vec<Regex> = Vec::new();

@@ -44,6 +44,7 @@ pub mod class;
 pub mod deriv;
 pub mod dfa;
 pub mod display;
+pub mod memo;
 pub mod nfa;
 pub mod parser;
 
@@ -53,5 +54,6 @@ pub use deriv::DerivMatcher;
 pub use dfa::{
     dfa_state_cap, set_dfa_state_cap, take_approx_hits, ApproxReason, Dfa, DEFAULT_DFA_STATE_CAP,
 };
+pub use memo::{memo_flush, set_memo_enabled, TermId};
 pub use nfa::Nfa;
 pub use parser::ParseError;

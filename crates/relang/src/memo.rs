@@ -1,0 +1,352 @@
+//! Hash-consed term ids and bounded memo tables for the decision
+//! procedures.
+//!
+//! The analyzer asks the same questions about the same languages over
+//! and over: every explored world re-checks the same spec
+//! preconditions, and every `rm` operand is re-classified against the
+//! same danger patterns. Each such question used to recompile a DFA
+//! from scratch. This module makes repeats O(1):
+//!
+//! * **Interning** ([`intern`]): a thread-local hash-consing table maps
+//!   each structurally-canonical [`Regex`] to a dense [`TermId`]. Two
+//!   structurally equal terms (the smart constructors canonicalize, so
+//!   equal-by-construction terms are structurally equal) get the same
+//!   id.
+//! * **Memo tables**: DFA compilation plus the four decision procedures
+//!   (emptiness, containment, equivalence, disjointness / emptiness of
+//!   intersection) and witness extraction are cached keyed on term ids.
+//!
+//! Correctness invariants:
+//!
+//! * **Approximation replay.** A decision computed under the DFA state
+//!   cap may record [`ApproxReason`] events (the analysis driver turns
+//!   them into "analysis incomplete" report notes). The memo stores the
+//!   events recorded during the original computation and **replays them
+//!   on every hit** — a cached ⊤-approximation must not silently lose
+//!   its incompleteness mark.
+//! * **Cap-aware invalidation.** Cached answers are only valid for the
+//!   state cap they were computed under; every memo operation compares
+//!   the thread's current [`crate::dfa::dfa_state_cap`] against the cap
+//!   the tables were built with and flushes everything on change.
+//! * **Bounded.** The interner and each table have fixed caps; on
+//!   overflow everything is flushed (the simple eviction policy keeps
+//!   hit/miss behavior deterministic — no LRU clock state).
+//!
+//! All state is thread-local, so concurrent analyses (the parallel scan
+//! pool) stay independent; the cached *answers* are pure functions of
+//! the terms, so results never depend on which thread (or how warm a
+//! cache) computed them.
+//!
+//! Observability: `relang.memo_hit`, `relang.memo_miss`, and
+//! `relang.memo_evict` counters via `shoal-obs`.
+
+use crate::ast::Regex;
+use crate::dfa::{ApproxReason, Dfa};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dense id of an interned term (thread-local scope).
+pub type TermId = u32;
+
+/// Interner capacity: beyond this many distinct live terms, all memo
+/// state is flushed. Large enough for any realistic script corpus
+/// (thousands of distinct constraints), small enough to bound memory.
+const INTERN_CAP: usize = 16 * 1024;
+/// Per-table decision cache capacity.
+const DECISION_CAP: usize = 16 * 1024;
+/// Compiled-DFA cache capacity (DFAs are the heavyweight entries).
+const COMPILE_CAP: usize = 2 * 1024;
+
+/// A cached answer plus the approximation events its computation
+/// recorded (replayed on every hit).
+struct Cached<T> {
+    value: T,
+    approx: Vec<ApproxReason>,
+}
+
+struct Memo {
+    enabled: bool,
+    /// The DFA state cap the tables were built under.
+    cap: usize,
+    interner: HashMap<Regex, TermId>,
+    next_id: TermId,
+    empty: HashMap<TermId, Cached<bool>>,
+    subset: HashMap<(TermId, TermId), Cached<bool>>,
+    equiv: HashMap<(TermId, TermId), Cached<bool>>,
+    disjoint: HashMap<(TermId, TermId), Cached<bool>>,
+    witness: HashMap<TermId, Cached<Option<Vec<u8>>>>,
+    compile: HashMap<TermId, Cached<Arc<Dfa>>>,
+}
+
+impl Memo {
+    fn new() -> Memo {
+        Memo {
+            enabled: true,
+            cap: crate::dfa::dfa_state_cap(),
+            interner: HashMap::new(),
+            next_id: 0,
+            empty: HashMap::new(),
+            subset: HashMap::new(),
+            equiv: HashMap::new(),
+            disjoint: HashMap::new(),
+            witness: HashMap::new(),
+            compile: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        self.interner.clear();
+        self.next_id = 0;
+        self.empty.clear();
+        self.subset.clear();
+        self.equiv.clear();
+        self.disjoint.clear();
+        self.witness.clear();
+        self.compile.clear();
+        shoal_obs::counter_add("relang.memo_evict", 1);
+    }
+
+    /// Flushes stale answers when the thread's DFA state cap changed
+    /// since the tables were built (a cached ⊤ under a small cap would
+    /// be wrong under a larger one, and vice versa).
+    fn validate_cap(&mut self) {
+        let current = crate::dfa::dfa_state_cap();
+        if current != self.cap {
+            self.flush();
+            self.cap = current;
+        }
+    }
+
+    /// Interns `r`, flushing everything first if the interner is full
+    /// (ids must stay dense and live tables must not reference retired
+    /// ids).
+    fn intern(&mut self, r: &Regex) -> TermId {
+        if let Some(&id) = self.interner.get(r) {
+            return id;
+        }
+        if self.interner.len() >= INTERN_CAP {
+            self.flush();
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.interner.insert(r.clone(), id);
+        id
+    }
+}
+
+thread_local! {
+    static MEMO: RefCell<Memo> = RefCell::new(Memo::new());
+}
+
+/// Enables or disables memoization on this thread (tests compare
+/// memoized against freshly-computed answers). Disabling flushes.
+pub fn set_memo_enabled(enabled: bool) {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        m.enabled = enabled;
+        if !enabled {
+            m.flush();
+        }
+    });
+}
+
+/// Drops all memoized state on this thread.
+pub fn memo_flush() {
+    MEMO.with(|m| m.borrow_mut().flush());
+}
+
+/// The interned id of `r` on this thread (hash-consing handle —
+/// structurally equal terms get equal ids).
+pub fn intern(r: &Regex) -> TermId {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        m.validate_cap();
+        m.intern(r)
+    })
+}
+
+/// Runs `compute`, capturing the approximation events it records so
+/// they can be replayed on later cache hits. The live events stay in
+/// the thread's approx-hit buffer exactly as they would uncached.
+fn compute_capturing<T>(compute: impl FnOnce() -> T) -> Cached<T> {
+    let mark = crate::dfa::approx_hits_len();
+    let value = compute();
+    let approx = crate::dfa::approx_hits_since(mark);
+    Cached { value, approx }
+}
+
+/// Generic memoized unary/binary decision. `table` projects the table
+/// out of the memo, `key` the lookup key; `compute` runs uncached.
+macro_rules! memoized {
+    ($table:ident, $key:expr, $compute:expr) => {{
+        let enabled_key = MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if !m.enabled {
+                return None;
+            }
+            m.validate_cap();
+            Some($key(&mut *m))
+        });
+        let Some(key) = enabled_key else {
+            // Memoization off: compute fresh (events record live).
+            return $compute();
+        };
+        let hit = MEMO.with(|m| {
+            let m = m.borrow();
+            m.$table.get(&key).map(|c| {
+                crate::dfa::replay_approx_hits(&c.approx);
+                c.value.clone()
+            })
+        });
+        if let Some(v) = hit {
+            shoal_obs::counter_add("relang.memo_hit", 1);
+            return v;
+        }
+        shoal_obs::counter_add("relang.memo_miss", 1);
+        // Compute WITHOUT holding the borrow: decision procedures
+        // reenter the memo (emptiness → compile).
+        let cached = compute_capturing($compute);
+        let value = cached.value.clone();
+        MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.$table.len() >= table_cap(stringify!($table)) {
+                m.$table.clear();
+                shoal_obs::counter_add("relang.memo_evict", 1);
+            }
+            m.$table.insert(key, cached);
+        });
+        value
+    }};
+}
+
+fn table_cap(table: &str) -> usize {
+    if table == "compile" {
+        COMPILE_CAP
+    } else {
+        DECISION_CAP
+    }
+}
+
+/// Memoized language emptiness of `r`.
+pub fn is_empty(r: &Regex) -> bool {
+    memoized!(empty, |m: &mut Memo| m.intern(r), || {
+        compile(r).is_empty_lang()
+    })
+}
+
+/// Memoized containment `a ⊆ b`.
+pub fn is_subset_of(a: &Regex, b: &Regex) -> bool {
+    memoized!(subset, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
+        a.difference(b).is_empty()
+    })
+}
+
+/// Memoized language equivalence.
+pub fn equiv(a: &Regex, b: &Regex) -> bool {
+    memoized!(equiv, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
+        a.is_subset_of(b) && b.is_subset_of(a)
+    })
+}
+
+/// Memoized disjointness (emptiness of intersection).
+pub fn disjoint(a: &Regex, b: &Regex) -> bool {
+    memoized!(disjoint, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
+        a.intersect(b).is_empty()
+    })
+}
+
+/// Memoized shortest-witness extraction.
+pub fn witness(r: &Regex) -> Option<Vec<u8>> {
+    memoized!(witness, |m: &mut Memo| m.intern(r), || {
+        compile(r).witness()
+    })
+}
+
+/// Memoized DFA compilation (the [`Dfa::from_regex`] entry point).
+/// Returns a clone of the cached automaton; the cached `Arc` keeps the
+/// heavy tables shared until a caller actually mutates them.
+pub fn compile(r: &Regex) -> Dfa {
+    fn compile_arc(r: &Regex) -> Arc<Dfa> {
+        memoized!(compile, |m: &mut Memo| m.intern(r), || {
+            Arc::new(Dfa::from_regex_uncached(r))
+        })
+    }
+    (*compile_arc(r)).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::{set_dfa_state_cap, take_approx_hits, DEFAULT_DFA_STATE_CAP};
+
+    #[test]
+    fn repeated_decisions_agree_with_fresh() {
+        memo_flush();
+        let a = Regex::parse_must("[0-9]+");
+        let b = Regex::parse_must("[0-9a-f]+");
+        for _ in 0..3 {
+            assert!(is_subset_of(&a, &b));
+            assert!(!is_subset_of(&b, &a));
+            assert!(!equiv(&a, &b));
+            assert!(disjoint(&a, &Regex::lit("x")));
+            assert!(!is_empty(&a));
+            assert_eq!(witness(&Regex::lit("ok")), Some(b"ok".to_vec()));
+        }
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        memo_flush();
+        let a1 = Regex::lit("abc").then(&Regex::any_line());
+        let a2 = Regex::lit("abc").then(&Regex::any_line());
+        assert_eq!(intern(&a1), intern(&a2));
+        assert_ne!(intern(&a1), intern(&Regex::lit("abc")));
+    }
+
+    #[test]
+    fn approx_hits_replay_on_memo_hits() {
+        memo_flush();
+        let _ = take_approx_hits();
+        // A pattern whose derivative construction blows a tiny cap.
+        set_dfa_state_cap(2);
+        let r = Regex::parse_must("(a|b)*abab(a|b)*");
+        assert!(!is_empty(&r));
+        let first = take_approx_hits();
+        assert!(
+            !first.is_empty(),
+            "tiny cap must record an approximation on the miss"
+        );
+        // Second call is a cache hit — the approximation must replay.
+        assert!(!is_empty(&r));
+        let second = take_approx_hits();
+        assert_eq!(
+            first.len(),
+            second.len(),
+            "cache hits must replay the recorded approx events"
+        );
+        set_dfa_state_cap(DEFAULT_DFA_STATE_CAP);
+        memo_flush();
+        let _ = take_approx_hits();
+    }
+
+    #[test]
+    fn cap_change_invalidates() {
+        memo_flush();
+        let _ = take_approx_hits();
+        let r = Regex::parse_must("(a|b)*abab(a|b)*");
+        assert!(!is_empty(&r));
+        assert!(take_approx_hits().is_empty(), "full cap: exact");
+        // Under a tiny cap the same term must be *recomputed* (the
+        // cached exact answer was built under a different cap).
+        set_dfa_state_cap(2);
+        assert!(!is_empty(&r));
+        assert!(
+            !take_approx_hits().is_empty(),
+            "cap change must invalidate the cached exact answer"
+        );
+        set_dfa_state_cap(DEFAULT_DFA_STATE_CAP);
+        memo_flush();
+        let _ = take_approx_hits();
+    }
+}

@@ -177,3 +177,38 @@ fn grep_literal_is_substring_search() {
         assert_eq!(selected, hay.contains(&needle), "needle {needle:?} hay {hay:?}");
     });
 }
+
+/// Memoization must be semantically invisible: every decision procedure
+/// answers identically with caching on (warm *and* cold) and off.
+#[test]
+fn memoized_decisions_equal_fresh() {
+    use shoal_relang::{memo_flush, set_memo_enabled};
+    run_cases("memoized_decisions_equal_fresh", 96, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
+        set_memo_enabled(false);
+        let fresh = (
+            a.is_empty(),
+            a.is_subset_of(&b),
+            b.is_subset_of(&a),
+            a.equiv(&b),
+            a.disjoint(&b),
+            a.witness(),
+        );
+        set_memo_enabled(true);
+        memo_flush();
+        // First pass populates the tables (misses), second pass hits.
+        for pass in ["cold", "warm"] {
+            let memoized = (
+                a.is_empty(),
+                a.is_subset_of(&b),
+                b.is_subset_of(&a),
+                a.equiv(&b),
+                a.disjoint(&b),
+                a.witness(),
+            );
+            assert_eq!(memoized, fresh, "{pass} memo answers diverge: {a} vs {b}");
+        }
+    });
+    shoal_relang::memo_flush();
+}

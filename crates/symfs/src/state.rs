@@ -22,7 +22,7 @@
 //! 3. a file has no children.
 
 use crate::key::FsKey;
-use std::collections::BTreeMap;
+use shoal_obs::{CowList, Pmap};
 use std::fmt;
 
 /// What is known about one location.
@@ -97,12 +97,18 @@ impl Require {
 }
 
 /// The symbolic heap. Cloneable: the engine forks it per execution path.
+///
+/// Both fields are structurally shared ([`Pmap`], [`CowList`]), so a
+/// fork is O(1) and post-fork writes path-copy O(log n) nodes instead of
+/// duplicating the whole heap — the heap grows with script length, and
+/// eager clones made long straight-line scripts quadratic.
 #[derive(Debug, Clone, Default)]
 pub struct SymFs {
-    /// Current knowledge per location (sorted for deterministic output).
-    entries: BTreeMap<FsKey, NodeState>,
+    /// Current knowledge per location (key-sorted for deterministic
+    /// output).
+    entries: Pmap<FsKey, NodeState>,
     /// Assumptions made about the *initial* world, in order.
-    assumptions: Vec<(FsKey, NodeState)>,
+    assumptions: CowList<(FsKey, NodeState)>,
 }
 
 impl SymFs {
@@ -129,7 +135,7 @@ impl SymFs {
         // Axiom 1: a known child forces this node to be a directory.
         let has_known_child = self
             .entries
-            .range(key.clone()..)
+            .iter_from(key)
             .take_while(|(k, _)| key.is_ancestor_or_equal(k))
             .any(|(k, s)| k != key && s.exists());
         if has_known_child {
@@ -205,16 +211,21 @@ impl SymFs {
         }
     }
 
+    /// Keys in `self`'s subtree (keys with prefix `key` form a contiguous
+    /// run in key order, the same fact `lookup` exploits).
+    fn subtree_keys(&self, key: &FsKey, include_self: bool) -> Vec<FsKey> {
+        self.entries
+            .iter_from(key)
+            .take_while(|(k, _)| key.is_ancestor_or_equal(k))
+            .filter(|(k, _)| include_self || *k != key)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
     /// Records the effect of `rm -r`: the node and its entire subtree are
     /// gone.
     pub fn delete_tree(&mut self, key: &FsKey) {
-        let doomed: Vec<FsKey> = self
-            .entries
-            .keys()
-            .filter(|k| key.is_ancestor_or_equal(k))
-            .cloned()
-            .collect();
-        for k in doomed {
+        for k in self.subtree_keys(key, true) {
             self.entries.remove(&k);
         }
         self.entries.insert(key.clone(), NodeState::Absent);
@@ -223,13 +234,7 @@ impl SymFs {
     /// Records the effect of `rm dir/*`: the node's *children* are gone
     /// but the node itself remains.
     pub fn delete_children(&mut self, key: &FsKey) {
-        let doomed: Vec<FsKey> = self
-            .entries
-            .keys()
-            .filter(|k| *k != key && key.is_ancestor_or_equal(k))
-            .cloned()
-            .collect();
-        for k in doomed {
+        for k in self.subtree_keys(key, false) {
             self.entries.remove(&k);
         }
     }
@@ -241,13 +246,7 @@ impl SymFs {
     pub fn create_file(&mut self, key: &FsKey) -> Require {
         let r = self.require_ancestors(key);
         if r.ok() {
-            let stale: Vec<FsKey> = self
-                .entries
-                .keys()
-                .filter(|k| *k != key && key.is_ancestor_or_equal(k))
-                .cloned()
-                .collect();
-            for k in stale {
+            for k in self.subtree_keys(key, false) {
                 self.entries.remove(&k);
             }
             self.entries.insert(key.clone(), NodeState::File);
@@ -264,9 +263,9 @@ impl SymFs {
         r
     }
 
-    /// The assumptions accumulated about the initial world.
-    pub fn assumptions(&self) -> &[(FsKey, NodeState)] {
-        &self.assumptions
+    /// The assumptions accumulated about the initial world, in order.
+    pub fn assumptions(&self) -> impl Iterator<Item = &(FsKey, NodeState)> {
+        self.assumptions.iter()
     }
 
     /// Is the knowledge that currently *determines* `key`'s state an
@@ -416,11 +415,7 @@ mod tests {
     fn assumptions_recorded_in_order() {
         let mut fs = SymFs::new();
         fs.require(&key("/a/b"), NodeState::File);
-        let keys: Vec<String> = fs
-            .assumptions()
-            .iter()
-            .map(|(k, _)| k.to_string())
-            .collect();
+        let keys: Vec<String> = fs.assumptions().map(|(k, _)| k.to_string()).collect();
         assert!(keys.contains(&"/a/b".to_string()));
         assert!(keys.contains(&"/a".to_string()));
     }

@@ -3,9 +3,10 @@
 # machine-readable baseline at the repo root so CI can catch
 # regressions over time.
 #
-#   record   run symexec + relang_ops, write BENCH_symexec.json and
-#            BENCH_relang.json at the repo root (the new baselines)
-#   check    run both suites fresh and fail if any benchmark is more
+#   record   run symexec + relang_ops + scan_throughput, write
+#            BENCH_symexec.json, BENCH_relang.json, and BENCH_scan.json
+#            at the repo root (the new baselines)
+#   check    run all suites fresh and fail if any benchmark is more
 #            than 30% slower than its checked-in baseline
 #
 # Usage: scripts/bench_trajectory.sh [record|check]   (default: check)
@@ -104,7 +105,9 @@ record)
     write_json symexec BENCH_symexec.json < /tmp/bench_symexec.$$
     run_suite relang_ops > /tmp/bench_relang.$$
     write_json relang_ops BENCH_relang.json < /tmp/bench_relang.$$
-    rm -f /tmp/bench_symexec.$$ /tmp/bench_relang.$$
+    run_suite scan_throughput > /tmp/bench_scan.$$
+    write_json scan_throughput BENCH_scan.json < /tmp/bench_scan.$$
+    rm -f /tmp/bench_symexec.$$ /tmp/bench_relang.$$ /tmp/bench_scan.$$
     ;;
 check)
     fail=0
@@ -114,6 +117,9 @@ check)
     echo "==> bench check: relang_ops vs BENCH_relang.json"
     run_suite relang_ops > /tmp/bench_run.$$
     check_suite BENCH_relang.json /tmp/bench_run.$$ || fail=1
+    echo "==> bench check: scan_throughput vs BENCH_scan.json"
+    run_suite scan_throughput > /tmp/bench_run.$$
+    check_suite BENCH_scan.json /tmp/bench_run.$$ || fail=1
     rm -f /tmp/bench_run.$$
     if [ "$fail" = 1 ]; then
         echo "==> bench check FAILED (some case >1.3x its baseline)" >&2

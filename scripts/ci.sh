@@ -34,15 +34,26 @@ echo "==> workspace: cargo test -q --workspace"
 cargo test -q --workspace --offline
 
 # Robustness gate: batch-scan the repo's own scripts with the hardened
-# driver. Exit 0/1/3 (clean/findings/partial) are all fine; exit 4
-# means a script panicked the analyzer, which is always a bug.
-echo "==> robustness: shoal scan examples/ tests/"
+# driver, on the parallel pool. Exit 0/1/3 (clean/findings/partial) are
+# all fine; exit 4 means a script panicked the analyzer, which is
+# always a bug. The parallel output must be byte-identical to a
+# sequential scan (the pool collects results in input order).
+echo "==> robustness: shoal scan --jobs 4 examples/ tests/"
 scan_code=0
-target/release/shoal scan examples/ tests/ >/dev/null || scan_code=$?
+target/release/shoal scan --jobs 4 examples/ tests/ > /tmp/scan_par.$$ || scan_code=$?
 if [ "$scan_code" -ge 4 ]; then
     echo "FAIL: shoal scan reported a panicked analysis (exit $scan_code)"
+    rm -f /tmp/scan_par.$$
     exit 1
 fi
+seq_code=0
+target/release/shoal scan --jobs 1 examples/ tests/ > /tmp/scan_seq.$$ || seq_code=$?
+if [ "$scan_code" != "$seq_code" ] || ! cmp -s /tmp/scan_par.$$ /tmp/scan_seq.$$; then
+    echo "FAIL: shoal scan --jobs 4 output/exit differs from --jobs 1"
+    rm -f /tmp/scan_par.$$ /tmp/scan_seq.$$
+    exit 1
+fi
+rm -f /tmp/scan_par.$$ /tmp/scan_seq.$$
 
 # Mutation fuzzing at CI depth (the default in-test depth is 96 cases;
 # everything is offline and deterministic).

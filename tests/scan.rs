@@ -115,3 +115,49 @@ fn scan_json_reports_taxonomy_per_script() {
     assert!(json.contains("\"outcome\":\"ok\""));
     assert!(json.contains("\"exit_code\":1"));
 }
+
+/// Renders a summary both ways for byte-comparison.
+fn rendered(roots: &[PathBuf], opts: &ScanOptions) -> (String, String, i32) {
+    let s = scan_paths(roots, opts);
+    (s.render_text(), s.to_json().to_text(), s.exit_code())
+}
+
+#[test]
+fn parallel_scan_is_byte_identical_to_sequential() {
+    let _g = SCAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // examples/ plus the repo's own tests/ tree (shell fixtures only
+    // get picked up; the .rs files are filtered out by the walker).
+    let roots = vec![
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/examples")),
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests")),
+    ];
+    let seq = rendered(&roots, &ScanOptions { jobs: 1, ..ScanOptions::default() });
+    let par = rendered(&roots, &ScanOptions { jobs: 8, ..ScanOptions::default() });
+    assert_eq!(seq.0, par.0, "--jobs 8 text must match --jobs 1 byte-for-byte");
+    assert_eq!(seq.1, par.1, "--jobs 8 JSON must match --jobs 1 byte-for-byte");
+    assert_eq!(seq.2, par.2, "exit-code taxonomy must not depend on --jobs");
+    let auto = rendered(&roots, &ScanOptions { jobs: 0, ..ScanOptions::default() });
+    assert_eq!(seq.0, auto.0, "--jobs 0 (auto) must match too");
+}
+
+#[test]
+fn parallel_scan_is_deterministic_under_injected_worker_panic() {
+    let _g = SCAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Arm a failpoint that panics inside exactly one script's worker:
+    // the panic shield and retry policy are per-thread, so the parallel
+    // batch must classify fig1 as panicked and stay byte-identical to
+    // the sequential run under the same fault.
+    let roots = examples_dir();
+    shoal_obs::failpoint::configure("engine::fork=panic@fig1").expect("valid failpoint spec");
+    let seq = rendered(&roots, &ScanOptions { jobs: 1, ..ScanOptions::default() });
+    let par = rendered(&roots, &ScanOptions { jobs: 8, ..ScanOptions::default() });
+    shoal_obs::failpoint::clear();
+    assert_eq!(seq.0, par.0, "panic-under-parallel text must match sequential");
+    assert_eq!(seq.1, par.1, "panic-under-parallel JSON must match sequential");
+    assert_eq!(seq.2, 4, "one panicked script dominates the exit code");
+    assert_eq!(par.2, 4);
+    assert!(
+        seq.0.contains("panicked"),
+        "the injected panic must be visible in the report"
+    );
+}
