@@ -1,0 +1,50 @@
+//! REVIEW SCRATCH — delete after review.
+//! Tries to demonstrate stale-id key poisoning when the interner flushes
+//! between the two intern() calls of a binary memoized decision.
+
+use shoal_relang::{memo_flush, Regex};
+
+const INTERN_CAP: usize = 16 * 1024;
+
+fn lit_n(n: usize) -> Regex {
+    Regex::lit(&format!("filler-{n}"))
+}
+
+#[test]
+fn stale_id_poisoning_after_mid_key_flush() {
+    memo_flush();
+    // Fill the interner to CAP - 1 distinct terms.
+    for n in 0..(INTERN_CAP - 1) {
+        let _ = lit_n(n).term_id();
+    }
+    // a takes the last slot (id CAP-1); interning b overflows -> flush;
+    // b gets id 0. The subset answer for (a, b) is inserted at key
+    // (CAP-1, 0) where CAP-1 is a *retired* id.
+    let a = Regex::lit("AAAA"); // "AAAA" ⊆ "[A]+" = true
+    let b = Regex::parse_must("A+");
+    assert!(a.is_subset_of(&b), "sanity: AAAA ⊆ A+");
+
+    // Refill the interner so some unrelated term c lands on id CAP-1,
+    // while b (re-interned right after the flush) keeps id 0.
+    // After the flush: b has id 0, the difference/derivative terms from
+    // the computation took a few more ids. Intern filler until next_id
+    // reaches CAP-1, then c gets exactly id CAP-1.
+    let mut c = None;
+    for n in 0..(2 * INTERN_CAP) {
+        let cand = Regex::lit(&format!("poison-{n}"));
+        let id = cand.term_id();
+        if id as usize == INTERN_CAP - 1 {
+            c = Some(cand);
+            break;
+        }
+    }
+    let c = c.expect("some term reached the retired id");
+    // c = "poison-N" is NOT a subset of A+, but the poisoned cache entry
+    // at (CAP-1, 0) says true.
+    let got = c.is_subset_of(&b);
+    memo_flush();
+    assert!(
+        !got,
+        "WRONG ANSWER: stale memo key (retired id reused) made {c:?} ⊆ A+ return true"
+    );
+}
