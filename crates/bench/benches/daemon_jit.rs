@@ -1,0 +1,71 @@
+//! JIT daemon latency: what a client pays per verdict on each serving
+//! path. `jit/warm_*` is the subsystem's reason to exist — a warm
+//! content-addressed hit over the unix socket, which skips parsing and
+//! symbolic execution entirely and should sit orders of magnitude
+//! below the in-process analysis (`jit/local_*`, the cost a cold miss
+//! or a fallback pays on top of the round-trip). `jit/roundtrip_status`
+//! isolates the wire floor: connect + frame + dispatch with no
+//! analysis and no cache behind it.
+
+use shoal_core::{analyze_source_with, AnalysisOptions};
+use shoal_daemon::client::{self, ClientConfig, Served};
+use shoal_daemon::server::{run, ServerConfig};
+use shoal_obs::bench::{bench, black_box, header};
+use std::time::Duration;
+
+fn main() {
+    header("daemon_jit");
+
+    let base = std::env::temp_dir().join(format!("shoal-jit-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create bench dir");
+    let socket = base.join("daemon.sock");
+    let config = ServerConfig {
+        socket: socket.clone(),
+        cache_dir: Some(base.join("cache")),
+        cache_capacity: 64,
+        jobs: 2,
+    };
+    let server = std::thread::spawn(move || run(config));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::os::unix::net::UnixStream::connect(&socket).is_err() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "bench daemon did not come up"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let cfg = ClientConfig {
+        socket: socket.clone(),
+        auto_spawn: false,
+        spawn_wait: Duration::from_millis(100),
+    };
+    let opts = AnalysisOptions::default();
+
+    for (name, source) in [
+        ("fig1", shoal_corpus::figures::FIG1),
+        ("fig3", shoal_corpus::figures::FIG3),
+    ] {
+        // Prime the cache, and assert the paths we are about to time
+        // are the paths we think they are.
+        let primed = client::analyze(&cfg, source, &opts, false);
+        assert!(matches!(primed.served, Served::Daemon { .. }));
+        let warmed = client::analyze(&cfg, source, &opts, false);
+        assert_eq!(warmed.served, Served::Daemon { cache_hit: true });
+
+        bench(&format!("jit/warm_{name}"), || {
+            black_box(client::analyze(&cfg, source, &opts, false));
+        });
+        bench(&format!("jit/local_{name}"), || {
+            black_box(analyze_source_with(source, opts.clone()).expect("figures parse"));
+        });
+    }
+
+    bench("jit/roundtrip_status", || {
+        black_box(client::status(&socket).expect("daemon answers"));
+    });
+
+    client::stop(&socket).expect("daemon stops");
+    server.join().expect("server thread").expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1021,3 +1021,116 @@ pub fn all_json(path: &str) -> std::io::Result<()> {
     println!("wrote {} script report(s) to {path}", entries.len());
     Ok(())
 }
+
+/// E16 — just-in-time analysis: cold vs. warm daemon latency.
+///
+/// The paper's "back to just-in-time" leg: at invocation time the
+/// latency budget is milliseconds, which a from-scratch analysis blows
+/// as soon as the script is non-trivial. The JIT daemon's answer is
+/// content-addressed caching — a warm verdict costs one socket round
+/// trip, independent of how expensive the analysis was. This
+/// experiment measures both sides against a live daemon and checks the
+/// headline claim: where analysis dominates (`branchy_6` explores 64
+/// worlds), the warm path is ≥10x faster. Warm verdicts are also
+/// checked byte-identical to a direct in-process analysis across the
+/// figure corpus — the cache may never change an answer.
+pub fn e16_jit_latency() {
+    use shoal_daemon::client::{self, ClientConfig, Served};
+    use shoal_daemon::server::{run, ServerConfig};
+    use std::time::Duration;
+
+    banner("E16", "JIT daemon: cold vs. warm verdict latency");
+
+    let base = std::env::temp_dir().join(format!("shoal-e16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create e16 dir");
+    let socket = base.join("daemon.sock");
+    let config = ServerConfig {
+        socket: socket.clone(),
+        cache_dir: Some(base.join("cache")),
+        cache_capacity: 64,
+        jobs: 2,
+    };
+    let server = std::thread::spawn(move || run(config));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while std::os::unix::net::UnixStream::connect(&socket).is_err() {
+        assert!(deadline > Instant::now(), "e16 daemon did not come up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let cfg = ClientConfig {
+        socket: socket.clone(),
+        auto_spawn: false,
+        spawn_wait: Duration::from_millis(100),
+    };
+    let opts = AnalysisOptions::default();
+
+    let branchy = scale::branchy(6);
+    let loopy = scale::loopy(200);
+    let mut workloads: Vec<(String, String)> = figures::all()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    workloads.push(("scale/branchy_6".into(), branchy));
+    workloads.push(("scale/loopy_200".into(), loopy));
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "script", "cold (µs)", "warm (µs)", "speedup"
+    );
+    let mut best_speedup = 0.0f64;
+    for (name, source) in &workloads {
+        // Cold: first request — the daemon runs the engine and fills
+        // both cache tiers.
+        let t0 = Instant::now();
+        let cold = client::analyze(&cfg, source, &opts, false);
+        let cold_us = t0.elapsed().as_micros() as f64;
+        assert_eq!(
+            cold.served,
+            Served::Daemon { cache_hit: false },
+            "{name}: cold request must be a served miss"
+        );
+        let cold_entry = cold.result.expect("workloads parse");
+
+        // Warm: min over repeats (contention only adds noise upward).
+        let mut warm_us = f64::INFINITY;
+        let mut warm_entry = None;
+        for _ in 0..20 {
+            let t0 = Instant::now();
+            let warm = client::analyze(&cfg, source, &opts, false);
+            warm_us = warm_us.min(t0.elapsed().as_micros() as f64);
+            assert_eq!(warm.served, Served::Daemon { cache_hit: true });
+            warm_entry = Some(warm.result.expect("workloads parse"));
+        }
+        let warm_entry = warm_entry.expect("at least one warm request");
+
+        // The cache may never change an answer: warm bytes equal cold
+        // bytes equal a direct in-process analysis.
+        let direct = analyze_source_with(source, opts.clone()).expect("workloads parse");
+        let direct_body =
+            shoal_obs::json::Json::Obj(shoal_core::provenance::report_body_fields(&direct))
+                .to_text();
+        assert_eq!(
+            warm_entry.body.to_text(),
+            direct_body,
+            "{name}: warm verdict must be byte-identical to direct analysis"
+        );
+        assert_eq!(warm_entry.body.to_text(), cold_entry.body.to_text());
+
+        let speedup = cold_us / warm_us.max(1.0);
+        best_speedup = best_speedup.max(speedup);
+        println!("{name:<22} {cold_us:>12.0} {warm_us:>12.0} {speedup:>9.1}x");
+    }
+
+    client::stop(&socket).expect("daemon stops");
+    server.join().expect("server thread").expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!(
+        "\nbest cold/warm speedup: {best_speedup:.1}x (claim: >=10x where analysis dominates)"
+    );
+    assert!(
+        best_speedup >= 10.0,
+        "warm JIT path must be >=10x faster than cold where analysis dominates \
+         (best observed: {best_speedup:.1}x)"
+    );
+}

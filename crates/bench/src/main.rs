@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "e12" => experiments::e12_platform_rwdeps(),
         "e13" => experiments::e13_extensions(),
         "e14" => experiments::e14_robustness(),
+        "e16" => experiments::e16_jit_latency(),
         "all" => {
             // `xp all --json [FILE]` additionally writes one
             // machine-readable results file (same serializer as

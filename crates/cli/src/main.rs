@@ -41,6 +41,8 @@ fn main() -> ExitCode {
     let code = match cmd.as_str() {
         "analyze" | "check" => cmd_analyze(rest, &obs),
         "scan" => cmd_scan(rest),
+        "daemon" => cmd_daemon(rest),
+        "jit" => cmd_jit(rest, &obs),
         "lint" => cmd_lint(rest),
         "typecheck" => cmd_typecheck(rest),
         "mine" => cmd_mine(rest),
@@ -128,6 +130,8 @@ USAGE:
     shoal analyze SCRIPT...            symbolic analysis (all checkers)
     shoal check SCRIPT...              alias for analyze
     shoal scan PATH...                 hardened batch analysis of a tree
+    shoal jit SCRIPT...                just-in-time analysis via the daemon
+    shoal daemon [stop|status]         run / control the resident analyzer
     shoal lint SCRIPT...               syntactic baseline linter
     shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
     shoal mine COMMAND...              mine specs from docs + probing
@@ -151,11 +155,32 @@ SCAN OPTIONS:
                                 (default 2000; 0 = unlimited)
     --jobs N                    worker threads for the batch
                                 (default 0 = available parallelism)
+    --daemon                    route per-script analysis through the
+                                JIT daemon (falls back in-process)
   scan walks directories for .sh / shell-shebang files, isolates each
   script's analysis against panics (retrying once with tightened
   budgets), and exits 0 = clean, 1 = findings, 3 = some scripts only
   partially analyzed (parse recovery or budget), 4 = a script panicked.
   Output is byte-identical for any --jobs value.
+
+JIT / DAEMON OPTIONS:
+    --socket PATH               daemon socket (default: per-user path
+                                under $XDG_RUNTIME_DIR; override with
+                                $SHOAL_DAEMON_SOCKET)
+    --no-spawn                  jit: never auto-spawn a daemon
+    --format text|json          jit: output format (default text)
+    --cache-dir DIR             daemon: on-disk result cache (default:
+                                ~/.cache/shoal-jit; $SHOAL_CACHE_DIR)
+    --cache-capacity N          daemon: in-memory LRU entries (512)
+    --jobs N                    daemon: worker threads (0 = auto)
+  `shoal daemon` runs the resident analyzer in the foreground;
+  `shoal daemon status` / `shoal daemon stop` control a running one.
+  `shoal jit` asks the daemon (auto-spawning it if needed) and falls
+  back to in-process analysis when unreachable — the verdict is never
+  lost, and the path taken is reported on stderr as
+  `shoal: jit served=daemon|local-fallback`. Results are
+  content-addressed: warm output is byte-identical to
+  `shoal analyze --format json`.
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -184,13 +209,24 @@ enum OutputFormat {
 }
 
 fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
-    // Subcommand-local flags: --format, --emit-world-tree.
+    // Subcommand-local flags: --format, --emit-world-tree, --daemon.
     let mut format = OutputFormat::Text;
     let mut tree_file: Option<String> = None;
+    let mut use_daemon = false;
+    let mut socket: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--daemon" => use_daemon = true,
+            "--socket" => {
+                i += 1;
+                let Some(s) = args.get(i) else {
+                    eprintln!("shoal analyze: --socket needs a path");
+                    return ExitCode::from(2);
+                };
+                socket = Some(s.clone());
+            }
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -221,6 +257,20 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
     if paths.is_empty() {
         eprintln!("shoal analyze: no scripts given");
         return ExitCode::from(2);
+    }
+    if use_daemon {
+        // SARIF needs the full in-memory report (codeFlows walk the
+        // witness trails), and the world-tree emitter needs DOT — both
+        // beyond what the wire verdict carries.
+        if format == OutputFormat::Sarif {
+            eprintln!("shoal analyze: --daemon does not support --format sarif");
+            return ExitCode::from(2);
+        }
+        if tree_file.is_some() {
+            eprintln!("shoal analyze: --daemon does not support --emit-world-tree");
+            return ExitCode::from(2);
+        }
+        return jit_analyze(&paths, format, socket.as_deref(), true, obs);
     }
     let opts = shoal_core::AnalysisOptions {
         profile: obs.profile,
@@ -300,10 +350,23 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
 fn cmd_scan(args: &[String]) -> ExitCode {
     let mut opts = shoal_core::ScanOptions::default();
     let mut json = false;
+    let mut use_daemon = false;
+    let mut socket: Option<String> = None;
     let mut roots: Vec<std::path::PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--daemon" => use_daemon = true,
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => socket = Some(s.clone()),
+                    None => {
+                        eprintln!("shoal scan: --socket needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--format" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
@@ -362,13 +425,334 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         eprintln!("shoal scan: no paths given");
         return ExitCode::from(2);
     }
-    let summary = shoal_core::scan_paths(&roots, &opts);
+    let summary = if use_daemon {
+        let cfg = client_config(socket.as_deref());
+        // Route each script through the daemon; a declined request
+        // (unreachable, error) returns None and the scan driver runs
+        // its usual shielded local path, marked `local-fallback`.
+        let remote = move |_path: &str,
+                           src: &str,
+                           aopts: &shoal_core::AnalysisOptions|
+              -> Option<shoal_core::RemoteReport> {
+            let r = shoal_daemon::client::analyze(&cfg, src, aopts, true);
+            match (&r.served, r.result) {
+                (shoal_daemon::client::Served::Daemon { .. }, Ok(entry)) => {
+                    Some(shoal_core::RemoteReport {
+                        body: entry.body,
+                        text: entry.text,
+                        findings: entry.findings,
+                    })
+                }
+                _ => None,
+            }
+        };
+        shoal_core::scan_paths_with(&roots, &opts, Some(&remote))
+    } else {
+        shoal_core::scan_paths(&roots, &opts)
+    };
     if json {
         println!("{}", summary.to_json().to_text());
     } else {
         print!("{}", summary.render_text());
     }
     ExitCode::from(summary.exit_code() as u8)
+}
+
+/// Builds a JIT client config from an optional `--socket` override.
+fn client_config(socket: Option<&str>) -> shoal_daemon::client::ClientConfig {
+    let mut cfg = shoal_daemon::client::ClientConfig::default();
+    if let Some(s) = socket {
+        cfg.socket = std::path::PathBuf::from(s);
+    }
+    cfg
+}
+
+/// `shoal jit SCRIPT...` — the thin just-in-time client: ask the
+/// daemon (auto-spawning one if needed), fall back in-process when
+/// unreachable. Stdout is byte-identical to `shoal analyze`; the path
+/// taken is reported on stderr.
+fn cmd_jit(args: &[String], obs: &ObsFlags) -> ExitCode {
+    let mut format = OutputFormat::Text;
+    let mut socket: Option<String> = None;
+    let mut auto_spawn = true;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-spawn" => auto_spawn = false,
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => socket = Some(s.clone()),
+                    None => {
+                        eprintln!("shoal jit: --socket needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => OutputFormat::Text,
+                    Some("json") => OutputFormat::Json,
+                    other => {
+                        eprintln!(
+                            "shoal jit: --format must be text or json (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("shoal jit: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        eprintln!("shoal jit: no scripts given");
+        return ExitCode::from(2);
+    }
+    jit_analyze(&paths, format, socket.as_deref(), auto_spawn, obs)
+}
+
+/// The shared client loop behind `shoal jit` and
+/// `shoal analyze --daemon`: one request per script, `analyze`-shaped
+/// stdout, a `served=` marker per script on stderr.
+fn jit_analyze(
+    paths: &[String],
+    format: OutputFormat,
+    socket: Option<&str>,
+    auto_spawn: bool,
+    obs: &ObsFlags,
+) -> ExitCode {
+    let mut cfg = client_config(socket);
+    cfg.auto_spawn = auto_spawn;
+    let opts = shoal_core::AnalysisOptions {
+        profile: obs.profile,
+        ..shoal_core::AnalysisOptions::default()
+    };
+    let mut worst = ExitCode::SUCCESS;
+    let mut scripts: Vec<shoal_obs::json::Json> = Vec::new();
+    for path in paths {
+        let src = match read_script(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("shoal: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let r = shoal_daemon::client::analyze(&cfg, &src, &opts, false);
+        // The machine-readable path marker: stdout stays identical to
+        // a direct analyze, so the serving path lives on stderr.
+        match &r.served {
+            shoal_daemon::client::Served::Daemon { cache_hit } => eprintln!(
+                "shoal: jit served=daemon cache={} {path}",
+                if *cache_hit { "hit" } else { "miss" }
+            ),
+            shoal_daemon::client::Served::Fallback { reason } => {
+                eprintln!("shoal: jit served=local-fallback ({reason}) {path}")
+            }
+        }
+        match r.result {
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                worst = ExitCode::from(2);
+            }
+            Ok(entry) => {
+                if entry.findings > 0 {
+                    worst = ExitCode::FAILURE;
+                }
+                if format == OutputFormat::Text {
+                    print!("{}", render_jit_text(path, &entry));
+                }
+                let mut fields = vec![(
+                    "path".to_string(),
+                    shoal_obs::json::Json::Str(path.clone()),
+                )];
+                if let shoal_obs::json::Json::Obj(body_fields) = &entry.body {
+                    fields.extend(body_fields.clone());
+                }
+                scripts.push(shoal_obs::json::Json::Obj(fields));
+            }
+        }
+    }
+    if format == OutputFormat::Json {
+        println!(
+            "{}",
+            shoal_core::provenance::reports_envelope(scripts).to_text()
+        );
+    }
+    worst
+}
+
+/// Renders a served verdict exactly as `shoal analyze` renders the
+/// same report in text mode (the wire body carries every field the
+/// text view needs).
+fn render_jit_text(path: &str, entry: &shoal_daemon::cache::Entry) -> String {
+    use shoal_obs::json::Json;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if entry.text.is_empty() {
+        let _ = writeln!(out, "{path}: no findings across all explored executions");
+    } else {
+        for line in &entry.text {
+            let _ = writeln!(out, "{path}: {line}");
+        }
+    }
+    let num = |field: &str| {
+        entry
+            .body
+            .get(field)
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let incomplete = matches!(entry.body.get("incomplete"), Some(Json::Bool(true)));
+    let _ = writeln!(
+        out,
+        "{path}: {} execution path(s) explored, peak {} live world(s){}",
+        num("terminal_worlds"),
+        num("peak_live_worlds"),
+        if incomplete { " (capped)" } else { "" }
+    );
+    if let Some(Json::Arr(hits)) = entry.body.get("cap_hits") {
+        for hit in hits {
+            let h = |f: &str| hit.get(f).and_then(Json::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{path}: cap hit: {} at line {} ({} hit(s), {} world(s) dropped)",
+                hit.get("reason").and_then(Json::as_str).unwrap_or("?"),
+                h("line"),
+                h("hits"),
+                h("dropped")
+            );
+        }
+    }
+    out
+}
+
+/// `shoal daemon [stop|status]` — run or control the resident
+/// analyzer.
+fn cmd_daemon(args: &[String]) -> ExitCode {
+    let mut action: Option<&str> = None;
+    let mut socket: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_disk = false;
+    let mut cache_capacity: usize = 512;
+    let mut jobs: usize = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "stop" | "status" if action.is_none() => action = Some(args[i].as_str()),
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => socket = Some(s.clone()),
+                    None => {
+                        eprintln!("shoal daemon: --socket needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => cache_dir = Some(s.clone()),
+                    None => {
+                        eprintln!("shoal daemon: --cache-dir needs a directory");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--no-disk-cache" => no_disk = true,
+            "--cache-capacity" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => cache_capacity = n,
+                    None => {
+                        eprintln!("shoal daemon: --cache-capacity needs a number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => jobs = n,
+                    None => {
+                        eprintln!("shoal daemon: --jobs needs a number (0 = auto)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("shoal daemon: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let socket_path = socket
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(shoal_daemon::default_socket_path);
+    match action {
+        Some("status") => match shoal_daemon::client::status(&socket_path) {
+            Ok(json) => {
+                println!("{}", json.to_text());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "shoal daemon: no daemon at {} ({e})",
+                    socket_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        },
+        Some("stop") => match shoal_daemon::client::stop(&socket_path) {
+            Ok(_) => {
+                eprintln!("shoal daemon: stopped {}", socket_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "shoal daemon: no daemon at {} ({e})",
+                    socket_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            let config = shoal_daemon::server::ServerConfig {
+                socket: socket_path.clone(),
+                cache_dir: if no_disk {
+                    None
+                } else {
+                    Some(
+                        cache_dir
+                            .map(std::path::PathBuf::from)
+                            .unwrap_or_else(shoal_daemon::default_cache_dir),
+                    )
+                },
+                cache_capacity,
+                jobs,
+            };
+            eprintln!("shoal daemon: listening on {}", socket_path.display());
+            match shoal_daemon::server::run(config) {
+                Ok(()) => {
+                    eprintln!("shoal daemon: shut down cleanly");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("shoal daemon: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
 }
 
 /// Writes the world tree(s) for the analyzed scripts. `.dot` writes

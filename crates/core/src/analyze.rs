@@ -16,7 +16,7 @@ use shoal_shparse::{parse_script, parse_script_recovering, ParseError, Script};
 use std::time::Instant;
 
 /// Analysis configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisOptions {
     /// Loop unrolling bound.
     pub loop_bound: usize,
@@ -55,6 +55,37 @@ impl Default for AnalysisOptions {
             fuel: None,
             deadline: None,
         }
+    }
+}
+
+impl AnalysisOptions {
+    /// The canonical fingerprint string of every option that can change
+    /// an [`AnalysisReport`]'s *content* — one component of the JIT
+    /// daemon's content-addressed cache key. Two option values with
+    /// equal canonical strings must produce byte-identical report
+    /// bodies for the same source and spec database.
+    ///
+    /// `profile` is deliberately excluded: it only attaches wall-clock
+    /// timings, which are not part of the serialized report body (and
+    /// would be meaningless served from a cache — the daemon client
+    /// runs profiled requests in-process instead).
+    ///
+    /// A `deadline` *is* part of the key even though its effect is
+    /// timing-dependent: a cached deadline-capped report replays the
+    /// first run's verdict, which is the documented semantics (the cap
+    /// hit is marked machine-readably either way).
+    pub fn canonical(&self) -> String {
+        format!(
+            "loop_bound={};max_worlds={};stream_types={};pruning={};fuel={};deadline_ns={}",
+            self.loop_bound,
+            self.max_worlds,
+            self.enable_stream_types,
+            self.enable_pruning,
+            self.fuel.map(|f| f.to_string()).unwrap_or_else(|| "-".into()),
+            self.deadline
+                .map(|d| d.as_nanos().to_string())
+                .unwrap_or_else(|| "-".into()),
+        )
     }
 }
 
@@ -469,6 +500,29 @@ mod tests {
         let unbounded = analyze_source(FIG1).expect("valid script");
         assert_eq!(bounded.diagnostics, unbounded.diagnostics);
         assert_eq!(bounded.terminal_worlds, unbounded.terminal_worlds);
+    }
+
+    #[test]
+    fn canonical_options_cover_every_semantic_field() {
+        let base = AnalysisOptions::default();
+        assert_eq!(
+            base.canonical(),
+            "loop_bound=2;max_worlds=64;stream_types=true;pruning=true;fuel=-;deadline_ns=-"
+        );
+        // Each semantic field moves the canonical string…
+        for changed in [
+            AnalysisOptions { loop_bound: 3, ..base.clone() },
+            AnalysisOptions { max_worlds: 32, ..base.clone() },
+            AnalysisOptions { enable_stream_types: false, ..base.clone() },
+            AnalysisOptions { enable_pruning: false, ..base.clone() },
+            AnalysisOptions { fuel: Some(100), ..base.clone() },
+            AnalysisOptions { deadline: Some(Duration::from_millis(5)), ..base.clone() },
+        ] {
+            assert_ne!(changed.canonical(), base.canonical(), "{changed:?}");
+        }
+        // …and profile (presentation-only) does not.
+        let profiled = AnalysisOptions { profile: true, ..base.clone() };
+        assert_eq!(profiled.canonical(), base.canonical());
     }
 
     #[test]

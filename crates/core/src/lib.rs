@@ -44,6 +44,7 @@ pub mod expand;
 pub mod glob;
 pub mod provenance;
 pub mod scan;
+pub mod sniff;
 pub mod stats;
 pub mod value;
 pub mod world;
@@ -57,7 +58,11 @@ pub use diag::{DiagCode, Diagnostic, Severity};
 pub use provenance::{
     Provenance, TrailEntry, TrailKind, WorldId, WorldNode, WorldOutcome, WorldTree,
 };
-pub use scan::{scan_paths, scan_source, Outcome, ScanOptions, ScanSummary, ScriptResult};
+pub use scan::{
+    scan_paths, scan_paths_with, scan_source, scan_source_with, Outcome, RemoteAnalyzer,
+    RemoteReport, ScanOptions, ScanSummary, ScriptResult,
+};
+pub use sniff::is_shell_script;
 pub use stats::{CapHit, CapReason, EngineStats, ProfileReport};
 pub use value::{Seg, SymStr};
 pub use world::{ExitStatus, World};

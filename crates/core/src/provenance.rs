@@ -426,8 +426,20 @@ pub fn diag_json(d: &Diagnostic) -> Json {
 
 /// One script's report (diagnostics + exploration accounting + tree).
 pub fn report_json(path: &str, report: &AnalysisReport) -> Json {
-    Json::Obj(vec![
-        ("path".into(), Json::Str(path.into())),
+    let mut fields = vec![("path".into(), Json::Str(path.into()))];
+    fields.extend(report_body_fields(report));
+    Json::Obj(fields)
+}
+
+/// The path-independent fields of [`report_json`] — the unit the JIT
+/// daemon caches. The cache key is content-addressed (script blob,
+/// options, spec fingerprint, version), so the path the client happens
+/// to analyze under cannot appear in the cached value; the client
+/// re-attaches it via [`report_json`]'s field order (path first, then
+/// exactly these fields), which keeps warm-cache output byte-identical
+/// to a direct `shoal analyze --format json`.
+pub fn report_body_fields(report: &AnalysisReport) -> Vec<(String, Json)> {
+    vec![
         (
             "diagnostics".into(),
             Json::Arr(report.diagnostics.iter().map(diag_json).collect()),
@@ -463,12 +475,20 @@ pub fn report_json(path: &str, report: &AnalysisReport) -> Json {
             ),
         ),
         ("world_tree".into(), report.world_tree.to_json()),
-    ])
+    ]
 }
 
 /// The top-level JSON document for a set of analyzed scripts — the
 /// `--format json` output and the serializer `xp all --json` reuses.
 pub fn reports_json(entries: &[(String, AnalysisReport)]) -> Json {
+    reports_envelope(entries.iter().map(|(p, r)| report_json(p, r)).collect())
+}
+
+/// Wraps per-script report objects in the `shoal-report/v1` envelope.
+/// The JIT client assembles its output through this same function from
+/// daemon-served bodies, so a warm `shoal jit --format json` is
+/// byte-identical to `shoal analyze --format json`.
+pub fn reports_envelope(scripts: Vec<Json>) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str("shoal-report/v1".into())),
         ("tool".into(), Json::Str("shoal".into())),
@@ -476,15 +496,7 @@ pub fn reports_json(entries: &[(String, AnalysisReport)]) -> Json {
             "version".into(),
             Json::Str(env!("CARGO_PKG_VERSION").into()),
         ),
-        (
-            "scripts".into(),
-            Json::Arr(
-                entries
-                    .iter()
-                    .map(|(p, r)| report_json(p, r))
-                    .collect(),
-            ),
-        ),
+        ("scripts".into(), Json::Arr(scripts)),
     ])
 }
 

@@ -1,0 +1,58 @@
+//! What counts as a shell script.
+//!
+//! `shoal scan` (the batch driver) and `shoal jit`/the analysis daemon
+//! must agree on this question — a file the batch scanner analyzes but
+//! the JIT client rejects (or vice versa) would make the two surfaces
+//! disagree about the same tree. This is the one shared answer: a `.sh`
+//! extension, or a shebang first line whose interpreter is a shell
+//! (`sh`, `bash`, `dash`, `ksh`, `zsh`, …, including via `env`).
+
+use std::path::Path;
+
+/// True for files the analyzer should treat as shell scripts: `.sh`
+/// extension, or an executable-style shebang whose interpreter is a
+/// shell. Extensionless files are included purely on their shebang.
+pub fn is_shell_script(path: &Path, src: &str) -> bool {
+    if path.extension().and_then(|e| e.to_str()) == Some("sh") {
+        return true;
+    }
+    let first = src.lines().next().unwrap_or("");
+    first.starts_with("#!") && first.contains("sh")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sh_extension_is_always_shell() {
+        assert!(is_shell_script(Path::new("a.sh"), ""));
+        assert!(is_shell_script(Path::new("dir/setup.sh"), "not a shebang"));
+    }
+
+    #[test]
+    fn extensionless_shebang_files_are_shell() {
+        // The common installer layout: no extension, shebang only.
+        for shebang in [
+            "#!/bin/sh",
+            "#!/bin/bash",
+            "#!/usr/bin/env bash",
+            "#!/usr/bin/env sh",
+            "#! /bin/sh -e",
+        ] {
+            assert!(
+                is_shell_script(Path::new("install"), &format!("{shebang}\necho hi\n")),
+                "shebang {shebang:?} must be recognized on an extensionless file"
+            );
+        }
+    }
+
+    #[test]
+    fn non_shell_files_are_excluded() {
+        assert!(!is_shell_script(Path::new("main.py"), "#!/usr/bin/python3\n"));
+        assert!(!is_shell_script(Path::new("README"), "plain text\n"));
+        assert!(!is_shell_script(Path::new("empty"), ""));
+        // A shebang not on the first line does not count.
+        assert!(!is_shell_script(Path::new("x"), "\n#!/bin/sh\n"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The content-addressed result cache.
+//!
+//! A verdict is addressed by everything that can change it and nothing
+//! else:
+//!
+//! * the script blob (bytes, not path — renaming or copying a script
+//!   hits the same entry),
+//! * the canonicalized [`shoal_core::AnalysisOptions`]
+//!   ([`AnalysisOptions::canonical`]) plus the strict/resilient parse
+//!   mode,
+//! * the spec-database fingerprint ([`shoal_spec::SpecLibrary::fingerprint`]),
+//! * the shoal version.
+//!
+//! Changing any component changes the key, so invalidation is free:
+//! stale entries simply stop being addressed (the disk layer is
+//! garbage, not poison). Two tiers:
+//!
+//! * a bounded in-memory LRU (hot verdicts, zero deserialization),
+//! * an on-disk store (`<dir>/<k[0..2]>/<key>.json`, atomic
+//!   temp-file + rename writes) that survives daemon restarts.
+//!
+//! Counters: `daemon.cache_hit` / `daemon.cache_miss` /
+//! `daemon.cache_disk_hit` / `daemon.cache_evict`.
+
+use shoal_core::AnalysisOptions;
+use shoal_obs::json::Json;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of one serialized cache entry.
+pub const CACHE_SCHEMA: &str = "shoal-jit-cache/v1";
+
+/// Everything that addresses one cached verdict.
+#[derive(Clone, Copy)]
+pub struct KeyParts<'a> {
+    /// The script source bytes.
+    pub source: &'a str,
+    /// [`AnalysisOptions::canonical`] of the request options.
+    pub options: &'a AnalysisOptions,
+    /// Strict (`analyze`) vs. recovering (`scan`) parsing — different
+    /// outputs, different entries.
+    pub resilient: bool,
+    /// [`shoal_spec::SpecLibrary::fingerprint`] of the spec database.
+    pub spec_fingerprint: u64,
+    /// The shoal version string.
+    pub version: &'a str,
+}
+
+/// The 32-hex-digit content address of a request.
+pub fn cache_key(parts: &KeyParts) -> String {
+    shoal_obs::hash::keyed_hash128(&[
+        ("blob", parts.source.as_bytes()),
+        ("options", parts.options.canonical().as_bytes()),
+        (
+            "mode",
+            if parts.resilient {
+                b"resilient"
+            } else {
+                b"strict"
+            },
+        ),
+        ("specs", parts.spec_fingerprint.to_string().as_bytes()),
+        ("version", parts.version.as_bytes()),
+    ])
+}
+
+/// One cached verdict: the path-free report body plus the pre-rendered
+/// diagnostic display lines and the warning-or-worse count (so text
+/// clients never re-derive severity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// `report_body_fields` object (no `path`).
+    pub body: Json,
+    /// Full `Display` rendering of each diagnostic, in report order.
+    pub text: Vec<String>,
+    /// Diagnostics at warning severity or above.
+    pub findings: usize,
+}
+
+impl Entry {
+    /// Serializes for the disk tier.
+    pub fn to_json(&self, key: &str) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(CACHE_SCHEMA.into())),
+            ("key".into(), Json::Str(key.into())),
+            ("findings".into(), Json::Num(self.findings as f64)),
+            (
+                "text".into(),
+                Json::Arr(self.text.iter().map(|t| Json::Str(t.clone())).collect()),
+            ),
+            ("body".into(), self.body.clone()),
+        ])
+    }
+
+    /// Deserializes a disk entry; `None` on schema/shape mismatch (a
+    /// corrupt or foreign file is a miss, never an error).
+    pub fn from_json(json: &Json, key: &str) -> Option<Entry> {
+        if json.get("schema").and_then(Json::as_str) != Some(CACHE_SCHEMA) {
+            return None;
+        }
+        if json.get("key").and_then(Json::as_str) != Some(key) {
+            return None;
+        }
+        let findings = json.get("findings")?.as_u64()? as usize;
+        let text = match json.get("text")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(|t| t.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let body = json.get("body")?.clone();
+        Some(Entry {
+            body,
+            text,
+            findings,
+        })
+    }
+}
+
+/// Bounded in-memory LRU in front of an optional on-disk store.
+pub struct ResultCache {
+    /// In-memory tier: key → (entry, last-use tick).
+    hot: HashMap<String, (Entry, u64)>,
+    /// LRU clock (monotonic per cache).
+    tick: u64,
+    /// In-memory capacity (entries).
+    capacity: usize,
+    /// Disk tier root; `None` disables persistence.
+    dir: Option<PathBuf>,
+    /// Lifetime hot-tier evictions.
+    evictions: u64,
+}
+
+/// Point-in-time cache statistics for `daemon status`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    pub hot_entries: usize,
+    pub disk_entries: usize,
+    pub evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding up to `capacity` hot entries, persisting to
+    /// `dir` when given.
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ResultCache {
+        ResultCache {
+            hot: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            dir,
+            evictions: 0,
+        }
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        let shard = key.get(..2).unwrap_or("__");
+        self.dir
+            .as_ref()
+            .map(|d| d.join(shard).join(format!("{key}.json")))
+    }
+
+    /// Looks up a key: hot tier first, then disk (promoting to hot).
+    pub fn get(&mut self, key: &str) -> Option<Entry> {
+        self.tick += 1;
+        if let Some((entry, used)) = self.hot.get_mut(key) {
+            *used = self.tick;
+            shoal_obs::counter_add("daemon.cache_hit", 1);
+            return Some(entry.clone());
+        }
+        if let Some(path) = self.disk_path(key) {
+            if let Some(entry) = read_disk_entry(&path, key) {
+                shoal_obs::counter_add("daemon.cache_hit", 1);
+                shoal_obs::counter_add("daemon.cache_disk_hit", 1);
+                self.insert_hot(key.to_string(), entry.clone());
+                return Some(entry);
+            }
+        }
+        shoal_obs::counter_add("daemon.cache_miss", 1);
+        None
+    }
+
+    /// Stores a verdict in both tiers (disk write is best-effort: an
+    /// unwritable cache dir degrades to memory-only, never to an
+    /// error).
+    pub fn put(&mut self, key: String, entry: Entry) {
+        if let Some(path) = self.disk_path(&key) {
+            write_disk_entry(&path, &entry.to_json(&key).to_text());
+        }
+        self.insert_hot(key, entry);
+    }
+
+    fn insert_hot(&mut self, key: String, entry: Entry) {
+        self.tick += 1;
+        if self.hot.len() >= self.capacity && !self.hot.contains_key(&key) {
+            // Evict the least-recently-used entry. O(n) scan — the hot
+            // tier is small (hundreds) and eviction is off the hit
+            // path.
+            if let Some(lru) = self
+                .hot
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.hot.remove(&lru);
+                self.evictions += 1;
+                shoal_obs::counter_add("daemon.cache_evict", 1);
+            }
+        }
+        self.hot.insert(key, (entry, self.tick));
+    }
+
+    /// Entry counts for `daemon status`.
+    pub fn stats(&self) -> CacheStats {
+        let disk_entries = match &self.dir {
+            None => 0,
+            Some(dir) => count_disk_entries(dir),
+        };
+        CacheStats {
+            hot_entries: self.hot.len(),
+            disk_entries,
+            evictions: self.evictions,
+        }
+    }
+}
+
+fn read_disk_entry(path: &Path, key: &str) -> Option<Entry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    Entry::from_json(&json, key)
+}
+
+fn write_disk_entry(path: &Path, contents: &str) {
+    let Some(parent) = path.parent() else { return };
+    if std::fs::create_dir_all(parent).is_err() {
+        return;
+    }
+    // Atomic publish: a reader sees the old entry or the new one,
+    // never a torn write. The tmp name carries the pid so two daemons
+    // sharing a cache dir cannot clobber each other's tmp files.
+    let tmp = parent.join(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
+    ));
+    if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+fn count_disk_entries(dir: &Path) -> usize {
+    let Ok(shards) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    shards
+        .filter_map(|s| s.ok())
+        .filter(|s| s.path().is_dir())
+        .map(|s| {
+            std::fs::read_dir(s.path())
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok())
+                        .filter(|e| {
+                            e.file_name()
+                                .to_str()
+                                .map(|n| n.ends_with(".json"))
+                                .unwrap_or(false)
+                        })
+                        .count()
+                })
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize) -> Entry {
+        Entry {
+            body: Json::Obj(vec![("n".into(), Json::Num(n as f64))]),
+            text: vec![format!("line {n}")],
+            findings: n,
+        }
+    }
+
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    #[test]
+    fn key_changes_with_every_component() {
+        let o = opts();
+        let base = cache_key(&KeyParts {
+            source: "echo hi\n",
+            options: &o,
+            resilient: false,
+            spec_fingerprint: 1,
+            version: "0.1.0",
+        });
+        let edited_script = cache_key(&KeyParts {
+            source: "echo hi # edited\n",
+            options: &o,
+            resilient: false,
+            spec_fingerprint: 1,
+            version: "0.1.0",
+        });
+        let bigger_cap = AnalysisOptions {
+            max_worlds: 128,
+            ..opts()
+        };
+        let changed_options = cache_key(&KeyParts {
+            source: "echo hi\n",
+            options: &bigger_cap,
+            resilient: false,
+            spec_fingerprint: 1,
+            version: "0.1.0",
+        });
+        let new_specs = cache_key(&KeyParts {
+            source: "echo hi\n",
+            options: &o,
+            resilient: false,
+            spec_fingerprint: 2,
+            version: "0.1.0",
+        });
+        let new_version = cache_key(&KeyParts {
+            source: "echo hi\n",
+            options: &o,
+            resilient: false,
+            spec_fingerprint: 1,
+            version: "0.2.0",
+        });
+        let resilient = cache_key(&KeyParts {
+            source: "echo hi\n",
+            options: &o,
+            resilient: true,
+            spec_fingerprint: 1,
+            version: "0.1.0",
+        });
+        let keys = [
+            &base,
+            &edited_script,
+            &changed_options,
+            &new_specs,
+            &new_version,
+            &resilient,
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            assert_eq!(a.len(), 32);
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b, "every key component must move the address");
+            }
+        }
+        // And the key is a pure function of its parts.
+        assert_eq!(
+            base,
+            cache_key(&KeyParts {
+                source: "echo hi\n",
+                options: &o,
+                resilient: false,
+                spec_fingerprint: 1,
+                version: "0.1.0",
+            })
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.put("k1".into(), entry(1));
+        c.put("k2".into(), entry(2));
+        assert!(c.get("k1").is_some()); // k1 now more recent than k2
+        c.put("k3".into(), entry(3)); // evicts k2
+        assert!(c.get("k2").is_none());
+        assert!(c.get("k1").is_some());
+        assert!(c.get("k3").is_some());
+        assert_eq!(c.stats().hot_entries, 2);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_survives_a_new_cache() {
+        let dir = std::env::temp_dir().join(format!("shoal-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(8, Some(dir.clone()));
+            c.put("aabbccddeeff00112233445566778899".into(), entry(7));
+        }
+        // Fresh cache, same dir: the entry comes back from disk.
+        let mut c2 = ResultCache::new(8, Some(dir.clone()));
+        let got = c2
+            .get("aabbccddeeff00112233445566778899")
+            .expect("disk entry survives restart");
+        assert_eq!(got, entry(7));
+        assert_eq!(c2.stats().disk_entries, 1);
+        // A corrupt file is a miss, not an error.
+        std::fs::write(dir.join("aa").join("corrupt.json"), "{not json").unwrap();
+        assert!(c2.get("corrupt").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_serialization_rejects_foreign_schemas() {
+        let e = entry(3);
+        let json = e.to_json("deadbeef");
+        assert_eq!(Entry::from_json(&json, "deadbeef"), Some(e));
+        assert_eq!(Entry::from_json(&json, "othernope"), None);
+        let foreign = Json::Obj(vec![("schema".into(), Json::Str("other/v9".into()))]);
+        assert_eq!(Entry::from_json(&foreign, "deadbeef"), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! The thin JIT client: connect, auto-spawn, or fall back.
+//!
+//! The degradation contract (carried over from the resilient-scan
+//! work): a client request **never loses a verdict**. If the daemon is
+//! reachable the verdict is served; if it is not, the client analyzes
+//! in-process through the very same [`crate::entry_from_report`]
+//! rendering the server uses, and the result is tagged
+//! [`Served::Fallback`] so callers (and machine consumers, via the
+//! `served` field in scan JSON and the stderr marker in `shoal jit`)
+//! can see which path ran. Stdout stays byte-identical either way —
+//! only the marker channel differs.
+//!
+//! Auto-spawn: on a dead socket the client launches
+//! `<current_exe> daemon --socket …` detached (null stdio) and polls
+//! the socket briefly; if the daemon still is not answering, it falls
+//! back rather than block the caller — JIT latency budgets are the
+//! whole point of this subsystem.
+
+use crate::cache::Entry;
+use crate::protocol::Request;
+use shoal_core::AnalysisOptions;
+use shoal_obs::frame::{read_frame, write_frame};
+use shoal_obs::json::Json;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How a verdict reached the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Served {
+    /// The daemon answered; `cache_hit` is true on a warm hit.
+    Daemon { cache_hit: bool },
+    /// The daemon was unreachable (or the request is daemon-unservable,
+    /// e.g. profiled); analysis ran in-process. `reason` says why.
+    Fallback { reason: String },
+}
+
+impl Served {
+    /// The machine-readable path marker (`daemon` / `local-fallback`)
+    /// used in scan JSON and the `shoal jit` stderr marker.
+    pub fn marker(&self) -> &'static str {
+        match self {
+            Served::Daemon { .. } => "daemon",
+            Served::Fallback { .. } => "local-fallback",
+        }
+    }
+}
+
+/// One JIT analysis outcome.
+#[derive(Debug, Clone)]
+pub struct JitResponse {
+    /// Which path produced the verdict.
+    pub served: Served,
+    /// The verdict, or the strict-mode parse error message.
+    pub result: Result<Entry, String>,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon socket path.
+    pub socket: PathBuf,
+    /// Spawn a daemon when the socket is dead.
+    pub auto_spawn: bool,
+    /// How long to poll a freshly spawned daemon before falling back.
+    pub spawn_wait: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            socket: crate::default_socket_path(),
+            auto_spawn: true,
+            spawn_wait: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Sends one request and reads one response over a fresh connection.
+///
+/// # Errors
+///
+/// Any socket-level failure (connect, framing, a non-JSON reply).
+pub fn request(socket: &Path, req: &Request) -> io::Result<Json> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, req.to_json().to_text().as_bytes())?;
+    let payload = read_frame(&mut stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"))?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not utf-8"))?;
+    Json::parse(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+}
+
+/// Asks a running daemon for its status.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures (typically: no daemon listening).
+pub fn status(socket: &Path) -> io::Result<Json> {
+    request(socket, &Request::Status)
+}
+
+/// Stops a running daemon.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures (typically: no daemon listening).
+pub fn stop(socket: &Path) -> io::Result<Json> {
+    request(socket, &Request::Stop)
+}
+
+/// Analyzes `source` just-in-time: daemon first, in-process fallback.
+///
+/// Profiled requests (`options.profile`) skip the daemon entirely —
+/// profiling instruments *this* process, so a served verdict would be
+/// meaningless.
+pub fn analyze(
+    config: &ClientConfig,
+    source: &str,
+    options: &AnalysisOptions,
+    resilient: bool,
+) -> JitResponse {
+    if options.profile {
+        return local(source, options, resilient, "profile-requested");
+    }
+    let req = Request::Analyze {
+        source: source.to_string(),
+        options: options.clone(),
+        resilient,
+    };
+    match connect_or_spawn(config) {
+        Ok(()) => {}
+        Err(reason) => return local(source, options, resilient, &reason),
+    }
+    match request(&config.socket, &req) {
+        Ok(json) => interpret(json, source, options, resilient),
+        Err(err) => local(source, options, resilient, &format!("request failed: {err}")),
+    }
+}
+
+/// Ensures something is listening on the socket, spawning a daemon if
+/// allowed. `Err` carries the fallback reason.
+fn connect_or_spawn(config: &ClientConfig) -> Result<(), String> {
+    if UnixStream::connect(&config.socket).is_ok() {
+        return Ok(());
+    }
+    if !config.auto_spawn {
+        return Err("daemon unreachable (auto-spawn disabled)".into());
+    }
+    if let Err(e) = spawn_daemon(&config.socket) {
+        return Err(format!("daemon unreachable, spawn failed: {e}"));
+    }
+    shoal_obs::counter_add("jit.daemon_spawned", 1);
+    let deadline = Instant::now() + config.spawn_wait;
+    while Instant::now() < deadline {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Err("daemon unreachable (spawned, never answered)".into())
+}
+
+/// Launches `<current_exe> daemon --socket …` detached.
+fn spawn_daemon(socket: &Path) -> io::Result<()> {
+    let exe = std::env::current_exe()?;
+    std::process::Command::new(exe)
+        .arg("daemon")
+        .arg("--socket")
+        .arg(socket)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map(|_| ())
+}
+
+/// Turns a daemon response into a [`JitResponse`], falling back on
+/// anything that is not a well-formed verdict.
+fn interpret(json: Json, source: &str, options: &AnalysisOptions, resilient: bool) -> JitResponse {
+    if json.get("ok").and_then(|v| match v {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }) == Some(true)
+    {
+        let Some(entry) = entry_from_response(&json) else {
+            return local(source, options, resilient, "malformed daemon response");
+        };
+        let cache_hit = json.get("cache").and_then(Json::as_str) == Some("hit");
+        shoal_obs::counter_add(if cache_hit { "jit.hit" } else { "jit.miss" }, 1);
+        return JitResponse {
+            served: Served::Daemon { cache_hit },
+            result: Ok(entry),
+        };
+    }
+    match json.get("error").and_then(Json::as_str) {
+        // A strict-mode parse error is a *verdict* (the script does not
+        // parse), not a transport failure — no point re-parsing locally.
+        Some("parse") => JitResponse {
+            served: Served::Daemon { cache_hit: false },
+            result: Err(json
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("parse error")
+                .to_string()),
+        },
+        other => local(
+            source,
+            options,
+            resilient,
+            &format!("daemon error: {}", other.unwrap_or("unknown")),
+        ),
+    }
+}
+
+fn entry_from_response(json: &Json) -> Option<Entry> {
+    let findings = json.get("findings")?.as_u64()? as usize;
+    let text = match json.get("text")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|t| t.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    let body = json.get("body")?.clone();
+    Some(Entry {
+        body,
+        text,
+        findings,
+    })
+}
+
+/// The in-process path: same engine, same rendering, marked as
+/// fallback.
+fn local(source: &str, options: &AnalysisOptions, resilient: bool, reason: &str) -> JitResponse {
+    shoal_obs::counter_add("jit.fallback", 1);
+    let result = if resilient {
+        Ok(crate::entry_from_report(&shoal_core::analyze_source_resilient(
+            source,
+            options.clone(),
+        )))
+    } else {
+        match shoal_core::analyze_source_with(source, options.clone()) {
+            Ok(report) => Ok(crate::entry_from_report(&report)),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    JitResponse {
+        served: Served::Fallback {
+            reason: reason.to_string(),
+        },
+        result,
+    }
+}

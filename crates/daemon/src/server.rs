@@ -1,0 +1,322 @@
+//! The resident analysis server.
+//!
+//! One blocking accept loop on a unix domain socket; each accepted
+//! connection is handed to a [`shoal_obs::pool::TaskPool`] worker, so
+//! concurrent clients are served in parallel without any per-request
+//! thread spawn. All state a worker needs lives in one shared
+//! [`ServerState`]: the two-tier result cache behind a mutex (lookups
+//! are microseconds; analysis itself runs *outside* the lock), the
+//! spec-library fingerprint sampled once at startup, and plain atomic
+//! request counters for `status`.
+//!
+//! Shutdown is cooperative: the `stop` handler answers the client,
+//! flips the shutdown flag, then makes a throwaway connection to its
+//! own socket so the blocked `accept` wakes up and observes the flag.
+//! Dropping the pool drains in-flight requests before the socket file
+//! is removed, so a `stop` never strands a concurrent `analyze`.
+//!
+//! Startup recovers from stale sockets (a previous daemon that died
+//! without unlinking): if binding fails with `AddrInUse`, we probe the
+//! socket — a refused connection means nobody is home, so the stale
+//! file is removed and the bind retried; a successful probe means a
+//! live daemon owns the path and startup fails loudly instead of
+//! stealing it.
+
+use crate::cache::{cache_key, CacheStats, Entry, KeyParts, ResultCache};
+use crate::protocol::{Request, SCHEMA};
+use shoal_core::{analyze_source_resilient, analyze_source_with, AnalysisOptions};
+use shoal_obs::frame::{read_frame, write_frame};
+use shoal_obs::json::Json;
+use shoal_obs::pool::TaskPool;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server configuration; see [`run`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket path to bind.
+    pub socket: PathBuf,
+    /// On-disk cache directory (`None` disables the disk tier).
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory LRU capacity (entries).
+    pub cache_capacity: usize,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            socket: crate::default_socket_path(),
+            cache_dir: Some(crate::default_cache_dir()),
+            cache_capacity: 512,
+            jobs: 0,
+        }
+    }
+}
+
+/// Shared server state, one per daemon process.
+struct ServerState {
+    cache: Mutex<ResultCache>,
+    spec_fingerprint: u64,
+    started: Instant,
+    shutdown: AtomicBool,
+    socket: PathBuf,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Binds the socket and serves until a `stop` request arrives.
+///
+/// # Errors
+///
+/// Propagates bind failures (including a live daemon already owning
+/// the socket) and fatal accept errors.
+pub fn run(config: ServerConfig) -> io::Result<()> {
+    let listener = bind_recovering(&config.socket)?;
+    let spec_fingerprint = shoal_spec::SpecLibrary::builtin().fingerprint();
+    let state = Arc::new(ServerState {
+        cache: Mutex::new(ResultCache::new(
+            config.cache_capacity,
+            config.cache_dir.clone(),
+        )),
+        spec_fingerprint,
+        started: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        socket: config.socket.clone(),
+        requests: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    });
+
+    let pool = TaskPool::new(config.jobs);
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let state = Arc::clone(&state);
+                pool.submit(Box::new(move || serve_connection(stream, &state)));
+            }
+            Err(err) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(err);
+            }
+        }
+    }
+    drop(pool); // drain in-flight requests before unlinking
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(())
+}
+
+/// Binds `socket`, removing a stale file left by a dead daemon.
+fn bind_recovering(socket: &PathBuf) -> io::Result<UnixListener> {
+    if let Some(parent) = socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    match UnixListener::bind(socket) {
+        Ok(l) => Ok(l),
+        Err(err) if err.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(socket).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving {}", socket.display()),
+                ));
+            }
+            std::fs::remove_file(socket)?;
+            UnixListener::bind(socket)
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// Handles one client connection: frames in, frames out, until EOF.
+fn serve_connection(mut stream: UnixStream, state: &ServerState) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // clean EOF or a client that vanished
+        };
+        let t0 = Instant::now();
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        shoal_obs::counter_add("daemon.requests", 1);
+        let response = dispatch(&payload, state);
+        shoal_obs::hist_record("daemon.request_us", t0.elapsed().as_micros() as u64);
+        if write_frame(&mut stream, response.to_text().as_bytes()).is_err() {
+            return;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Parses and executes one request, always producing a response.
+fn dispatch(payload: &[u8], state: &ServerState) -> Json {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => return error_response("bad-request", "frame is not utf-8"),
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return error_response("bad-request", &format!("frame is not json: {e}")),
+    };
+    let request = match Request::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => return error_response("bad-request", &e),
+    };
+    match request {
+        Request::Analyze {
+            source,
+            options,
+            resilient,
+        } => handle_analyze(&source, &options, resilient, state),
+        Request::Status => handle_status(state),
+        Request::Stop => handle_stop(state),
+    }
+}
+
+/// Serves one analyze request: cache lookup, else run the engine and
+/// populate both tiers. Parse errors (strict mode) and panics are
+/// reported, never cached.
+fn handle_analyze(
+    source: &str,
+    options: &AnalysisOptions,
+    resilient: bool,
+    state: &ServerState,
+) -> Json {
+    let key = cache_key(&KeyParts {
+        source,
+        options,
+        resilient,
+        spec_fingerprint: state.spec_fingerprint,
+        version: crate::version(),
+    });
+
+    if let Some(entry) = state.cache.lock().unwrap().get(&key) {
+        state.hits.fetch_add(1, Ordering::Relaxed);
+        return analyze_response(&key, "hit", &entry);
+    }
+    state.misses.fetch_add(1, Ordering::Relaxed);
+
+    // Run the engine outside the cache lock; shield the worker from
+    // engine panics so one poisonous script can't take the daemon down.
+    let opts = options.clone();
+    let src = source.to_string();
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        if resilient {
+            Ok(analyze_source_resilient(&src, opts))
+        } else {
+            analyze_source_with(&src, opts)
+        }
+    }));
+    match outcome {
+        Ok(Ok(report)) => {
+            let entry = crate::entry_from_report(&report);
+            state.cache.lock().unwrap().put(key.clone(), entry.clone());
+            analyze_response(&key, "miss", &entry)
+        }
+        Ok(Err(parse_err)) => error_response("parse", &parse_err.to_string()),
+        Err(panic) => {
+            let msg = panic_message(&panic);
+            shoal_obs::counter_add("daemon.panics", 1);
+            error_response("panic", &msg)
+        }
+    }
+}
+
+fn handle_status(state: &ServerState) -> Json {
+    let CacheStats {
+        hot_entries,
+        disk_entries,
+        evictions,
+    } = state.cache.lock().unwrap().stats();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::Str("status".into())),
+        ("version".into(), Json::Str(crate::version().into())),
+        ("pid".into(), Json::Num(std::process::id() as f64)),
+        (
+            "uptime_ms".into(),
+            Json::Num(state.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "spec_fingerprint".into(),
+            Json::Str(format!("{:016x}", state.spec_fingerprint)),
+        ),
+        (
+            "requests".into(),
+            Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "hits".into(),
+            Json::Num(state.hits.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "misses".into(),
+            Json::Num(state.misses.load(Ordering::Relaxed) as f64),
+        ),
+        ("evictions".into(), Json::Num(evictions as f64)),
+        ("hot_entries".into(), Json::Num(hot_entries as f64)),
+        ("disk_entries".into(), Json::Num(disk_entries as f64)),
+    ])
+}
+
+fn handle_stop(state: &ServerState) -> Json {
+    state.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop: it is blocked in `accept`, and will check
+    // the flag as soon as any connection (this throwaway one) lands.
+    let _ = UnixStream::connect(&state.socket);
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::Str("stop".into())),
+    ])
+}
+
+fn analyze_response(key: &str, cache: &str, entry: &Entry) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::Str("analyze".into())),
+        ("cache".into(), Json::Str(cache.into())),
+        ("key".into(), Json::Str(key.into())),
+        ("findings".into(), Json::Num(entry.findings as f64)),
+        (
+            "text".into(),
+            Json::Arr(entry.text.iter().map(|l| Json::Str(l.clone())).collect()),
+        ),
+        ("body".into(), entry.body.clone()),
+    ])
+}
+
+fn error_response(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(kind.into())),
+        ("message".into(), Json::Str(message.into())),
+    ])
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}

@@ -1,0 +1,110 @@
+//! Length-prefixed message framing for the JIT daemon's socket
+//! protocol.
+//!
+//! One frame = a 4-byte big-endian payload length followed by exactly
+//! that many payload bytes. The length prefix makes message boundaries
+//! explicit on a stream socket (no sentinel scanning, binary-safe) and
+//! lets the reader pre-size its buffer; [`MAX_FRAME`] bounds that
+//! allocation so a corrupt or hostile peer cannot request gigabytes.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload (64 MiB — far above any real
+/// script or report, far below an allocation-of-death).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads larger than [`MAX_FRAME`]
+/// with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// *before* the length prefix (the peer closed between messages);
+/// an EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects lengths above [`MAX_FRAME`] with
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled read_exact for the prefix so that EOF-at-boundary is
+    // distinguishable from EOF-mid-prefix.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (length prefix)",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_frames_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0u8, 255, 10, 13]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0u8, 255, 10, 13]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-prefix too.
+        let mut short = &[0u8, 0][..];
+        assert!(read_frame(&mut short).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -27,6 +27,8 @@
 
 pub mod bench;
 pub mod failpoint;
+pub mod frame;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod pool;

@@ -54,6 +54,6 @@ pub use deriv::DerivMatcher;
 pub use dfa::{
     dfa_state_cap, set_dfa_state_cap, take_approx_hits, ApproxReason, Dfa, DEFAULT_DFA_STATE_CAP,
 };
-pub use memo::{memo_flush, set_memo_enabled, TermId};
+pub use memo::{memo_flush, set_memo_enabled, TermId, INTERN_CAP};
 pub use nfa::Nfa;
 pub use parser::ParseError;

@@ -52,7 +52,10 @@ pub type TermId = u32;
 /// Interner capacity: beyond this many distinct live terms, all memo
 /// state is flushed. Large enough for any realistic script corpus
 /// (thousands of distinct constraints), small enough to bound memory.
-const INTERN_CAP: usize = 16 * 1024;
+/// Public so regression tests can drive the interner exactly to the
+/// overflow boundary (see `tests/props.rs`,
+/// `memo_flush_must_retire_ids_with_the_terms`).
+pub const INTERN_CAP: usize = 16 * 1024;
 /// Per-table decision cache capacity.
 const DECISION_CAP: usize = 16 * 1024;
 /// Compiled-DFA cache capacity (DFAs are the heavyweight entries).
@@ -69,6 +72,14 @@ struct Memo {
     enabled: bool,
     /// The DFA state cap the tables were built under.
     cap: usize,
+    /// Interner generation, bumped on every [`Memo::flush`]. Ids are
+    /// only comparable within one epoch: a flush retires every id, so
+    /// a key whose terms were interned across a flush (the interner
+    /// overflowed between the two `intern` calls of a binary key, or
+    /// a decision's own computation reentered the memo and flushed)
+    /// must not be used to insert — the same `(TermId, TermId)` pair
+    /// will later address *different* terms.
+    epoch: u64,
     interner: HashMap<Regex, TermId>,
     next_id: TermId,
     empty: HashMap<TermId, Cached<bool>>,
@@ -84,6 +95,7 @@ impl Memo {
         Memo {
             enabled: true,
             cap: crate::dfa::dfa_state_cap(),
+            epoch: 0,
             interner: HashMap::new(),
             next_id: 0,
             empty: HashMap::new(),
@@ -96,6 +108,7 @@ impl Memo {
     }
 
     fn flush(&mut self) {
+        self.epoch += 1;
         self.interner.clear();
         self.next_id = 0;
         self.empty.clear();
@@ -186,9 +199,20 @@ macro_rules! memoized {
                 return None;
             }
             m.validate_cap();
-            Some($key(&mut *m))
+            let epoch = m.epoch;
+            let key = $key(&mut *m);
+            if m.epoch != epoch {
+                // The interner overflowed while interning this key's
+                // terms, retiring ids minted before the flush.
+                // Re-intern: the interner was just emptied, so a
+                // second flush within one key is impossible and the
+                // recomputed key is whole.
+                Some(($key(&mut *m), m.epoch))
+            } else {
+                Some((key, epoch))
+            }
         });
-        let Some(key) = enabled_key else {
+        let Some((key, epoch)) = enabled_key else {
             // Memoization off: compute fresh (events record live).
             return $compute();
         };
@@ -210,6 +234,13 @@ macro_rules! memoized {
         let value = cached.value.clone();
         MEMO.with(|m| {
             let mut m = m.borrow_mut();
+            // The computation itself reenters the memo (difference,
+            // intersection, emptiness all intern sub-terms) and may
+            // have flushed; the key's ids are then retired and caching
+            // under them would poison a future epoch's terms.
+            if m.epoch != epoch {
+                return;
+            }
             if m.$table.len() >= table_cap(stringify!($table)) {
                 m.$table.clear();
                 shoal_obs::counter_add("relang.memo_evict", 1);

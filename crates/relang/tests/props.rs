@@ -212,3 +212,49 @@ fn memoized_decisions_equal_fresh() {
     });
     shoal_relang::memo_flush();
 }
+
+/// Regression: interner overflow must retire term ids *together with*
+/// their memoized decisions.
+///
+/// The failure mode this pins down: ids are dense and reused after a
+/// flush, so a decision cached under `(id_a, id_b)` before the flush
+/// would be served for a *different* pair of terms that landed on the
+/// same ids afterwards — a silently wrong subset answer, not a perf
+/// bug. The fix flushes every decision table whenever the interner
+/// flushes; this test drives the interner exactly to the overflow
+/// boundary and then re-lands an unrelated term on the retired id.
+#[test]
+fn memo_flush_must_retire_ids_with_the_terms() {
+    use shoal_relang::{memo_flush, Regex, INTERN_CAP};
+    memo_flush();
+    // Fill the interner to CAP - 1 distinct terms.
+    for n in 0..(INTERN_CAP - 1) {
+        let _ = Regex::lit(&format!("filler-{n}")).term_id();
+    }
+    // `a` takes the last slot (id CAP-1); interning `b` overflows and
+    // flushes; `b` re-lands on id 0. The subset answer for (a, b) is
+    // keyed (CAP-1, 0) — and CAP-1 is now a *retired* id.
+    let a = Regex::lit("AAAA");
+    let b = Regex::parse_must("A+");
+    assert!(a.is_subset_of(&b), "sanity: AAAA ⊆ A+");
+
+    // Refill until some unrelated term `c` lands exactly on id CAP-1
+    // while `b` keeps id 0.
+    let mut c = None;
+    for n in 0..(2 * INTERN_CAP) {
+        let cand = Regex::lit(&format!("poison-{n}"));
+        if cand.term_id() as usize == INTERN_CAP - 1 {
+            c = Some(cand);
+            break;
+        }
+    }
+    let c = c.expect("some term reached the retired id");
+    // `c` is NOT a subset of A+; a stale entry at (CAP-1, 0) would say
+    // it is.
+    let got = c.is_subset_of(&b);
+    memo_flush();
+    assert!(
+        !got,
+        "stale memo key (retired id reused) made {c:?} ⊆ A+ return true"
+    );
+}

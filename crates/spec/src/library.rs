@@ -63,6 +63,23 @@ impl SpecLibrary {
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
     }
+
+    /// A stable fingerprint of the whole spec database, for cache
+    /// invalidation: any observable change to any spec — a new utility,
+    /// a changed guard, a different exit code — changes the rendered
+    /// text ([`crate::text::render_spec`]) and therefore the hash. The
+    /// `BTreeMap` iterates in sorted name order, so the fingerprint is
+    /// independent of insertion order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut buf = String::new();
+        for (name, spec) in &self.specs {
+            buf.push_str(name);
+            buf.push('\0');
+            buf.push_str(&crate::text::render_spec(spec));
+            buf.push('\0');
+        }
+        shoal_obs::hash::fnv1a64(buf.as_bytes())
+    }
 }
 
 /// Shorthand constructors used throughout the library definition.
@@ -763,6 +780,18 @@ mod tests {
             assert!(lib.get(name).is_some(), "missing spec for {name}");
         }
         assert!(lib.len() >= 25);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_change_sensitive() {
+        let lib = SpecLibrary::builtin();
+        let fp = lib.fingerprint();
+        assert_eq!(fp, SpecLibrary::builtin().fingerprint(), "deterministic");
+        // Any spec change must move the fingerprint: drop one utility.
+        let mut smaller = lib.clone();
+        smaller.specs.remove("rm");
+        assert_ne!(fp, smaller.fingerprint());
+        assert_ne!(SpecLibrary::new().fingerprint(), fp);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 # machine-readable baseline at the repo root so CI can catch
 # regressions over time.
 #
-#   record   run symexec + relang_ops + scan_throughput, write
-#            BENCH_symexec.json, BENCH_relang.json, and BENCH_scan.json
-#            at the repo root (the new baselines)
+#   record   run symexec + relang_ops + scan_throughput + daemon_jit,
+#            write BENCH_symexec.json, BENCH_relang.json,
+#            BENCH_scan.json, and BENCH_daemon.json at the repo root
+#            (the new baselines)
 #   check    run all suites fresh and fail if any benchmark is more
 #            than 30% slower than its checked-in baseline
 #
@@ -107,7 +108,9 @@ record)
     write_json relang_ops BENCH_relang.json < /tmp/bench_relang.$$
     run_suite scan_throughput > /tmp/bench_scan.$$
     write_json scan_throughput BENCH_scan.json < /tmp/bench_scan.$$
-    rm -f /tmp/bench_symexec.$$ /tmp/bench_relang.$$ /tmp/bench_scan.$$
+    run_suite daemon_jit > /tmp/bench_daemon.$$
+    write_json daemon_jit BENCH_daemon.json < /tmp/bench_daemon.$$
+    rm -f /tmp/bench_symexec.$$ /tmp/bench_relang.$$ /tmp/bench_scan.$$ /tmp/bench_daemon.$$
     ;;
 check)
     fail=0
@@ -120,6 +123,9 @@ check)
     echo "==> bench check: scan_throughput vs BENCH_scan.json"
     run_suite scan_throughput > /tmp/bench_run.$$
     check_suite BENCH_scan.json /tmp/bench_run.$$ || fail=1
+    echo "==> bench check: daemon_jit vs BENCH_daemon.json"
+    run_suite daemon_jit > /tmp/bench_run.$$
+    check_suite BENCH_daemon.json /tmp/bench_run.$$ || fail=1
     rm -f /tmp/bench_run.$$
     if [ "$fail" = 1 ]; then
         echo "==> bench check FAILED (some case >1.3x its baseline)" >&2

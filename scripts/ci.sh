@@ -55,6 +55,42 @@ if [ "$scan_code" != "$seq_code" ] || ! cmp -s /tmp/scan_par.$$ /tmp/scan_seq.$$
 fi
 rm -f /tmp/scan_par.$$ /tmp/scan_seq.$$
 
+# JIT daemon smoke gate: start a daemon on a temp socket, serve the
+# same script cold then warm, and require both byte-identical to a
+# direct `shoal analyze --format json`; then stop the daemon and
+# require a clean shutdown (socket unlinked, exit 0).
+echo "==> daemon: cold/warm serve + byte-equality + clean shutdown"
+jit_dir=/tmp/shoal-ci-jit.$$
+rm -rf "$jit_dir"
+mkdir -p "$jit_dir"
+jit_sock="$jit_dir/daemon.sock"
+cat > "$jit_dir/fig.sh" <<'EOF'
+#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -rf "$STEAMROOT/"*
+EOF
+target/release/shoal daemon --socket "$jit_sock" --cache-dir "$jit_dir/cache" &
+jit_pid=$!
+n=0
+while [ ! -S "$jit_sock" ] && [ "$n" -lt 100 ]; do sleep 0.05; n=$((n + 1)); done
+jit_fail=0
+target/release/shoal analyze "$jit_dir/fig.sh" --format json > "$jit_dir/direct.json" || true
+target/release/shoal jit --socket "$jit_sock" --no-spawn --format json "$jit_dir/fig.sh" \
+    > "$jit_dir/cold.json" 2> "$jit_dir/cold.err" || true
+target/release/shoal jit --socket "$jit_sock" --no-spawn --format json "$jit_dir/fig.sh" \
+    > "$jit_dir/warm.json" 2> "$jit_dir/warm.err" || true
+cmp -s "$jit_dir/direct.json" "$jit_dir/cold.json" || { echo "FAIL: cold jit differs from direct analyze"; jit_fail=1; }
+cmp -s "$jit_dir/direct.json" "$jit_dir/warm.json" || { echo "FAIL: warm jit differs from direct analyze"; jit_fail=1; }
+grep -q "served=daemon cache=miss" "$jit_dir/cold.err" || { echo "FAIL: cold request was not a served miss"; jit_fail=1; }
+grep -q "served=daemon cache=hit" "$jit_dir/warm.err" || { echo "FAIL: warm request was not a served hit"; jit_fail=1; }
+target/release/shoal daemon stop --socket "$jit_sock" || { echo "FAIL: daemon stop"; jit_fail=1; }
+if ! wait "$jit_pid"; then echo "FAIL: daemon exited non-zero"; jit_fail=1; fi
+[ ! -e "$jit_sock" ] || { echo "FAIL: daemon left its socket behind"; jit_fail=1; }
+rm -rf "$jit_dir"
+if [ "$jit_fail" = 1 ]; then
+    exit 1
+fi
+
 # Mutation fuzzing at CI depth (the default in-test depth is 96 cases;
 # everything is offline and deterministic).
 echo "==> robustness: mutation property tests (SHOAL_PROP_CASES=256)"
