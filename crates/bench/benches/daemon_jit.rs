@@ -25,6 +25,7 @@ fn main() {
         cache_dir: Some(base.join("cache")),
         cache_capacity: 64,
         jobs: 2,
+        ..ServerConfig::default()
     };
     let server = std::thread::spawn(move || run(config));
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -64,6 +65,27 @@ fn main() {
     bench("jit/roundtrip_status", || {
         black_box(client::status(&socket).expect("daemon answers"));
     });
+
+    // Service-level percentiles under concurrent closed-loop load —
+    // the multi-tenant numbers (p50/p95/p99 per request, 4 clients)
+    // the roadmap asks to keep on record. The first run primes the
+    // cache and is discarded: the recorded tail then measures
+    // steady-state serving (wire + lookup + contention), not the
+    // analysis cost of cold misses, which `jit/local_*` already
+    // tracks and which would make p99 too noisy to gate. Printed in
+    // the same `ns/iter` line format, so bench_trajectory.sh folds
+    // them into BENCH_daemon.json next to the single-client cases.
+    let shape = shoal_daemon::bench_service::BenchConfig {
+        clients: 4,
+        requests: 25,
+        socket: Some(socket.clone()),
+    };
+    shoal_daemon::bench_service::run_bench(&shape).expect("bench-service priming run");
+    let report = shoal_daemon::bench_service::run_bench(&shape).expect("bench-service load run");
+    assert_eq!(report.fallbacks, 0, "bench daemon must stay reachable");
+    assert_eq!(report.mismatches, 0, "served verdicts must match local");
+    assert_eq!(report.misses, 0, "primed corpus must serve warm");
+    print!("{}", report.render_bench_lines());
 
     client::stop(&socket).expect("daemon stops");
     server.join().expect("server thread").expect("clean shutdown");

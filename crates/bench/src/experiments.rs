@@ -1050,6 +1050,7 @@ pub fn e16_jit_latency() {
         cache_dir: Some(base.join("cache")),
         cache_capacity: 64,
         jobs: 2,
+        ..ServerConfig::default()
     };
     let server = std::thread::spawn(move || run(config));
     let deadline = Instant::now() + Duration::from_secs(5);

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "analyze" | "check" => cmd_analyze(rest, &obs),
         "scan" => cmd_scan(rest),
         "daemon" => cmd_daemon(rest),
+        "bench-service" => cmd_bench_service(rest),
         "jit" => cmd_jit(rest, &obs),
         "lint" => cmd_lint(rest),
         "typecheck" => cmd_typecheck(rest),
@@ -131,7 +132,8 @@ USAGE:
     shoal check SCRIPT...              alias for analyze
     shoal scan PATH...                 hardened batch analysis of a tree
     shoal jit SCRIPT...                just-in-time analysis via the daemon
-    shoal daemon [stop|status]         run / control the resident analyzer
+    shoal daemon [stop|status|top]     run / control the resident analyzer
+    shoal bench-service                closed-loop load test of the daemon
     shoal lint SCRIPT...               syntactic baseline linter
     shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
     shoal mine COMMAND...              mine specs from docs + probing
@@ -173,14 +175,35 @@ JIT / DAEMON OPTIONS:
                                 ~/.cache/shoal-jit; $SHOAL_CACHE_DIR)
     --cache-capacity N          daemon: in-memory LRU entries (512)
     --jobs N                    daemon: worker threads (0 = auto)
+    --trace-log FILE            daemon: append one JSONL trace line
+                                per request (+ a final daemon_stats
+                                summary on shutdown)
   `shoal daemon` runs the resident analyzer in the foreground;
   `shoal daemon status` / `shoal daemon stop` control a running one.
+  `shoal daemon status --format json` prints the full shoal-stats/v1
+  telemetry snapshot (per-endpoint request counts, latency
+  percentiles, cache outcome taxonomy, slow-request log);
+  `shoal daemon top` renders the same snapshot as a human page.
   `shoal jit` asks the daemon (auto-spawning it if needed) and falls
   back to in-process analysis when unreachable — the verdict is never
   lost, and the path taken is reported on stderr as
-  `shoal: jit served=daemon|local-fallback`. Results are
-  content-addressed: warm output is byte-identical to
-  `shoal analyze --format json`.
+  `shoal: jit served=daemon|local-fallback` (daemon-served requests
+  also carry `trace=<id>`, the client-minted trace ID echoed by the
+  server). Results are content-addressed: warm output is
+  byte-identical to `shoal analyze --format json`.
+
+BENCH-SERVICE OPTIONS:
+    --clients N                 concurrent client threads (default 4)
+    --requests N                requests per client (default 25)
+    --socket PATH               target a running daemon (default:
+                                spawn a private cold-cache daemon)
+    --format text|json|bench    output: human summary, a
+                                shoal-bench-service/v1 document, or
+                                shoal-bench/v1 `ns/iter` lines
+                                (service/analyze_p50|p95|p99)
+  bench-service drives K closed-loop clients over the real socket with
+  a deterministic figure-corpus workload, checks every served verdict
+  against local analysis, and reports latency percentiles.
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -549,10 +572,19 @@ fn jit_analyze(
         // The machine-readable path marker: stdout stays identical to
         // a direct analyze, so the serving path lives on stderr.
         match &r.served {
-            shoal_daemon::client::Served::Daemon { cache_hit } => eprintln!(
-                "shoal: jit served=daemon cache={} {path}",
-                if *cache_hit { "hit" } else { "miss" }
-            ),
+            shoal_daemon::client::Served::Daemon { cache_hit } => {
+                // `trace=` names the server-side trace for this exact
+                // request (visible in `daemon top` / the JSONL log).
+                let trace = r
+                    .trace_id
+                    .as_deref()
+                    .map(|id| format!(" trace={id}"))
+                    .unwrap_or_default();
+                eprintln!(
+                    "shoal: jit served=daemon cache={}{trace} {path}",
+                    if *cache_hit { "hit" } else { "miss" }
+                )
+            }
             shoal_daemon::client::Served::Fallback { reason } => {
                 eprintln!("shoal: jit served=local-fallback ({reason}) {path}")
             }
@@ -634,7 +666,7 @@ fn render_jit_text(path: &str, entry: &shoal_daemon::cache::Entry) -> String {
     out
 }
 
-/// `shoal daemon [stop|status]` — run or control the resident
+/// `shoal daemon [stop|status|top]` — run or control the resident
 /// analyzer.
 fn cmd_daemon(args: &[String]) -> ExitCode {
     let mut action: Option<&str> = None;
@@ -643,10 +675,36 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
     let mut no_disk = false;
     let mut cache_capacity: usize = 512;
     let mut jobs: usize = 0;
+    let mut trace_log: Option<String> = None;
+    let mut status_json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "stop" | "status" if action.is_none() => action = Some(args[i].as_str()),
+            "stop" | "status" | "top" if action.is_none() => action = Some(args[i].as_str()),
+            "--format" => {
+                i += 1;
+                status_json = match args.get(i).map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => {
+                        eprintln!(
+                            "shoal daemon: --format must be text or json (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--trace-log" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => trace_log = Some(s.clone()),
+                    None => {
+                        eprintln!("shoal daemon: --trace-log needs an output file (.jsonl)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--socket" => {
                 i += 1;
                 match args.get(i) {
@@ -699,9 +757,39 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(shoal_daemon::default_socket_path);
     match action {
+        Some("status") if status_json => {
+            // JSON status is the full `shoal-stats/v1` telemetry
+            // snapshot (the `stats` verb), not the terse status verb.
+            match shoal_daemon::client::stats(&socket_path) {
+                Ok(json) => {
+                    println!("{}", json.to_text());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!(
+                        "shoal daemon: no daemon at {} ({e})",
+                        socket_path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("status") => match shoal_daemon::client::status(&socket_path) {
             Ok(json) => {
                 println!("{}", json.to_text());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "shoal daemon: no daemon at {} ({e})",
+                    socket_path.display()
+                );
+                ExitCode::FAILURE
+            }
+        },
+        Some("top") => match shoal_daemon::client::stats(&socket_path) {
+            Ok(json) => {
+                print!("{}", render_daemon_top(&json));
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -739,6 +827,8 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
                 },
                 cache_capacity,
                 jobs,
+                trace_log: trace_log.map(std::path::PathBuf::from),
+                ..shoal_daemon::server::ServerConfig::default()
             };
             eprintln!("shoal daemon: listening on {}", socket_path.display());
             match shoal_daemon::server::run(config) {
@@ -751,6 +841,174 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+    }
+}
+
+/// Renders the `shoal-stats/v1` snapshot as a human `top`-style page:
+/// identity line, per-`endpoint.outcome` request table with
+/// percentiles, cache occupancy + outcome taxonomy, and the retained
+/// slow-request log with per-phase breakdowns.
+fn render_daemon_top(json: &shoal_obs::json::Json) -> String {
+    use shoal_obs::json::Json;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let num = |j: &Json, f: &str| j.get(f).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "shoal daemon v{} (pid {}) up {:.1}s, {} worker(s)",
+        json.get("version").and_then(Json::as_str).unwrap_or("?"),
+        num(json, "pid"),
+        num(json, "uptime_ms") as f64 / 1000.0,
+        num(json, "workers"),
+    );
+
+    let requests = json.get("requests").cloned().unwrap_or(Json::Null);
+    let (mut hits, mut misses) = (0, 0);
+    let mut rows: Vec<(String, u64)> = Vec::new();
+    if let Some(Json::Obj(by)) = requests.get("by") {
+        for (key, count) in by {
+            let count = count.as_u64().unwrap_or(0);
+            match key.as_str() {
+                "analyze.hit" => hits = count,
+                "analyze.miss" => misses = count,
+                _ => {}
+            }
+            rows.push((key.clone(), count));
+        }
+    }
+    let ratio = if hits + misses > 0 {
+        format!(
+            ", hit ratio {:.0}%",
+            100.0 * hits as f64 / (hits + misses) as f64
+        )
+    } else {
+        String::new()
+    };
+    let _ = writeln!(out, "requests: {} total{}", num(&requests, "total"), ratio);
+    let latency = json.get("latency_us").cloned().unwrap_or(Json::Null);
+    for (key, count) in &rows {
+        let _ = write!(out, "  {key:<22} {count:>8}");
+        if let Some(h) = latency.get(key) {
+            let _ = write!(
+                out,
+                "   p50 {:>7}µs  p95 {:>7}µs  p99 {:>7}µs",
+                num(h, "p50"),
+                num(h, "p95"),
+                num(h, "p99"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some(cache) = json.get("cache") {
+        let _ = writeln!(
+            out,
+            "cache: {}/{} hot, {} on disk; {} hot hit(s), {} disk hit(s), {} miss(es) ({} corrupt), {} eviction(s), {} write failure(s)",
+            num(cache, "hot_entries"),
+            num(cache, "capacity"),
+            num(cache, "disk_entries"),
+            num(cache, "hot_hits"),
+            num(cache, "disk_hits"),
+            num(cache, "misses"),
+            num(cache, "corrupt_misses"),
+            num(cache, "evictions"),
+            num(cache, "write_failures"),
+        );
+    }
+
+    if let Some(Json::Arr(slow)) = json.get("slow_requests") {
+        if !slow.is_empty() {
+            let _ = writeln!(out, "slowest request(s):");
+            for t in slow {
+                if let Some(trace) = shoal_obs::Trace::from_json(t) {
+                    for line in trace.render_text().lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `shoal bench-service` — closed-loop load against the daemon,
+/// reporting latency percentiles (see `shoal_daemon::bench_service`).
+fn cmd_bench_service(args: &[String]) -> ExitCode {
+    let mut config = shoal_daemon::bench_service::BenchConfig::default();
+    let mut format = "text";
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.clients = n,
+                    _ => {
+                        eprintln!("shoal bench-service: --clients needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--requests" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => config.requests = n,
+                    _ => {
+                        eprintln!("shoal bench-service: --requests needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => config.socket = Some(std::path::PathBuf::from(s)),
+                    None => {
+                        eprintln!("shoal bench-service: --socket needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some(f @ ("text" | "json" | "bench")) => f,
+                    other => {
+                        eprintln!(
+                            "shoal bench-service: --format must be text, json, or bench (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("shoal bench-service: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    match shoal_daemon::bench_service::run_bench(&config) {
+        Ok(report) => {
+            match format {
+                "json" => println!("{}", report.to_json().to_text()),
+                "bench" => print!("{}", report.render_bench_lines()),
+                _ => print!("{}", report.render_text()),
+            }
+            if report.mismatches > 0 {
+                eprintln!(
+                    "shoal bench-service: {} verdict(s) diverged from local analysis",
+                    report.mismatches
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shoal bench-service: {e}");
+            ExitCode::FAILURE
         }
     }
 }

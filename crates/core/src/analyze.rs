@@ -168,6 +168,10 @@ pub fn analyze_script_annotated(
         engine.exec_items(vec![initial], &script.items)
     };
     let exec_us = t_start.elapsed().as_micros() as u64;
+    // Request-scoped tracing (the daemon's telemetry plane): charge
+    // the already-measured durations to the active trace, if any —
+    // no extra clock reads, one thread-local check when disabled.
+    shoal_obs::trace::phase_add("symexec", exec_us);
     let t_idem = Instant::now();
     // Idempotence pass (§4, CoLiS criterion): a path succeeded only
     // because some location was in state S initially, and the script
@@ -267,6 +271,7 @@ pub fn analyze_script_annotated(
         ))
     });
     let report_us = t_report.elapsed().as_micros() as u64;
+    shoal_obs::trace::phase_add("report", idempotence_us.saturating_add(report_us));
     let stats = &engine.stats;
     let peak_live = stats.peak_live.get().max(1);
     shoal_obs::event!(
@@ -329,6 +334,7 @@ pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisR
         parse_script(src)?
     };
     let parse_us = t_parse.elapsed().as_micros() as u64;
+    shoal_obs::trace::phase_add("parse", parse_us);
     let attach_parse = |mut report: AnalysisReport| {
         if let Some(p) = report.profile.as_mut() {
             p.parse_us = parse_us;
@@ -369,6 +375,7 @@ pub fn analyze_source_resilient(src: &str, opts: AnalysisOptions) -> AnalysisRep
         parse_script_recovering(src)
     };
     let parse_us = t_parse.elapsed().as_micros() as u64;
+    shoal_obs::trace::phase_add("parse", parse_us);
     let annotations = crate::annotations::parse_annotations(src).unwrap_or_default();
     let mut report = analyze_script_annotated(&recovered.script, opts, annotations);
     if let Some(p) = report.profile.as_mut() {

@@ -19,8 +19,12 @@
 //! * an on-disk store (`<dir>/<k[0..2]>/<key>.json`, atomic
 //!   temp-file + rename writes) that survives daemon restarts.
 //!
-//! Counters: `daemon.cache_hit` / `daemon.cache_miss` /
-//! `daemon.cache_disk_hit` / `daemon.cache_evict`.
+//! Every outcome is counted by name in [`OutcomeCounters`] (hot hit,
+//! disk hit, miss, corrupt-entry miss, write failure, eviction) — the
+//! taxonomy is total, so `hot_hits + disk_hits + misses == lookups`
+//! always holds. The same events also feed the global obs counters
+//! (`daemon.cache_hit` etc.) when recording is on, but the stats plane
+//! reads the struct fields, which are always live.
 
 use shoal_core::AnalysisOptions;
 use shoal_obs::json::Json;
@@ -128,15 +132,45 @@ pub struct ResultCache {
     capacity: usize,
     /// Disk tier root; `None` disables persistence.
     dir: Option<PathBuf>,
-    /// Lifetime hot-tier evictions.
-    evictions: u64,
+    /// Lifetime outcome counters (the cache's own telemetry — the
+    /// global obs recorder is off by default, so the stats plane reads
+    /// these, not `shoal_obs` counters).
+    stats: OutcomeCounters,
 }
 
-/// Point-in-time cache statistics for `daemon status`.
+/// Every cache outcome, named. The taxonomy is total:
+/// `hot_hits + disk_hits + misses == lookups`, and
+/// `corrupt_misses <= misses` (a corrupt or foreign disk entry is one
+/// kind of miss, never an error).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounters {
+    /// Lifetime `get` calls.
+    pub lookups: u64,
+    /// Served from the in-memory tier.
+    pub hot_hits: u64,
+    /// Served from the disk tier (and promoted to hot).
+    pub disk_hits: u64,
+    /// Nothing addressable (includes `corrupt_misses`).
+    pub misses: u64,
+    /// Disk file present but unreadable as a `shoal-jit-cache/v1`
+    /// entry for this key (corrupt, foreign schema, or key mismatch).
+    pub corrupt_misses: u64,
+    /// Disk-tier writes that failed (tmp write or rename); the entry
+    /// degraded to memory-only.
+    pub write_failures: u64,
+    /// Hot-tier LRU evictions.
+    pub evictions: u64,
+}
+
+/// Point-in-time cache statistics for `daemon status` / `stats`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     pub hot_entries: usize,
     pub disk_entries: usize,
+    pub capacity: usize,
+    pub outcomes: OutcomeCounters,
+    /// Kept for the `shoal-jit/v1` status verb (mirrors
+    /// `outcomes.evictions`).
     pub evictions: u64,
 }
 
@@ -149,7 +183,7 @@ impl ResultCache {
             tick: 0,
             capacity: capacity.max(1),
             dir,
-            evictions: 0,
+            stats: OutcomeCounters::default(),
         }
     }
 
@@ -163,29 +197,45 @@ impl ResultCache {
     /// Looks up a key: hot tier first, then disk (promoting to hot).
     pub fn get(&mut self, key: &str) -> Option<Entry> {
         self.tick += 1;
+        self.stats.lookups += 1;
         if let Some((entry, used)) = self.hot.get_mut(key) {
             *used = self.tick;
+            self.stats.hot_hits += 1;
             shoal_obs::counter_add("daemon.cache_hit", 1);
             return Some(entry.clone());
         }
         if let Some(path) = self.disk_path(key) {
-            if let Some(entry) = read_disk_entry(&path, key) {
-                shoal_obs::counter_add("daemon.cache_hit", 1);
-                shoal_obs::counter_add("daemon.cache_disk_hit", 1);
-                self.insert_hot(key.to_string(), entry.clone());
-                return Some(entry);
+            match read_disk_entry(&path, key) {
+                DiskRead::Hit(entry) => {
+                    self.stats.disk_hits += 1;
+                    shoal_obs::counter_add("daemon.cache_hit", 1);
+                    shoal_obs::counter_add("daemon.cache_disk_hit", 1);
+                    self.insert_hot(key.to_string(), entry.clone());
+                    return Some(entry);
+                }
+                DiskRead::Corrupt => {
+                    // Counted, but still just a miss: the entry will be
+                    // recomputed and rewritten over the bad file.
+                    self.stats.corrupt_misses += 1;
+                    shoal_obs::counter_add("daemon.cache_corrupt_miss", 1);
+                }
+                DiskRead::Absent => {}
             }
         }
+        self.stats.misses += 1;
         shoal_obs::counter_add("daemon.cache_miss", 1);
         None
     }
 
     /// Stores a verdict in both tiers (disk write is best-effort: an
     /// unwritable cache dir degrades to memory-only, never to an
-    /// error).
+    /// error — but the degradation is counted).
     pub fn put(&mut self, key: String, entry: Entry) {
         if let Some(path) = self.disk_path(&key) {
-            write_disk_entry(&path, &entry.to_json(&key).to_text());
+            if !write_disk_entry(&path, &entry.to_json(&key).to_text()) {
+                self.stats.write_failures += 1;
+                shoal_obs::counter_add("daemon.cache_write_failure", 1);
+            }
         }
         self.insert_hot(key, entry);
     }
@@ -203,14 +253,19 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
             {
                 self.hot.remove(&lru);
-                self.evictions += 1;
+                self.stats.evictions += 1;
                 shoal_obs::counter_add("daemon.cache_evict", 1);
             }
         }
         self.hot.insert(key, (entry, self.tick));
     }
 
-    /// Entry counts for `daemon status`.
+    /// Lifetime outcome counters (no disk scan; cheap).
+    pub fn outcomes(&self) -> OutcomeCounters {
+        self.stats
+    }
+
+    /// Entry counts for `daemon status` (walks the disk tier).
     pub fn stats(&self) -> CacheStats {
         let disk_entries = match &self.dir {
             None => 0,
@@ -219,21 +274,40 @@ impl ResultCache {
         CacheStats {
             hot_entries: self.hot.len(),
             disk_entries,
-            evictions: self.evictions,
+            capacity: self.capacity,
+            outcomes: self.stats,
+            evictions: self.stats.evictions,
         }
     }
 }
 
-fn read_disk_entry(path: &Path, key: &str) -> Option<Entry> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let json = Json::parse(&text).ok()?;
-    Entry::from_json(&json, key)
+/// What a disk-tier lookup found. `Corrupt` and `Absent` both miss,
+/// but only one of them means data loss worth counting.
+enum DiskRead {
+    Hit(Entry),
+    Absent,
+    Corrupt,
 }
 
-fn write_disk_entry(path: &Path, contents: &str) {
-    let Some(parent) = path.parent() else { return };
+fn read_disk_entry(path: &Path, key: &str) -> DiskRead {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        // No file (or unreadable) — the common cold-cache case.
+        Err(_) => return DiskRead::Absent,
+    };
+    match Json::parse(&text).ok().as_ref().and_then(|j| Entry::from_json(j, key)) {
+        Some(entry) => DiskRead::Hit(entry),
+        None => DiskRead::Corrupt,
+    }
+}
+
+/// Returns `true` iff the entry was durably published.
+fn write_disk_entry(path: &Path, contents: &str) -> bool {
+    let Some(parent) = path.parent() else {
+        return false;
+    };
     if std::fs::create_dir_all(parent).is_err() {
-        return;
+        return false;
     }
     // Atomic publish: a reader sees the old entry or the new one,
     // never a torn write. The tmp name carries the pid so two daemons
@@ -243,9 +317,14 @@ fn write_disk_entry(path: &Path, contents: &str) {
         std::process::id(),
         path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
     ));
-    if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_err() {
-        let _ = std::fs::remove_file(&tmp);
+    if std::fs::write(&tmp, contents).is_err() {
+        return false;
     }
+    if std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
 }
 
 fn count_disk_entries(dir: &Path) -> usize {
@@ -396,6 +475,59 @@ mod tests {
         std::fs::write(dir.join("aa").join("corrupt.json"), "{not json").unwrap();
         assert!(c2.get("corrupt").is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_taxonomy_is_total() {
+        let dir = std::env::temp_dir().join(format!("shoal-cache-tax-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = ResultCache::new(2, Some(dir.clone()));
+
+        assert!(c.get("aa111111111111111111111111111111").is_none()); // cold miss
+        c.put("aa111111111111111111111111111111".into(), entry(1));
+        assert!(c.get("aa111111111111111111111111111111").is_some()); // hot hit
+
+        // Disk hit: a fresh cache over the same dir misses hot, hits disk.
+        let mut c2 = ResultCache::new(2, Some(dir.clone()));
+        assert!(c2.get("aa111111111111111111111111111111").is_some());
+        assert_eq!(c2.outcomes().disk_hits, 1);
+
+        // Corrupt miss: a torn file at the addressed path.
+        let torn = "aa222222222222222222222222222222";
+        std::fs::create_dir_all(dir.join("aa")).unwrap();
+        std::fs::write(dir.join("aa").join(format!("{torn}.json")), "{torn").unwrap();
+        assert!(c.get(torn).is_none());
+        assert_eq!(c.outcomes().corrupt_misses, 1);
+
+        // Evictions: capacity 2, third insert evicts.
+        c.put("bb111111111111111111111111111111".into(), entry(2));
+        c.put("cc111111111111111111111111111111".into(), entry(3));
+        assert_eq!(c.outcomes().evictions, 1);
+
+        // The taxonomy must sum: every lookup is exactly one of
+        // hot hit, disk hit, or miss; corrupt misses are a subset.
+        for cache in [&c, &c2] {
+            let o = cache.outcomes();
+            assert_eq!(o.hot_hits + o.disk_hits + o.misses, o.lookups, "{o:?}");
+            assert!(o.corrupt_misses <= o.misses, "{o:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failures_are_counted_not_fatal() {
+        // Point the disk tier at a path that cannot be a directory
+        // (a regular file), so create_dir_all fails and every put
+        // degrades to memory-only.
+        let blocker =
+            std::env::temp_dir().join(format!("shoal-cache-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, "not a dir").unwrap();
+        let mut c = ResultCache::new(4, Some(blocker.clone()));
+        c.put("dd111111111111111111111111111111".into(), entry(4));
+        assert_eq!(c.outcomes().write_failures, 1);
+        // The entry still serves from memory.
+        assert!(c.get("dd111111111111111111111111111111").is_some());
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct JitResponse {
     pub served: Served,
     /// The verdict, or the strict-mode parse error message.
     pub result: Result<Entry, String>,
+    /// The request's trace ID (client-minted, echoed by the daemon).
+    /// `Some` whenever the daemon served and echoed it back; `None` on
+    /// fallback (there is no server-side trace to point at).
+    pub trace_id: Option<String>,
 }
 
 /// Client configuration.
@@ -102,6 +106,17 @@ pub fn status(socket: &Path) -> io::Result<Json> {
     request(socket, &Request::Status)
 }
 
+/// Asks a running daemon for its full `shoal-stats/v1` telemetry
+/// snapshot (request counts, latency percentiles, cache taxonomy,
+/// slow-request log).
+///
+/// # Errors
+///
+/// Propagates [`request`] failures (typically: no daemon listening).
+pub fn stats(socket: &Path) -> io::Result<Json> {
+    request(socket, &Request::Stats)
+}
+
 /// Stops a running daemon.
 ///
 /// # Errors
@@ -125,17 +140,22 @@ pub fn analyze(
     if options.profile {
         return local(source, options, resilient, "profile-requested");
     }
+    // Mint the trace ID here, at the edge: the daemon echoes it back,
+    // so the stderr marker, the server-side trace ring, and the JSONL
+    // export all name the same request.
+    let trace_id = shoal_obs::trace::mint_trace_id();
     let req = Request::Analyze {
         source: source.to_string(),
         options: options.clone(),
         resilient,
+        trace_id: Some(trace_id.clone()),
     };
     match connect_or_spawn(config) {
         Ok(()) => {}
         Err(reason) => return local(source, options, resilient, &reason),
     }
     match request(&config.socket, &req) {
-        Ok(json) => interpret(json, source, options, resilient),
+        Ok(json) => interpret(json, source, options, resilient, &trace_id),
         Err(err) => local(source, options, resilient, &format!("request failed: {err}")),
     }
 }
@@ -178,8 +198,22 @@ fn spawn_daemon(socket: &Path) -> io::Result<()> {
 }
 
 /// Turns a daemon response into a [`JitResponse`], falling back on
-/// anything that is not a well-formed verdict.
-fn interpret(json: Json, source: &str, options: &AnalysisOptions, resilient: bool) -> JitResponse {
+/// anything that is not a well-formed verdict. `sent_id` is the trace
+/// ID this client minted; the response's echo is kept only when it
+/// matches (an old daemon echoes nothing; a mismatched echo would mean
+/// crossed frames and is discarded rather than trusted).
+fn interpret(
+    json: Json,
+    source: &str,
+    options: &AnalysisOptions,
+    resilient: bool,
+    sent_id: &str,
+) -> JitResponse {
+    let trace_id = json
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .filter(|echoed| *echoed == sent_id)
+        .map(str::to_string);
     if json.get("ok").and_then(|v| match v {
         Json::Bool(b) => Some(*b),
         _ => None,
@@ -193,6 +227,7 @@ fn interpret(json: Json, source: &str, options: &AnalysisOptions, resilient: boo
         return JitResponse {
             served: Served::Daemon { cache_hit },
             result: Ok(entry),
+            trace_id,
         };
     }
     match json.get("error").and_then(Json::as_str) {
@@ -205,6 +240,7 @@ fn interpret(json: Json, source: &str, options: &AnalysisOptions, resilient: boo
                 .and_then(Json::as_str)
                 .unwrap_or("parse error")
                 .to_string()),
+            trace_id,
         },
         other => local(
             source,
@@ -252,5 +288,6 @@ fn local(source: &str, options: &AnalysisOptions, resilient: bool, reason: &str)
             reason: reason.to_string(),
         },
         result,
+        trace_id: None,
     }
 }

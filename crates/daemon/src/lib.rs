@@ -18,13 +18,18 @@
 //! Layout:
 //!
 //! * [`protocol`] — the `shoal-jit/v1` length-prefixed JSON wire
-//!   format,
+//!   format (plus the `shoal-stats/v1` telemetry snapshot),
 //! * [`cache`] — content-addressed verdicts: bounded in-memory LRU
-//!   over an on-disk store,
+//!   over an on-disk store, every outcome counted by name,
 //! * [`server`] — the accept loop, fanning requests over
-//!   [`shoal_obs::pool::TaskPool`],
-//! * [`client`] — connect / auto-spawn / fall back.
+//!   [`shoal_obs::pool::TaskPool`], tracing every request into the
+//!   telemetry plane,
+//! * [`client`] — connect / auto-spawn / fall back, minting the trace
+//!   IDs the server echoes,
+//! * [`bench_service`] — the closed-loop load generator behind
+//!   `shoal bench-service`.
 
+pub mod bench_service;
 pub mod cache;
 pub mod client;
 pub mod protocol;

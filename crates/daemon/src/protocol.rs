@@ -12,8 +12,10 @@
 //! ```json
 //! {"schema":"shoal-jit/v1","op":"analyze","source":"…","resilient":false,
 //!  "options":{"loop_bound":2,"max_worlds":64,"stream_types":true,
-//!             "pruning":true,"fuel":null,"deadline_ms":null}}
+//!             "pruning":true,"fuel":null,"deadline_ms":null},
+//!  "trace_id":"00f1e2d3c4b5a697"}
 //! {"schema":"shoal-jit/v1","op":"status"}
+//! {"schema":"shoal-jit/v1","op":"stats"}
 //! {"schema":"shoal-jit/v1","op":"stop"}
 //! ```
 //!
@@ -28,18 +30,32 @@ use std::time::Duration;
 /// Protocol schema tag; requests and responses both carry it.
 pub const SCHEMA: &str = "shoal-jit/v1";
 
+/// Schema tag of the telemetry snapshot served by the `stats` verb
+/// (and `shoal daemon status --format json`).
+pub const STATS_SCHEMA: &str = "shoal-stats/v1";
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Analyze `source` under `options`; `resilient` selects the
     /// recovering parser (the `scan` entry point) over the strict one.
+    /// `trace_id` is minted by the client and echoed back in the
+    /// response, linking the client's `served=` marker to the
+    /// server-side trace. Optional on the wire (unknown fields are
+    /// ignored), so old clients and servers interoperate: an old
+    /// server drops the field, an old client never sends it.
     Analyze {
         source: String,
         options: AnalysisOptions,
         resilient: bool,
+        trace_id: Option<String>,
     },
     /// Report daemon liveness, uptime, and cache statistics.
     Status,
+    /// Report the full telemetry snapshot: per-endpoint/per-outcome
+    /// request counts, latency percentiles, cache counters, and the
+    /// slow-request log ([`STATS_SCHEMA`]).
+    Stats,
     /// Drain in-flight requests and shut down.
     Stop,
 }
@@ -104,13 +120,18 @@ impl Request {
                 source,
                 options,
                 resilient,
+                trace_id,
             } => {
                 fields.push(("op".into(), Json::Str("analyze".into())));
                 fields.push(("source".into(), Json::Str(source.clone())));
                 fields.push(("resilient".into(), Json::Bool(*resilient)));
                 fields.push(("options".into(), options_json(options)));
+                if let Some(id) = trace_id {
+                    fields.push(("trace_id".into(), Json::Str(id.clone())));
+                }
             }
             Request::Status => fields.push(("op".into(), Json::Str("status".into()))),
+            Request::Stats => fields.push(("op".into(), Json::Str("stats".into()))),
             Request::Stop => fields.push(("op".into(), Json::Str("stop".into()))),
         }
         Json::Obj(fields)
@@ -140,13 +161,19 @@ impl Request {
                     .get("options")
                     .map(options_from_json)
                     .unwrap_or_default();
+                let trace_id = json
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
                 Ok(Request::Analyze {
                     source,
                     options,
                     resilient,
+                    trace_id,
                 })
             }
             Some("status") => Ok(Request::Status),
+            Some("stats") => Ok(Request::Stats),
             Some("stop") => Ok(Request::Stop),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -169,8 +196,16 @@ mod tests {
                     ..AnalysisOptions::default()
                 },
                 resilient: true,
+                trace_id: Some("00f1e2d3c4b5a697".into()),
+            },
+            Request::Analyze {
+                source: "true\n".into(),
+                options: AnalysisOptions::default(),
+                resilient: false,
+                trace_id: None,
             },
             Request::Status,
+            Request::Stats,
             Request::Stop,
         ];
         for req in reqs {
@@ -194,6 +229,25 @@ mod tests {
         };
         let back = options_from_json(&options_json(&o));
         assert_eq!(back.canonical(), o.canonical());
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated_for_interop() {
+        // A frame from a *newer* client (extra fields this version has
+        // never heard of) must still parse — the trace_id rollout
+        // depends on exactly this property holding in both directions.
+        let futuristic = r#"{"schema":"shoal-jit/v1","op":"analyze","source":"true\n",
+            "trace_id":"aa00bb11cc22dd33","shard_hint":7,"tenant":"t1"}"#;
+        let req = Request::from_json(&Json::parse(futuristic).unwrap()).unwrap();
+        match req {
+            Request::Analyze {
+                source, trace_id, ..
+            } => {
+                assert_eq!(source, "true\n");
+                assert_eq!(trace_id.as_deref(), Some("aa00bb11cc22dd33"));
+            }
+            other => panic!("expected analyze, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,14 +6,31 @@
 //! thread spawn. All state a worker needs lives in one shared
 //! [`ServerState`]: the two-tier result cache behind a mutex (lookups
 //! are microseconds; analysis itself runs *outside* the lock), the
-//! spec-library fingerprint sampled once at startup, and plain atomic
-//! request counters for `status`.
+//! spec-library fingerprint sampled once at startup, plain atomic
+//! request counters for `status`, and the [`Telemetry`] plane for
+//! `stats`.
+//!
+//! **Telemetry.** Every request is traced: a span opens when the frame
+//! arrives, per-phase durations (`decode`, `cache`, `parse`, `symexec`,
+//! `relang`, `report`, `serialize`) accumulate in a thread-local while
+//! the request is serviced, and on completion the assembled
+//! [`shoal_obs::Trace`] is recorded — a named counter and a
+//! log-bucketed latency histogram per `endpoint.outcome`, a bounded
+//! in-memory ring of recent traces (plus the retained worst-N slow
+//! log), and optionally one JSONL line per request when
+//! [`ServerConfig::trace_log`] is set. The `stats` verb snapshots all
+//! of it as a `shoal-stats/v1` document. None of this touches response
+//! *content*: daemon-served output stays byte-identical to local
+//! `shoal analyze`.
 //!
 //! Shutdown is cooperative: the `stop` handler answers the client,
 //! flips the shutdown flag, then makes a throwaway connection to its
 //! own socket so the blocked `accept` wakes up and observes the flag.
 //! Dropping the pool drains in-flight requests before the socket file
-//! is removed, so a `stop` never strands a concurrent `analyze`.
+//! is removed, so a `stop` never strands a concurrent `analyze` — and
+//! only after that drain is the telemetry flushed (final `daemon_stats`
+//! summary line + buffered trace lines), so the JSONL log is complete
+//! when `stop` returns.
 //!
 //! Startup recovers from stale sockets (a previous daemon that died
 //! without unlinking): if binding fails with `AddrInUse`, we probe the
@@ -23,12 +40,15 @@
 //! stealing it.
 
 use crate::cache::{cache_key, CacheStats, Entry, KeyParts, ResultCache};
-use crate::protocol::{Request, SCHEMA};
+use crate::protocol::{Request, SCHEMA, STATS_SCHEMA};
 use shoal_core::{analyze_source_resilient, analyze_source_with, AnalysisOptions};
 use shoal_obs::frame::{read_frame, write_frame};
 use shoal_obs::json::Json;
 use shoal_obs::pool::TaskPool;
-use std::io;
+use shoal_obs::trace::{self, Trace, TraceRing, SLOW_RETAIN};
+use shoal_obs::LogHistogram;
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -47,6 +67,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Worker threads (0 = available parallelism).
     pub jobs: usize,
+    /// When set, every completed request appends one JSONL trace line
+    /// here, and shutdown appends a final `daemon_stats` summary line.
+    pub trace_log: Option<PathBuf>,
+    /// Capacity of the in-memory recent-trace ring.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +81,62 @@ impl Default for ServerConfig {
             cache_dir: Some(crate::default_cache_dir()),
             cache_capacity: 512,
             jobs: 0,
+            trace_log: None,
+            trace_ring: 256,
+        }
+    }
+}
+
+/// The daemon's always-on observability plane. One mutex guards all of
+/// it: recording happens once per *request* (not per event), after the
+/// response is already serialized, so the critical section is a few
+/// map operations — contention here never delays an answer.
+struct Telemetry {
+    /// `endpoint.outcome` → request count (e.g. `analyze.hit`).
+    counters: BTreeMap<String, u64>,
+    /// `endpoint.outcome` → end-to-end latency histogram (µs).
+    hists: BTreeMap<String, LogHistogram>,
+    /// Recent traces + retained worst-by-duration slow log.
+    ring: TraceRing,
+    /// JSONL export (one `kind:"trace"` line per request).
+    log: Option<BufWriter<std::fs::File>>,
+}
+
+impl Telemetry {
+    fn new(trace_ring: usize, trace_log: &Option<PathBuf>) -> Telemetry {
+        let log = trace_log.as_ref().and_then(|path| {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            std::fs::File::create(path).ok().map(BufWriter::new)
+        });
+        Telemetry {
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            ring: TraceRing::new(trace_ring.max(1)),
+            log,
+        }
+    }
+
+    /// Records one completed request.
+    fn record(&mut self, trace: Trace) {
+        let key = format!("{}.{}", trace.endpoint, trace.outcome);
+        *self.counters.entry(key.clone()).or_insert(0) += 1;
+        self.hists.entry(key).or_default().record(trace.total_us);
+        if let Some(log) = &mut self.log {
+            let _ = writeln!(log, "{}", trace.to_json().to_text());
+        }
+        self.ring.push(trace);
+    }
+
+    /// Shutdown drain: append the final `daemon_stats` summary line and
+    /// flush every buffered trace line to disk.
+    fn flush(&mut self, summary: &Json) {
+        if let Some(log) = &mut self.log {
+            let _ = writeln!(log, "{}", summary.to_text());
+            let _ = log.flush();
         }
     }
 }
@@ -63,10 +144,12 @@ impl Default for ServerConfig {
 /// Shared server state, one per daemon process.
 struct ServerState {
     cache: Mutex<ResultCache>,
+    telemetry: Mutex<Telemetry>,
     spec_fingerprint: u64,
     started: Instant,
     shutdown: AtomicBool,
     socket: PathBuf,
+    workers: usize,
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -81,21 +164,23 @@ struct ServerState {
 pub fn run(config: ServerConfig) -> io::Result<()> {
     let listener = bind_recovering(&config.socket)?;
     let spec_fingerprint = shoal_spec::SpecLibrary::builtin().fingerprint();
+    let pool = TaskPool::new(config.jobs);
     let state = Arc::new(ServerState {
         cache: Mutex::new(ResultCache::new(
             config.cache_capacity,
             config.cache_dir.clone(),
         )),
+        telemetry: Mutex::new(Telemetry::new(config.trace_ring, &config.trace_log)),
         spec_fingerprint,
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         socket: config.socket.clone(),
+        workers: pool.workers(),
         requests: AtomicU64::new(0),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     });
 
-    let pool = TaskPool::new(config.jobs);
     for stream in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
@@ -114,6 +199,10 @@ pub fn run(config: ServerConfig) -> io::Result<()> {
         }
     }
     drop(pool); // drain in-flight requests before unlinking
+    // Only now is the telemetry complete: every in-flight request has
+    // recorded its trace. Drain it before the socket disappears.
+    let summary = handle_stats(&state);
+    state.telemetry.lock().unwrap().flush(&summary);
     let _ = std::fs::remove_file(&config.socket);
     Ok(())
 }
@@ -141,6 +230,18 @@ fn bind_recovering(socket: &PathBuf) -> io::Result<UnixListener> {
     }
 }
 
+/// What `dispatch` learned about one request, for the trace record.
+struct Served {
+    response: Json,
+    /// `analyze` / `status` / `stats` / `stop` / `unknown`.
+    endpoint: &'static str,
+    /// `hit` / `miss` / `parse-error` / `panic` / `bad-request` / `ok`.
+    outcome: &'static str,
+    /// Client-minted ID, echoed in the response; server-minted when
+    /// the client sent none, so every trace is addressable.
+    trace_id: Option<String>,
+}
+
 /// Handles one client connection: frames in, frames out, until EOF.
 fn serve_connection(mut stream: UnixStream, state: &ServerState) {
     loop {
@@ -151,9 +252,28 @@ fn serve_connection(mut stream: UnixStream, state: &ServerState) {
         let t0 = Instant::now();
         state.requests.fetch_add(1, Ordering::Relaxed);
         shoal_obs::counter_add("daemon.requests", 1);
-        let response = dispatch(&payload, state);
-        shoal_obs::hist_record("daemon.request_us", t0.elapsed().as_micros() as u64);
-        if write_frame(&mut stream, response.to_text().as_bytes()).is_err() {
+
+        // Open the request span: phase charges from here to `end`
+        // accumulate in this worker's thread-local.
+        trace::begin();
+        let served = dispatch(&payload, state);
+        let ser_t = Instant::now();
+        let text = served.response.to_text();
+        trace::phase_add("serialize", ser_t.elapsed().as_micros() as u64);
+        let phases = trace::end();
+        let total_us = t0.elapsed().as_micros() as u64;
+        shoal_obs::hist_record("daemon.request_us", total_us);
+
+        let trace = Trace {
+            trace_id: served.trace_id.unwrap_or_else(trace::mint_trace_id),
+            endpoint: served.endpoint.to_string(),
+            outcome: served.outcome.to_string(),
+            total_us,
+            phases: phases.into_iter().map(|(n, us)| (n.to_string(), us)).collect(),
+        };
+        state.telemetry.lock().unwrap().record(trace);
+
+        if write_frame(&mut stream, text.as_bytes()).is_err() {
             return;
         }
         if state.shutdown.load(Ordering::SeqCst) {
@@ -163,27 +283,49 @@ fn serve_connection(mut stream: UnixStream, state: &ServerState) {
 }
 
 /// Parses and executes one request, always producing a response.
-fn dispatch(payload: &[u8], state: &ServerState) -> Json {
-    let text = match std::str::from_utf8(payload) {
-        Ok(t) => t,
-        Err(_) => return error_response("bad-request", "frame is not utf-8"),
-    };
-    let json = match Json::parse(text) {
-        Ok(j) => j,
-        Err(e) => return error_response("bad-request", &format!("frame is not json: {e}")),
-    };
-    let request = match Request::from_json(&json) {
+fn dispatch(payload: &[u8], state: &ServerState) -> Served {
+    let decode_t = Instant::now();
+    let request = std::str::from_utf8(payload)
+        .map_err(|_| "frame is not utf-8".to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| format!("frame is not json: {e}")))
+        .and_then(|json| Request::from_json(&json));
+    trace::phase_add("decode", decode_t.elapsed().as_micros() as u64);
+    let request = match request {
         Ok(r) => r,
-        Err(e) => return error_response("bad-request", &e),
+        Err(e) => {
+            return Served {
+                response: error_response("bad-request", &e),
+                endpoint: "unknown",
+                outcome: "bad-request",
+                trace_id: None,
+            }
+        }
     };
     match request {
         Request::Analyze {
             source,
             options,
             resilient,
-        } => handle_analyze(&source, &options, resilient, state),
-        Request::Status => handle_status(state),
-        Request::Stop => handle_stop(state),
+            trace_id,
+        } => handle_analyze(&source, &options, resilient, trace_id, state),
+        Request::Status => Served {
+            response: handle_status(state),
+            endpoint: "status",
+            outcome: "ok",
+            trace_id: None,
+        },
+        Request::Stats => Served {
+            response: handle_stats(state),
+            endpoint: "stats",
+            outcome: "ok",
+            trace_id: None,
+        },
+        Request::Stop => Served {
+            response: handle_stop(state),
+            endpoint: "stop",
+            outcome: "ok",
+            trace_id: None,
+        },
     }
 }
 
@@ -194,8 +336,9 @@ fn handle_analyze(
     source: &str,
     options: &AnalysisOptions,
     resilient: bool,
+    trace_id: Option<String>,
     state: &ServerState,
-) -> Json {
+) -> Served {
     let key = cache_key(&KeyParts {
         source,
         options,
@@ -204,14 +347,25 @@ fn handle_analyze(
         version: crate::version(),
     });
 
-    if let Some(entry) = state.cache.lock().unwrap().get(&key) {
+    let cached = {
+        let _t = trace::phase_timer("cache");
+        state.cache.lock().unwrap().get(&key)
+    };
+    if let Some(entry) = cached {
         state.hits.fetch_add(1, Ordering::Relaxed);
-        return analyze_response(&key, "hit", &entry);
+        return Served {
+            response: analyze_response(&key, "hit", &entry, trace_id.as_deref()),
+            endpoint: "analyze",
+            outcome: "hit",
+            trace_id,
+        };
     }
     state.misses.fetch_add(1, Ordering::Relaxed);
 
     // Run the engine outside the cache lock; shield the worker from
     // engine panics so one poisonous script can't take the daemon down.
+    // The engine's own phase hooks (`parse`, `symexec`, `relang`,
+    // `report`) charge the open trace from inside this call.
     let opts = options.clone();
     let src = source.to_string();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
@@ -224,14 +378,32 @@ fn handle_analyze(
     match outcome {
         Ok(Ok(report)) => {
             let entry = crate::entry_from_report(&report);
-            state.cache.lock().unwrap().put(key.clone(), entry.clone());
-            analyze_response(&key, "miss", &entry)
+            {
+                let _t = trace::phase_timer("cache");
+                state.cache.lock().unwrap().put(key.clone(), entry.clone());
+            }
+            Served {
+                response: analyze_response(&key, "miss", &entry, trace_id.as_deref()),
+                endpoint: "analyze",
+                outcome: "miss",
+                trace_id,
+            }
         }
-        Ok(Err(parse_err)) => error_response("parse", &parse_err.to_string()),
+        Ok(Err(parse_err)) => Served {
+            response: error_response("parse", &parse_err.to_string()),
+            endpoint: "analyze",
+            outcome: "parse-error",
+            trace_id,
+        },
         Err(panic) => {
             let msg = panic_message(&panic);
             shoal_obs::counter_add("daemon.panics", 1);
-            error_response("panic", &msg)
+            Served {
+                response: error_response("panic", &msg),
+                endpoint: "analyze",
+                outcome: "panic",
+                trace_id,
+            }
         }
     }
 }
@@ -241,6 +413,7 @@ fn handle_status(state: &ServerState) -> Json {
         hot_entries,
         disk_entries,
         evictions,
+        ..
     } = state.cache.lock().unwrap().stats();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -274,6 +447,78 @@ fn handle_status(state: &ServerState) -> Json {
     ])
 }
 
+/// The full telemetry snapshot: `shoal-stats/v1`.
+///
+/// Field order is part of the schema (stable across releases):
+/// `schema`, `ok`, `op`, `version`, `pid`, `uptime_ms`, `workers`,
+/// `requests` (`total` + `by` endpoint.outcome), `cache`, `latency_us`
+/// (per endpoint.outcome histogram summaries), `slow_requests`.
+fn handle_stats(state: &ServerState) -> Json {
+    let cache = state.cache.lock().unwrap().stats();
+    let telemetry = state.telemetry.lock().unwrap();
+
+    let by = telemetry
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+        .collect();
+    let latency = telemetry
+        .hists
+        .iter()
+        .map(|(k, h)| (k.clone(), h.to_json()))
+        .collect();
+    let slow = telemetry
+        .ring
+        .slowest(SLOW_RETAIN)
+        .iter()
+        .map(Trace::to_json)
+        .collect();
+
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(STATS_SCHEMA.into())),
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::Str("stats".into())),
+        ("version".into(), Json::Str(crate::version().into())),
+        ("pid".into(), Json::Num(std::process::id() as f64)),
+        (
+            "uptime_ms".into(),
+            Json::Num(state.started.elapsed().as_millis() as f64),
+        ),
+        ("workers".into(), Json::Num(state.workers as f64)),
+        (
+            "requests".into(),
+            Json::Obj(vec![
+                (
+                    "total".into(),
+                    Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+                ),
+                ("traced".into(), Json::Num(telemetry.ring.pushed() as f64)),
+                ("by".into(), Json::Obj(by)),
+            ]),
+        ),
+        ("cache".into(), cache_stats_json(&cache)),
+        ("latency_us".into(), Json::Obj(latency)),
+        ("slow_requests".into(), Json::Arr(slow)),
+    ])
+}
+
+/// Serializes [`CacheStats`] (occupancy + the full outcome taxonomy).
+fn cache_stats_json(cache: &CacheStats) -> Json {
+    let o = cache.outcomes;
+    Json::Obj(vec![
+        ("hot_entries".into(), Json::Num(cache.hot_entries as f64)),
+        ("disk_entries".into(), Json::Num(cache.disk_entries as f64)),
+        ("capacity".into(), Json::Num(cache.capacity as f64)),
+        ("lookups".into(), Json::Num(o.lookups as f64)),
+        ("hot_hits".into(), Json::Num(o.hot_hits as f64)),
+        ("disk_hits".into(), Json::Num(o.disk_hits as f64)),
+        ("misses".into(), Json::Num(o.misses as f64)),
+        ("corrupt_misses".into(), Json::Num(o.corrupt_misses as f64)),
+        ("write_failures".into(), Json::Num(o.write_failures as f64)),
+        ("evictions".into(), Json::Num(o.evictions as f64)),
+    ])
+}
+
 fn handle_stop(state: &ServerState) -> Json {
     state.shutdown.store(true, Ordering::SeqCst);
     // Wake the accept loop: it is blocked in `accept`, and will check
@@ -286,20 +531,26 @@ fn handle_stop(state: &ServerState) -> Json {
     ])
 }
 
-fn analyze_response(key: &str, cache: &str, entry: &Entry) -> Json {
-    Json::Obj(vec![
+fn analyze_response(key: &str, cache: &str, entry: &Entry, trace_id: Option<&str>) -> Json {
+    let mut fields = vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("ok".into(), Json::Bool(true)),
         ("op".into(), Json::Str("analyze".into())),
         ("cache".into(), Json::Str(cache.into())),
         ("key".into(), Json::Str(key.into())),
-        ("findings".into(), Json::Num(entry.findings as f64)),
-        (
-            "text".into(),
-            Json::Arr(entry.text.iter().map(|l| Json::Str(l.clone())).collect()),
-        ),
-        ("body".into(), entry.body.clone()),
-    ])
+    ];
+    if let Some(id) = trace_id {
+        // Echo the client's ID so it can stitch its `served=` marker to
+        // the server-side trace.
+        fields.push(("trace_id".into(), Json::Str(id.into())));
+    }
+    fields.push(("findings".into(), Json::Num(entry.findings as f64)));
+    fields.push((
+        "text".into(),
+        Json::Arr(entry.text.iter().map(|l| Json::Str(l.clone())).collect()),
+    ));
+    fields.push(("body".into(), entry.body.clone()));
+    Json::Obj(fields)
 }
 
 fn error_response(kind: &str, message: &str) -> Json {

@@ -43,6 +43,7 @@ impl TestDaemon {
             cache_dir: Some(cache_dir.clone()),
             cache_capacity: 64,
             jobs: 2,
+            ..ServerConfig::default()
         };
         let thread = std::thread::spawn(move || run(config));
         // Wait for the socket to answer.
@@ -346,6 +347,7 @@ fn disk_tier_survives_daemon_restart() {
             cache_dir: Some(cache_dir.clone()),
             cache_capacity: 64,
             jobs: 1,
+            ..ServerConfig::default()
         };
         let t = std::thread::spawn(move || run(config));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);

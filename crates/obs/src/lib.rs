@@ -11,6 +11,10 @@
 //! * **metrics** ([`metrics`]) — named counters, high-watermark gauges,
 //!   and power-of-two-bucket histograms, snapshotted for the `--stats`
 //!   table or JSONL export.
+//! * **request tracing** ([`trace`], [`hist`]) — client-minted trace
+//!   IDs, thread-local per-phase accounting, a bounded ring of
+//!   completed request traces, and log-bucketed latency histograms
+//!   with exact percentile extraction — the daemon's telemetry plane.
 //! * **export** ([`json`], [`stats`]) — a hand-rolled JSON writer/parser
 //!   (the build environment has no registry access, so no `serde`) and a
 //!   human-readable table renderer.
@@ -29,6 +33,7 @@ pub mod bench;
 pub mod failpoint;
 pub mod frame;
 pub mod hash;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -37,8 +42,11 @@ pub mod recorder;
 pub mod rng;
 pub mod share;
 pub mod stats;
+pub mod trace;
 
+pub use hist::LogHistogram;
 pub use metrics::{counter_add, gauge_max, hist_record, snapshot, MetricsSnapshot};
+pub use trace::{Trace, TraceRing};
 pub use recorder::{
     enabled, install, is_installed, parse_jsonl, record_event, set_enabled, span, take_events,
     trace_to_jsonl, Event, SpanGuard, Value,

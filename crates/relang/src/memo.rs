@@ -261,6 +261,7 @@ fn table_cap(table: &str) -> usize {
 
 /// Memoized language emptiness of `r`.
 pub fn is_empty(r: &Regex) -> bool {
+    let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(empty, |m: &mut Memo| m.intern(r), || {
         compile(r).is_empty_lang()
     })
@@ -268,6 +269,7 @@ pub fn is_empty(r: &Regex) -> bool {
 
 /// Memoized containment `a ⊆ b`.
 pub fn is_subset_of(a: &Regex, b: &Regex) -> bool {
+    let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(subset, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
         a.difference(b).is_empty()
     })
@@ -275,6 +277,7 @@ pub fn is_subset_of(a: &Regex, b: &Regex) -> bool {
 
 /// Memoized language equivalence.
 pub fn equiv(a: &Regex, b: &Regex) -> bool {
+    let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(equiv, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
         a.is_subset_of(b) && b.is_subset_of(a)
     })
@@ -282,6 +285,7 @@ pub fn equiv(a: &Regex, b: &Regex) -> bool {
 
 /// Memoized disjointness (emptiness of intersection).
 pub fn disjoint(a: &Regex, b: &Regex) -> bool {
+    let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(disjoint, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
         a.intersect(b).is_empty()
     })
@@ -289,6 +293,7 @@ pub fn disjoint(a: &Regex, b: &Regex) -> bool {
 
 /// Memoized shortest-witness extraction.
 pub fn witness(r: &Regex) -> Option<Vec<u8>> {
+    let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(witness, |m: &mut Memo| m.intern(r), || {
         compile(r).witness()
     })
@@ -297,7 +302,14 @@ pub fn witness(r: &Regex) -> Option<Vec<u8>> {
 /// Memoized DFA compilation (the [`Dfa::from_regex`] entry point).
 /// Returns a clone of the cached automaton; the cached `Arc` keeps the
 /// heavy tables shared until a caller actually mutates them.
+///
+/// Decision procedures and compilation charge their wall time to the
+/// `relang` trace phase ([`shoal_obs::trace::phase_timer`]) — a
+/// sub-slice of the engine's `symexec` phase. The timer is inert (one
+/// thread-local read, no clock) unless a request trace is active, and
+/// nested calls charge only at the outermost entry point.
 pub fn compile(r: &Regex) -> Dfa {
+    let _t = shoal_obs::trace::phase_timer("relang");
     fn compile_arc(r: &Regex) -> Arc<Dfa> {
         memoized!(compile, |m: &mut Memo| m.intern(r), || {
             Arc::new(Dfa::from_regex_uncached(r))

@@ -77,7 +77,11 @@ read_json() {
 }
 
 # Compares fresh "name ns" pairs (file $2) against a baseline JSON
-# ($1); fails when any case exceeds 1.3x its baseline.
+# ($1); fails when any case exceeds 1.3x its baseline. Tail-percentile
+# cases (service/..._p95, _p99) get a looser 2.0x gate: a p99 over a
+# ~100-request closed loop is a max-like order statistic, so a single
+# preempted request moves it on its own — it stays on record for the
+# trajectory, but only a gross regression fails the check.
 check_suite() {
     baseline="$1"
     fresh="$2"
@@ -87,12 +91,13 @@ check_suite() {
     fi
     read_json "$baseline" | sort > /tmp/bench_base.$$
     sort "$fresh" > /tmp/bench_fresh.$$
-    join /tmp/bench_base.$$ /tmp/bench_fresh.$$ | awk -v limit=1.3 '
+    join /tmp/bench_base.$$ /tmp/bench_fresh.$$ | awk -v limit=1.3 -v tail_limit=2.0 '
         {
+            cap = ($1 ~ /_p9[59]$/) ? tail_limit : limit
             ratio = ($2 > 0) ? $3 / $2 : 1
-            status = (ratio > limit) ? "REGRESSED" : "ok"
+            status = (ratio > cap) ? "REGRESSED" : "ok"
             printf "  %-44s %12.1f -> %12.1f ns/iter (%.2fx) %s\n", $1, $2, $3, ratio, status
-            if (ratio > limit) bad++
+            if (ratio > cap) bad++
         }
         END { exit (bad > 0 ? 1 : 0) }'
     rc=$?
@@ -126,6 +131,13 @@ check)
     echo "==> bench check: daemon_jit vs BENCH_daemon.json"
     run_suite daemon_jit > /tmp/bench_run.$$
     check_suite BENCH_daemon.json /tmp/bench_run.$$ || fail=1
+    # `join` only compares keys both sides have, so a baseline that
+    # silently lost the service percentiles would still pass the gate
+    # above — assert their presence explicitly.
+    for key in service/analyze_p50 service/analyze_p99; do
+        grep -q "\"$key\"" BENCH_daemon.json \
+            || { echo "  MISSING $key in BENCH_daemon.json" >&2; fail=1; }
+    done
     rm -f /tmp/bench_run.$$
     if [ "$fail" = 1 ]; then
         echo "==> bench check FAILED (some case >1.3x its baseline)" >&2
