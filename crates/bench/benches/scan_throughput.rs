@@ -46,11 +46,31 @@ fn main() {
         "parallel scan output must stay byte-identical"
     );
 
+    // The audit plane must observe without changing verdicts, and its
+    // cost must stay within noise of the plain scan (ci.sh gates
+    // audit_on ≤ 1.05 × audit_off on the recorded numbers).
+    let audit_opts = ScanOptions {
+        jobs: 1,
+        audit: true,
+        ..ScanOptions::default()
+    };
+    assert_eq!(
+        scan_paths(&roots, &audit_opts).render_text(),
+        reference,
+        "audit must not change scan verdicts"
+    );
+
     bench("scan/jobs1", || {
         black_box(scan_paths(&roots, &seq_opts));
     });
     bench("scan/jobs_auto", || {
         black_box(scan_paths(&roots, &par_opts));
+    });
+    bench("scan/audit_off", || {
+        black_box(scan_paths(&roots, &seq_opts));
+    });
+    bench("scan/audit_on", || {
+        black_box(scan_paths(&roots, &audit_opts));
     });
 
     std::fs::remove_dir_all(&dir).ok();

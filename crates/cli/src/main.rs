@@ -41,6 +41,7 @@ fn main() -> ExitCode {
     let code = match cmd.as_str() {
         "analyze" | "check" => cmd_analyze(rest, &obs),
         "scan" => cmd_scan(rest),
+        "audit" => cmd_audit(rest),
         "daemon" => cmd_daemon(rest),
         "bench-service" => cmd_bench_service(rest),
         "jit" => cmd_jit(rest, &obs),
@@ -131,6 +132,7 @@ USAGE:
     shoal analyze SCRIPT...            symbolic analysis (all checkers)
     shoal check SCRIPT...              alias for analyze
     shoal scan PATH...                 hardened batch analysis of a tree
+    shoal audit PATH...                fleet coverage / precision-loss report
     shoal jit SCRIPT...                just-in-time analysis via the daemon
     shoal daemon [stop|status|top]     run / control the resident analyzer
     shoal bench-service                closed-loop load test of the daemon
@@ -159,11 +161,24 @@ SCAN OPTIONS:
                                 (default 0 = available parallelism)
     --daemon                    route per-script analysis through the
                                 JIT daemon (falls back in-process)
+    --audit                     record coverage/precision-loss maps and
+                                append the fleet shoal-audit/v1 report
+                                (in-process only; rejects --daemon)
   scan walks directories for .sh / shell-shebang files, isolates each
   script's analysis against panics (retrying once with tightened
   budgets), and exits 0 = clean, 1 = findings, 3 = some scripts only
   partially analyzed (parse recovery or budget), 4 = a script panicked.
   Output is byte-identical for any --jobs value.
+
+AUDIT OPTIONS (plus --fuel/--deadline-ms/--jobs as for scan):
+    --format text|json          output format (default text; json is
+                                the shoal-audit/v1 document)
+  audit scans like `scan --audit` but prints only the fleet report:
+  commands ranked by scripts x call sites lacking specs, precision
+  losses by cause (no-spec, dfa-cap, loop-widen, fuel, deadline,
+  parse-partial, world-cap, expansion-cap) with worst-offender
+  scripts, and checker fired / possibly-suppressed counts. Output is
+  byte-deterministic across runs and --jobs values; exits 0.
 
 JIT / DAEMON OPTIONS:
     --socket PATH               daemon socket (default: per-user path
@@ -390,6 +405,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--audit" => opts.audit = true,
             "--format" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
@@ -448,6 +464,13 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         eprintln!("shoal scan: no paths given");
         return ExitCode::from(2);
     }
+    if opts.audit && use_daemon {
+        // Daemon-served results carry no coverage map (the wire body is
+        // the frozen report shape), so routing an audited scan through
+        // the daemon would silently hole the fleet fold.
+        eprintln!("shoal scan: --audit runs in-process; drop --daemon");
+        return ExitCode::from(2);
+    }
     let summary = if use_daemon {
         let cfg = client_config(socket.as_deref());
         // Route each script through the daemon; a declined request
@@ -474,11 +497,95 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         shoal_core::scan_paths(&roots, &opts)
     };
     if json {
-        println!("{}", summary.to_json().to_text());
+        let doc = if opts.audit { summary.to_json_audited() } else { summary.to_json() };
+        println!("{}", doc.to_text());
+    } else if opts.audit {
+        print!("{}", summary.render_text_audited());
     } else {
         print!("{}", summary.render_text());
     }
     ExitCode::from(summary.exit_code() as u8)
+}
+
+/// `shoal audit DIR…` — scan a tree with coverage recording on and
+/// print only the fleet `shoal-audit/v1` report: missing-spec
+/// rankings, the precision-loss taxonomy with worst offenders, and
+/// checker fired/suppressed counts. Always exits 0 on a completed
+/// audit (it is an observability report, not a gate; `shoal scan`
+/// carries the gating exit codes).
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut opts = shoal_core::ScanOptions { audit: true, ..shoal_core::ScanOptions::default() };
+    let mut json = false;
+    let mut roots: Vec<std::path::PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    other => {
+                        eprintln!(
+                            "shoal audit: --format must be text or json (got {:?})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--fuel" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.fuel = None,
+                    Some(n) => opts.fuel = Some(n),
+                    None => {
+                        eprintln!("shoal audit: --fuel needs a number (0 = unlimited)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.deadline = None,
+                    Some(n) => opts.deadline = Some(std::time::Duration::from_millis(n)),
+                    None => {
+                        eprintln!("shoal audit: --deadline-ms needs a number (0 = unlimited)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => opts.jobs = n,
+                    None => {
+                        eprintln!("shoal audit: --jobs needs a number (0 = auto)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("shoal audit: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            p => roots.push(std::path::PathBuf::from(p)),
+        }
+        i += 1;
+    }
+    if roots.is_empty() {
+        eprintln!("shoal audit: no paths given");
+        return ExitCode::from(2);
+    }
+    let summary = shoal_core::scan_paths(&roots, &opts);
+    let report = shoal_core::AuditReport::build(&summary);
+    if json {
+        println!("{}", report.to_json().to_text());
+    } else {
+        print!("{}", report.render_text());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Builds a JIT client config from an optional `--socket` override.
@@ -929,7 +1036,45 @@ fn render_daemon_top(json: &shoal_obs::json::Json) -> String {
             }
         }
     }
+
+    if let Some(audit) = json.get("audit") {
+        let _ = writeln!(
+            out,
+            "audit: {} script(s) analyzed, {} degraded, {} command(s) missing specs",
+            num(audit, "analyzed_scripts"),
+            num(audit, "degraded_scripts"),
+            num(audit, "missing_spec_commands"),
+        );
+        if let Some(Json::Arr(top)) = audit.get("top_missing_specs") {
+            for entry in top {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {:>4} script(s)  {:>4} site(s)  score {}",
+                    audit_str(entry, "command"),
+                    num(entry, "scripts"),
+                    num(entry, "sites"),
+                    num(entry, "score"),
+                );
+            }
+        }
+        if let Some(Json::Obj(losses)) = audit.get("losses") {
+            if !losses.is_empty() {
+                let causes: Vec<String> = losses
+                    .iter()
+                    .map(|(cause, n)| format!("{cause} {}", n.as_u64().unwrap_or(0)))
+                    .collect();
+                let _ = writeln!(out, "  losses: {}", causes.join(", "));
+            }
+        }
+    }
     out
+}
+
+/// String field accessor for the audit block of a stats snapshot.
+fn audit_str<'j>(j: &'j shoal_obs::json::Json, field: &str) -> &'j str {
+    j.get(field)
+        .and_then(shoal_obs::json::Json::as_str)
+        .unwrap_or("?")
 }
 
 /// `shoal bench-service` — closed-loop load against the daemon,

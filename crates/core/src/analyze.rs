@@ -42,6 +42,12 @@ pub struct AnalysisOptions {
     /// exactly like fuel, with [`crate::stats::CapReason::Deadline`].
     /// `None` (the default) means unlimited.
     pub deadline: Option<std::time::Duration>,
+    /// Record a coverage/precision-loss map
+    /// ([`AnalysisReport::coverage`]): which commands had specs, where
+    /// the analysis degraded to ⊤ and why, which checkers fired. Off by
+    /// default; the disabled path records nothing, allocates nothing,
+    /// and reads no clocks (the dark-path discipline).
+    pub audit: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -54,6 +60,7 @@ impl Default for AnalysisOptions {
             profile: false,
             fuel: None,
             deadline: None,
+            audit: false,
         }
     }
 }
@@ -68,7 +75,10 @@ impl AnalysisOptions {
     /// `profile` is deliberately excluded: it only attaches wall-clock
     /// timings, which are not part of the serialized report body (and
     /// would be meaningless served from a cache — the daemon client
-    /// runs profiled requests in-process instead).
+    /// runs profiled requests in-process instead). `audit` is excluded
+    /// for the same reason: the coverage map is a side channel that
+    /// never enters the serialized report body, so the daemon can audit
+    /// every miss without forking the cache keyspace.
     ///
     /// A `deadline` *is* part of the key even though its effect is
     /// timing-dependent: a cached deadline-capped report replays the
@@ -120,6 +130,10 @@ pub struct AnalysisReport {
     /// ([`analyze_source_resilient`]); the skipped regions appear as
     /// [`DiagCode::ParsePartial`] notes.
     pub parse_partial: bool,
+    /// The per-script coverage/precision-loss map; present when
+    /// [`AnalysisOptions::audit`] was set. Like `profile`, this is a
+    /// side channel: it is never part of the serialized report body.
+    pub coverage: Option<shoal_obs::audit::CoverageMap>,
 }
 
 impl AnalysisReport {
@@ -300,6 +314,15 @@ pub fn analyze_script_annotated(
     // survived to carry the diagnostic (e.g. budget exhaustion after
     // every world was pruned).
     let incomplete = incomplete || !cap_hits.is_empty();
+    // Audit finalization (audit-off: the recorder was never touched and
+    // this whole block is skipped — no allocation, no clock reads).
+    let coverage = engine.opts.audit.then(|| {
+        let mut rec = engine.audit.replace(crate::audit::AuditRecorder::default());
+        for hit in &approx {
+            rec.record_loss(shoal_obs::audit::LossCause::DfaCap, hit.site().to_string(), 1);
+        }
+        rec.finish(&diagnostics)
+    });
     AnalysisReport {
         diagnostics,
         paths_completed,
@@ -310,6 +333,7 @@ pub fn analyze_script_annotated(
         profile,
         world_tree,
         parse_partial: false,
+        coverage,
     }
 }
 
@@ -384,6 +408,17 @@ pub fn analyze_source_resilient(src: &str, opts: AnalysisOptions) -> AnalysisRep
     }
     if !recovered.diagnostics.is_empty() {
         report.parse_partial = true;
+        // Each bridged syntax error is a precision loss: statements in
+        // the gap were never analyzed.
+        if let Some(cov) = report.coverage.as_mut() {
+            for d in &recovered.diagnostics {
+                cov.add_loss(
+                    shoal_obs::audit::LossCause::ParsePartial,
+                    &format!("line {}", d.span.line),
+                    1,
+                );
+            }
+        }
         for d in &recovered.diagnostics {
             report.diagnostics.push(
                 Diagnostic::new(
@@ -527,9 +562,13 @@ mod tests {
         ] {
             assert_ne!(changed.canonical(), base.canonical(), "{changed:?}");
         }
-        // …and profile (presentation-only) does not.
+        // …and the side-channel options (profile attaches timings,
+        // audit attaches a coverage map; neither enters the serialized
+        // report body) do not.
         let profiled = AnalysisOptions { profile: true, ..base.clone() };
         assert_eq!(profiled.canonical(), base.canonical());
+        let audited = AnalysisOptions { audit: true, ..base.clone() };
+        assert_eq!(audited.canonical(), base.canonical());
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct Engine {
     pub tree: RefCell<WorldTree>,
     /// Fuel/deadline budget built from the options.
     budget: Budget,
+    /// Coverage/precision-loss recorder, written only when
+    /// [`AnalysisOptions::audit`] is set: the disabled path holds empty
+    /// containers and is never touched (no allocation, no clock reads).
+    pub audit: RefCell<crate::audit::AuditRecorder>,
 }
 
 impl Engine {
@@ -119,6 +123,24 @@ impl Engine {
             stats: EngineStats::default(),
             tree: RefCell::new(WorldTree::new()),
             budget,
+            audit: RefCell::new(crate::audit::AuditRecorder::default()),
+        }
+    }
+
+    /// Records a precision loss iff auditing is on (one branch when
+    /// off; the site string is built lazily by the caller's closure so
+    /// the dark path allocates nothing).
+    fn audit_loss(&self, cause: shoal_obs::audit::LossCause, site: impl FnOnce() -> String, n: u64) {
+        if self.opts.audit {
+            self.audit.borrow_mut().record_loss(cause, site(), n);
+        }
+    }
+
+    /// Records a command occurrence at a call site iff auditing is on
+    /// (deduped per (name, line) by the recorder, never per world).
+    fn audit_command(&self, name: &str, line: u32, has_spec: bool) {
+        if self.opts.audit {
+            self.audit.borrow_mut().record_command(name, line, has_spec);
         }
     }
 
@@ -131,6 +153,11 @@ impl Engine {
             return;
         }
         self.stats.note_cap(reason, span.line, 0);
+        let cause = match reason {
+            CapReason::Deadline => shoal_obs::audit::LossCause::Deadline,
+            _ => shoal_obs::audit::LossCause::Fuel,
+        };
+        self.audit_loss(cause, || format!("line {}", span.line), 1);
         shoal_obs::event!("budget_exhausted", reason = reason.as_str(), line = span.line);
         let message = match reason {
             CapReason::Fuel => format!(
@@ -252,6 +279,11 @@ impl Engine {
             }
             worlds.truncate(self.opts.max_worlds);
             self.stats.note_cap(CapReason::MaxWorlds, span.line, dropped);
+            self.audit_loss(
+                shoal_obs::audit::LossCause::WorldCap,
+                || format!("line {}", span.line),
+                dropped as u64,
+            );
             if let Some(w) = worlds.first_mut() {
                 let already = w
                     .diags
@@ -760,6 +792,7 @@ impl Engine {
         // assume the loop eventually exits.
         if !active.is_empty() {
             self.stats.note_cap(CapReason::LoopBound, span.line, 0);
+            self.audit_loss(shoal_obs::audit::LossCause::LoopWiden, || format!("line {}", span.line), 1);
         }
         for mut w in active {
             havoc_assigned(&mut w, &clause.body);
@@ -816,6 +849,7 @@ impl Engine {
             if fields.len() > self.opts.loop_bound.max(8) {
                 // Too many iterations to enumerate: havoc the variable.
                 self.stats.note_cap(CapReason::LoopBound, span.line, 0);
+                self.audit_loss(shoal_obs::audit::LossCause::LoopWiden, || format!("line {}", span.line), 1);
                 let mut w = w;
                 let v = w.fresh_sym(Regex::any_line(), &format!("${}", clause.var));
                 w.set_var(&clause.var, v);
@@ -1048,16 +1082,25 @@ impl Engine {
                     out.extend(self.exec_function(w, n, args));
                 }
                 Some(n) if is_builtin(n) => {
+                    self.audit_command(n, sc.span.line, true);
                     out.extend(exec_builtin(self, w, n, args, sc.span));
                 }
                 Some("rm") => {
+                    self.audit_command("rm", sc.span.line, true);
                     out.extend(self.exec_rm(w, args, sc.span));
                 }
                 Some(n) => match self.specs.get(n) {
-                    Some(_) => out.extend(self.exec_specified(w, n, args, sc.span)),
+                    Some(_) => {
+                        self.audit_command(n, sc.span.line, true);
+                        out.extend(self.exec_specified(w, n, args, sc.span));
+                    }
                     None => {
                         // Unknown command: unknown status; a capture gets
-                        // an unconstrained value.
+                        // an unconstrained value. The audit recorder
+                        // dedupes by call site, so however many live
+                        // worlds pass through here, the missing-spec
+                        // ranking counts this (name, line) once.
+                        self.audit_command(n, sc.span.line, false);
                         if w.capture.is_some() {
                             let v = w.fresh_sym(Regex::anything(), &format!("$({n} …)"));
                             w.emit_stdout(v);
@@ -1083,6 +1126,11 @@ impl Engine {
             }
             pairs.truncate(self.opts.max_worlds);
             self.stats.note_cap(CapReason::Expansion, span.line, dropped);
+            self.audit_loss(
+                shoal_obs::audit::LossCause::ExpansionCap,
+                || format!("line {}", span.line),
+                dropped as u64,
+            );
             if let Some((w, _)) = pairs.first_mut() {
                 w.report(
                     Diagnostic::new(

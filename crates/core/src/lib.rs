@@ -35,6 +35,7 @@
 
 pub mod analyze;
 pub mod annotations;
+pub mod audit;
 pub mod builtins;
 pub mod checkers;
 pub mod coach;
@@ -54,6 +55,7 @@ pub use analyze::{
     AnalysisOptions, AnalysisReport,
 };
 pub use annotations::{parse_annotations, AnnotationError, Annotations};
+pub use audit::{AuditRecorder, AuditReport, MissingSpec};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use provenance::{
     Provenance, TrailEntry, TrailKind, WorldId, WorldNode, WorldOutcome, WorldTree,

@@ -40,6 +40,9 @@ pub struct ScanOptions {
     /// Results are collected in input order, so output is byte-identical
     /// to a sequential scan regardless of this setting.
     pub jobs: usize,
+    /// Record per-script coverage/precision-loss maps
+    /// ([`crate::AnalysisOptions::audit`]) for the fleet audit report.
+    pub audit: bool,
 }
 
 impl Default for ScanOptions {
@@ -50,6 +53,7 @@ impl Default for ScanOptions {
             loop_bound: 2,
             max_worlds: 64,
             jobs: 0,
+            audit: false,
         }
     }
 }
@@ -61,6 +65,7 @@ impl ScanOptions {
             max_worlds: self.max_worlds,
             fuel: self.fuel,
             deadline: self.deadline,
+            audit: self.audit,
             ..AnalysisOptions::default()
         }
     }
@@ -329,6 +334,32 @@ impl ScanSummary {
             ),
             ("exit_code".into(), Json::Num(self.exit_code() as f64)),
         ])
+    }
+
+    /// [`ScanSummary::to_json`] with the fleet `shoal-audit/v1`
+    /// document attached under an `audit` key (kept before
+    /// `exit_code`, which stays the last field). Deterministic for any
+    /// `--jobs`: per-script coverage is recorded under the worker's
+    /// panic shield and folded here from the input-ordered results.
+    pub fn to_json_audited(&self) -> Json {
+        let audit = crate::audit::AuditReport::build(self);
+        let mut doc = self.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            let at = fields
+                .iter()
+                .position(|(k, _)| k == "exit_code")
+                .unwrap_or(fields.len());
+            fields.insert(at, ("audit".into(), audit.to_json()));
+        }
+        doc
+    }
+
+    /// [`ScanSummary::render_text`] followed by the fleet audit
+    /// rendering.
+    pub fn render_text_audited(&self) -> String {
+        let mut out = self.render_text();
+        out.push_str(&crate::audit::AuditReport::build(self).render_text());
+        out
     }
 }
 

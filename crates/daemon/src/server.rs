@@ -42,6 +42,7 @@
 use crate::cache::{cache_key, CacheStats, Entry, KeyParts, ResultCache};
 use crate::protocol::{Request, SCHEMA, STATS_SCHEMA};
 use shoal_core::{analyze_source_resilient, analyze_source_with, AnalysisOptions};
+use shoal_obs::audit::CoverageMap;
 use shoal_obs::frame::{read_frame, write_frame};
 use shoal_obs::json::Json;
 use shoal_obs::pool::TaskPool;
@@ -100,6 +101,10 @@ struct Telemetry {
     ring: TraceRing,
     /// JSONL export (one `kind:"trace"` line per request).
     log: Option<BufWriter<std::fs::File>>,
+    /// Fleet precision health: per-request coverage maps folded in as
+    /// they are computed (misses only — a cache hit replays a script
+    /// whose coverage was already folded when it was first analyzed).
+    audit: CoverageMap,
 }
 
 impl Telemetry {
@@ -117,14 +122,19 @@ impl Telemetry {
             hists: BTreeMap::new(),
             ring: TraceRing::new(trace_ring.max(1)),
             log,
+            audit: CoverageMap::default(),
         }
     }
 
-    /// Records one completed request.
-    fn record(&mut self, trace: Trace) {
+    /// Records one completed request (and folds its coverage map, when
+    /// the request computed one).
+    fn record(&mut self, trace: Trace, coverage: Option<&CoverageMap>) {
         let key = format!("{}.{}", trace.endpoint, trace.outcome);
         *self.counters.entry(key.clone()).or_insert(0) += 1;
         self.hists.entry(key).or_default().record(trace.total_us);
+        if let Some(cov) = coverage {
+            self.audit.merge(cov);
+        }
         if let Some(log) = &mut self.log {
             let _ = writeln!(log, "{}", trace.to_json().to_text());
         }
@@ -240,6 +250,9 @@ struct Served {
     /// Client-minted ID, echoed in the response; server-minted when
     /// the client sent none, so every trace is addressable.
     trace_id: Option<String>,
+    /// Coverage map from a freshly-computed analysis (miss path only),
+    /// folded into the telemetry plane alongside the trace.
+    coverage: Option<CoverageMap>,
 }
 
 /// Handles one client connection: frames in, frames out, until EOF.
@@ -271,7 +284,11 @@ fn serve_connection(mut stream: UnixStream, state: &ServerState) {
             total_us,
             phases: phases.into_iter().map(|(n, us)| (n.to_string(), us)).collect(),
         };
-        state.telemetry.lock().unwrap().record(trace);
+        state
+            .telemetry
+            .lock()
+            .unwrap()
+            .record(trace, served.coverage.as_ref());
 
         if write_frame(&mut stream, text.as_bytes()).is_err() {
             return;
@@ -298,6 +315,7 @@ fn dispatch(payload: &[u8], state: &ServerState) -> Served {
                 endpoint: "unknown",
                 outcome: "bad-request",
                 trace_id: None,
+                coverage: None,
             }
         }
     };
@@ -313,18 +331,21 @@ fn dispatch(payload: &[u8], state: &ServerState) -> Served {
             endpoint: "status",
             outcome: "ok",
             trace_id: None,
+            coverage: None,
         },
         Request::Stats => Served {
             response: handle_stats(state),
             endpoint: "stats",
             outcome: "ok",
             trace_id: None,
+            coverage: None,
         },
         Request::Stop => Served {
             response: handle_stop(state),
             endpoint: "stop",
             outcome: "ok",
             trace_id: None,
+            coverage: None,
         },
     }
 }
@@ -358,6 +379,7 @@ fn handle_analyze(
             endpoint: "analyze",
             outcome: "hit",
             trace_id,
+            coverage: None,
         };
     }
     state.misses.fetch_add(1, Ordering::Relaxed);
@@ -366,7 +388,14 @@ fn handle_analyze(
     // engine panics so one poisonous script can't take the daemon down.
     // The engine's own phase hooks (`parse`, `symexec`, `relang`,
     // `report`) charge the open trace from inside this call.
-    let opts = options.clone();
+    //
+    // Every miss is audited: `audit` is excluded from the canonical
+    // cache key (like `profile`, it is a side channel that never
+    // enters the serialized report body), so flipping it here changes
+    // neither the key nor the response bytes — it only feeds the
+    // fleet-precision plane in `stats`.
+    let mut opts = options.clone();
+    opts.audit = true;
     let src = source.to_string();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
         if resilient {
@@ -376,7 +405,8 @@ fn handle_analyze(
         }
     }));
     match outcome {
-        Ok(Ok(report)) => {
+        Ok(Ok(mut report)) => {
+            let coverage = report.coverage.take();
             let entry = crate::entry_from_report(&report);
             {
                 let _t = trace::phase_timer("cache");
@@ -387,6 +417,7 @@ fn handle_analyze(
                 endpoint: "analyze",
                 outcome: "miss",
                 trace_id,
+                coverage,
             }
         }
         Ok(Err(parse_err)) => Served {
@@ -394,6 +425,7 @@ fn handle_analyze(
             endpoint: "analyze",
             outcome: "parse-error",
             trace_id,
+            coverage: None,
         },
         Err(panic) => {
             let msg = panic_message(&panic);
@@ -403,6 +435,7 @@ fn handle_analyze(
                 endpoint: "analyze",
                 outcome: "panic",
                 trace_id,
+                coverage: None,
             }
         }
     }
@@ -452,7 +485,9 @@ fn handle_status(state: &ServerState) -> Json {
 /// Field order is part of the schema (stable across releases):
 /// `schema`, `ok`, `op`, `version`, `pid`, `uptime_ms`, `workers`,
 /// `requests` (`total` + `by` endpoint.outcome), `cache`, `latency_us`
-/// (per endpoint.outcome histogram summaries), `slow_requests`.
+/// (per endpoint.outcome histogram summaries), `slow_requests`, `audit`.
+/// New fields are appended, never inserted — consumers may index by
+/// position.
 fn handle_stats(state: &ServerState) -> Json {
     let cache = state.cache.lock().unwrap().stats();
     let telemetry = state.telemetry.lock().unwrap();
@@ -499,6 +534,7 @@ fn handle_stats(state: &ServerState) -> Json {
         ("cache".into(), cache_stats_json(&cache)),
         ("latency_us".into(), Json::Obj(latency)),
         ("slow_requests".into(), Json::Arr(slow)),
+        ("audit".into(), telemetry.audit.summary_json(5)),
     ])
 }
 

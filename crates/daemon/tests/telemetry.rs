@@ -279,6 +279,69 @@ fn concurrent_clients_and_stats_readers_stay_consistent() {
 }
 
 #[test]
+fn stats_field_order_is_frozen_and_audit_reconciles_with_misses() {
+    let daemon = TestDaemon::start("audit", None);
+    let cfg = daemon.client();
+    let opts = AnalysisOptions::default();
+
+    // Two distinct scripts, the first analyzed twice: 2 misses + 1
+    // hit. Coverage folds on the miss path only (a hit replays a
+    // script already folded when first computed), so the audit plane
+    // must count exactly 2 scripts.
+    for script in ["echo a\n", "frobnicate --all\n", "echo a\n"] {
+        let r = client::analyze(&cfg, script, &opts, false);
+        assert!(matches!(r.served, Served::Daemon { .. }));
+    }
+
+    let stats = client::stats(&daemon.socket).expect("stats verb answers");
+    let Json::Obj(fields) = &stats else {
+        panic!("stats must be a JSON object: {}", stats.to_text());
+    };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "schema",
+            "ok",
+            "op",
+            "version",
+            "pid",
+            "uptime_ms",
+            "workers",
+            "requests",
+            "cache",
+            "latency_us",
+            "slow_requests",
+            "audit",
+        ],
+        "shoal-stats/v1 field order is frozen; new fields append, never insert"
+    );
+
+    let audit = stats.get("audit").expect("stats carries audit");
+    assert_eq!(
+        num(audit, "analyzed_scripts"),
+        2,
+        "misses only — the cache hit must not refold coverage: {}",
+        audit.to_text()
+    );
+    let by = stats
+        .get("requests")
+        .and_then(|r| r.get("by"))
+        .cloned()
+        .unwrap();
+    assert_eq!(num(audit, "analyzed_scripts"), num(&by, "analyze.miss"));
+
+    // `frobnicate` has no spec: it must surface in the ranking, and
+    // the unspecced call site must be attributed as a no-spec loss.
+    assert_eq!(num(audit, "missing_spec_commands"), 1, "{}", audit.to_text());
+    let top = audit.get("top_missing_specs").cloned().unwrap();
+    assert!(top.to_text().contains("frobnicate"), "{}", top.to_text());
+    let losses = audit.get("losses").cloned().unwrap();
+    assert_eq!(num(&losses, "no-spec"), 1, "{}", losses.to_text());
+    assert_eq!(num(audit, "degraded_scripts"), 1, "{}", audit.to_text());
+}
+
+#[test]
 fn stop_flushes_the_trace_log_completely() {
     let mut daemon = TestDaemon::start("flush", Some("traces.jsonl"));
     let log_path = daemon.base.join("traces.jsonl");

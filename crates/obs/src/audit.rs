@@ -1,0 +1,369 @@
+//! shoal-audit: mergeable, byte-deterministic coverage and
+//! precision-loss maps.
+//!
+//! The engine explores shell scripts symbolically and, at well-defined
+//! points, *gives up precision*: a command with no spec gets ⊤ effects,
+//! a capped DFA determinization degrades to the ⊤ automaton, a loop
+//! body is widened, a fuel/deadline budget stops exploration early, a
+//! parse error is bridged by recovery. Each such event is a
+//! [`LossCause`] recorded at a stable site string. A [`CoverageMap`]
+//! accumulates those events — plus per-command spec coverage and
+//! per-checker firing counts — for one script, and `merge` folds
+//! per-script maps into a fleet view.
+//!
+//! Invariants (tested in `tests/audit_props.rs` and relied on by the
+//! scan/daemon aggregators):
+//!
+//! * **merge is a commutative monoid action**: every field is either a
+//!   saturating sum or a key-unioned sum, so `merge` is associative and
+//!   commutative with `CoverageMap::default()` as identity, and counts
+//!   are exact (no sampling, no caps).
+//! * **byte determinism**: all maps are `BTreeMap`s, so `to_json` /
+//!   `summary_json` render byte-identically for equal maps regardless
+//!   of insertion order (and therefore of `--jobs` scheduling).
+//! * **no clocks, no ambient state**: this module never reads a clock
+//!   or environment; an audit-off analysis constructs nothing from it.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Why the analysis lost precision at a site. The taxonomy is closed:
+/// every ⊤-degradation in the pipeline maps to exactly one cause, so
+/// per-cause counts sum to the total degradation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LossCause {
+    /// A command had no spec (and is not a builtin): its effects and
+    /// exit status became unknown. Counted once per distinct call
+    /// site, never per live world.
+    NoSpec,
+    /// A relang DFA construction hit the state cap and degraded to the
+    /// ⊤ automaton.
+    DfaCap,
+    /// A loop body was widened (variables/filesystem havocked) instead
+    /// of being unrolled to a fixpoint.
+    LoopWiden,
+    /// The fuel budget ran out; exploration stopped between statements.
+    Fuel,
+    /// The wall-clock deadline passed; exploration stopped between
+    /// statements.
+    Deadline,
+    /// Parse recovery bridged a syntax error; statements in the gap
+    /// were never analyzed.
+    ParsePartial,
+    /// The live-world cap dropped worlds at a fork site.
+    WorldCap,
+    /// The expansion-pair cap dropped glob/expansion alternatives.
+    ExpansionCap,
+}
+
+impl LossCause {
+    /// Every cause, in the canonical (= `Ord`) order.
+    pub const ALL: [LossCause; 8] = [
+        LossCause::NoSpec,
+        LossCause::DfaCap,
+        LossCause::LoopWiden,
+        LossCause::Fuel,
+        LossCause::Deadline,
+        LossCause::ParsePartial,
+        LossCause::WorldCap,
+        LossCause::ExpansionCap,
+    ];
+
+    /// Stable machine-readable name (part of the `shoal-audit/v1`
+    /// schema — do not rename).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LossCause::NoSpec => "no-spec",
+            LossCause::DfaCap => "dfa-cap",
+            LossCause::LoopWiden => "loop-widen",
+            LossCause::Fuel => "fuel",
+            LossCause::Deadline => "deadline",
+            LossCause::ParsePartial => "parse-partial",
+            LossCause::WorldCap => "world-cap",
+            LossCause::ExpansionCap => "expansion-cap",
+        }
+    }
+}
+
+/// Coverage for one command name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommandCov {
+    /// Whether a spec (or builtin model) covered this command.
+    pub has_spec: bool,
+    /// Distinct call sites (deduped per line within a script, summed
+    /// across scripts).
+    pub sites: u64,
+    /// Scripts that mention the command at least once.
+    pub scripts: u64,
+}
+
+/// Firing statistics for one checker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckerCov {
+    /// Diagnostics this checker emitted.
+    pub fired: u64,
+    /// Scripts where the analysis degraded (any [`LossCause`]) and
+    /// this checker emitted nothing — an upper bound on findings the
+    /// degradation may have suppressed.
+    pub suppressed: u64,
+}
+
+/// A mergeable, byte-deterministic coverage/precision map. One per
+/// analyzed script (`scripts == 1`), or a fleet-wide fold of many.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    /// Scripts folded into this map.
+    pub scripts: u64,
+    /// Scripts with at least one recorded precision loss.
+    pub degraded_scripts: u64,
+    /// Per-command coverage, keyed by command name.
+    pub commands: BTreeMap<String, CommandCov>,
+    /// Per-checker firing counts, keyed by checker id.
+    pub checkers: BTreeMap<String, CheckerCov>,
+    /// Precision losses: cause → site → count.
+    pub losses: BTreeMap<LossCause, BTreeMap<String, u64>>,
+}
+
+impl CoverageMap {
+    /// Folds `other` into `self`. Associative and commutative; counts
+    /// are exact sums.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.scripts = self.scripts.saturating_add(other.scripts);
+        self.degraded_scripts = self.degraded_scripts.saturating_add(other.degraded_scripts);
+        for (name, cov) in &other.commands {
+            let e = self.commands.entry(name.clone()).or_default();
+            e.has_spec |= cov.has_spec;
+            e.sites = e.sites.saturating_add(cov.sites);
+            e.scripts = e.scripts.saturating_add(cov.scripts);
+        }
+        for (id, cov) in &other.checkers {
+            let e = self.checkers.entry(id.clone()).or_default();
+            e.fired = e.fired.saturating_add(cov.fired);
+            e.suppressed = e.suppressed.saturating_add(cov.suppressed);
+        }
+        for (cause, sites) in &other.losses {
+            let bucket = self.losses.entry(*cause).or_default();
+            for (site, n) in sites {
+                let e = bucket.entry(site.clone()).or_insert(0);
+                *e = e.saturating_add(*n);
+            }
+        }
+    }
+
+    /// Records `n` precision-loss events of `cause` at `site` on a
+    /// single-script map, maintaining the per-script derived fields:
+    /// the first loss marks the script degraded and flags every
+    /// so-far-silent checker as possibly suppressed.
+    pub fn add_loss(&mut self, cause: LossCause, site: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let e = self.losses.entry(cause).or_default().entry(site.to_string()).or_insert(0);
+        *e = e.saturating_add(n);
+        if self.scripts <= 1 && self.degraded_scripts == 0 {
+            self.degraded_scripts = 1;
+            for cov in self.checkers.values_mut() {
+                if cov.fired == 0 {
+                    cov.suppressed = 1;
+                }
+            }
+        }
+    }
+
+    /// Per-cause loss totals (each cause's sites summed).
+    pub fn loss_totals(&self) -> BTreeMap<LossCause, u64> {
+        self.losses
+            .iter()
+            .map(|(cause, sites)| (*cause, sites.values().fold(0u64, |a, n| a.saturating_add(*n))))
+            .collect()
+    }
+
+    /// Total precision-loss events across all causes. Equal to the sum
+    /// of [`CoverageMap::loss_totals`] by construction.
+    pub fn total_losses(&self) -> u64 {
+        self.loss_totals().values().fold(0u64, |a, n| a.saturating_add(*n))
+    }
+
+    /// Commands with no spec, ranked by `scripts × sites` descending
+    /// (then by name for determinism). The ranked work queue for spec
+    /// mining.
+    pub fn missing_specs(&self) -> Vec<(&str, &CommandCov, u64)> {
+        let mut out: Vec<(&str, &CommandCov, u64)> = self
+            .commands
+            .iter()
+            .filter(|(_, c)| !c.has_spec)
+            .map(|(n, c)| (n.as_str(), c, c.scripts.saturating_mul(c.sites)))
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Full deterministic JSON rendering.
+    pub fn to_json(&self) -> Json {
+        let commands = self
+            .commands
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("has_spec".to_string(), Json::Bool(c.has_spec)),
+                        ("sites".to_string(), Json::Num(c.sites as f64)),
+                        ("scripts".to_string(), Json::Num(c.scripts as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let losses = self
+            .losses
+            .iter()
+            .map(|(cause, sites)| {
+                (
+                    cause.as_str().to_string(),
+                    Json::Obj(
+                        sites
+                            .iter()
+                            .map(|(site, n)| (site.clone(), Json::Num(*n as f64)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("scripts".to_string(), Json::Num(self.scripts as f64)),
+            ("degraded_scripts".to_string(), Json::Num(self.degraded_scripts as f64)),
+            ("commands".to_string(), Json::Obj(commands)),
+            ("checkers".to_string(), Json::Obj(checkers_json(&self.checkers))),
+            ("losses".to_string(), Json::Obj(losses)),
+        ])
+    }
+
+    /// Compact fleet-health summary (the daemon's stats-plane shape):
+    /// script counts, missing-spec ranking capped at `top_n`, per-cause
+    /// loss totals, and checker firing counts.
+    pub fn summary_json(&self, top_n: usize) -> Json {
+        let missing = self.missing_specs();
+        let top = missing
+            .iter()
+            .take(top_n)
+            .map(|(name, c, score)| {
+                Json::Obj(vec![
+                    ("command".to_string(), Json::Str((*name).to_string())),
+                    ("scripts".to_string(), Json::Num(c.scripts as f64)),
+                    ("sites".to_string(), Json::Num(c.sites as f64)),
+                    ("score".to_string(), Json::Num(*score as f64)),
+                ])
+            })
+            .collect();
+        let loss_totals = self
+            .loss_totals()
+            .iter()
+            .map(|(cause, n)| (cause.as_str().to_string(), Json::Num(*n as f64)))
+            .collect();
+        Json::Obj(vec![
+            ("analyzed_scripts".to_string(), Json::Num(self.scripts as f64)),
+            ("degraded_scripts".to_string(), Json::Num(self.degraded_scripts as f64)),
+            ("missing_spec_commands".to_string(), Json::Num(missing.len() as f64)),
+            ("top_missing_specs".to_string(), Json::Arr(top)),
+            ("losses".to_string(), Json::Obj(loss_totals)),
+            ("checkers".to_string(), Json::Obj(checkers_json(&self.checkers))),
+        ])
+    }
+}
+
+fn checkers_json(checkers: &BTreeMap<String, CheckerCov>) -> Vec<(String, Json)> {
+    checkers
+        .iter()
+        .map(|(id, c)| {
+            (
+                id.clone(),
+                Json::Obj(vec![
+                    ("fired".to_string(), Json::Num(c.fired as f64)),
+                    ("suppressed".to_string(), Json::Num(c.suppressed as f64)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn script_map(cmd: &str, has_spec: bool, losses: &[(LossCause, &str)]) -> CoverageMap {
+        let mut m = CoverageMap { scripts: 1, ..CoverageMap::default() };
+        m.commands.insert(
+            cmd.to_string(),
+            CommandCov { has_spec, sites: 1, scripts: 1 },
+        );
+        m.checkers.insert("delete".to_string(), CheckerCov::default());
+        for (cause, site) in losses {
+            m.add_loss(*cause, site, 1);
+        }
+        m
+    }
+
+    #[test]
+    fn merge_sums_exactly() {
+        let a = script_map("curl", false, &[(LossCause::NoSpec, "curl:3")]);
+        let b = script_map("curl", false, &[(LossCause::NoSpec, "curl:7")]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.scripts, 2);
+        assert_eq!(m.degraded_scripts, 2);
+        assert_eq!(m.commands["curl"].sites, 2);
+        assert_eq!(m.commands["curl"].scripts, 2);
+        assert_eq!(m.total_losses(), 2);
+        assert_eq!(m.checkers["delete"].suppressed, 2);
+    }
+
+    #[test]
+    fn default_is_merge_identity() {
+        let a = script_map("sed", true, &[(LossCause::LoopWiden, "line 4")]);
+        let mut left = CoverageMap::default();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&CoverageMap::default());
+        assert_eq!(left, a);
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn add_loss_marks_degraded_and_suppressed_once() {
+        let mut m = script_map("ls", true, &[]);
+        assert_eq!(m.degraded_scripts, 0);
+        m.add_loss(LossCause::Fuel, "statement budget", 1);
+        m.add_loss(LossCause::DfaCap, "product", 3);
+        assert_eq!(m.degraded_scripts, 1);
+        assert_eq!(m.checkers["delete"].suppressed, 1);
+        assert_eq!(m.total_losses(), 4);
+    }
+
+    #[test]
+    fn missing_specs_ranked_by_score_then_name() {
+        let mut m = CoverageMap { scripts: 3, ..CoverageMap::default() };
+        m.commands.insert("b".into(), CommandCov { has_spec: false, sites: 2, scripts: 3 });
+        m.commands.insert("a".into(), CommandCov { has_spec: false, sites: 3, scripts: 2 });
+        m.commands.insert("z".into(), CommandCov { has_spec: true, sites: 9, scripts: 3 });
+        let ranked = m.missing_specs();
+        assert_eq!(
+            ranked.iter().map(|(n, _, s)| (*n, *s)).collect::<Vec<_>>(),
+            vec![("a", 6), ("b", 6)],
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic_under_insertion_order() {
+        let mut fwd = CoverageMap::default();
+        let mut rev = CoverageMap::default();
+        for (m, names) in [(&mut fwd, ["a", "b", "c"]), (&mut rev, ["c", "b", "a"])] {
+            for n in names {
+                m.commands.insert(n.to_string(), CommandCov { has_spec: false, sites: 1, scripts: 1 });
+                m.add_loss(LossCause::NoSpec, &format!("{n}:1"), 1);
+            }
+        }
+        assert_eq!(fwd.to_json().to_text(), rev.to_json().to_text());
+        assert_eq!(fwd.summary_json(5).to_text(), rev.summary_json(5).to_text());
+    }
+}

@@ -15,6 +15,10 @@
 //!   IDs, thread-local per-phase accounting, a bounded ring of
 //!   completed request traces, and log-bucketed latency histograms
 //!   with exact percentile extraction — the daemon's telemetry plane.
+//! * **audit** ([`audit`]) — mergeable, byte-deterministic coverage
+//!   maps and a typed precision-loss taxonomy: which commands lack
+//!   specs, which checkers fired, and where the analysis degraded to ⊤
+//!   and why — the fleet precision-health plane.
 //! * **export** ([`json`], [`stats`]) — a hand-rolled JSON writer/parser
 //!   (the build environment has no registry access, so no `serde`) and a
 //!   human-readable table renderer.
@@ -29,6 +33,7 @@
 //! [`pool`] (a work-stealing scoped thread pool for the parallel scan
 //! driver, instead of `rayon`).
 
+pub mod audit;
 pub mod bench;
 pub mod failpoint;
 pub mod frame;
@@ -44,6 +49,7 @@ pub mod share;
 pub mod stats;
 pub mod trace;
 
+pub use audit::{CheckerCov, CommandCov, CoverageMap, LossCause};
 pub use hist::LogHistogram;
 pub use metrics::{counter_add, gauge_max, hist_record, snapshot, MetricsSnapshot};
 pub use trace::{Trace, TraceRing};

@@ -1,0 +1,138 @@
+//! Property tests for [`shoal_obs::audit::CoverageMap`]: `merge` must
+//! be a commutative monoid action with exact counts, because the scan
+//! aggregator folds per-script maps in whatever order the worker pool
+//! finishes them and still promises byte-identical reports at any
+//! `--jobs` level.
+
+use shoal_obs::audit::{CheckerCov, CommandCov, CoverageMap, LossCause};
+use shoal_obs::prop::{run_cases, Gen};
+
+const COMMANDS: [&str; 6] = ["awk", "curl", "frobnicate", "jq", "munge", "tar"];
+const CHECKERS: [&str; 5] = ["delete", "idempotence", "platform", "rm", "streamty"];
+const SITES: [&str; 5] = ["line 1", "line 7", "line 12", "line 40", "line 99"];
+
+/// An arbitrary coverage map — not necessarily one the engine could
+/// produce, on purpose: `merge` must be lawful on the whole type.
+fn arbitrary_map(g: &mut Gen) -> CoverageMap {
+    let mut map = CoverageMap {
+        scripts: g.usize(0..4) as u64,
+        degraded_scripts: g.usize(0..3) as u64,
+        ..CoverageMap::default()
+    };
+    for name in g.subsequence(&COMMANDS) {
+        map.commands.insert(
+            name.to_string(),
+            CommandCov {
+                has_spec: g.bool(),
+                sites: g.usize(0..10) as u64,
+                scripts: g.usize(0..5) as u64,
+            },
+        );
+    }
+    for id in g.subsequence(&CHECKERS) {
+        map.checkers.insert(
+            id.to_string(),
+            CheckerCov {
+                fired: g.usize(0..6) as u64,
+                suppressed: g.usize(0..3) as u64,
+            },
+        );
+    }
+    for cause in g.subsequence(&LossCause::ALL) {
+        let sites = map.losses.entry(cause).or_default();
+        for site in g.subsequence(&SITES) {
+            sites.insert(site.to_string(), g.usize(1..8) as u64);
+        }
+    }
+    map
+}
+
+fn merged(a: &CoverageMap, b: &CoverageMap) -> CoverageMap {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+#[test]
+fn merge_is_commutative_and_associative_with_identity() {
+    run_cases("audit_merge_monoid", 64, |g| {
+        let (a, b, c) = (arbitrary_map(g), arbitrary_map(g), arbitrary_map(g));
+
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(
+            ab.to_json().to_text(),
+            ba.to_json().to_text(),
+            "equal maps must serialize byte-identically"
+        );
+
+        assert_eq!(
+            merged(&ab, &c),
+            merged(&a, &merged(&b, &c)),
+            "merge must be associative"
+        );
+
+        let id = CoverageMap::default();
+        assert_eq!(merged(&id, &a), a, "default is a left identity");
+        assert_eq!(merged(&a, &id), a, "default is a right identity");
+    });
+}
+
+#[test]
+fn merge_counts_are_exact_sums() {
+    run_cases("audit_merge_exact", 64, |g| {
+        let (a, b) = (arbitrary_map(g), arbitrary_map(g));
+        let ab = merged(&a, &b);
+
+        assert_eq!(ab.scripts, a.scripts + b.scripts);
+        assert_eq!(ab.degraded_scripts, a.degraded_scripts + b.degraded_scripts);
+        assert_eq!(ab.total_losses(), a.total_losses() + b.total_losses());
+        for cause in LossCause::ALL {
+            assert_eq!(
+                ab.loss_totals().get(&cause).copied().unwrap_or(0),
+                a.loss_totals().get(&cause).copied().unwrap_or(0)
+                    + b.loss_totals().get(&cause).copied().unwrap_or(0),
+                "per-cause totals must sum exactly for {}",
+                cause.as_str()
+            );
+        }
+        for (name, cov) in &ab.commands {
+            let (sa, sb) = (a.commands.get(name), b.commands.get(name));
+            let sites = |c: Option<&CommandCov>| c.map_or(0, |c| c.sites);
+            let scripts = |c: Option<&CommandCov>| c.map_or(0, |c| c.scripts);
+            assert_eq!(cov.sites, sites(sa) + sites(sb), "{name}");
+            assert_eq!(cov.scripts, scripts(sa) + scripts(sb), "{name}");
+            assert_eq!(
+                cov.has_spec,
+                sa.is_some_and(|c| c.has_spec) || sb.is_some_and(|c| c.has_spec),
+                "{name}: has_spec is an OR, never forgotten"
+            );
+        }
+    });
+}
+
+#[test]
+fn fold_order_never_changes_the_bytes() {
+    // The scan pool folds worker results in input order, but the audit
+    // contract is stronger: ANY fold order yields the same bytes.
+    run_cases("audit_fold_order", 32, |g| {
+        let maps = g.vec_of(2..6, arbitrary_map);
+        let forward = maps
+            .iter()
+            .fold(CoverageMap::default(), |acc, m| merged(&acc, m));
+        let reverse = maps
+            .iter()
+            .rev()
+            .fold(CoverageMap::default(), |acc, m| merged(&acc, m));
+        assert_eq!(
+            forward.to_json().to_text(),
+            reverse.to_json().to_text(),
+            "fleet fold must be order-independent"
+        );
+        assert_eq!(
+            forward.summary_json(3).to_text(),
+            reverse.summary_json(3).to_text()
+        );
+    });
+}

@@ -55,6 +55,47 @@ if [ "$scan_code" != "$seq_code" ] || ! cmp -s /tmp/scan_par.$$ /tmp/scan_seq.$$
 fi
 rm -f /tmp/scan_par.$$ /tmp/scan_seq.$$
 
+# Audit gate: the precision/coverage plane must speak shoal-audit/v1,
+# be byte-identical at any --jobs level, stay dark when off (no audit
+# key, no clock reads in the audit sources), and cost nothing
+# measurable when on (recorded baseline: audit-on <= 1.05x audit-off).
+echo "==> audit: shoal-audit/v1 schema + jobs parity + dark path + overhead"
+audit_fail=0
+target/release/shoal audit --format json examples/ > /tmp/audit_rep.$$ \
+    || { echo "FAIL: shoal audit exited non-zero (it is a report, not a gate)"; audit_fail=1; }
+grep -q '"schema":"shoal-audit/v1"' /tmp/audit_rep.$$ || { echo "FAIL: audit report is not shoal-audit/v1"; audit_fail=1; }
+grep -q '"missing_specs"' /tmp/audit_rep.$$ || { echo "FAIL: audit report carries no missing_specs ranking"; audit_fail=1; }
+grep -q '"by_cause"' /tmp/audit_rep.$$ || { echo "FAIL: audit report carries no per-cause loss taxonomy"; audit_fail=1; }
+par_code=0
+target/release/shoal scan --audit --jobs 4 --format json examples/ > /tmp/audit_par.$$ || par_code=$?
+seq_code=0
+target/release/shoal scan --audit --jobs 1 --format json examples/ > /tmp/audit_seq.$$ || seq_code=$?
+if [ "$par_code" != "$seq_code" ] || ! cmp -s /tmp/audit_par.$$ /tmp/audit_seq.$$; then
+    echo "FAIL: scan --audit --jobs 4 output/exit differs from --jobs 1"
+    audit_fail=1
+fi
+if target/release/shoal scan --jobs 1 --format json examples/ 2>/dev/null | grep -q '"audit"'; then
+    echo "FAIL: scan without --audit emitted an audit key (dark path broken)"
+    audit_fail=1
+fi
+if grep -En 'Instant::now|SystemTime' crates/obs/src/audit.rs crates/core/src/audit.rs; then
+    echo "FAIL: audit sources read a clock (the plane must add zero clock reads)"
+    audit_fail=1
+fi
+awk -F'[:,]' '
+    /"scan\/audit_off"/ { off = $2 + 0 }
+    /"scan\/audit_on"/  { on = $2 + 0 }
+    END {
+        if (off <= 0 || on <= 0) { print "  MISSING scan/audit_{off,on} in BENCH_scan.json"; exit 1 }
+        ratio = on / off
+        printf "  audit overhead: %.0f -> %.0f ns/iter (%.3fx, cap 1.05x)\n", off, on, ratio
+        exit (ratio > 1.05 ? 1 : 0)
+    }' BENCH_scan.json || { echo "FAIL: recorded audit-on overhead exceeds 1.05x audit-off"; audit_fail=1; }
+rm -f /tmp/audit_rep.$$ /tmp/audit_par.$$ /tmp/audit_seq.$$
+if [ "$audit_fail" = 1 ]; then
+    exit 1
+fi
+
 # JIT daemon smoke gate: start a daemon on a temp socket, serve the
 # same script cold then warm, and require both byte-identical to a
 # direct `shoal analyze --format json`; validate the telemetry plane
@@ -94,9 +135,11 @@ grep -q '"schema":"shoal-stats/v1"' "$jit_dir/stats.json" || { echo "FAIL: stats
 grep -q '"analyze.hit"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no analyze.hit counter"; jit_fail=1; }
 grep -q '"p99"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no p99 percentile"; jit_fail=1; }
 grep -q '"corrupt_misses"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no cache outcome taxonomy"; jit_fail=1; }
+grep -q '"analyzed_scripts"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no audit block"; jit_fail=1; }
 target/release/shoal daemon top --socket "$jit_sock" > "$jit_dir/top.txt" || { echo "FAIL: daemon top"; jit_fail=1; }
 grep -q "^requests:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no request table"; jit_fail=1; }
 grep -q "^cache:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no cache line"; jit_fail=1; }
+grep -q "^audit:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no audit line"; jit_fail=1; }
 target/release/shoal daemon stop --socket "$jit_sock" || { echo "FAIL: daemon stop"; jit_fail=1; }
 if ! wait "$jit_pid"; then echo "FAIL: daemon exited non-zero"; jit_fail=1; fi
 [ ! -e "$jit_sock" ] || { echo "FAIL: daemon left its socket behind"; jit_fail=1; }

@@ -1,0 +1,172 @@
+//! The precision/coverage audit plane end to end: call-site dedupe
+//! under world forking, taxonomy completeness, `--jobs` byte-parity of
+//! the fleet report, and the dark-path contract (audit off = no
+//! coverage map, identical verdicts).
+
+use shoal::core::{analyze_source_with, scan_paths, AnalysisOptions, ScanOptions};
+use shoal_obs::audit::LossCause;
+use std::path::PathBuf;
+
+fn audited() -> AnalysisOptions {
+    AnalysisOptions {
+        audit: true,
+        ..AnalysisOptions::default()
+    }
+}
+
+fn examples_dir() -> Vec<PathBuf> {
+    vec![PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples"
+    ))]
+}
+
+/// Regression for the fork-explosion accounting bug: an unknown
+/// command reached by many live worlds is ONE call site, not one per
+/// world. Three two-way forks put 8 worlds on the `frobnicate` line;
+/// the map must still say sites=1 and a single no-spec loss.
+#[test]
+fn unknown_command_is_counted_per_call_site_not_per_world() {
+    let src = "\
+if [ -f /tmp/a ]; then x=1; else x=2; fi
+if [ -f /tmp/b ]; then y=1; else y=2; fi
+if [ -f /tmp/c ]; then z=1; else z=2; fi
+frobnicate \"$x\" \"$y\" \"$z\"
+";
+    let report = analyze_source_with(src, audited()).expect("script parses");
+    let cov = report.coverage.expect("audit on yields a coverage map");
+
+    let frob = cov.commands.get("frobnicate").expect("command recorded");
+    assert!(!frob.has_spec);
+    assert_eq!(frob.sites, 1, "8 live worlds, one call site");
+    assert_eq!(frob.scripts, 1);
+    assert_eq!(
+        cov.loss_totals().get(&LossCause::NoSpec).copied(),
+        Some(1),
+        "one no-spec loss for one site, not one per world: {:?}",
+        cov.losses
+    );
+
+    // The same command on a second line is a second site.
+    let twice = format!("{src}frobnicate --again\n");
+    let report = analyze_source_with(&twice, audited()).expect("script parses");
+    let cov = report.coverage.expect("coverage map");
+    assert_eq!(cov.commands.get("frobnicate").unwrap().sites, 2);
+    assert_eq!(cov.loss_totals().get(&LossCause::NoSpec).copied(), Some(2));
+}
+
+/// Every recorded cause contributes to the degradation totals: the
+/// taxonomy is closed, so per-cause counts sum to `total_losses` and
+/// any loss marks the script degraded.
+#[test]
+fn loss_taxonomy_sums_and_marks_degradation() {
+    let src = "\
+while read -r line; do
+  munge \"$line\"
+done < /tmp/input
+frobnicate --all
+";
+    let report = analyze_source_with(src, audited()).expect("script parses");
+    let cov = report.coverage.expect("coverage map");
+
+    let totals = cov.loss_totals();
+    let sum: u64 = totals.values().sum();
+    assert_eq!(sum, cov.total_losses(), "per-cause counts must sum");
+    assert!(sum > 0, "unknown commands + loop widening must record losses");
+    assert!(
+        totals.contains_key(&LossCause::NoSpec),
+        "munge/frobnicate have no specs: {totals:?}"
+    );
+    assert!(
+        totals.contains_key(&LossCause::LoopWiden),
+        "the while body is widened: {totals:?}"
+    );
+    assert_eq!(cov.degraded_scripts, 1, "any loss degrades the script");
+
+    // Degraded + zero-fired checkers ⇒ flagged as possibly suppressed.
+    for (id, c) in &cov.checkers {
+        assert_eq!(
+            c.suppressed,
+            u64::from(c.fired == 0),
+            "checker {id}: fired={} suppressed={}",
+            c.fired,
+            c.suppressed
+        );
+    }
+}
+
+/// A clean script records coverage but no losses and no degradation.
+#[test]
+fn clean_script_is_fully_covered() {
+    let report = analyze_source_with("echo hello\n", audited()).expect("parses");
+    let cov = report.coverage.expect("coverage map");
+    assert_eq!(cov.scripts, 1);
+    assert_eq!(cov.degraded_scripts, 0);
+    assert_eq!(cov.total_losses(), 0);
+    assert!(cov.commands.get("echo").unwrap().has_spec);
+    for (id, c) in &cov.checkers {
+        assert_eq!(c.suppressed, 0, "nothing may be suppressed in {id}");
+    }
+}
+
+/// The dark path: audit off produces no coverage map, and flipping
+/// audit changes neither diagnostics nor the serialized report body.
+#[test]
+fn audit_off_is_dark_and_changes_no_verdicts() {
+    let src = "\
+if [ -f /tmp/a ]; then x=1; fi
+frobnicate \"$x\"
+rm -rf \"$UNSET/\"*
+";
+    let off = analyze_source_with(src, AnalysisOptions::default()).expect("parses");
+    assert!(off.coverage.is_none(), "audit off must construct nothing");
+
+    let on = analyze_source_with(src, audited()).expect("parses");
+    assert!(on.coverage.is_some());
+    assert_eq!(
+        off.diagnostics, on.diagnostics,
+        "the audit plane observes; it must never change verdicts"
+    );
+}
+
+/// `scan --audit` is byte-identical across `--jobs` levels and across
+/// runs, in both text and JSON forms — the fleet fold must not leak
+/// scheduling order.
+#[test]
+fn audited_scan_is_byte_identical_at_any_jobs_level() {
+    let roots = examples_dir();
+    let opts = |jobs| ScanOptions {
+        audit: true,
+        jobs,
+        ..ScanOptions::default()
+    };
+    let seq = scan_paths(&roots, &opts(1));
+    let par = scan_paths(&roots, &opts(4));
+    let again = scan_paths(&roots, &opts(4));
+
+    assert_eq!(
+        seq.to_json_audited().to_text(),
+        par.to_json_audited().to_text(),
+        "audited JSON must not depend on --jobs"
+    );
+    assert_eq!(
+        seq.render_text_audited(),
+        par.render_text_audited(),
+        "audited text must not depend on --jobs"
+    );
+    assert_eq!(
+        par.to_json_audited().to_text(),
+        again.to_json_audited().to_text(),
+        "audited JSON must be stable across runs"
+    );
+
+    // The audit block rides inside the scan JSON and carries the
+    // fleet schema; a plain scan must not grow one.
+    let doc = seq.to_json_audited().to_text();
+    assert!(doc.contains("shoal-audit/v1"), "{doc}");
+    let plain = scan_paths(&roots, &ScanOptions::default());
+    assert!(
+        !plain.to_json().to_text().contains("\"audit\""),
+        "audit off: no audit key in scan output"
+    );
+}
