@@ -40,6 +40,7 @@ fn main() {
         socket: socket.clone(),
         auto_spawn: false,
         spawn_wait: Duration::from_millis(100),
+        ..ClientConfig::default()
     };
     let opts = AnalysisOptions::default();
 
@@ -79,6 +80,7 @@ fn main() {
         clients: 4,
         requests: 25,
         socket: Some(socket.clone()),
+        overload: false,
     };
     shoal_daemon::bench_service::run_bench(&shape).expect("bench-service priming run");
     let report = shoal_daemon::bench_service::run_bench(&shape).expect("bench-service load run");
@@ -90,4 +92,25 @@ fn main() {
     client::stop(&socket).expect("daemon stops");
     server.join().expect("server thread").expect("clean shutdown");
     let _ = std::fs::remove_dir_all(&base);
+
+    // Overload shape: a private tiny daemon (1 slot, 2-deep queue)
+    // under 8 closed-loop clients. Only the shed/coalesced *rate*
+    // keys are printed — the percentile keys under a deliberately
+    // starved daemon would poison the min-keeping harvest of the
+    // steady-state numbers above. Rates are informational (skipped by
+    // the regression cap), but their presence is gated so the
+    // overload plane cannot silently disappear.
+    let overload = shoal_daemon::bench_service::BenchConfig {
+        clients: 8,
+        requests: 10,
+        socket: None,
+        overload: true,
+    };
+    let report =
+        shoal_daemon::bench_service::run_bench(&overload).expect("bench-service overload run");
+    assert_eq!(
+        report.mismatches, 0,
+        "every overload verdict (served, coalesced, or shed-then-local) must match local"
+    );
+    print!("{}", report.render_overload_bench_lines());
 }

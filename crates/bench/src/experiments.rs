@@ -1062,6 +1062,7 @@ pub fn e16_jit_latency() {
         socket: socket.clone(),
         auto_spawn: false,
         spawn_wait: Duration::from_millis(100),
+        ..ClientConfig::default()
     };
     let opts = AnalysisOptions::default();
 

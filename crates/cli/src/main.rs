@@ -189,7 +189,23 @@ JIT / DAEMON OPTIONS:
     --cache-dir DIR             daemon: on-disk result cache (default:
                                 ~/.cache/shoal-jit; $SHOAL_CACHE_DIR)
     --cache-capacity N          daemon: in-memory LRU entries (512)
-    --jobs N                    daemon: worker threads (0 = auto)
+    --cache-disk-bytes N        daemon: disk-cache size cap in bytes
+                                (GC evicts oldest-mtime entries;
+                                default unbounded)
+    --jobs N                    daemon: concurrent analyses admitted
+                                (0 = auto); excess requests queue
+    --queue-depth N             daemon: requests allowed to queue for
+                                an analysis slot (default 256; past
+                                it, requests are shed `queue-full`)
+    --queue-wait-ms N           daemon: max queue wait before a
+                                request is shed `queue-timeout`
+                                (default 2000; a request's own
+                                --deadline-ms caps it lower)
+    --request-timeout-ms N      jit: per-attempt response timeout
+                                (default 30000)
+    --retries N                 jit: transient-failure retries with
+                                jittered exponential backoff
+                                (default 2; sheds never retry)
     --trace-log FILE            daemon: append one JSONL trace line
                                 per request (+ a final daemon_stats
                                 summary on shutdown)
@@ -205,20 +221,29 @@ JIT / DAEMON OPTIONS:
   `shoal: jit served=daemon|local-fallback` (daemon-served requests
   also carry `trace=<id>`, the client-minted trace ID echoed by the
   server). Results are content-addressed: warm output is
-  byte-identical to `shoal analyze --format json`.
+  byte-identical to `shoal analyze --format json`. An overloaded
+  daemon sheds requests with a structured reason instead of stalling;
+  the client falls back locally at once
+  (`served=local-fallback (daemon shed (queue-full))`).
 
 BENCH-SERVICE OPTIONS:
     --clients N                 concurrent client threads (default 4)
     --requests N                requests per client (default 25)
     --socket PATH               target a running daemon (default:
                                 spawn a private cold-cache daemon)
+    --overload                  start the private daemon tiny (1 slot,
+                                2-deep queue, 50ms wait) so the run
+                                exercises shed + coalesce paths
     --format text|json|bench    output: human summary, a
                                 shoal-bench-service/v1 document, or
                                 shoal-bench/v1 `ns/iter` lines
-                                (service/analyze_p50|p95|p99)
+                                (service/analyze_p50|p95|p99; with
+                                --overload, the shed/coalesced rates)
   bench-service drives K closed-loop clients over the real socket with
   a deterministic figure-corpus workload, checks every served verdict
-  against local analysis, and reports latency percentiles.
+  against local analysis, and reports latency percentiles. Every
+  verdict — served, coalesced, or shed-then-local — must match the
+  local reference byte-for-byte (mismatches fail the run).
 
 OBSERVABILITY (any subcommand):
     --stats           print a counters/gauges/histograms table on exit
@@ -308,7 +333,7 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
             eprintln!("shoal analyze: --daemon does not support --emit-world-tree");
             return ExitCode::from(2);
         }
-        return jit_analyze(&paths, format, socket.as_deref(), true, obs);
+        return jit_analyze(&paths, format, socket.as_deref(), true, None, None, obs);
     }
     let opts = shoal_core::AnalysisOptions {
         profile: obs.profile,
@@ -605,11 +630,33 @@ fn cmd_jit(args: &[String], obs: &ObsFlags) -> ExitCode {
     let mut format = OutputFormat::Text;
     let mut socket: Option<String> = None;
     let mut auto_spawn = true;
+    let mut request_timeout_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--no-spawn" => auto_spawn = false,
+            "--request-timeout-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => request_timeout_ms = Some(n),
+                    _ => {
+                        eprintln!("shoal jit: --request-timeout-ms needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--retries" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) => retries = Some(n),
+                    None => {
+                        eprintln!("shoal jit: --retries needs a number (0 = no retries)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--socket" => {
                 i += 1;
                 match args.get(i) {
@@ -646,21 +693,38 @@ fn cmd_jit(args: &[String], obs: &ObsFlags) -> ExitCode {
         eprintln!("shoal jit: no scripts given");
         return ExitCode::from(2);
     }
-    jit_analyze(&paths, format, socket.as_deref(), auto_spawn, obs)
+    jit_analyze(
+        &paths,
+        format,
+        socket.as_deref(),
+        auto_spawn,
+        request_timeout_ms,
+        retries,
+        obs,
+    )
 }
 
 /// The shared client loop behind `shoal jit` and
 /// `shoal analyze --daemon`: one request per script, `analyze`-shaped
 /// stdout, a `served=` marker per script on stderr.
+#[allow(clippy::too_many_arguments)]
 fn jit_analyze(
     paths: &[String],
     format: OutputFormat,
     socket: Option<&str>,
     auto_spawn: bool,
+    request_timeout_ms: Option<u64>,
+    retries: Option<u32>,
     obs: &ObsFlags,
 ) -> ExitCode {
     let mut cfg = client_config(socket);
     cfg.auto_spawn = auto_spawn;
+    if let Some(ms) = request_timeout_ms {
+        cfg.request_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = retries {
+        cfg.retries = n;
+    }
     let opts = shoal_core::AnalysisOptions {
         profile: obs.profile,
         ..shoal_core::AnalysisOptions::default()
@@ -781,7 +845,10 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut no_disk = false;
     let mut cache_capacity: usize = 512;
+    let mut cache_disk_bytes: Option<u64> = None;
     let mut jobs: usize = 0;
+    let mut queue_depth: usize = 256;
+    let mut queue_wait_ms: u64 = 2_000;
     let mut trace_log: Option<String> = None;
     let mut status_json = false;
     let mut i = 0;
@@ -849,6 +916,36 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
                     Some(n) => jobs = n,
                     None => {
                         eprintln!("shoal daemon: --jobs needs a number (0 = auto)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--queue-depth" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => queue_depth = n,
+                    None => {
+                        eprintln!("shoal daemon: --queue-depth needs a number (0 = shed instead of queue)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--queue-wait-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => queue_wait_ms = n,
+                    None => {
+                        eprintln!("shoal daemon: --queue-wait-ms needs a number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--cache-disk-bytes" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => cache_disk_bytes = Some(n),
+                    _ => {
+                        eprintln!("shoal daemon: --cache-disk-bytes needs a positive byte count");
                         return ExitCode::from(2);
                     }
                 }
@@ -933,7 +1030,10 @@ fn cmd_daemon(args: &[String]) -> ExitCode {
                     )
                 },
                 cache_capacity,
+                cache_disk_bytes,
                 jobs,
+                queue_depth,
+                queue_wait: std::time::Duration::from_millis(queue_wait_ms),
                 trace_log: trace_log.map(std::path::PathBuf::from),
                 ..shoal_daemon::server::ServerConfig::default()
             };
@@ -1021,6 +1121,23 @@ fn render_daemon_top(json: &shoal_obs::json::Json) -> String {
             num(cache, "corrupt_misses"),
             num(cache, "evictions"),
             num(cache, "write_failures"),
+        );
+    }
+
+    if let Some(shield) = json.get("shield") {
+        let sheds_by = shield.get("sheds_by").cloned().unwrap_or(Json::Null);
+        let _ = writeln!(
+            out,
+            "shield: {} slot(s), queue {}/{} (highwater {}), {} admitted, {} shed ({} queue-full, {} queue-timeout), {} coalesced",
+            num(shield, "concurrency"),
+            num(shield, "queued"),
+            num(shield, "queue_depth"),
+            num(shield, "queue_highwater"),
+            num(shield, "admitted"),
+            num(shield, "sheds"),
+            num(&sheds_by, "queue-full"),
+            num(&sheds_by, "queue-timeout"),
+            num(shield, "coalesced"),
         );
     }
 
@@ -1115,6 +1232,7 @@ fn cmd_bench_service(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--overload" => config.overload = true,
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -1139,6 +1257,10 @@ fn cmd_bench_service(args: &[String]) -> ExitCode {
         Ok(report) => {
             match format {
                 "json" => println!("{}", report.to_json().to_text()),
+                // Overload runs emit only the rate keys: the percentile
+                // keys under a deliberately tiny daemon would poison
+                // the min-keeping BENCH_daemon.json harvest.
+                "bench" if config.overload => print!("{}", report.render_overload_bench_lines()),
                 "bench" => print!("{}", report.render_bench_lines()),
                 _ => print!("{}", report.render_text()),
             }

@@ -38,6 +38,13 @@ pub struct BenchConfig {
     /// Socket of a running daemon; `None` spawns a private in-process
     /// daemon on a temp socket (cold cache) and stops it afterwards.
     pub socket: Option<PathBuf>,
+    /// Overload mode: the private daemon is started deliberately tiny
+    /// (one analysis slot, a two-deep queue, a short queue wait) so the
+    /// run exercises the shield — sheds and coalesced fan-outs are
+    /// counted and reported as rates. Requires a private daemon
+    /// (`socket: None`); with an external socket the flag only changes
+    /// the report shape.
+    pub overload: bool,
 }
 
 impl Default for BenchConfig {
@@ -46,6 +53,7 @@ impl Default for BenchConfig {
             clients: 4,
             requests: 25,
             socket: None,
+            overload: false,
         }
     }
 }
@@ -58,6 +66,13 @@ pub struct BenchReport {
     pub hits: u64,
     pub misses: u64,
     pub fallbacks: u64,
+    /// Requests the daemon shed (client fell back locally with a
+    /// `daemon shed (…)` reason). A subset of `fallbacks`.
+    pub sheds: u64,
+    /// Coalesced fan-outs the daemon reported over the run (from its
+    /// shield stats; 0 when benching an external socket, whose
+    /// lifetime counters are not this run's).
+    pub coalesced: u64,
     /// Responses whose verdict differed from the local reference
     /// analysis (must be 0: the byte-identity invariant under load).
     pub mismatches: u64,
@@ -99,6 +114,13 @@ impl BenchReport {
             "  served: {} hit(s), {} miss(es), {} fallback(s), {} mismatch(es)",
             self.hits, self.misses, self.fallbacks, self.mismatches
         );
+        if self.sheds > 0 || self.coalesced > 0 {
+            let _ = writeln!(
+                out,
+                "  shield: {} shed(s), {} coalesced fan-out(s)",
+                self.sheds, self.coalesced
+            );
+        }
         let _ = writeln!(
             out,
             "  latency: p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
@@ -122,6 +144,8 @@ impl BenchReport {
             ("hits".into(), Json::Num(self.hits as f64)),
             ("misses".into(), Json::Num(self.misses as f64)),
             ("fallbacks".into(), Json::Num(self.fallbacks as f64)),
+            ("sheds".into(), Json::Num(self.sheds as f64)),
+            ("coalesced".into(), Json::Num(self.coalesced as f64)),
             ("mismatches".into(), Json::Num(self.mismatches as f64)),
             (
                 "elapsed_ms".into(),
@@ -143,6 +167,28 @@ impl BenchReport {
         ]
         .iter()
         .map(|(name, ns)| format!("{name:<44} {:>12.1} ns/iter (service percentile)\n", *ns as f64))
+        .collect()
+    }
+
+    /// Overload-mode keys: shed and coalesced counts per 1000 requests.
+    /// The literal `ns/iter` token keeps the lines harvestable by the
+    /// same awk pass as every other bench case; the keys end in
+    /// `_rate`, which the regression gate treats as informational (load
+    /// shedding is timing-dependent, not a perf regression signal).
+    pub fn render_overload_bench_lines(&self) -> String {
+        let per_k = |n: u64| {
+            if self.total > 0 {
+                (n as f64) * 1000.0 / (self.total as f64)
+            } else {
+                0.0
+            }
+        };
+        [
+            ("service/overload_shed_rate", per_k(self.sheds)),
+            ("service/overload_coalesced_rate", per_k(self.coalesced)),
+        ]
+        .iter()
+        .map(|(name, rate)| format!("{name:<44} {rate:>12.1} ns/iter (per 1000 requests)\n"))
         .collect()
     }
 }
@@ -171,11 +217,26 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
             let _ = std::fs::remove_dir_all(&base);
             std::fs::create_dir_all(&base)?;
             let sock = base.join("daemon.sock");
-            let server_config = ServerConfig {
-                socket: sock.clone(),
-                cache_dir: Some(base.join("cache")),
-                cache_capacity: 512,
-                ..ServerConfig::default()
+            let server_config = if config.overload {
+                // Deliberately tiny: one engine slot, a two-deep
+                // queue, a short wait — so clients >> concurrency
+                // actually exercises shed + coalesce paths.
+                ServerConfig {
+                    socket: sock.clone(),
+                    cache_dir: Some(base.join("cache")),
+                    cache_capacity: 512,
+                    jobs: 1,
+                    queue_depth: 2,
+                    queue_wait: Duration::from_millis(50),
+                    ..ServerConfig::default()
+                }
+            } else {
+                ServerConfig {
+                    socket: sock.clone(),
+                    cache_dir: Some(base.join("cache")),
+                    cache_capacity: 512,
+                    ..ServerConfig::default()
+                }
             };
             let handle = std::thread::spawn(move || run(server_config));
             let deadline = Instant::now() + Duration::from_secs(5);
@@ -212,6 +273,7 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
     let hits = Arc::new(AtomicU64::new(0));
     let misses = Arc::new(AtomicU64::new(0));
     let fallbacks = Arc::new(AtomicU64::new(0));
+    let sheds = Arc::new(AtomicU64::new(0));
     let mismatches = Arc::new(AtomicU64::new(0));
 
     let started = Instant::now();
@@ -220,10 +282,12 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
             let corpus = Arc::clone(&corpus);
             let (hits, misses) = (Arc::clone(&hits), Arc::clone(&misses));
             let (fallbacks, mismatches) = (Arc::clone(&fallbacks), Arc::clone(&mismatches));
+            let sheds = Arc::clone(&sheds);
             let cfg = ClientConfig {
                 socket: socket.clone(),
                 auto_spawn: false,
                 spawn_wait: Duration::from_millis(100),
+                ..ClientConfig::default()
             };
             std::thread::spawn(move || {
                 let opts = AnalysisOptions::default();
@@ -238,7 +302,12 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
                         Served::Daemon { cache_hit: false } => {
                             misses.fetch_add(1, Ordering::Relaxed)
                         }
-                        Served::Fallback { .. } => fallbacks.fetch_add(1, Ordering::Relaxed),
+                        Served::Fallback { reason } => {
+                            if reason.starts_with("daemon shed") {
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            fallbacks.fetch_add(1, Ordering::Relaxed)
+                        }
                     };
                     let matches = match (&r.result, reference) {
                         (Ok(got), Ok(want)) => got == want,
@@ -262,6 +331,22 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
     }
     let elapsed = started.elapsed();
 
+    // The coalesced count lives in the daemon's shield stats; read it
+    // before stopping a private daemon (its counters are this run's —
+    // an external daemon's lifetime counters are not).
+    let coalesced = if private.is_some() {
+        client::stats(&socket)
+            .ok()
+            .and_then(|j| {
+                j.get("shield")
+                    .and_then(|s| s.get("coalesced"))
+                    .and_then(Json::as_u64)
+            })
+            .unwrap_or(0)
+    } else {
+        0
+    };
+
     if let Some((sock, handle, base)) = private {
         let _ = client::stop(&sock);
         let _ = handle.join();
@@ -274,6 +359,8 @@ pub fn run_bench(config: &BenchConfig) -> io::Result<BenchReport> {
         hits: hits.load(Ordering::Relaxed),
         misses: misses.load(Ordering::Relaxed),
         fallbacks: fallbacks.load(Ordering::Relaxed),
+        sheds: sheds.load(Ordering::Relaxed),
+        coalesced,
         mismatches: mismatches.load(Ordering::Relaxed),
         elapsed,
         latency_ns,

@@ -132,6 +132,13 @@ pub struct ResultCache {
     capacity: usize,
     /// Disk tier root; `None` disables persistence.
     dir: Option<PathBuf>,
+    /// Disk-tier size cap in bytes; `None` means unbounded. When a put
+    /// pushes the tier past the cap, oldest-mtime entries are evicted
+    /// until it fits again (a long-lived daemon can't fill the disk).
+    disk_cap: Option<u64>,
+    /// Running estimate of disk-tier bytes (seeded by one walk at
+    /// construction, maintained incrementally, re-measured on GC).
+    disk_used: u64,
     /// Lifetime outcome counters (the cache's own telemetry — the
     /// global obs recorder is off by default, so the stats plane reads
     /// these, not `shoal_obs` counters).
@@ -160,6 +167,9 @@ pub struct OutcomeCounters {
     pub write_failures: u64,
     /// Hot-tier LRU evictions.
     pub evictions: u64,
+    /// Disk-tier files removed by the size-capped GC (oldest mtime
+    /// first).
+    pub disk_evictions: u64,
 }
 
 /// Point-in-time cache statistics for `daemon status` / `stats`.
@@ -176,13 +186,20 @@ pub struct CacheStats {
 
 impl ResultCache {
     /// A cache holding up to `capacity` hot entries, persisting to
-    /// `dir` when given.
-    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ResultCache {
+    /// `dir` when given, with the disk tier capped at `disk_cap` bytes
+    /// (`None` = unbounded).
+    pub fn new(capacity: usize, dir: Option<PathBuf>, disk_cap: Option<u64>) -> ResultCache {
+        let disk_used = match (&dir, disk_cap) {
+            (Some(d), Some(_)) => walk_disk_entries(d).iter().map(|(_, _, len)| len).sum(),
+            _ => 0,
+        };
         ResultCache {
             hot: HashMap::new(),
             tick: 0,
             capacity: capacity.max(1),
             dir,
+            disk_cap,
+            disk_used,
             stats: OutcomeCounters::default(),
         }
     }
@@ -232,12 +249,47 @@ impl ResultCache {
     /// error — but the degradation is counted).
     pub fn put(&mut self, key: String, entry: Entry) {
         if let Some(path) = self.disk_path(&key) {
-            if !write_disk_entry(&path, &entry.to_json(&key).to_text()) {
+            let contents = entry.to_json(&key).to_text();
+            if write_disk_entry(&path, &contents) {
+                self.disk_used += contents.len() as u64;
+                self.maybe_gc(&key);
+            } else {
                 self.stats.write_failures += 1;
                 shoal_obs::counter_add("daemon.cache_write_failure", 1);
             }
         }
         self.insert_hot(key, entry);
+    }
+
+    /// Size-capped disk GC: when the tier exceeds its byte cap, walk
+    /// it, sort by (mtime, path) ascending, and delete oldest entries
+    /// until it fits — sparing the just-written `fresh` key, which is
+    /// by definition the newest verdict. Runs off the hit path (only
+    /// after a disk write) and only when a cap is configured.
+    fn maybe_gc(&mut self, fresh: &str) {
+        let (Some(cap), Some(dir)) = (self.disk_cap, self.dir.clone()) else {
+            return;
+        };
+        if self.disk_used <= cap {
+            return;
+        }
+        let fresh_name = format!("{fresh}.json");
+        let mut entries = walk_disk_entries(&dir);
+        entries.sort();
+        self.disk_used = entries.iter().map(|(_, _, len)| len).sum();
+        for (_mtime, path, len) in entries {
+            if self.disk_used <= cap {
+                break;
+            }
+            if path.file_name().and_then(|n| n.to_str()) == Some(fresh_name.as_str()) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                self.disk_used = self.disk_used.saturating_sub(len);
+                self.stats.disk_evictions += 1;
+                shoal_obs::counter_add("daemon.cache_disk_evict", 1);
+            }
+        }
     }
 
     fn insert_hot(&mut self, key: String, entry: Entry) {
@@ -325,6 +377,40 @@ fn write_disk_entry(path: &Path, contents: &str) -> bool {
         return false;
     }
     true
+}
+
+/// Walks the disk tier: every `.json` entry as (mtime, path, bytes).
+/// Unstat-able files are skipped (they are being concurrently
+/// replaced; the next GC pass sees the final state).
+fn walk_disk_entries(dir: &Path) -> Vec<(std::time::SystemTime, PathBuf, u64)> {
+    let Ok(shards) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for shard in shards.filter_map(|s| s.ok()) {
+        let shard_path = shard.path();
+        if !shard_path.is_dir() {
+            continue;
+        }
+        let Ok(entries) = std::fs::read_dir(&shard_path) else {
+            continue;
+        };
+        for e in entries.filter_map(|e| e.ok()) {
+            let path = e.path();
+            let is_entry = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.ends_with(".json"))
+                .unwrap_or(false);
+            if !is_entry {
+                continue;
+            }
+            let Ok(meta) = e.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            out.push((mtime, path, meta.len()));
+        }
+    }
+    out
 }
 
 fn count_disk_entries(dir: &Path) -> usize {
@@ -445,7 +531,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut c = ResultCache::new(2, None);
+        let mut c = ResultCache::new(2, None, None);
         c.put("k1".into(), entry(1));
         c.put("k2".into(), entry(2));
         assert!(c.get("k1").is_some()); // k1 now more recent than k2
@@ -461,11 +547,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("shoal-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
-            let mut c = ResultCache::new(8, Some(dir.clone()));
+            let mut c = ResultCache::new(8, Some(dir.clone()), None);
             c.put("aabbccddeeff00112233445566778899".into(), entry(7));
         }
         // Fresh cache, same dir: the entry comes back from disk.
-        let mut c2 = ResultCache::new(8, Some(dir.clone()));
+        let mut c2 = ResultCache::new(8, Some(dir.clone()), None);
         let got = c2
             .get("aabbccddeeff00112233445566778899")
             .expect("disk entry survives restart");
@@ -481,14 +567,14 @@ mod tests {
     fn outcome_taxonomy_is_total() {
         let dir = std::env::temp_dir().join(format!("shoal-cache-tax-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut c = ResultCache::new(2, Some(dir.clone()));
+        let mut c = ResultCache::new(2, Some(dir.clone()), None);
 
         assert!(c.get("aa111111111111111111111111111111").is_none()); // cold miss
         c.put("aa111111111111111111111111111111".into(), entry(1));
         assert!(c.get("aa111111111111111111111111111111").is_some()); // hot hit
 
         // Disk hit: a fresh cache over the same dir misses hot, hits disk.
-        let mut c2 = ResultCache::new(2, Some(dir.clone()));
+        let mut c2 = ResultCache::new(2, Some(dir.clone()), None);
         assert!(c2.get("aa111111111111111111111111111111").is_some());
         assert_eq!(c2.outcomes().disk_hits, 1);
 
@@ -522,12 +608,45 @@ mod tests {
         let blocker =
             std::env::temp_dir().join(format!("shoal-cache-blocker-{}", std::process::id()));
         std::fs::write(&blocker, "not a dir").unwrap();
-        let mut c = ResultCache::new(4, Some(blocker.clone()));
+        let mut c = ResultCache::new(4, Some(blocker.clone()), None);
         c.put("dd111111111111111111111111111111".into(), entry(4));
         assert_eq!(c.outcomes().write_failures, 1);
         // The entry still serves from memory.
         assert!(c.get("dd111111111111111111111111111111").is_some());
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn disk_gc_evicts_oldest_mtime_until_under_cap() {
+        let dir = std::env::temp_dir().join(format!("shoal-cache-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Measure one entry's on-disk size, then cap the tier at two
+        // entries' worth so the third put must evict the oldest.
+        let probe = entry(1).to_json("aa111111111111111111111111111111").to_text();
+        let cap = (probe.len() as u64) * 2 + 8;
+        let mut c = ResultCache::new(8, Some(dir.clone()), Some(cap));
+        c.put("aa111111111111111111111111111111".into(), entry(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.put("bb111111111111111111111111111111".into(), entry(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.put("cc111111111111111111111111111111".into(), entry(1));
+        assert_eq!(c.outcomes().disk_evictions, 1, "third put must GC one entry");
+        assert!(
+            !dir.join("aa")
+                .join("aa111111111111111111111111111111.json")
+                .exists(),
+            "the oldest entry must be the one evicted"
+        );
+        // Survivors still serve from disk through a fresh cache.
+        let mut c2 = ResultCache::new(8, Some(dir.clone()), Some(cap));
+        assert!(c2.get("bb111111111111111111111111111111").is_some());
+        assert!(c2.get("cc111111111111111111111111111111").is_some());
+        assert_eq!(c2.outcomes().disk_hits, 2);
+        // An uncapped cache over the same dir never GCs.
+        let mut c3 = ResultCache::new(8, Some(dir.clone()), None);
+        c3.put("dd111111111111111111111111111111".into(), entry(1));
+        assert_eq!(c3.outcomes().disk_evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The thin JIT client: connect, auto-spawn, or fall back.
+//! The thin JIT client: connect, auto-spawn, retry, or fall back.
 //!
 //! The degradation contract (carried over from the resilient-scan
 //! work): a client request **never loses a verdict**. If the daemon is
@@ -9,6 +9,15 @@
 //! `served` field in scan JSON and the stderr marker in `shoal jit`)
 //! can see which path ran. Stdout stays byte-identical either way —
 //! only the marker channel differs.
+//!
+//! Failures are classified, not lumped: a **dead** socket (connection
+//! refused, no socket file) triggers reclaim-and-respawn at most once;
+//! a **busy** daemon (connect/read timeout, a connection torn mid-
+//! frame) is transient, so the request retries a bounded number of
+//! times with jittered exponential backoff. A structured `shed`
+//! response is *authoritative* — the daemon has said it cannot afford
+//! this request — so the client falls back locally at once instead of
+//! retrying into the same overload.
 //!
 //! Auto-spawn: on a dead socket the client launches
 //! `<current_exe> daemon --socket …` detached (null stdio) and polls
@@ -21,10 +30,11 @@ use crate::protocol::Request;
 use shoal_core::AnalysisOptions;
 use shoal_obs::frame::{read_frame, write_frame};
 use shoal_obs::json::Json;
+use shoal_obs::rng::XorShift64;
 use std::io;
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// How a verdict reached the caller.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +79,20 @@ pub struct ClientConfig {
     pub auto_spawn: bool,
     /// How long to poll a freshly spawned daemon before falling back.
     pub spawn_wait: Duration,
+    /// Budget for the connect phase of one attempt (a busy socket is
+    /// re-tried within this window before the attempt counts as
+    /// transient).
+    pub connect_timeout: Duration,
+    /// Read/write timeout on an established connection; a daemon that
+    /// takes longer than this to answer counts as busy.
+    pub request_timeout: Duration,
+    /// Transient-failure retries after the first attempt (each backed
+    /// off exponentially with jitter). `0` falls back on the first
+    /// transient failure.
+    pub retries: u32,
+    /// Base backoff delay (attempt `n` waits `base * 2^n`, jittered
+    /// into `[0.5, 1.5)` of itself).
+    pub retry_backoff: Duration,
 }
 
 impl Default for ClientConfig {
@@ -77,6 +101,10 @@ impl Default for ClientConfig {
             socket: crate::default_socket_path(),
             auto_spawn: true,
             spawn_wait: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(30),
+            retries: 2,
+            retry_backoff: Duration::from_millis(25),
         }
     }
 }
@@ -126,6 +154,17 @@ pub fn stop(socket: &Path) -> io::Result<Json> {
     request(socket, &Request::Stop)
 }
 
+/// How one failed attempt should be treated.
+enum Transport {
+    /// Nobody is home (refused connection, missing socket file):
+    /// respawn once if allowed, else fall back.
+    Dead(String),
+    /// The daemon exists but did not answer in time (connect/read
+    /// timeout, connection torn mid-frame): transient, retry with
+    /// backoff.
+    Busy(String),
+}
+
 /// Analyzes `source` just-in-time: daemon first, in-process fallback.
 ///
 /// Profiled requests (`options.profile`) skip the daemon entirely —
@@ -150,25 +189,109 @@ pub fn analyze(
         resilient,
         trace_id: Some(trace_id.clone()),
     };
-    match connect_or_spawn(config) {
-        Ok(()) => {}
-        Err(reason) => return local(source, options, resilient, &reason),
-    }
-    match request(&config.socket, &req) {
-        Ok(json) => interpret(json, source, options, resilient, &trace_id),
-        Err(err) => local(source, options, resilient, &format!("request failed: {err}")),
+
+    let mut rng = backoff_rng();
+    let mut spawned = false;
+    let mut attempt: u32 = 0;
+    loop {
+        match attempt_request(config, &req) {
+            Ok(json) => return interpret(json, source, options, resilient, &trace_id),
+            Err(Transport::Dead(reason)) => {
+                // Dead socket: reclaim by respawning, once. A second
+                // dead classification means the spawn did not help —
+                // stop burning the latency budget.
+                if config.auto_spawn && !spawned {
+                    spawned = true;
+                    match spawn_and_wait(config) {
+                        Ok(()) => continue, // does not consume a retry
+                        Err(spawn_reason) => {
+                            return local(source, options, resilient, &spawn_reason)
+                        }
+                    }
+                }
+                return local(source, options, resilient, &reason);
+            }
+            Err(Transport::Busy(reason)) => {
+                // Transient: bounded retry with jittered exponential
+                // backoff, then fall back rather than block the caller.
+                if attempt >= config.retries {
+                    return local(source, options, resilient, &reason);
+                }
+                shoal_obs::counter_add("jit.retry", 1);
+                std::thread::sleep(backoff_delay(config.retry_backoff, attempt, &mut rng));
+                attempt += 1;
+            }
+        }
     }
 }
 
-/// Ensures something is listening on the socket, spawning a daemon if
-/// allowed. `Err` carries the fallback reason.
-fn connect_or_spawn(config: &ClientConfig) -> Result<(), String> {
-    if UnixStream::connect(&config.socket).is_ok() {
-        return Ok(());
+/// One request attempt over a fresh connection, with timeouts armed
+/// and the failure classified dead-vs-busy.
+fn attempt_request(config: &ClientConfig, req: &Request) -> Result<Json, Transport> {
+    let stream = connect_classified(config)?;
+    let _ = stream.set_read_timeout(Some(config.request_timeout));
+    let _ = stream.set_write_timeout(Some(config.request_timeout));
+    let mut stream = stream;
+    write_frame(&mut stream, req.to_json().to_text().as_bytes())
+        .map_err(|e| classify_io_error(&e, "send"))?;
+    let payload = read_frame(&mut stream)
+        .map_err(|e| classify_io_error(&e, "response"))?
+        .ok_or_else(|| {
+            // EOF before any response byte: the serving thread died
+            // (or the daemon is shutting down) — transient.
+            Transport::Busy("daemon closed connection before answering".into())
+        })?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| Transport::Busy("daemon response is not utf-8".into()))?;
+    Json::parse(text).map_err(|e| Transport::Busy(format!("bad daemon response: {e}")))
+}
+
+/// Connects, looping on busy-classified failures within the connect
+/// budget; a dead classification surfaces immediately.
+fn connect_classified(config: &ClientConfig) -> Result<UnixStream, Transport> {
+    let deadline = Instant::now() + config.connect_timeout;
+    loop {
+        match UnixStream::connect(&config.socket) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => match classify_connect_error(&err) {
+                Transport::Dead(reason) => return Err(Transport::Dead(reason)),
+                Transport::Busy(reason) => {
+                    if Instant::now() >= deadline {
+                        return Err(Transport::Busy(reason));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            },
+        }
     }
-    if !config.auto_spawn {
-        return Err("daemon unreachable (auto-spawn disabled)".into());
+}
+
+/// Dead means nobody owns the socket; busy means somebody does but is
+/// not keeping up. Unknown connect errors classify as dead (matching
+/// the pre-shield behavior: any connect failure triggered a spawn).
+fn classify_connect_error(err: &io::Error) -> Transport {
+    match err.kind() {
+        io::ErrorKind::ConnectionRefused => {
+            Transport::Dead(format!("stale socket (connect refused: {err})"))
+        }
+        io::ErrorKind::NotFound => Transport::Dead("daemon not running (no socket)".into()),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted => {
+            Transport::Busy(format!("daemon busy (connect: {err})"))
+        }
+        _ => Transport::Dead(format!("daemon unreachable (connect: {err})")),
     }
+}
+
+/// Mid-request failures are transient: the daemon *was* there (we
+/// connected), so a torn frame or a stalled read means a dying worker
+/// or an overloaded one — retry; if the daemon is truly gone the next
+/// connect classifies dead.
+fn classify_io_error(err: &io::Error, during: &str) -> Transport {
+    Transport::Busy(format!("daemon {during} failed: {err}"))
+}
+
+/// Spawns a daemon and polls until it answers or the spawn budget ends.
+fn spawn_and_wait(config: &ClientConfig) -> Result<(), String> {
     if let Err(e) = spawn_daemon(&config.socket) {
         return Err(format!("daemon unreachable, spawn failed: {e}"));
     }
@@ -181,6 +304,24 @@ fn connect_or_spawn(config: &ClientConfig) -> Result<(), String> {
         std::thread::sleep(Duration::from_millis(20));
     }
     Err("daemon unreachable (spawned, never answered)".into())
+}
+
+/// Seeds the jitter PRNG from wall clock + pid: cheap, and distinct
+/// across the concurrent clients whose retries must not synchronize.
+fn backoff_rng() -> XorShift64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9);
+    XorShift64::seed_from_u64(nanos ^ u64::from(std::process::id()))
+}
+
+/// Attempt `n` waits `base * 2^n`, jittered uniformly into
+/// `[0.5, 1.5)` of itself so synchronized clients fan out.
+fn backoff_delay(base: Duration, attempt: u32, rng: &mut XorShift64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let jitter_pct = 50 + rng.random_range(0..100) as u32; // 50..150
+    exp.saturating_mul(jitter_pct) / 100
 }
 
 /// Launches `<current_exe> daemon --socket …` detached.
@@ -222,8 +363,18 @@ fn interpret(
         let Some(entry) = entry_from_response(&json) else {
             return local(source, options, resilient, "malformed daemon response");
         };
-        let cache_hit = json.get("cache").and_then(Json::as_str) == Some("hit");
-        shoal_obs::counter_add(if cache_hit { "jit.hit" } else { "jit.miss" }, 1);
+        let cache = json.get("cache").and_then(Json::as_str);
+        let cache_hit = cache == Some("hit");
+        shoal_obs::counter_add(
+            match cache {
+                Some("hit") => "jit.hit",
+                // A fan-out from another request's in-flight analysis:
+                // the daemon served us without a fresh engine run.
+                Some("coalesced") => "jit.coalesced",
+                _ => "jit.miss",
+            },
+            1,
+        );
         return JitResponse {
             served: Served::Daemon { cache_hit },
             result: Ok(entry),
@@ -231,6 +382,22 @@ fn interpret(
         };
     }
     match json.get("error").and_then(Json::as_str) {
+        // A shed is authoritative: the daemon is overloaded and told
+        // us so. Fall back locally right now — retrying would only
+        // deepen the overload the shield is trying to survive.
+        Some("shed") => {
+            shoal_obs::counter_add("jit.shed", 1);
+            let reason = json
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("overloaded");
+            local(
+                source,
+                options,
+                resilient,
+                &format!("daemon shed ({reason})"),
+            )
+        }
         // A strict-mode parse error is a *verdict* (the script does not
         // parse), not a transport failure — no point re-parsing locally.
         Some("parse") => JitResponse {

@@ -20,20 +20,24 @@
 //! * [`protocol`] — the `shoal-jit/v1` length-prefixed JSON wire
 //!   format (plus the `shoal-stats/v1` telemetry snapshot),
 //! * [`cache`] — content-addressed verdicts: bounded in-memory LRU
-//!   over an on-disk store, every outcome counted by name,
-//! * [`server`] — the accept loop, fanning requests over
-//!   [`shoal_obs::pool::TaskPool`], tracing every request into the
-//!   telemetry plane,
-//! * [`client`] — connect / auto-spawn / fall back, minting the trace
-//!   IDs the server echoes,
+//!   over a size-capped on-disk store, every outcome counted by name,
+//! * [`shield`] — overload survival: the bounded admission gate
+//!   (concurrency limit + deadline-budgeted wait queue + structured
+//!   sheds) and the in-flight dedup table (thundering-herd collapse),
+//! * [`server`] — the accept loop, one thread per connection with
+//!   engine runs rationed by the shield, tracing every request into
+//!   the telemetry plane,
+//! * [`client`] — connect / auto-spawn / retry with jittered backoff /
+//!   fall back, minting the trace IDs the server echoes,
 //! * [`bench_service`] — the closed-loop load generator behind
-//!   `shoal bench-service`.
+//!   `shoal bench-service` (including the `--overload` mode).
 
 pub mod bench_service;
 pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod shield;
 
 use shoal_core::{AnalysisReport, Severity};
 use std::path::PathBuf;

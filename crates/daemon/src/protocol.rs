@@ -19,9 +19,22 @@
 //! {"schema":"shoal-jit/v1","op":"stop"}
 //! ```
 //!
-//! Responses: see [`crate::server`] (`ok`, `cache` = `hit`/`miss`,
-//! `key`, `body`, `text`, `findings` for analyze; counters for status;
-//! `ok` for stop; `error` + `message` on failure).
+//! Responses: see [`crate::server`] (`ok`, `cache` =
+//! `hit`/`miss`/`coalesced`, `key`, `body`, `text`, `findings` for
+//! analyze; counters for status; `ok` for stop; `error` + `message` on
+//! failure). An overloaded daemon sheds with a structured refusal
+//! instead of queueing unboundedly:
+//!
+//! ```json
+//! {"schema":"shoal-jit/v1","ok":false,"error":"shed",
+//!  "reason":"queue-full","message":"daemon overloaded (queue-full); analyze locally"}
+//! ```
+//!
+//! `reason` is machine-readable (`queue-full` | `queue-timeout`); a
+//! shed is authoritative, so clients fall back locally rather than
+//! retry. `cache:"coalesced"` marks a verdict fanned out from another
+//! request's in-flight analysis — the payload fields are byte-
+//! identical to a hit or miss for the same key.
 
 use shoal_core::AnalysisOptions;
 use shoal_obs::json::Json;

@@ -1,9 +1,22 @@
 //! The resident analysis server.
 //!
 //! One blocking accept loop on a unix domain socket; each accepted
-//! connection is handed to a [`shoal_obs::pool::TaskPool`] worker, so
-//! concurrent clients are served in parallel without any per-request
-//! thread spawn. All state a worker needs lives in one shared
+//! connection gets its own thread, and *admission* to the expensive
+//! part — running the engine — is governed by the
+//! [`crate::shield::Shield`]: a bounded concurrency gate with a
+//! bounded, deadline-budgeted waiting queue. Reading frames is always
+//! immediate (a connection thread is cheap and mostly blocked on I/O),
+//! so an overloaded daemon still *answers* every request — with a
+//! structured `shed{reason}` response when it cannot afford to compute
+//! — instead of letting connections starve unread in an accept
+//! backlog. Cache hits and control verbs (`status`, `stats`, `stop`)
+//! bypass the gate entirely; only engine runs are rationed.
+//!
+//! Concurrent misses for the same cache key collapse onto one engine
+//! run via the [`crate::shield::FlightTable`]: the first arrival leads
+//! and computes, later arrivals wait for the published outcome and are
+//! answered with `cache:"coalesced"` (thundering-herd collapse).
+//! All state a connection thread needs lives in one shared
 //! [`ServerState`]: the two-tier result cache behind a mutex (lookups
 //! are microseconds; analysis itself runs *outside* the lock), the
 //! spec-library fingerprint sampled once at startup, plain atomic
@@ -26,8 +39,8 @@
 //! Shutdown is cooperative: the `stop` handler answers the client,
 //! flips the shutdown flag, then makes a throwaway connection to its
 //! own socket so the blocked `accept` wakes up and observes the flag.
-//! Dropping the pool drains in-flight requests before the socket file
-//! is removed, so a `stop` never strands a concurrent `analyze` — and
+//! Every connection thread is joined before the socket file is
+//! removed, so a `stop` never strands a concurrent `analyze` — and
 //! only after that drain is the telemetry flushed (final `daemon_stats`
 //! summary line + buffered trace lines), so the JSONL log is complete
 //! when `stop` returns.
@@ -41,21 +54,23 @@
 
 use crate::cache::{cache_key, CacheStats, Entry, KeyParts, ResultCache};
 use crate::protocol::{Request, SCHEMA, STATS_SCHEMA};
+use crate::shield::{Boarding, FlightOutcome, FlightTable, Shield, ShieldConfig, ShieldStats};
 use shoal_core::{analyze_source_resilient, analyze_source_with, AnalysisOptions};
 use shoal_obs::audit::CoverageMap;
+use shoal_obs::failpoint;
 use shoal_obs::frame::{read_frame, write_frame};
 use shoal_obs::json::Json;
-use shoal_obs::pool::TaskPool;
 use shoal_obs::trace::{self, Trace, TraceRing, SLOW_RETAIN};
 use shoal_obs::LogHistogram;
 use std::collections::BTreeMap;
 use std::io::{self, BufWriter, Write};
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration; see [`run`].
 #[derive(Debug, Clone)]
@@ -66,8 +81,17 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// In-memory LRU capacity (entries).
     pub cache_capacity: usize,
-    /// Worker threads (0 = available parallelism).
+    /// On-disk cache size cap in bytes (`None` = unbounded); excess
+    /// entries are GC'd oldest-mtime-first.
+    pub cache_disk_bytes: Option<u64>,
+    /// Concurrent analyses admitted (0 = available parallelism).
     pub jobs: usize,
+    /// Requests allowed to queue for an analysis slot before arrivals
+    /// are shed `queue-full`.
+    pub queue_depth: usize,
+    /// Ceiling on how long one request may queue before being shed
+    /// `queue-timeout` (a request's own deadline budget caps it lower).
+    pub queue_wait: Duration,
     /// When set, every completed request appends one JSONL trace line
     /// here, and shutdown appends a final `daemon_stats` summary line.
     pub trace_log: Option<PathBuf>,
@@ -81,7 +105,10 @@ impl Default for ServerConfig {
             socket: crate::default_socket_path(),
             cache_dir: Some(crate::default_cache_dir()),
             cache_capacity: 512,
+            cache_disk_bytes: None,
             jobs: 0,
+            queue_depth: 256,
+            queue_wait: Duration::from_secs(2),
             trace_log: None,
             trace_ring: 256,
         }
@@ -155,11 +182,14 @@ impl Telemetry {
 struct ServerState {
     cache: Mutex<ResultCache>,
     telemetry: Mutex<Telemetry>,
+    /// Admission gate + shed/coalesce counters.
+    shield: Shield,
+    /// In-flight dedup: same-key misses collapse onto one engine run.
+    flights: FlightTable,
     spec_fingerprint: u64,
     started: Instant,
     shutdown: AtomicBool,
     socket: PathBuf,
-    workers: usize,
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -174,23 +204,37 @@ struct ServerState {
 pub fn run(config: ServerConfig) -> io::Result<()> {
     let listener = bind_recovering(&config.socket)?;
     let spec_fingerprint = shoal_spec::SpecLibrary::builtin().fingerprint();
-    let pool = TaskPool::new(config.jobs);
+    let concurrency = if config.jobs == 0 {
+        ShieldConfig::default().concurrency
+    } else {
+        config.jobs
+    };
     let state = Arc::new(ServerState {
         cache: Mutex::new(ResultCache::new(
             config.cache_capacity,
             config.cache_dir.clone(),
+            config.cache_disk_bytes,
         )),
         telemetry: Mutex::new(Telemetry::new(config.trace_ring, &config.trace_log)),
+        shield: Shield::new(ShieldConfig {
+            concurrency,
+            queue_depth: config.queue_depth,
+            queue_wait: config.queue_wait,
+        }),
+        flights: FlightTable::new(),
         spec_fingerprint,
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
         socket: config.socket.clone(),
-        workers: pool.workers(),
         requests: AtomicU64::new(0),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     });
 
+    // One thread per connection: frame reads are never starved by
+    // analyses (the shield rations those), so an overloaded daemon
+    // still answers — with a shed — instead of leaving clients unread.
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
@@ -198,7 +242,27 @@ pub fn run(config: ServerConfig) -> io::Result<()> {
         match stream {
             Ok(stream) => {
                 let state = Arc::clone(&state);
-                pool.submit(Box::new(move || serve_connection(stream, &state)));
+                let spawned = std::thread::Builder::new()
+                    .name("shoal-conn".into())
+                    .spawn(move || {
+                        // A panicking connection must not take the
+                        // daemon down (engine panics are caught deeper;
+                        // this guards the serving loop itself).
+                        if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &state)))
+                            .is_err()
+                        {
+                            shoal_obs::counter_add("daemon.connection_panics", 1);
+                        }
+                    });
+                match spawned {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => {
+                        // Thread exhaustion: drop the connection (the
+                        // client sees EOF and falls back locally).
+                        shoal_obs::counter_add("daemon.conn_spawn_failures", 1);
+                    }
+                }
+                connections.retain(|h| !h.is_finished());
             }
             Err(err) => {
                 if state.shutdown.load(Ordering::SeqCst) {
@@ -208,7 +272,10 @@ pub fn run(config: ServerConfig) -> io::Result<()> {
             }
         }
     }
-    drop(pool); // drain in-flight requests before unlinking
+    // Drain in-flight connections before unlinking the socket.
+    for handle in connections {
+        let _ = handle.join();
+    }
     // Only now is the telemetry complete: every in-flight request has
     // recorded its trace. Drain it before the socket disappears.
     let summary = handle_stats(&state);
@@ -262,6 +329,10 @@ fn serve_connection(mut stream: UnixStream, state: &ServerState) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return, // clean EOF or a client that vanished
         };
+        // Chaos hook: kill this connection's worker mid-request (after
+        // the frame is read, before any response) — the client must
+        // classify the resulting EOF as transient and retry/fall back.
+        failpoint::hit("daemon::serve");
         let t0 = Instant::now();
         state.requests.fetch_add(1, Ordering::Relaxed);
         shoal_obs::counter_add("daemon.requests", 1);
@@ -290,6 +361,16 @@ fn serve_connection(mut stream: UnixStream, state: &ServerState) {
             .unwrap()
             .record(trace, served.coverage.as_ref());
 
+        // Chaos hook: drop the connection mid-frame — write a length
+        // prefix and only half the payload, then hang up. The client
+        // must treat the torn frame as transient and retry/fall back.
+        if failpoint::armed("daemon::truncate-response") {
+            let bytes = text.as_bytes();
+            let _ = stream.write_all(&(bytes.len() as u32).to_be_bytes());
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         if write_frame(&mut stream, text.as_bytes()).is_err() {
             return;
         }
@@ -384,6 +465,45 @@ fn handle_analyze(
     }
     state.misses.fetch_add(1, Ordering::Relaxed);
 
+    // Thundering-herd collapse: a miss boards the flight for its key.
+    // A waiter blocks until the leader publishes, then fans the
+    // outcome out without an engine run or an admission slot.
+    let board_t = Instant::now();
+    let lease = match state.flights.board(&key) {
+        Boarding::Waiter(outcome) => {
+            trace::phase_add("coalesce", board_t.elapsed().as_micros() as u64);
+            return serve_flight_outcome(&key, outcome, trace_id, state);
+        }
+        Boarding::Leader(lease) => lease,
+    };
+
+    // Admission control: the leader asks the shield for an engine
+    // slot, waiting at most the configured queue wait — capped lower
+    // by the request's own deadline budget when it carries one. A shed
+    // is published to any waiters too: they fall back locally just
+    // like the leader's client, and nothing queues unboundedly.
+    let admit_t = Instant::now();
+    let slot = state.shield.admit(options.deadline);
+    trace::phase_add("admission", admit_t.elapsed().as_micros() as u64);
+    let _slot = match slot {
+        Ok(slot) => slot,
+        Err(reason) => {
+            lease.publish(FlightOutcome::Shed(reason.label()));
+            shoal_obs::counter_add("daemon.sheds", 1);
+            return Served {
+                response: shed_response(reason.label()),
+                endpoint: "analyze",
+                outcome: "shed",
+                trace_id,
+                coverage: None,
+            };
+        }
+    };
+
+    // Chaos hook: stall the admitted engine run (exercises client
+    // request timeouts without touching admission).
+    failpoint::hit("daemon::analyze");
+
     // Run the engine outside the cache lock; shield the worker from
     // engine panics so one poisonous script can't take the daemon down.
     // The engine's own phase hooks (`parse`, `symexec`, `relang`,
@@ -412,6 +532,10 @@ fn handle_analyze(
                 let _t = trace::phase_timer("cache");
                 state.cache.lock().unwrap().put(key.clone(), entry.clone());
             }
+            // Publish only after the cache holds the entry: a request
+            // arriving between publication and its own cache lookup
+            // must find the verdict, not start a redundant flight.
+            lease.publish(FlightOutcome::Verdict(entry.clone()));
             Served {
                 response: analyze_response(&key, "miss", &entry, trace_id.as_deref()),
                 endpoint: "analyze",
@@ -420,16 +544,21 @@ fn handle_analyze(
                 coverage,
             }
         }
-        Ok(Err(parse_err)) => Served {
-            response: error_response("parse", &parse_err.to_string()),
-            endpoint: "analyze",
-            outcome: "parse-error",
-            trace_id,
-            coverage: None,
-        },
+        Ok(Err(parse_err)) => {
+            let msg = parse_err.to_string();
+            lease.publish(FlightOutcome::ParseError(msg.clone()));
+            Served {
+                response: error_response("parse", &msg),
+                endpoint: "analyze",
+                outcome: "parse-error",
+                trace_id,
+                coverage: None,
+            }
+        }
         Err(panic) => {
             let msg = panic_message(&panic);
             shoal_obs::counter_add("daemon.panics", 1);
+            lease.publish(FlightOutcome::Panic(msg.clone()));
             Served {
                 response: error_response("panic", &msg),
                 endpoint: "analyze",
@@ -438,6 +567,55 @@ fn handle_analyze(
                 coverage: None,
             }
         }
+    }
+}
+
+/// Answers a coalesced waiter from its flight's published outcome.
+/// A fanned-out verdict is marked `cache:"coalesced"` (the bytes of
+/// `findings`/`text`/`body` are identical to any other serving path);
+/// a shed leader sheds its waiters too; errors mirror the leader's.
+fn serve_flight_outcome(
+    key: &str,
+    outcome: FlightOutcome,
+    trace_id: Option<String>,
+    state: &ServerState,
+) -> Served {
+    match outcome {
+        FlightOutcome::Verdict(entry) => {
+            state.shield.note_coalesced();
+            shoal_obs::counter_add("daemon.coalesced", 1);
+            Served {
+                response: analyze_response(key, "coalesced", &entry, trace_id.as_deref()),
+                endpoint: "analyze",
+                outcome: "coalesced",
+                trace_id,
+                coverage: None,
+            }
+        }
+        FlightOutcome::Shed(reason) => {
+            shoal_obs::counter_add("daemon.sheds", 1);
+            Served {
+                response: shed_response(reason),
+                endpoint: "analyze",
+                outcome: "shed",
+                trace_id,
+                coverage: None,
+            }
+        }
+        FlightOutcome::ParseError(msg) => Served {
+            response: error_response("parse", &msg),
+            endpoint: "analyze",
+            outcome: "parse-error",
+            trace_id,
+            coverage: None,
+        },
+        FlightOutcome::Panic(msg) => Served {
+            response: error_response("panic", &msg),
+            endpoint: "analyze",
+            outcome: "panic",
+            trace_id,
+            coverage: None,
+        },
     }
 }
 
@@ -485,9 +663,9 @@ fn handle_status(state: &ServerState) -> Json {
 /// Field order is part of the schema (stable across releases):
 /// `schema`, `ok`, `op`, `version`, `pid`, `uptime_ms`, `workers`,
 /// `requests` (`total` + `by` endpoint.outcome), `cache`, `latency_us`
-/// (per endpoint.outcome histogram summaries), `slow_requests`, `audit`.
-/// New fields are appended, never inserted — consumers may index by
-/// position.
+/// (per endpoint.outcome histogram summaries), `slow_requests`,
+/// `audit`, `shield`. New fields are appended, never inserted —
+/// consumers may index by position.
 fn handle_stats(state: &ServerState) -> Json {
     let cache = state.cache.lock().unwrap().stats();
     let telemetry = state.telemetry.lock().unwrap();
@@ -519,7 +697,10 @@ fn handle_stats(state: &ServerState) -> Json {
             "uptime_ms".into(),
             Json::Num(state.started.elapsed().as_millis() as f64),
         ),
-        ("workers".into(), Json::Num(state.workers as f64)),
+        (
+            "workers".into(),
+            Json::Num(state.shield.concurrency() as f64),
+        ),
         (
             "requests".into(),
             Json::Obj(vec![
@@ -535,6 +716,39 @@ fn handle_stats(state: &ServerState) -> Json {
         ("latency_us".into(), Json::Obj(latency)),
         ("slow_requests".into(), Json::Arr(slow)),
         ("audit".into(), telemetry.audit.summary_json(5)),
+        ("shield".into(), shield_stats_json(&state.shield.stats())),
+    ])
+}
+
+/// Serializes the overload plane: admission-gate configuration, shed
+/// taxonomy, coalesced fan-outs, and live queue occupancy.
+fn shield_stats_json(s: &ShieldStats) -> Json {
+    Json::Obj(vec![
+        ("concurrency".into(), Json::Num(s.concurrency as f64)),
+        ("queue_depth".into(), Json::Num(s.queue_depth as f64)),
+        ("queue_wait_ms".into(), Json::Num(s.queue_wait_ms as f64)),
+        ("admitted".into(), Json::Num(s.admitted as f64)),
+        ("sheds".into(), Json::Num(s.sheds() as f64)),
+        (
+            "sheds_by".into(),
+            Json::Obj(vec![
+                (
+                    "queue-full".into(),
+                    Json::Num(s.shed_queue_full as f64),
+                ),
+                (
+                    "queue-timeout".into(),
+                    Json::Num(s.shed_queue_timeout as f64),
+                ),
+            ]),
+        ),
+        ("coalesced".into(), Json::Num(s.coalesced as f64)),
+        (
+            "queue_highwater".into(),
+            Json::Num(s.queue_highwater as f64),
+        ),
+        ("running".into(), Json::Num(s.running as f64)),
+        ("queued".into(), Json::Num(s.queued as f64)),
     ])
 }
 
@@ -552,6 +766,7 @@ fn cache_stats_json(cache: &CacheStats) -> Json {
         ("corrupt_misses".into(), Json::Num(o.corrupt_misses as f64)),
         ("write_failures".into(), Json::Num(o.write_failures as f64)),
         ("evictions".into(), Json::Num(o.evictions as f64)),
+        ("disk_evictions".into(), Json::Num(o.disk_evictions as f64)),
     ])
 }
 
@@ -587,6 +802,22 @@ fn analyze_response(key: &str, cache: &str, entry: &Entry, trace_id: Option<&str
     ));
     fields.push(("body".into(), entry.body.clone()));
     Json::Obj(fields)
+}
+
+/// The structured overload answer: `ok:false, error:"shed"` plus the
+/// machine-readable reason. A shed is authoritative — the client falls
+/// back locally at once rather than retrying into the same overload.
+fn shed_response(reason: &str) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str("shed".into())),
+        ("reason".into(), Json::Str(reason.into())),
+        (
+            "message".into(),
+            Json::Str(format!("daemon overloaded ({reason}); analyze locally")),
+        ),
+    ])
 }
 
 fn error_response(kind: &str, message: &str) -> Json {

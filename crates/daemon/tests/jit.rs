@@ -66,6 +66,7 @@ impl TestDaemon {
             socket: self.socket.clone(),
             auto_spawn: false,
             spawn_wait: Duration::from_millis(100),
+            ..ClientConfig::default()
         }
     }
 }
@@ -205,6 +206,7 @@ fn unreachable_daemon_falls_back_in_process_with_marker() {
         )),
         auto_spawn: false,
         spawn_wait: Duration::from_millis(50),
+        ..ClientConfig::default()
     };
     let opts = AnalysisOptions::default();
     let script = shoal_corpus::figures::FIG3;
@@ -297,6 +299,7 @@ fn concurrent_clients_all_get_correct_verdicts() {
                     socket,
                     auto_spawn: false,
                     spawn_wait: Duration::from_millis(100),
+                    ..ClientConfig::default()
                 };
                 let (source, want) = &expected[i % expected.len()];
                 for _ in 0..4 {
@@ -363,6 +366,7 @@ fn disk_tier_survives_daemon_restart() {
         socket: sock.clone(),
         auto_spawn: false,
         spawn_wait: Duration::from_millis(100),
+        ..ClientConfig::default()
     };
 
     let sock1 = base.join("d1.sock");

@@ -61,6 +61,7 @@ impl TestDaemon {
             socket: self.socket.clone(),
             auto_spawn: false,
             spawn_wait: Duration::from_millis(100),
+            ..ClientConfig::default()
         }
     }
 
@@ -227,7 +228,9 @@ fn concurrent_clients_and_stats_readers_stay_consistent() {
                     .and_then(|r| r.get("by"))
                     .cloned()
                     .unwrap_or(Json::Obj(vec![]));
-                let analyze = num(&by, "analyze.hit") + num(&by, "analyze.miss");
+                let analyze = num(&by, "analyze.hit")
+                    + num(&by, "analyze.miss")
+                    + num(&by, "analyze.coalesced");
                 assert!(
                     analyze >= last_analyze,
                     "analyze counter went backwards: {last_analyze} -> {analyze}"
@@ -268,14 +271,25 @@ fn concurrent_clients_and_stats_readers_stay_consistent() {
     let polls = poller.join().expect("poller thread");
     assert!(polls > 0, "the poller never got a snapshot in");
 
-    // Final reconciliation: 8 workers x 6 requests.
+    // Final reconciliation: 8 workers x 6 requests. Concurrent
+    // same-key requests may coalesce onto one in-flight analysis, so
+    // every analyze lands in exactly one of three outcome buckets —
+    // and the shield's own coalesced counter must agree with the
+    // per-outcome request counter, or the dedup plane is lying.
     let stats = client::stats(&daemon.socket).expect("stats answers");
     let by = stats
         .get("requests")
         .and_then(|r| r.get("by"))
         .cloned()
         .unwrap();
-    assert_eq!(num(&by, "analyze.hit") + num(&by, "analyze.miss"), 48);
+    assert_eq!(
+        num(&by, "analyze.hit") + num(&by, "analyze.miss") + num(&by, "analyze.coalesced"),
+        48
+    );
+    let shield = stats.get("shield").expect("stats carries shield");
+    assert_eq!(num(shield, "coalesced"), num(&by, "analyze.coalesced"));
+    assert_eq!(num(shield, "sheds"), num(&by, "analyze.shed"));
+    assert_eq!(num(shield, "sheds"), 0, "no overload in this shape");
 }
 
 #[test]
@@ -313,6 +327,7 @@ fn stats_field_order_is_frozen_and_audit_reconciles_with_misses() {
             "latency_us",
             "slow_requests",
             "audit",
+            "shield",
         ],
         "shoal-stats/v1 field order is frozen; new fields append, never insert"
     );
@@ -431,6 +446,7 @@ fn bench_service_smoke() {
         clients: 2,
         requests: 3,
         socket: None,
+        overload: false,
     })
     .expect("bench-service runs against a private daemon");
     assert_eq!(report.total, 6);

@@ -125,6 +125,25 @@ pub fn set_context(ctx: &str) {
     CONTEXT.with(|c| *c.borrow_mut() = ctx.to_string());
 }
 
+/// Is `name` armed for the current context? A non-firing query for
+/// sites whose fault action is structural (e.g. "truncate this
+/// response frame") rather than panic/sleep — the caller asks, then
+/// performs the corruption itself. Same cost model as [`hit`]: one
+/// relaxed load when nothing is armed.
+pub fn armed(name: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    let config = CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    config.iter().any(|f| {
+        f.name == name
+            && match &f.filter {
+                None => true,
+                Some(needle) => CONTEXT.with(|c| c.borrow().contains(needle.as_str())),
+            }
+    })
+}
+
 /// Fires the failpoint `name` if armed (and its filter matches the
 /// current context). Panics when the armed action is `panic` — callers
 /// that must survive wrap the work in `catch_unwind`.
@@ -184,6 +203,22 @@ mod tests {
         clear();
         set_context("");
         assert!(r.is_err(), "armed failpoint with matching filter must fire");
+    }
+
+    #[test]
+    fn armed_queries_without_firing() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(!armed("daemon::truncate-response"));
+        configure("daemon::truncate-response=panic@figX").expect("valid spec");
+        set_context("corpus/other.sh");
+        assert!(!armed("daemon::truncate-response"), "filter must gate");
+        set_context("corpus/figX.sh");
+        // `armed` reports without executing the action (no panic here).
+        assert!(armed("daemon::truncate-response"));
+        clear();
+        set_context("");
+        assert!(!armed("daemon::truncate-response"));
     }
 
     #[test]

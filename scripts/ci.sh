@@ -136,10 +136,13 @@ grep -q '"analyze.hit"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no 
 grep -q '"p99"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no p99 percentile"; jit_fail=1; }
 grep -q '"corrupt_misses"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no cache outcome taxonomy"; jit_fail=1; }
 grep -q '"analyzed_scripts"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no audit block"; jit_fail=1; }
+grep -q '"shield"' "$jit_dir/stats.json" || { echo "FAIL: stats carries no shield block"; jit_fail=1; }
+grep -q '"queue_highwater"' "$jit_dir/stats.json" || { echo "FAIL: shield block carries no queue highwater"; jit_fail=1; }
 target/release/shoal daemon top --socket "$jit_sock" > "$jit_dir/top.txt" || { echo "FAIL: daemon top"; jit_fail=1; }
 grep -q "^requests:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no request table"; jit_fail=1; }
 grep -q "^cache:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no cache line"; jit_fail=1; }
 grep -q "^audit:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no audit line"; jit_fail=1; }
+grep -q "^shield:" "$jit_dir/top.txt" || { echo "FAIL: daemon top shows no shield line"; jit_fail=1; }
 target/release/shoal daemon stop --socket "$jit_sock" || { echo "FAIL: daemon stop"; jit_fail=1; }
 if ! wait "$jit_pid"; then echo "FAIL: daemon exited non-zero"; jit_fail=1; fi
 [ ! -e "$jit_sock" ] || { echo "FAIL: daemon left its socket behind"; jit_fail=1; }
@@ -148,18 +151,117 @@ if [ "$jit_fail" = 1 ]; then
     exit 1
 fi
 
+# Chaos gate: the degradation contract under injected faults, driven
+# through the real binaries. Three scenarios — a daemon slower than
+# the client's request timeout, a daemon at admission capacity, and a
+# corrupted disk-cache entry — must all end with the client printing a
+# verdict byte-identical to a direct `shoal analyze`, with the serving
+# marker telling the truth about which path produced it.
+echo "==> chaos: slow daemon / shed under overload / corrupt cache entry"
+chaos_dir=/tmp/shoal-ci-chaos.$$
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+chaos_fail=0
+printf '%s\n' 'echo chaos | wc -l' > "$chaos_dir/a.sh"
+printf '%s\n' 'echo other' > "$chaos_dir/b.sh"
+target/release/shoal analyze "$chaos_dir/a.sh" --format json > "$chaos_dir/a.direct.json" || true
+target/release/shoal analyze "$chaos_dir/b.sh" --format json > "$chaos_dir/b.direct.json" || true
+
+# (1) Slow daemon: every analysis stalls 400ms; the client is given a
+# 150ms budget and one retry, so it must cut losses and answer
+# locally — same bytes, marked as a fallback.
+slow_sock="$chaos_dir/slow.sock"
+SHOAL_FAILPOINTS='daemon::analyze=sleep(400)' \
+    target/release/shoal daemon --socket "$slow_sock" --cache-dir "$chaos_dir/slow-cache" &
+slow_pid=$!
+n=0
+while [ ! -S "$slow_sock" ] && [ "$n" -lt 100 ]; do sleep 0.05; n=$((n + 1)); done
+target/release/shoal jit --socket "$slow_sock" --no-spawn --request-timeout-ms 150 --retries 1 \
+    --format json "$chaos_dir/a.sh" > "$chaos_dir/slow.json" 2> "$chaos_dir/slow.err" || true
+cmp -s "$chaos_dir/a.direct.json" "$chaos_dir/slow.json" \
+    || { echo "FAIL: verdict under a slow daemon differs from direct analyze"; chaos_fail=1; }
+grep -q "served=local-fallback" "$chaos_dir/slow.err" \
+    || { echo "FAIL: slow-daemon request was not marked as a local fallback"; chaos_fail=1; }
+target/release/shoal daemon stop --socket "$slow_sock" >/dev/null 2>&1 || true
+wait "$slow_pid" 2>/dev/null || true
+
+# (2) Shed: one slot, zero queue, analyses stalled — a second request
+# with a distinct key must be shed immediately and answered locally,
+# and the daemon's stats must count the shed.
+shed_sock="$chaos_dir/shed.sock"
+SHOAL_FAILPOINTS='daemon::analyze=sleep(2000)' \
+    target/release/shoal daemon --socket "$shed_sock" --cache-dir "$chaos_dir/shed-cache" \
+    --jobs 1 --queue-depth 0 --queue-wait-ms 50 &
+shed_pid=$!
+n=0
+while [ ! -S "$shed_sock" ] && [ "$n" -lt 100 ]; do sleep 0.05; n=$((n + 1)); done
+target/release/shoal jit --socket "$shed_sock" --no-spawn --format json "$chaos_dir/a.sh" \
+    > /dev/null 2>&1 &
+hog_pid=$!
+sleep 0.5
+target/release/shoal jit --socket "$shed_sock" --no-spawn --format json "$chaos_dir/b.sh" \
+    > "$chaos_dir/shed.json" 2> "$chaos_dir/shed.err" || true
+cmp -s "$chaos_dir/b.direct.json" "$chaos_dir/shed.json" \
+    || { echo "FAIL: verdict after a shed differs from direct analyze"; chaos_fail=1; }
+grep -q "daemon shed" "$chaos_dir/shed.err" \
+    || { echo "FAIL: shed fallback marker missing (want 'daemon shed (reason)')"; chaos_fail=1; }
+wait "$hog_pid" 2>/dev/null || true
+target/release/shoal daemon status --format json --socket "$shed_sock" > "$chaos_dir/shed-stats.json" || true
+grep -q '"sheds":1' "$chaos_dir/shed-stats.json" \
+    || { echo "FAIL: shield stats did not count the shed"; chaos_fail=1; }
+target/release/shoal daemon stop --socket "$shed_sock" >/dev/null 2>&1 || true
+wait "$shed_pid" 2>/dev/null || true
+
+# (3) Corrupt cache: persist a verdict, truncate the disk entry,
+# restart over the same directory — the daemon must recompute (a
+# counted miss), never serve garbage.
+cc_sock="$chaos_dir/cc.sock"
+target/release/shoal daemon --socket "$cc_sock" --cache-dir "$chaos_dir/cc-cache" &
+cc_pid=$!
+n=0
+while [ ! -S "$cc_sock" ] && [ "$n" -lt 100 ]; do sleep 0.05; n=$((n + 1)); done
+target/release/shoal jit --socket "$cc_sock" --no-spawn --format json "$chaos_dir/a.sh" > /dev/null 2>&1 || true
+target/release/shoal daemon stop --socket "$cc_sock" >/dev/null 2>&1 || true
+wait "$cc_pid" 2>/dev/null || true
+find "$chaos_dir/cc-cache" -name '*.json' -exec sh -c 'printf "{torn" > "$1"' _ {} \;
+target/release/shoal daemon --socket "$cc_sock" --cache-dir "$chaos_dir/cc-cache" &
+cc_pid=$!
+n=0
+while [ ! -S "$cc_sock" ] && [ "$n" -lt 100 ]; do sleep 0.05; n=$((n + 1)); done
+target/release/shoal jit --socket "$cc_sock" --no-spawn --format json "$chaos_dir/a.sh" \
+    > "$chaos_dir/cc.json" 2> "$chaos_dir/cc.err" || true
+cmp -s "$chaos_dir/a.direct.json" "$chaos_dir/cc.json" \
+    || { echo "FAIL: verdict over a corrupt cache differs from direct analyze"; chaos_fail=1; }
+grep -q "served=daemon cache=miss" "$chaos_dir/cc.err" \
+    || { echo "FAIL: corrupt entry was not recomputed as a served miss"; chaos_fail=1; }
+target/release/shoal daemon status --format json --socket "$cc_sock" > "$chaos_dir/cc-stats.json" || true
+grep -q '"corrupt_misses":1' "$chaos_dir/cc-stats.json" \
+    || { echo "FAIL: corrupt disk entry was not counted"; chaos_fail=1; }
+target/release/shoal daemon stop --socket "$cc_sock" >/dev/null 2>&1 || true
+wait "$cc_pid" 2>/dev/null || true
+rm -rf "$chaos_dir"
+if [ "$chaos_fail" = 1 ]; then
+    exit 1
+fi
+
 # Service load smoke: a short closed-loop bench-service run against a
 # private daemon must complete with zero verdict mismatches (exit 0)
-# and emit the percentile keys BENCH_daemon.json records.
-echo "==> daemon: bench-service smoke (2 clients x 3 requests)"
+# and emit the percentile keys BENCH_daemon.json records; the overload
+# shape must emit its shed/coalesced rate keys the same way.
+echo "==> daemon: bench-service smoke (2 clients x 3 requests, + overload shape)"
 bench_out=/tmp/shoal-ci-bench.$$
 target/release/shoal bench-service --clients 2 --requests 3 --format bench > "$bench_out" \
     || { echo "FAIL: bench-service run (verdict mismatch or daemon failure)"; rm -f "$bench_out"; exit 1; }
 for key in service/analyze_p50 service/analyze_p99; do
     grep -q "$key" "$bench_out" || { echo "FAIL: bench-service emitted no $key"; rm -f "$bench_out"; exit 1; }
 done
+target/release/shoal bench-service --clients 4 --requests 5 --overload --format bench > "$bench_out" \
+    || { echo "FAIL: bench-service --overload run (verdict mismatch under overload)"; rm -f "$bench_out"; exit 1; }
+for key in service/overload_shed_rate service/overload_coalesced_rate; do
+    grep -q "$key" "$bench_out" || { echo "FAIL: bench-service --overload emitted no $key"; rm -f "$bench_out"; exit 1; }
+done
 rm -f "$bench_out"
-for key in service/analyze_p50 service/analyze_p99; do
+for key in service/analyze_p50 service/analyze_p99 service/overload_shed_rate service/overload_coalesced_rate; do
     grep -q "\"$key\"" BENCH_daemon.json \
         || { echo "FAIL: BENCH_daemon.json carries no $key baseline"; exit 1; }
 done
