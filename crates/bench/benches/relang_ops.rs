@@ -37,6 +37,20 @@ fn main() {
         black_box(black_box(&lsb).witness());
     });
 
+    // Adversarial containment: the materialized product would exceed
+    // 10k pairs, but the counterexample ("ab") sits two BFS steps from
+    // the start pair. Benched at the Dfa level (no memo) so it measures
+    // the lazy search itself.
+    let adv_a = Dfa::from_regex(
+        &Regex::concat(vec![Regex::byte(b'a'), Regex::byte(b'b')])
+            .or(&Regex::byte(b'c').then(&Regex::byte(b'a').repeat(101, Some(101)).star())),
+    );
+    let adv_b =
+        Dfa::from_regex(&Regex::byte(b'c').then(&Regex::byte(b'a').repeat(103, Some(103)).star()));
+    bench("decisions/containment_early_exit", || {
+        black_box(black_box(&adv_a).is_subset_of(black_box(&adv_b)));
+    });
+
     let paths = Dfa::from_regex(&Regex::parse(r"/?([^/\n]+/)*[^/\n]+").unwrap());
     let suffix = Dfa::from_regex(&Regex::parse(r"/(.|\n)*").unwrap());
     bench("right_quotient_dirname", || {

@@ -142,18 +142,10 @@ pub fn remove_affix(
     }
     if let Some((_, constraint)) = value.as_single_sym() {
         let label = value.describe();
-        let constraint_dfa = Dfa::from_regex(constraint);
-        let pat_dfa = Dfa::from_regex(pattern);
         // Strings where some affix matches.
-        let (matched_originals, quotient) = match affix {
-            Affix::Suffix => {
-                let with = constraint.intersect(&Regex::anything().then(pattern));
-                (with, constraint_dfa.right_quotient(&pat_dfa).to_regex())
-            }
-            Affix::Prefix => {
-                let with = constraint.intersect(&pattern.then(&Regex::anything()));
-                (with, constraint_dfa.left_quotient(&pat_dfa).to_regex())
-            }
+        let matched_originals = match affix {
+            Affix::Suffix => constraint.intersect(&Regex::anything().then(pattern)),
+            Affix::Prefix => constraint.intersect(&pattern.then(&Regex::anything())),
         };
         let unmatched = match affix {
             Affix::Suffix => constraint.difference(&Regex::anything().then(pattern)),
@@ -161,6 +153,14 @@ pub fn remove_affix(
         };
         let mut cases = Vec::new();
         if !matched_originals.is_empty() {
+            // Quotients (the expensive step) are only needed when the
+            // "pattern matched" world is live.
+            let constraint_dfa = Dfa::from_regex(constraint);
+            let pat_dfa = Dfa::from_regex(pattern);
+            let quotient = match affix {
+                Affix::Suffix => constraint_dfa.right_quotient(&pat_dfa).to_regex(),
+                Affix::Prefix => constraint_dfa.left_quotient(&pat_dfa).to_regex(),
+            };
             cases.push(RemovalCase {
                 result: SymStr::sym(fresh(), quotient, &format!("{label} minus affix")),
                 source_refinement: Some(matched_originals),

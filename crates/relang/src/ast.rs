@@ -366,7 +366,9 @@ impl Regex {
         crate::memo::intern(self)
     }
 
-    /// Is the language empty? Memoized per interned term.
+    /// Is the language empty? Memoized per interned term; `And` terms
+    /// are answered by the lazy n-way intersection search without
+    /// compiling the conjunction (see [`crate::lazy`]).
     pub fn is_empty(&self) -> bool {
         crate::memo::is_empty(self)
     }
@@ -377,20 +379,23 @@ impl Regex {
         self.difference(&Regex::Eps).is_empty()
     }
 
-    /// Is `self ⊆ other`? Memoized per interned term pair.
+    /// Is `self ⊆ other`? Memoized per interned term pair; the miss
+    /// path is a lazy product search that exits at the first
+    /// counterexample string (see [`crate::lazy`]).
     pub fn is_subset_of(&self, other: &Regex) -> bool {
         shoal_obs::counter_add("relang.subset_checks", 1);
         crate::memo::is_subset_of(self, other)
     }
 
-    /// Do the two languages coincide? Memoized per interned term pair.
+    /// Do the two languages coincide? Memoized per interned term pair;
+    /// one lazy symmetric-difference search on the miss path.
     pub fn equiv(&self, other: &Regex) -> bool {
         shoal_obs::counter_add("relang.equiv_checks", 1);
         crate::memo::equiv(self, other)
     }
 
     /// Are the two languages disjoint (emptiness of intersection)?
-    /// Memoized per interned term pair.
+    /// Memoized per interned term pair; lazy search on the miss path.
     pub fn disjoint(&self, other: &Regex) -> bool {
         crate::memo::disjoint(self, other)
     }

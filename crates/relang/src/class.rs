@@ -198,6 +198,31 @@ impl fmt::Debug for ByteClass {
     }
 }
 
+/// Refines an alphabet partition by one class: every block is replaced
+/// by its intersection with `c` and its remainder (empty pieces are
+/// dropped). Starting from `[ByteClass::ALL]` and refining by every
+/// transition class of an automaton yields the coarsest partition on
+/// which the automaton's transitions are constant — the alphabet
+/// compression both DFA construction routes rely on.
+///
+/// Block order is deterministic (inside piece before outside piece, in
+/// the order of the input partition); downstream construction relies on
+/// this to keep compiled automata reproducible.
+pub fn refine_partition(partition: &mut Vec<ByteClass>, c: &ByteClass) {
+    let mut next = Vec::with_capacity(partition.len() + 1);
+    for block in partition.iter() {
+        let inside = block.intersect(c);
+        let outside = block.difference(c);
+        if !inside.is_empty() {
+            next.push(inside);
+        }
+        if !outside.is_empty() {
+            next.push(outside);
+        }
+    }
+    *partition = next;
+}
+
 /// Named POSIX character classes usable inside bracket expressions,
 /// e.g. `[[:digit:]]`.
 pub fn named_class(name: &str) -> Option<ByteClass> {
@@ -342,6 +367,25 @@ mod tests {
         assert!(named_class("punct").unwrap().contains(b'/'));
         assert!(!named_class("punct").unwrap().contains(b'a'));
         assert!(named_class("bogus").is_none());
+    }
+
+    #[test]
+    fn refine_partition_is_disjoint_cover() {
+        let mut p = vec![ByteClass::ALL];
+        refine_partition(&mut p, &ByteClass::range(b'a', b'm'));
+        refine_partition(&mut p, &ByteClass::range(b'h', b'z'));
+        refine_partition(&mut p, &ByteClass::EMPTY); // no-op, drops nothing
+        // Blocks are pairwise disjoint and cover all 256 bytes.
+        let mut total = 0;
+        for (i, a) in p.iter().enumerate() {
+            total += a.len();
+            for b in p.iter().skip(i + 1) {
+                assert!(a.intersect(b).is_empty());
+            }
+        }
+        assert_eq!(total, 256);
+        // a..m splits h..z: expect a-g | h-m | n-z | rest.
+        assert_eq!(p.len(), 4);
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!   NFA, for the classical fragment.
 //!
 //! The two are cross-checked against each other in the test suite.
+//!
+//! Minimization is Hopcroft's worklist algorithm over the compressed
+//! alphabet (O(n·k·log n)); the old Moore refinement is kept as
+//! [`Dfa::minimize_moore`] purely as a differential-testing oracle. The
+//! binary decision procedures ([`Dfa::is_subset_of`], [`Dfa::equiv`],
+//! [`Dfa::disjoint`]) do **not** materialize product automata — they
+//! run the lazy pair search in [`crate::lazy`] and stop at the first
+//! counterexample.
 
 use crate::ast::Regex;
 use crate::class::ByteClass;
@@ -39,8 +47,9 @@ pub enum ApproxReason {
     /// A construction worklist exceeded the per-thread state cap; the
     /// result is ⊤ (accepts every byte string).
     StateCap {
-        /// Which construction hit the cap (`from_regex`, `from_nfa`,
-        /// `product`, `union_of_states`, `left_quotient`).
+        /// Which construction or search hit the cap (`from_regex`,
+        /// `from_nfa`, `product`, `union_of_states`, `left_quotient`,
+        /// `right_quotient`, or a `lazy_*` pair search).
         site: &'static str,
         /// The cap that was in effect.
         cap: usize,
@@ -100,22 +109,40 @@ pub(crate) fn replay_approx_hits(hits: &[ApproxReason]) {
     APPROX_HITS.with(|h| h.borrow_mut().extend_from_slice(hits));
 }
 
+/// Records a state-cap hit at `site` (approx-hit buffer, counter,
+/// event) and returns the reason. Shared by the eager constructions
+/// (which wrap the reason in a ⊤ automaton) and the lazy pair searches
+/// in [`crate::lazy`] (which degrade to a conservative verdict instead
+/// of building anything).
+pub(crate) fn record_cap(site: &'static str) -> ApproxReason {
+    let cap = dfa_state_cap();
+    let reason = ApproxReason::StateCap { site, cap };
+    APPROX_HITS.with(|h| h.borrow_mut().push(reason));
+    shoal_obs::counter_add("relang.dfa_state_cap", 1);
+    shoal_obs::event!("dfa_state_cap", site = site, cap = cap as u64);
+    reason
+}
+
 /// A complete DFA over a byte-class-compressed alphabet.
+///
+/// Fields are `pub(crate)` so the lazy pair-search engine
+/// ([`crate::lazy`]) can walk transitions without per-step accessor
+/// overhead; outside the crate the automaton is opaque.
 #[derive(Debug, Clone)]
 pub struct Dfa {
     /// Alphabet partition: disjoint classes covering all 256 bytes.
-    classes: Vec<ByteClass>,
+    pub(crate) classes: Vec<ByteClass>,
     /// Byte → class index.
-    byte_map: Vec<u16>,
+    pub(crate) byte_map: Vec<u16>,
     /// `trans[state][class]` → next state.
-    trans: Vec<Vec<u32>>,
+    pub(crate) trans: Vec<Vec<u32>>,
     /// Accepting flags per state.
-    accept: Vec<bool>,
+    pub(crate) accept: Vec<bool>,
     /// Start state.
-    start: u32,
+    pub(crate) start: u32,
     /// Set when this automaton is an approximation (state cap hit
     /// somewhere in its construction history).
-    approx: Option<ApproxReason>,
+    pub(crate) approx: Option<ApproxReason>,
 }
 
 /// Intermediate sparse automaton used by both construction routes.
@@ -147,12 +174,7 @@ impl Dfa {
 
     /// Records a state-cap hit at `site` and returns the ⊤ fallback.
     fn cap_blown(site: &'static str) -> Dfa {
-        let cap = dfa_state_cap();
-        let reason = ApproxReason::StateCap { site, cap };
-        APPROX_HITS.with(|h| h.borrow_mut().push(reason));
-        shoal_obs::counter_add("relang.dfa_state_cap", 1);
-        shoal_obs::event!("dfa_state_cap", site = site, cap = cap as u64);
-        Dfa::top(reason)
+        Dfa::top(record_cap(site))
     }
 
     /// `Some` when this automaton over-approximates the requested
@@ -206,7 +228,9 @@ impl Dfa {
             }
             let state = order[id as usize].clone();
             for block in local_classes(&state) {
-                let rep = block.min_byte().expect("partition blocks are non-empty");
+                // Partition blocks are non-empty by construction; skip
+                // defensively rather than panic (densify adds the sink).
+                let Some(rep) = block.min_byte() else { continue };
                 let d = deriv(&state, rep);
                 let to = intern(d, &mut order, &mut trans, &mut work, &mut ids);
                 trans[id as usize].push((block, to));
@@ -242,26 +266,10 @@ impl Dfa {
                 return Dfa::cap_blown("from_nfa");
             }
             let set = order[id as usize].clone();
-            // Partition the alphabet by outgoing transition classes.
-            let mut partition = vec![ByteClass::ALL];
-            for &s in &set {
-                for t in &nfa.states[s].trans {
-                    let mut next_partition = Vec::with_capacity(partition.len() + 1);
-                    for block in &partition {
-                        let inside = block.intersect(&t.on);
-                        let outside = block.difference(&t.on);
-                        if !inside.is_empty() {
-                            next_partition.push(inside);
-                        }
-                        if !outside.is_empty() {
-                            next_partition.push(outside);
-                        }
-                    }
-                    partition = next_partition;
-                }
-            }
-            for block in partition {
-                let rep = block.min_byte().expect("non-empty block");
+            // Alphabet compression: step once per local transition
+            // class instead of once per byte.
+            for block in nfa.local_classes(&set) {
+                let Some(rep) = block.min_byte() else { continue };
                 let mut next: Vec<usize> = Vec::new();
                 for &s in &set {
                     for t in &nfa.states[s].trans {
@@ -305,18 +313,7 @@ impl Dfa {
         let mut partition = vec![ByteClass::ALL];
         for row in &sparse.trans {
             for (c, _) in row {
-                let mut next = Vec::with_capacity(partition.len() + 1);
-                for block in &partition {
-                    let inside = block.intersect(c);
-                    let outside = block.difference(c);
-                    if !inside.is_empty() {
-                        next.push(inside);
-                    }
-                    if !outside.is_empty() {
-                        next.push(outside);
-                    }
-                }
-                partition = next;
+                crate::class::refine_partition(&mut partition, c);
             }
         }
         let mut byte_map = vec![0u16; 256];
@@ -333,7 +330,10 @@ impl Dfa {
         for row in &sparse.trans {
             let mut dense = vec![sink; partition.len()];
             for (ci, block) in partition.iter().enumerate() {
-                let rep = block.min_byte().expect("non-empty");
+                let Some(rep) = block.min_byte() else {
+                    used_sink = true;
+                    continue;
+                };
                 for (c, to) in row {
                     if c.contains(rep) {
                         dense[ci] = *to;
@@ -362,13 +362,13 @@ impl Dfa {
     }
 
     // ---------------------------------------------------------------
-    // Minimization (Moore partition refinement)
+    // Minimization (Hopcroft's algorithm)
     // ---------------------------------------------------------------
 
-    /// Returns the minimal equivalent DFA (unreachable states removed,
-    /// equivalent states merged).
-    pub fn minimize(&self) -> Dfa {
-        // 1. Drop unreachable states.
+    /// Restricts to the reachable subautomaton: returns the kept
+    /// original state ids (in ascending order) and the old → new map
+    /// (`usize::MAX` for dropped states).
+    fn reachable_states(&self) -> (Vec<usize>, Vec<usize>) {
         let n = self.trans.len();
         let mut reach = vec![false; n];
         let mut stack = vec![self.start as usize];
@@ -389,9 +389,203 @@ impl Dfa {
                 kept.push(s);
             }
         }
+        (kept, remap)
+    }
+
+    /// Returns the minimal equivalent DFA (unreachable states removed,
+    /// equivalent states merged) via Hopcroft's worklist algorithm:
+    /// O(n·k·log n) over the compressed alphabet classes, versus the
+    /// old Moore refinement's O(n²·k) worst case.
+    ///
+    /// The resulting state numbering is canonical — blocks are numbered
+    /// by first occurrence in the input's state order, exactly the
+    /// numbering Moore refinement produced — so everything downstream
+    /// of `minimize` (including [`Dfa::to_regex`], whose output is
+    /// state-order-sensitive and reaches user-facing diagnostics) is
+    /// byte-identical to the pre-Hopcroft pipeline.
+    pub fn minimize(&self) -> Dfa {
+        // 1. Drop unreachable states; work over the dense remnant.
+        let (kept, remap) = self.reachable_states();
+        let m = kept.len();
+        let k = self.classes.len();
+        // t[i*k + c]: transition table of the kept subautomaton.
+        let mut t = vec![0u32; m * k];
+        for (i, &s) in kept.iter().enumerate() {
+            for (c, &to) in self.trans[s].iter().enumerate() {
+                t[i * k + c] = remap[to as usize] as u32;
+            }
+        }
+
+        // 2. Per-class inverse transitions in CSR form:
+        //    inv[c] = (offsets, preds) with preds[offsets[s]..offsets[s+1]]
+        //    the states stepping to `s` on class c.
+        let mut inv: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut offsets = vec![0u32; m + 1];
+            for i in 0..m {
+                offsets[t[i * k + c] as usize + 1] += 1;
+            }
+            for s in 0..m {
+                offsets[s + 1] += offsets[s];
+            }
+            let mut fill = offsets.clone();
+            let mut preds = vec![0u32; m];
+            for i in 0..m {
+                let tgt = t[i * k + c] as usize;
+                preds[fill[tgt] as usize] = i as u32;
+                fill[tgt] += 1;
+            }
+            inv.push((offsets, preds));
+        }
+
+        // 3. Initial partition {accepting, non-accepting} (skipping an
+        //    empty side) and the worklist seeded with the smaller side
+        //    for every class.
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        let mut block_of: Vec<u32> = vec![0; m];
+        let mut acc_states: Vec<u32> = Vec::new();
+        let mut rej_states: Vec<u32> = Vec::new();
+        for (i, &s) in kept.iter().enumerate() {
+            if self.accept[s] {
+                acc_states.push(i as u32);
+            } else {
+                rej_states.push(i as u32);
+            }
+        }
+        let mut work: VecDeque<(u32, u32)> = VecDeque::new();
+        let seed = if acc_states.is_empty() || rej_states.is_empty() {
+            // One block: all states share acceptance, so (the DFA being
+            // complete) they are all equivalent; nothing to refine.
+            None
+        } else {
+            Some(usize::from(acc_states.len() > rej_states.len()))
+        };
+        for states in [acc_states, rej_states] {
+            if !states.is_empty() {
+                let id = blocks.len() as u32;
+                for &s in &states {
+                    block_of[s as usize] = id;
+                }
+                blocks.push(states);
+            }
+        }
+        let mut in_work = vec![false; blocks.len() * k];
+        if let Some(seed) = seed {
+            for c in 0..k {
+                in_work[seed * k + c] = true;
+                work.push_back((seed as u32, c as u32));
+            }
+        }
+
+        // 4. Refine: process (splitter block, class) pairs, splitting
+        //    every block with both marked (stepping into the splitter)
+        //    and unmarked members; re-enqueue the smaller half.
+        let mut state_marked = vec![false; m];
+        let mut marked: Vec<Vec<u32>> = vec![Vec::new(); blocks.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        while let Some((b, c)) = work.pop_front() {
+            in_work[b as usize * k + c as usize] = false;
+            // Snapshot: the splitter itself may be among the split.
+            let splitter = blocks[b as usize].clone();
+            let (offsets, preds) = &inv[c as usize];
+            for &tstate in &splitter {
+                let lo = offsets[tstate as usize] as usize;
+                let hi = offsets[tstate as usize + 1] as usize;
+                for &p in &preds[lo..hi] {
+                    if !state_marked[p as usize] {
+                        state_marked[p as usize] = true;
+                        let d = block_of[p as usize];
+                        if marked[d as usize].is_empty() {
+                            touched.push(d);
+                        }
+                        marked[d as usize].push(p);
+                    }
+                }
+            }
+            for &d in &touched {
+                let du = d as usize;
+                if marked[du].len() == blocks[du].len() {
+                    // Every member marked: no split.
+                    for &s in &marked[du] {
+                        state_marked[s as usize] = false;
+                    }
+                    marked[du].clear();
+                    continue;
+                }
+                // Proper split: marked members move to a new block.
+                let new_id = blocks.len() as u32;
+                blocks[du].retain(|s| !state_marked[*s as usize]);
+                let moved = std::mem::take(&mut marked[du]);
+                for &s in &moved {
+                    block_of[s as usize] = new_id;
+                    state_marked[s as usize] = false;
+                }
+                blocks.push(moved);
+                marked.push(Vec::new());
+                in_work.resize(blocks.len() * k, false);
+                for cc in 0..k {
+                    if in_work[du * k + cc] {
+                        // (d, cc) is already queued: both halves must
+                        // be processed to keep the refinement exact.
+                        in_work[new_id as usize * k + cc] = true;
+                        work.push_back((new_id, cc as u32));
+                    } else {
+                        // Hopcroft's trick: the smaller half suffices.
+                        let smaller = if blocks[du].len() <= blocks[new_id as usize].len() {
+                            du as u32
+                        } else {
+                            new_id
+                        };
+                        let idx = smaller as usize * k + cc;
+                        if !in_work[idx] {
+                            in_work[idx] = true;
+                            work.push_back((smaller, cc as u32));
+                        }
+                    }
+                }
+            }
+            touched.clear();
+        }
+
+        // 5. Renumber blocks by first occurrence in state order (the
+        //    Moore numbering) and emit one row per block.
+        let mut new_id = vec![u32::MAX; blocks.len()];
+        let mut reps: Vec<u32> = Vec::new();
+        for (i, &bo) in block_of.iter().enumerate().take(m) {
+            let b = bo as usize;
+            if new_id[b] == u32::MAX {
+                new_id[b] = reps.len() as u32;
+                reps.push(i as u32);
+            }
+        }
+        let mut trans = Vec::with_capacity(reps.len());
+        let mut accept = Vec::with_capacity(reps.len());
+        for &rep in &reps {
+            let row: Vec<u32> = (0..k)
+                .map(|c| new_id[block_of[t[rep as usize * k + c] as usize] as usize])
+                .collect();
+            trans.push(row);
+            accept.push(self.accept[kept[rep as usize]]);
+        }
+        Dfa {
+            classes: self.classes.clone(),
+            byte_map: self.byte_map.clone(),
+            trans,
+            accept,
+            start: new_id[block_of[remap[self.start as usize]] as usize],
+            approx: self.approx,
+        }
+    }
+
+    /// The pre-Hopcroft Moore partition refinement, kept verbatim as a
+    /// differential-testing oracle: `tests/props.rs` asserts that
+    /// [`Dfa::minimize`] produces *structurally identical* output.
+    /// Quadratic; do not use on hot paths.
+    #[doc(hidden)]
+    pub fn minimize_moore(&self) -> Dfa {
+        let (kept, remap) = self.reachable_states();
         let m = kept.len();
 
-        // 2. Moore refinement over the reachable subautomaton.
         let mut block = vec![0usize; m];
         for (i, &s) in kept.iter().enumerate() {
             block[i] = usize::from(self.accept[s]);
@@ -441,37 +635,51 @@ impl Dfa {
         }
     }
 
+    /// Structural (not just language) equality: same classes, byte map,
+    /// transitions, acceptance, and start state. Exposed for the
+    /// Hopcroft-vs-Moore differential tests, which pin the canonical
+    /// state numbering (to_regex output is numbering-sensitive).
+    #[doc(hidden)]
+    pub fn structurally_equal(&self, other: &Dfa) -> bool {
+        self.classes == other.classes
+            && self.byte_map == other.byte_map
+            && self.trans == other.trans
+            && self.accept == other.accept
+            && self.start == other.start
+    }
+
     // ---------------------------------------------------------------
     // Products and complement
     // ---------------------------------------------------------------
 
-    /// Product construction combining acceptance with `op`.
+    /// Product construction combining acceptance with `op`. Eager —
+    /// materializes (then minimizes) the reachable product; callers
+    /// that only need a verdict should use the lazy searches instead
+    /// ([`Dfa::is_subset_of`] etc. already do).
     pub fn product(&self, other: &Dfa, op: impl Fn(bool, bool) -> bool) -> Dfa {
         shoal_obs::counter_add("relang.dfa_product", 1);
-        // Combined alphabet partition: pairs of class indices that occur.
-        let mut pair_ids: HashMap<(u16, u16), u16> = HashMap::new();
-        let mut byte_map = vec![0u16; 256];
-        let mut classes: Vec<ByteClass> = Vec::new();
-        for b in 0u16..256 {
-            let key = (self.byte_map[b as usize], other.byte_map[b as usize]);
-            let next_id = pair_ids.len() as u16;
-            let id = *pair_ids.entry(key).or_insert(next_id);
-            if id as usize == classes.len() {
-                classes.push(ByteClass::EMPTY);
-            }
-            classes[id as usize].insert(b as u8);
-            byte_map[b as usize] = id;
-        }
-        // Representative byte per combined class, for transition lookup.
-        let reps: Vec<u8> = classes
-            .iter()
-            .map(|c| c.min_byte().expect("non-empty"))
-            .collect();
+        let alpha = crate::lazy::PairAlphabet::new(self, other);
+        self.product_with_alphabet(other, op, &alpha).minimize()
+    }
 
+    /// The unminimized reachable product over a precomputed combined
+    /// alphabet. `#[doc(hidden)]` pub: the property suite uses it to
+    /// manufacture non-minimal automata for minimization oracles.
+    #[doc(hidden)]
+    pub fn product_raw(&self, other: &Dfa, op: impl Fn(bool, bool) -> bool) -> Dfa {
+        let alpha = crate::lazy::PairAlphabet::new(self, other);
+        self.product_with_alphabet(other, op, &alpha)
+    }
+
+    fn product_with_alphabet(
+        &self,
+        other: &Dfa,
+        op: impl Fn(bool, bool) -> bool,
+        alpha: &crate::lazy::PairAlphabet,
+    ) -> Dfa {
         let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
         let mut order: Vec<(u32, u32)> = Vec::new();
         let mut trans: Vec<Vec<u32>> = Vec::new();
-        let mut accept: Vec<bool> = Vec::new();
         let mut work = VecDeque::new();
 
         let start_pair = (self.start, other.start);
@@ -485,10 +693,11 @@ impl Dfa {
                 return Dfa::cap_blown("product");
             }
             let (a, b) = order[id as usize];
-            let mut row = Vec::with_capacity(classes.len());
-            for &rep in &reps {
-                let na = self.step(a, rep);
-                let nb = other.step(b, rep);
+            let mut row = Vec::with_capacity(alpha.pairs.len());
+            // Step directly on class indices — no representative bytes.
+            for &(ca, cb) in &alpha.pairs {
+                let na = self.trans[a as usize][ca as usize];
+                let nb = other.trans[b as usize][cb as usize];
                 let to = match ids.get(&(na, nb)) {
                     Some(&to) => to,
                     None => {
@@ -506,18 +715,18 @@ impl Dfa {
             }
             trans[id as usize] = row;
         }
-        for &(a, b) in &order {
-            accept.push(op(self.accept[a as usize], other.accept[b as usize]));
-        }
+        let accept = order
+            .iter()
+            .map(|&(a, b)| op(self.accept[a as usize], other.accept[b as usize]))
+            .collect();
         Dfa {
-            classes,
-            byte_map,
+            classes: alpha.classes.clone(),
+            byte_map: alpha.byte_map.clone(),
             trans,
             accept,
             start: 0,
             approx: self.approx.or(other.approx),
         }
-        .minimize()
     }
 
     /// Language intersection.
@@ -562,19 +771,43 @@ impl Dfa {
         self.accept[s as usize]
     }
 
-    /// Is the recognized language empty?
+    /// Is the recognized language empty? Early-exit reachability: stops
+    /// at the first accepting state, no path bookkeeping.
     pub fn is_empty_lang(&self) -> bool {
-        self.witness().is_none()
+        let n = self.trans.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(s) = stack.pop() {
+            if self.accept[s as usize] {
+                return false;
+            }
+            for &t in &self.trans[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
     }
 
-    /// Is `self ⊆ other` as languages?
+    /// Is `self ⊆ other` as languages? Lazy: explores product pairs
+    /// on the fly and stops at the first counterexample instead of
+    /// materializing `self \ other`.
     pub fn is_subset_of(&self, other: &Dfa) -> bool {
-        self.difference(other).is_empty_lang()
+        crate::lazy::subset(self, other)
     }
 
-    /// Do the two automata accept the same language?
+    /// Do the two automata accept the same language? Lazy symmetric-
+    /// difference search (one pass, not two containment checks).
     pub fn equiv(&self, other: &Dfa) -> bool {
-        self.product(other, |a, b| a != b).is_empty_lang()
+        crate::lazy::equiv(self, other)
+    }
+
+    /// Are the two languages disjoint? Lazy intersection search.
+    pub fn disjoint(&self, other: &Dfa) -> bool {
+        crate::lazy::disjoint(self, other)
     }
 
     /// A shortest accepted byte string, if one exists. Prefers printable
@@ -596,8 +829,13 @@ impl Dfa {
             }
             for (ci, &t) in self.trans[s as usize].iter().enumerate() {
                 if !seen[t as usize] {
+                    // An empty class labels no byte; skip the edge
+                    // rather than panic (classes are non-empty for all
+                    // in-crate constructions, but stay total).
+                    let Some(rep) = self.classes[ci].representative() else {
+                        continue;
+                    };
                     seen[t as usize] = true;
-                    let rep = self.classes[ci].representative().expect("non-empty class");
                     prev[t as usize] = Some((s, rep));
                     if self.accept[t as usize] {
                         hit = Some(t);
@@ -771,7 +1009,10 @@ mod tests {
 
 impl Dfa {
     /// The language from `state` treated as the start state.
-    fn language_from(&self, state: u32) -> Dfa {
+    /// `#[doc(hidden)]` pub: the property suite uses it to check
+    /// pairwise state inequivalence of minimized automata.
+    #[doc(hidden)]
+    pub fn language_from(&self, state: u32) -> Dfa {
         let mut d = self.clone();
         d.start = state;
         d.minimize()
@@ -781,13 +1022,78 @@ impl Dfa {
     ///
     /// Used for `${x%pat}`: the possible values after removing a suffix
     /// matching `pat` from a string in `L(self)`.
+    ///
+    /// One backward reachability pass over the (implicit) product with
+    /// `k`, on the combined compressed alphabet: state `q` accepts in
+    /// the quotient iff `(q, k.start)` can reach a pair accepting in
+    /// both automata. The old implementation re-minimized a fresh
+    /// product *per state*; this is the single-pass replacement. The
+    /// full pair space is charged against the DFA state cap with the
+    /// usual ⊤ degradation.
     pub fn right_quotient(&self, k: &Dfa) -> Dfa {
-        // A state is accepting in the quotient iff some k-string leads
-        // from it to acceptance.
-        let mut d = self.clone();
-        for q in 0..d.trans.len() as u32 {
-            d.accept[q as usize] = !self.language_from(q).intersect(k).is_empty_lang();
+        let n = self.trans.len();
+        let m = k.trans.len();
+        if n.saturating_mul(m) > dfa_state_cap() {
+            return Dfa::cap_blown("right_quotient");
         }
+        let alpha = crate::lazy::PairAlphabet::new(self, k);
+        let pc = alpha.pairs.len();
+        let total = n * m;
+        // Reverse product edges in CSR form (pair id = q*m + p).
+        let mut offsets = vec![0u32; total + 1];
+        let succ = |q: usize, p: usize, ca: u16, cb: u16| {
+            self.trans[q][ca as usize] as usize * m + k.trans[p][cb as usize] as usize
+        };
+        for q in 0..n {
+            for p in 0..m {
+                for &(ca, cb) in &alpha.pairs {
+                    offsets[succ(q, p, ca, cb) + 1] += 1;
+                }
+            }
+        }
+        for i in 0..total {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut fill = offsets.clone();
+        let mut preds = vec![0u32; total * pc];
+        for q in 0..n {
+            for p in 0..m {
+                for &(ca, cb) in &alpha.pairs {
+                    let tgt = succ(q, p, ca, cb);
+                    preds[fill[tgt] as usize] = (q * m + p) as u32;
+                    fill[tgt] += 1;
+                }
+            }
+        }
+        // Backward BFS from pairs accepting in both automata.
+        let mut good = vec![false; total];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for q in 0..n {
+            if !self.accept[q] {
+                continue;
+            }
+            for p in 0..m {
+                if k.accept[p] {
+                    good[q * m + p] = true;
+                    queue.push_back((q * m + p) as u32);
+                }
+            }
+        }
+        while let Some(pair) = queue.pop_front() {
+            let lo = offsets[pair as usize] as usize;
+            let hi = offsets[pair as usize + 1] as usize;
+            for &pr in &preds[lo..hi] {
+                if !good[pr as usize] {
+                    good[pr as usize] = true;
+                    queue.push_back(pr);
+                }
+            }
+        }
+        let mut d = self.clone();
+        for q in 0..n {
+            d.accept[q] = good[q * m + k.start as usize];
+        }
+        d.approx = self.approx.or(k.approx);
         d.minimize()
     }
 
@@ -798,6 +1104,7 @@ impl Dfa {
     pub fn left_quotient(&self, k: &Dfa) -> Dfa {
         // States of `self` reachable by strings in L(k): run the product
         // with k and collect self-states paired with k-accepting states.
+        let alpha = crate::lazy::PairAlphabet::new(self, k);
         let mut reached: Vec<bool> = vec![false; self.trans.len()];
         let mut seen = std::collections::HashSet::new();
         let mut queue = VecDeque::new();
@@ -811,11 +1118,10 @@ impl Dfa {
             if k.accept[b as usize] {
                 reached[a as usize] = true;
             }
-            for byte_rep in 0..=255u8 {
-                // Walk the joint step; byte classes make this cheap to
-                // deduplicate but correctness-first here.
-                let na = self.step(a, byte_rep);
-                let nb = k.step(b, byte_rep);
+            // Joint step once per combined class, not once per byte.
+            for &(ca, cb) in &alpha.pairs {
+                let na = self.trans[a as usize][ca as usize];
+                let nb = k.trans[b as usize][cb as usize];
                 if seen.insert((na, nb)) {
                     queue.push_back((na, nb));
                 }
@@ -852,8 +1158,9 @@ impl Dfa {
             let set = order[id as usize].clone();
             let mut row = Vec::with_capacity(self.classes.len());
             for ci in 0..self.classes.len() {
-                let rep = self.classes[ci].min_byte().expect("non-empty class");
-                let mut next: Vec<u32> = set.iter().map(|&q| self.step(q, rep)).collect();
+                // Step on the class index directly (no representative
+                // byte, so empty classes cannot panic here).
+                let mut next: Vec<u32> = set.iter().map(|&q| self.trans[q as usize][ci]).collect();
                 next.sort_unstable();
                 next.dedup();
                 let to = match ids.get(&next) {

@@ -1,0 +1,362 @@
+//! Lazy on-the-fly product decision procedures.
+//!
+//! The eager pipeline answered every binary language question —
+//! containment, equivalence, disjointness — by materializing a full
+//! product DFA and minimizing it before asking a reachability question
+//! of the result. That does O(|A|·|B|) work even when a counterexample
+//! sits two transitions from the start pair. The searches here explore
+//! `(state, state)` pairs of the *implicit* product breadth-first and
+//! stop at the first pair whose acceptance combination witnesses the
+//! answer; the full product is never built. BFS order means a returned
+//! counterexample is shortest (ties broken by class discovery order).
+//!
+//! The combined alphabet partition ([`PairAlphabet`]) is computed once
+//! per operand pair and reused for every step of the search, so each
+//! explored pair costs O(combined classes), not O(256).
+//!
+//! Cap contract: explored pairs are charged against the same
+//! [`crate::dfa::dfa_state_cap`] the eager constructions use. A search
+//! that would explore more pairs than the cap records an
+//! [`crate::dfa::ApproxReason`] hit (site `lazy_*`) and degrades to the
+//! conservative verdict — `false` for subset/equiv/disjoint/emptiness
+//! ("cannot prove"), `Some(ε)` for a witness (ε is the ⊤ automaton's
+//! shortest member) — exactly the verdicts the eager pipeline's ⊤
+//! fallback produced.
+//!
+//! Observability: `relang.lazy_pairs_explored` counts pairs actually
+//! visited, `relang.lazy_early_exit` counts searches that stopped at a
+//! counterexample, and the `relang.lazy_product_bound` gauge keeps the
+//! high-water mark of |A|·|B| — the size of the product the eager
+//! pipeline would have built.
+
+use crate::class::ByteClass;
+use crate::dfa::{dfa_state_cap, record_cap, Dfa};
+use std::collections::{HashMap, VecDeque};
+
+/// Combined alphabet partition of two automata: the coarsest partition
+/// refining both operands' byte classes. Computed once per operand
+/// pair; every search step then walks class-index pairs directly.
+pub(crate) struct PairAlphabet {
+    /// Combined classes (disjoint, cover all 256 bytes).
+    pub classes: Vec<ByteClass>,
+    /// Byte → combined class index.
+    pub byte_map: Vec<u16>,
+    /// Per combined class: (left operand class, right operand class).
+    pub pairs: Vec<(u16, u16)>,
+}
+
+impl PairAlphabet {
+    pub fn new(a: &Dfa, b: &Dfa) -> PairAlphabet {
+        // Dense (left class × right class) → combined id table; ids
+        // are assigned in first-occurrence byte order, which keeps
+        // combined alphabets (and so everything built on them)
+        // deterministic and identical to the old HashMap assignment.
+        let kb = b.classes.len();
+        let mut table = vec![u16::MAX; a.classes.len() * kb];
+        let mut byte_map = vec![0u16; 256];
+        let mut classes: Vec<ByteClass> = Vec::new();
+        let mut pairs: Vec<(u16, u16)> = Vec::new();
+        for (byte, slot_out) in byte_map.iter_mut().enumerate() {
+            let ca = a.byte_map[byte];
+            let cb = b.byte_map[byte];
+            let slot = &mut table[ca as usize * kb + cb as usize];
+            if *slot == u16::MAX {
+                *slot = classes.len() as u16;
+                classes.push(ByteClass::EMPTY);
+                pairs.push((ca, cb));
+            }
+            let id = *slot;
+            classes[id as usize].insert(byte as u8);
+            *slot_out = id;
+        }
+        PairAlphabet {
+            classes,
+            byte_map,
+            pairs,
+        }
+    }
+}
+
+/// Outcome of a lazy pair search.
+enum Search {
+    /// A pair satisfying the acceptance combination was reached; the
+    /// byte string labels a shortest path to it.
+    Counterexample(Vec<u8>),
+    /// The whole reachable pair space was explored without a hit.
+    Exhausted,
+    /// The search exceeded the state cap (an ApproxReason was
+    /// recorded); the answer must degrade conservatively.
+    Capped,
+}
+
+/// BFS over reachable `(a_state, b_state)` pairs, stopping at the
+/// first pair where `accepts(a_accept, b_accept)` holds.
+fn product_search(
+    a: &Dfa,
+    b: &Dfa,
+    accepts: impl Fn(bool, bool) -> bool,
+    site: &'static str,
+) -> Search {
+    let alpha = PairAlphabet::new(a, b);
+    shoal_obs::gauge_max(
+        "relang.lazy_product_bound",
+        (a.num_states() as u64).saturating_mul(b.num_states() as u64),
+    );
+    let cap = dfa_state_cap();
+    let acc = |q: u32, p: u32| accepts(a.accept[q as usize], b.accept[p as usize]);
+
+    let done = |explored: usize, early: bool| {
+        shoal_obs::counter_add("relang.lazy_pairs_explored", explored as u64);
+        if early {
+            shoal_obs::counter_add("relang.lazy_early_exit", 1);
+        }
+    };
+
+    if acc(a.start, b.start) {
+        done(1, true);
+        return Search::Counterexample(Vec::new());
+    }
+    let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    // Parent pair id + edge byte, for counterexample reconstruction.
+    let mut prev: Vec<(u32, u8)> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    ids.insert((a.start, b.start), 0);
+    order.push((a.start, b.start));
+    prev.push((0, 0));
+    queue.push_back(0);
+
+    while let Some(id) = queue.pop_front() {
+        let (q, p) = order[id as usize];
+        for (ci, &(ca, cb)) in alpha.pairs.iter().enumerate() {
+            let nq = a.trans[q as usize][ca as usize];
+            let np = b.trans[p as usize][cb as usize];
+            if ids.contains_key(&(nq, np)) {
+                continue;
+            }
+            if order.len() >= cap {
+                done(order.len(), false);
+                record_cap(site);
+                return Search::Capped;
+            }
+            // Combined classes are built from actual bytes, so a
+            // representative always exists; stay total regardless.
+            let Some(rep) = alpha.classes[ci].representative() else {
+                continue;
+            };
+            let nid = order.len() as u32;
+            ids.insert((nq, np), nid);
+            order.push((nq, np));
+            prev.push((id, rep));
+            if acc(nq, np) {
+                done(order.len(), true);
+                let mut cur = nid;
+                let mut out = Vec::new();
+                while cur != 0 {
+                    let (parent, byte) = prev[cur as usize];
+                    out.push(byte);
+                    cur = parent;
+                }
+                out.reverse();
+                return Search::Counterexample(out);
+            }
+            queue.push_back(nid);
+        }
+    }
+    done(order.len(), false);
+    Search::Exhausted
+}
+
+/// Is `L(a) ⊆ L(b)`? Searches for a string in `a` but not `b`; a cap
+/// hit degrades to `false` (containment not proven).
+pub fn subset(a: &Dfa, b: &Dfa) -> bool {
+    matches!(
+        product_search(a, b, |x, y| x && !y, "lazy_subset"),
+        Search::Exhausted
+    )
+}
+
+/// Is `L(a) = L(b)`? One symmetric-difference search (not two
+/// containment passes); a cap hit degrades to `false`.
+pub fn equiv(a: &Dfa, b: &Dfa) -> bool {
+    matches!(
+        product_search(a, b, |x, y| x != y, "lazy_equiv"),
+        Search::Exhausted
+    )
+}
+
+/// Is `L(a) ∩ L(b) = ∅`? A cap hit degrades to `false` (disjointness
+/// not proven).
+pub fn disjoint(a: &Dfa, b: &Dfa) -> bool {
+    matches!(
+        product_search(a, b, |x, y| x && y, "lazy_disjoint"),
+        Search::Exhausted
+    )
+}
+
+/// A shortest string in `{ s : op(s ∈ L(a), s ∈ L(b)) }`, or `None` if
+/// there is none. A cap hit degrades to `Some(ε)` — the shortest
+/// member of the ⊤ automaton the eager pipeline would have returned.
+pub fn witness(a: &Dfa, b: &Dfa, op: impl Fn(bool, bool) -> bool) -> Option<Vec<u8>> {
+    match product_search(a, b, op, "lazy_witness") {
+        Search::Counterexample(w) => Some(w),
+        Search::Exhausted => None,
+        Search::Capped => Some(Vec::new()),
+    }
+}
+
+/// Is `⋂ᵢ L(dfaᵢ)` empty? N-way generalization of the pair search
+/// (state tuples instead of pairs), used for emptiness of `And` terms
+/// without compiling the conjunction into one derivative automaton.
+/// An empty slice denotes the empty conjunction, i.e. Σ* — not empty.
+/// A cap hit degrades to `false` (emptiness not proven).
+pub fn intersection_empty(dfas: &[&Dfa]) -> bool {
+    match dfas {
+        [] => false,
+        [d] => d.is_empty_lang(),
+        [a, b] => disjoint(a, b),
+        _ => tuple_intersection_empty(dfas),
+    }
+}
+
+fn tuple_intersection_empty(dfas: &[&Dfa]) -> bool {
+    // Combined alphabet: distinct tuples of per-operand class indices.
+    let mut tuple_ids: HashMap<Vec<u16>, u16> = HashMap::new();
+    let mut tuples: Vec<Vec<u16>> = Vec::new();
+    for byte in 0usize..256 {
+        let key: Vec<u16> = dfas.iter().map(|d| d.byte_map[byte]).collect();
+        if !tuple_ids.contains_key(&key) {
+            tuple_ids.insert(key.clone(), tuples.len() as u16);
+            tuples.push(key);
+        }
+    }
+    shoal_obs::gauge_max(
+        "relang.lazy_product_bound",
+        dfas.iter()
+            .map(|d| d.num_states() as u64)
+            .fold(1u64, u64::saturating_mul),
+    );
+    let cap = dfa_state_cap();
+    let all_accept =
+        |tuple: &[u32]| tuple.iter().zip(dfas).all(|(&s, d)| d.accept[s as usize]);
+
+    let start: Vec<u32> = dfas.iter().map(|d| d.start).collect();
+    if all_accept(&start) {
+        shoal_obs::counter_add("relang.lazy_pairs_explored", 1);
+        shoal_obs::counter_add("relang.lazy_early_exit", 1);
+        return false;
+    }
+    let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+    let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+    while let Some(tuple) = queue.pop_front() {
+        for classes in &tuples {
+            let next: Vec<u32> = tuple
+                .iter()
+                .zip(classes)
+                .zip(dfas)
+                .map(|((&s, &c), d)| d.trans[s as usize][c as usize])
+                .collect();
+            if seen.contains(&next) {
+                continue;
+            }
+            if seen.len() >= cap {
+                shoal_obs::counter_add("relang.lazy_pairs_explored", seen.len() as u64);
+                record_cap("lazy_intersection");
+                return false;
+            }
+            if all_accept(&next) {
+                shoal_obs::counter_add("relang.lazy_pairs_explored", seen.len() as u64 + 1);
+                shoal_obs::counter_add("relang.lazy_early_exit", 1);
+                return false;
+            }
+            seen.insert(next.clone());
+            queue.push_back(next);
+        }
+    }
+    shoal_obs::counter_add("relang.lazy_pairs_explored", seen.len() as u64);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Regex;
+
+    fn dfa(pat: &str) -> Dfa {
+        Dfa::from_regex(&Regex::parse_must(pat))
+    }
+
+    #[test]
+    fn lazy_matches_eager_products() {
+        let cases = [
+            ("abc", "ab.*"),
+            ("ab.*", "abc"),
+            ("[0-9]+", "[0-9a-f]+"),
+            ("(a|b)*abb", "(a|b)*"),
+            ("x", "y"),
+            ("", ""),
+        ];
+        for (pa, pb) in cases {
+            let a = dfa(pa);
+            let b = dfa(pb);
+            assert_eq!(
+                subset(&a, &b),
+                a.difference(&b).is_empty_lang(),
+                "subset {pa:?} ⊆ {pb:?}"
+            );
+            assert_eq!(
+                equiv(&a, &b),
+                a.product(&b, |x, y| x != y).is_empty_lang(),
+                "equiv {pa:?} = {pb:?}"
+            );
+            assert_eq!(
+                disjoint(&a, &b),
+                a.intersect(&b).is_empty_lang(),
+                "disjoint {pa:?} ∥ {pb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn counterexample_is_shortest_and_valid() {
+        let a = dfa("ab.*");
+        let b = dfa("abc");
+        let w = witness(&a, &b, |x, y| x && !y).expect("not a subset");
+        assert!(a.matches(&w) && !b.matches(&w));
+        assert_eq!(w.len(), 2, "shortest counterexample is \"ab\"");
+    }
+
+    #[test]
+    fn nway_intersection_matches_pairwise() {
+        let a = dfa("[0-9a-f]+");
+        let b = dfa("[0-9]+");
+        let c = dfa("...");
+        assert!(!intersection_empty(&[&a, &b, &c]));
+        let d = dfa("[g-z]+");
+        assert!(intersection_empty(&[&a, &b, &d]));
+        assert!(intersection_empty(&[&dfa("x"), &dfa("y")]));
+        assert!(!intersection_empty(&[]));
+        assert!(intersection_empty(&[&Dfa::from_regex(&Regex::Empty)]));
+    }
+
+    #[test]
+    fn capped_search_degrades_conservatively() {
+        use crate::dfa::{dfa_state_cap, set_dfa_state_cap, take_approx_hits};
+        let saved = dfa_state_cap();
+        let _ = take_approx_hits();
+        let a = dfa("(a|b)*abb(a|b)*");
+        let b = dfa("(a|b)*aab(a|b)*");
+        set_dfa_state_cap(2);
+        // Any answer must be the conservative false, with a hit recorded.
+        assert!(!subset(&a, &b));
+        assert!(!equiv(&a, &b));
+        assert!(!disjoint(&a, &b));
+        assert_eq!(witness(&a, &b, |x, y| x && !y), Some(vec![]));
+        set_dfa_state_cap(saved);
+        let hits = take_approx_hits();
+        assert_eq!(hits.len(), 4, "every capped search records its site");
+        assert!(hits.iter().all(|h| h.site().starts_with("lazy_")));
+    }
+}

@@ -20,9 +20,12 @@
 //! The engine works over the full byte alphabet (shell streams are raw
 //! bytes), parses a practical POSIX-ERE subset, compiles via Thompson NFA
 //! and subset-construction DFA with byte-class compression, minimizes with
-//! Moore partition refinement, and additionally offers Brzozowski
+//! Hopcroft's worklist algorithm, and additionally offers Brzozowski
 //! derivatives for allocation-light online matching (used by the runtime
-//! monitor and cross-checked against the automata in tests).
+//! monitor and cross-checked against the automata in tests). The binary
+//! decision procedures are *lazy*: they explore the implicit product
+//! automaton on the fly ([`lazy`]) and exit at the first counterexample
+//! instead of materializing and minimizing the product.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ pub mod class;
 pub mod deriv;
 pub mod dfa;
 pub mod display;
+pub mod lazy;
 pub mod memo;
 pub mod nfa;
 pub mod parser;

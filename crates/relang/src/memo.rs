@@ -260,42 +260,70 @@ fn table_cap(table: &str) -> usize {
 }
 
 /// Memoized language emptiness of `r`.
+///
+/// An `And` term is decomposed: each conjunct compiles to its own
+/// (individually memoized, typically small and already-cached) DFA and
+/// the lazy n-way intersection search answers without ever compiling
+/// the conjunction into one derivative automaton — the common
+/// `a.difference(b).is_empty()` call pattern never materializes `a\b`.
 pub fn is_empty(r: &Regex) -> bool {
     let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(empty, |m: &mut Memo| m.intern(r), || {
-        compile(r).is_empty_lang()
+        match r {
+            Regex::And(parts) => {
+                let dfas: Vec<Arc<Dfa>> = parts.iter().map(compile_shared).collect();
+                let refs: Vec<&Dfa> = dfas.iter().map(|d| &**d).collect();
+                crate::lazy::intersection_empty(&refs)
+            }
+            _ => compile_shared(r).is_empty_lang(),
+        }
     })
 }
 
-/// Memoized containment `a ⊆ b`.
+/// Memoized containment `a ⊆ b`: lazy pair search over the operands'
+/// (individually cached) DFAs, early-exiting at the first string in
+/// `a` but not `b`.
 pub fn is_subset_of(a: &Regex, b: &Regex) -> bool {
     let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(subset, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
-        a.difference(b).is_empty()
+        crate::lazy::subset(&compile_shared(a), &compile_shared(b))
     })
 }
 
-/// Memoized language equivalence.
+/// Memoized language equivalence: one lazy symmetric-difference search
+/// (the eager pipeline ran two full containment checks).
 pub fn equiv(a: &Regex, b: &Regex) -> bool {
     let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(equiv, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
-        a.is_subset_of(b) && b.is_subset_of(a)
+        crate::lazy::equiv(&compile_shared(a), &compile_shared(b))
     })
 }
 
-/// Memoized disjointness (emptiness of intersection).
+/// Memoized disjointness (emptiness of intersection): lazy pair
+/// search, early-exiting at the first common string.
 pub fn disjoint(a: &Regex, b: &Regex) -> bool {
     let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(disjoint, |m: &mut Memo| (m.intern(a), m.intern(b)), || {
-        a.intersect(b).is_empty()
+        crate::lazy::disjoint(&compile_shared(a), &compile_shared(b))
     })
 }
 
-/// Memoized shortest-witness extraction.
+/// Memoized shortest-witness extraction. Stays compile-based (not a
+/// lazy pair search): witness byte strings reach diagnostics, and the
+/// canonical minimal DFA pins their exact rendering.
 pub fn witness(r: &Regex) -> Option<Vec<u8>> {
     let _t = shoal_obs::trace::phase_timer("relang");
     memoized!(witness, |m: &mut Memo| m.intern(r), || {
-        compile(r).witness()
+        compile_shared(r).witness()
+    })
+}
+
+/// Memoized DFA compilation, sharing the cached `Arc` (no clone of the
+/// transition tables). The lazy decision procedures go through this so
+/// a hot operand pair costs two table lookups before the search.
+pub(crate) fn compile_shared(r: &Regex) -> Arc<Dfa> {
+    memoized!(compile, |m: &mut Memo| m.intern(r), || {
+        Arc::new(Dfa::from_regex_uncached(r))
     })
 }
 
@@ -310,12 +338,43 @@ pub fn witness(r: &Regex) -> Option<Vec<u8>> {
 /// nested calls charge only at the outermost entry point.
 pub fn compile(r: &Regex) -> Dfa {
     let _t = shoal_obs::trace::phase_timer("relang");
-    fn compile_arc(r: &Regex) -> Arc<Dfa> {
-        memoized!(compile, |m: &mut Memo| m.intern(r), || {
-            Arc::new(Dfa::from_regex_uncached(r))
-        })
+    (*compile_shared(r)).clone()
+}
+
+/// The eager reference pipeline, retained verbatim for differential
+/// testing: every decision compiles the *combined* term with the
+/// (uncached) derivative construction and asks a reachability question
+/// of the materialized automaton — exactly what the decision
+/// procedures did before the lazy rebuild. `tests/props.rs` pins
+/// lazy-vs-eager verdict equality on random regex pairs; nothing on a
+/// production path should call these.
+pub mod eager {
+    use super::*;
+
+    /// Eager emptiness: compile `r`, check reachability.
+    pub fn is_empty(r: &Regex) -> bool {
+        Dfa::from_regex_uncached(r).is_empty_lang()
     }
-    (*compile_arc(r)).clone()
+
+    /// Eager containment via the materialized difference automaton.
+    pub fn is_subset_of(a: &Regex, b: &Regex) -> bool {
+        is_empty(&a.difference(b))
+    }
+
+    /// Eager equivalence: two full containment checks.
+    pub fn equiv(a: &Regex, b: &Regex) -> bool {
+        is_subset_of(a, b) && is_subset_of(b, a)
+    }
+
+    /// Eager disjointness via the materialized intersection.
+    pub fn disjoint(a: &Regex, b: &Regex) -> bool {
+        is_empty(&a.intersect(b))
+    }
+
+    /// Eager witness from the compiled automaton.
+    pub fn witness(r: &Regex) -> Option<Vec<u8>> {
+        Dfa::from_regex_uncached(r).witness()
+    }
 }
 
 #[cfg(test)]

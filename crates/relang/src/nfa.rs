@@ -83,6 +83,20 @@ impl Nfa {
         self.states.len() - 1
     }
 
+    /// The coarsest alphabet partition on which every outgoing
+    /// transition of the states in `set` is constant. Subset
+    /// construction steps once per block instead of once per byte —
+    /// the NFA-side half of the engine's alphabet compression.
+    pub fn local_classes(&self, set: &[StateId]) -> Vec<ByteClass> {
+        let mut partition = vec![ByteClass::ALL];
+        for &s in set {
+            for t in &self.states[s].trans {
+                crate::class::refine_partition(&mut partition, &t.on);
+            }
+        }
+        partition
+    }
+
     fn build(&mut self, r: &Regex) -> Result<(StateId, StateId), UnsupportedExtended> {
         match r {
             Regex::Empty => {

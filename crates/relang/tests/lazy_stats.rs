@@ -1,0 +1,48 @@
+//! Observability contract for the lazy decision engine: an adversarial
+//! containment query whose materialized product would be huge, but
+//! whose counterexample is two steps from the start pair, must be
+//! answered after exploring a vanishing fraction of the pair space —
+//! and the engine must say so through its counters.
+
+use shoal_relang::{Dfa, Regex};
+
+#[test]
+fn lazy_search_early_exits_and_reports_counters() {
+    shoal_obs::install();
+
+    // A = ab | c(a^101)*, B = c(a^103)*. The full product has
+    // lcm-scale structure (>10k pairs), but A ∖ B is witnessed by
+    // "ab" at BFS depth 2.
+    let ra = Regex::concat(vec![Regex::byte(b'a'), Regex::byte(b'b')])
+        .or(&Regex::byte(b'c').then(&Regex::byte(b'a').repeat(101, Some(101)).star()));
+    let rb = Regex::byte(b'c').then(&Regex::byte(b'a').repeat(103, Some(103)).star());
+    let da = Dfa::from_regex(&ra);
+    let db = Dfa::from_regex(&rb);
+    let bound = (da.num_states() as u64) * (db.num_states() as u64);
+    assert!(
+        bound > 10_000,
+        "adversarial pair too small: product bound {bound}"
+    );
+
+    assert!(!da.is_subset_of(&db), "\"ab\" ∈ A but ∉ B");
+
+    let snap = shoal_obs::snapshot();
+    let explored = snap
+        .counter("relang.lazy_pairs_explored")
+        .expect("pairs-explored counter missing");
+    let early = snap
+        .counter("relang.lazy_early_exit")
+        .expect("early-exit counter missing");
+    let reported_bound = snap
+        .gauge("relang.lazy_product_bound")
+        .expect("product-bound gauge missing");
+    assert!(early >= 1, "the search did not report an early exit");
+    assert!(explored >= 1, "no pairs were charged");
+    assert!(
+        explored * 100 <= reported_bound,
+        "explored {explored} pairs of a {reported_bound} bound — not an early exit"
+    );
+    assert!(reported_bound > 10_000, "gauge under-reports the bound");
+
+    shoal_obs::set_enabled(false);
+}

@@ -213,6 +213,146 @@ fn memoized_decisions_equal_fresh() {
     shoal_relang::memo_flush();
 }
 
+/// The lazy on-the-fly decision procedures must return exactly the
+/// verdicts of the eager materialize-then-check pipeline whenever
+/// neither side degraded to ⊤ — across caps and with memoization on
+/// and off. When a side *does* cap, the contract is only conservatism,
+/// so capped rounds are skipped.
+#[test]
+fn lazy_and_eager_verdicts_agree() {
+    use shoal_relang::{
+        dfa::{set_dfa_state_cap, take_approx_hits, DEFAULT_DFA_STATE_CAP},
+        memo::{self, memo_flush, set_memo_enabled},
+    };
+    run_cases("lazy_and_eager_verdicts_agree", 48, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
+        // Ground truth at the default cap; these tiny automata never cap.
+        set_dfa_state_cap(DEFAULT_DFA_STATE_CAP);
+        set_memo_enabled(false);
+        let _ = take_approx_hits();
+        let truth = (
+            a.is_empty(),
+            a.is_subset_of(&b),
+            a.equiv(&b),
+            a.disjoint(&b),
+            a.witness(),
+        );
+        assert!(
+            take_approx_hits().is_empty(),
+            "ground truth capped: {a} vs {b}"
+        );
+        for cap in [16usize, 4096] {
+            for memo_on in [false, true] {
+                set_dfa_state_cap(cap);
+                set_memo_enabled(memo_on);
+                if memo_on {
+                    memo_flush();
+                }
+                let lazy = (
+                    a.is_empty(),
+                    a.is_subset_of(&b),
+                    a.equiv(&b),
+                    a.disjoint(&b),
+                    a.witness(),
+                );
+                let lazy_capped = !take_approx_hits().is_empty();
+                let eager = (
+                    memo::eager::is_empty(&a),
+                    memo::eager::is_subset_of(&a, &b),
+                    memo::eager::equiv(&a, &b),
+                    memo::eager::disjoint(&a, &b),
+                    memo::eager::witness(&a),
+                );
+                let eager_capped = !take_approx_hits().is_empty();
+                if !lazy_capped && !eager_capped {
+                    assert_eq!(
+                        lazy, eager,
+                        "lazy vs eager diverge (cap {cap}, memo {memo_on}): {a} vs {b}"
+                    );
+                    assert_eq!(
+                        lazy, truth,
+                        "lazy vs ground truth diverge (cap {cap}, memo {memo_on}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+        set_dfa_state_cap(DEFAULT_DFA_STATE_CAP);
+        set_memo_enabled(true);
+        memo_flush();
+    });
+}
+
+/// Hopcroft's worklist minimization must be observably identical to the
+/// retained Moore reference: same structure (the canonical first-
+/// occurrence numbering), same language, idempotent, and with no pair
+/// of distinct states recognizing the same residual language.
+#[test]
+fn hopcroft_matches_moore() {
+    run_cases("hopcroft_matches_moore", 64, |g| {
+        let a = classical_regex(g, 3);
+        let b = classical_regex(g, 3);
+        // A raw (un-minimized) product gives Hopcroft real work to do.
+        let raw = Dfa::from_regex(&a).product_raw(&Dfa::from_regex(&b), |x, y| x || y);
+        let hop = raw.minimize();
+        let moore = raw.minimize_moore();
+        assert!(
+            hop.structurally_equal(&moore),
+            "Hopcroft and Moore disagree on {a} | {b}"
+        );
+        assert!(hop.equiv(&raw), "minimize changed the language of {a} | {b}");
+        assert!(
+            hop.minimize().structurally_equal(&hop),
+            "minimize not idempotent on {a} | {b}"
+        );
+        // True minimality: every pair of distinct surviving states is
+        // distinguishable by some suffix.
+        let n = hop.num_states() as u32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(
+                    !hop.language_from(i).equiv(&hop.language_from(j)),
+                    "states {i} and {j} of minimized {a} | {b} are equivalent"
+                );
+            }
+        }
+    });
+}
+
+/// Regression for the `expect("non-empty class")` panic paths: a regex
+/// whose DFA needs all 256 byte classes (every byte maps to its own
+/// class) must survive every combining operation. Before the rework,
+/// product/witness looked up a representative byte per *combined*
+/// class and panicked when refinement produced an empty intersection.
+#[test]
+fn dense_256_class_alphabet_survives_all_ops() {
+    // ∪ over all 256 bytes of "bb" — each byte is its own class.
+    let r = Regex::alt(
+        (0u16..256)
+            .map(|b| Regex::concat(vec![Regex::byte(b as u8), Regex::byte(b as u8)]))
+            .collect(),
+    );
+    let d = Dfa::from_regex(&r);
+    assert_eq!(d.num_classes(), 256, "expected a fully dense alphabet");
+    let s = Dfa::from_regex(&Regex::parse_must("a[a-z]"));
+    // Every operation that combines alphabets, on both operand orders.
+    assert!(!d.is_subset_of(&s));
+    assert!(!s.is_subset_of(&d));
+    assert!(!d.equiv(&s));
+    assert!(!d.disjoint(&s), "\"aa\" is in both languages");
+    let inter = d.intersect(&s);
+    assert!(inter.matches(b"aa"));
+    assert!(!inter.matches(b"ab"));
+    let uni = d.union(&s);
+    assert!(uni.matches(b"\x00\x00") && uni.matches(b"az"));
+    assert_eq!(d.witness().map(|w| w.len()), Some(2));
+    // L(d)/L(s): only ε, since "aa" is the sole shared suffix.
+    let quo = d.right_quotient(&s);
+    assert!(quo.matches(b"") && !quo.matches(b"a"));
+    let lq = d.left_quotient(&s);
+    assert!(lq.matches(b"") && !lq.matches(b"b"));
+}
+
 /// Regression: interner overflow must retire term ids *together with*
 /// their memoized decisions.
 ///

@@ -147,6 +147,13 @@ check)
         grep -q "\"$key\"" BENCH_daemon.json \
             || { echo "  MISSING $key in BENCH_daemon.json" >&2; fail=1; }
     done
+    # Same guard for the relang decision-procedure keys: the early-exit
+    # containment case and the single-pass quotient are the two
+    # perf-critical paths of the lazy engine rebuild.
+    for key in decisions/containment_early_exit right_quotient_dirname; do
+        grep -q "\"$key\"" BENCH_relang.json \
+            || { echo "  MISSING $key in BENCH_relang.json" >&2; fail=1; }
+    done
     rm -f /tmp/bench_run.$$
     if [ "$fail" = 1 ]; then
         echo "==> bench check FAILED (some case >1.3x its baseline)" >&2

@@ -96,6 +96,19 @@ if [ "$audit_fail" = 1 ]; then
     exit 1
 fi
 
+# Precision gate: the lazy decision engine must not widen coverage
+# loss. Over the figure corpus, the number of dfa-cap losses reported
+# by the audit plane is pinned at 0 — a lazy search that charges
+# explored pairs too eagerly (or a quotient that caps a product the
+# eager pipeline could build) shows up here as a new dfa-cap entry.
+echo "==> precision: dfa-cap losses over examples/ tests/ (pinned baseline: 0)"
+dfa_cap_losses=$(target/release/shoal scan --audit --format json examples/ tests/ 2>/dev/null \
+    | grep -o '"dfa-cap":[0-9]*' | awk -F: '{ sum += $2 } END { print sum + 0 }' || true)
+if [ "${dfa_cap_losses:-0}" -gt 0 ]; then
+    echo "FAIL: $dfa_cap_losses dfa-cap losses over the figure corpus (baseline 0)"
+    exit 1
+fi
+
 # JIT daemon smoke gate: start a daemon on a temp socket, serve the
 # same script cold then warm, and require both byte-identical to a
 # direct `shoal analyze --format json`; validate the telemetry plane
