@@ -4,9 +4,30 @@
 //! recording disabled, `analyze_source_with` must stay within noise of
 //! its uninstrumented speed.
 
-use shoal_core::{analyze_source_with, AnalysisOptions};
+use shoal_core::{analyze_source_with, AnalysisOptions, IncrSession};
 use shoal_corpus::{figures, scale};
 use shoal_obs::bench::{bench, black_box, header};
+
+/// Cold-vs-edit pair for the incremental engine: `cold` is a full
+/// `analyze_source_with` of the script; `edit` analyzes the same
+/// script plus a fresh one-line trailing statement through a warm
+/// [`IncrSession`], so every iteration replays the whole prefix from
+/// the summary cache and executes exactly one statement. The
+/// `cold / edit` ratio is the headline incremental speedup
+/// (acceptance: >= 5x on the 200-statement scripts).
+fn bench_incr_pair(tag: &str, base: &str) {
+    bench(&format!("incr/{tag}_cold"), || {
+        black_box(analyze_source_with(black_box(base), AnalysisOptions::default()).unwrap());
+    });
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    session.analyze(base).unwrap();
+    let mut edit = 0u64;
+    bench(&format!("incr/{tag}_edit"), || {
+        edit += 1;
+        let src = format!("{base}echo edit_{edit}\n");
+        black_box(session.analyze(black_box(&src)).unwrap());
+    });
+}
 
 fn main() {
     header("symexec");
@@ -29,6 +50,12 @@ fn main() {
             black_box(analyze_source_with(black_box(&src), AnalysisOptions::default()).unwrap());
         });
     }
+
+    // The incremental engine's acceptance pair: a trailing one-line
+    // edit on a 200-statement script must beat a cold analysis by 5x+
+    // (the prefix replays from per-statement summaries).
+    bench_incr_pair("straight_line_200", &scale::straight_line(200));
+    bench_incr_pair("loopy_200", &scale::loopy(200));
 
     let src = scale::branchy(6);
     bench("branchy6/with_pruning", || {

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(rest),
         "audit" => cmd_audit(rest),
         "daemon" => cmd_daemon(rest),
+        "lsp" => cmd_lsp(rest),
         "bench-service" => cmd_bench_service(rest),
         "jit" => cmd_jit(rest, &obs),
         "lint" => cmd_lint(rest),
@@ -135,6 +136,8 @@ USAGE:
     shoal audit PATH...                fleet coverage / precision-loss report
     shoal jit SCRIPT...                just-in-time analysis via the daemon
     shoal daemon [stop|status|top]     run / control the resident analyzer
+    shoal lsp                          language server over stdio (editor
+                                       integration; incremental engine)
     shoal bench-service                closed-loop load test of the daemon
     shoal lint SCRIPT...               syntactic baseline linter
     shoal typecheck 'CMD | CMD | ...'  stream-type a pipeline
@@ -150,6 +153,9 @@ ANALYZE/CHECK OPTIONS:
                                 sarif is SARIF 2.1.0 with codeFlows)
     --emit-world-tree FILE      write the explored world tree (.dot ->
                                 GraphViz, .json -> JSON, else both)
+    --incremental               statement-level incremental engine
+                                (byte-identical output; same daemon
+                                cache key as a plain analyze)
 
 SCAN OPTIONS:
     --format text|json          output format (default text)
@@ -276,12 +282,14 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
     let mut format = OutputFormat::Text;
     let mut tree_file: Option<String> = None;
     let mut use_daemon = false;
+    let mut incremental = false;
     let mut socket: Option<String> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--daemon" => use_daemon = true,
+            "--incremental" => incremental = true,
             "--socket" => {
                 i += 1;
                 let Some(s) = args.get(i) else {
@@ -337,6 +345,7 @@ fn cmd_analyze(args: &[String], obs: &ObsFlags) -> ExitCode {
     }
     let opts = shoal_core::AnalysisOptions {
         profile: obs.profile,
+        incremental,
         ..shoal_core::AnalysisOptions::default()
     };
     let mut worst = ExitCode::SUCCESS;
@@ -839,6 +848,14 @@ fn render_jit_text(path: &str, entry: &shoal_daemon::cache::Entry) -> String {
 
 /// `shoal daemon [stop|status|top]` — run or control the resident
 /// analyzer.
+fn cmd_lsp(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        eprintln!("shoal lsp: takes no arguments (speaks LSP over stdio)");
+        return ExitCode::from(2);
+    }
+    ExitCode::from(shoal_lsp::run_stdio() as u8)
+}
+
 fn cmd_daemon(args: &[String]) -> ExitCode {
     let mut action: Option<&str> = None;
     let mut socket: Option<String> = None;

@@ -48,6 +48,13 @@ pub struct AnalysisOptions {
     /// default; the disabled path records nothing, allocates nothing,
     /// and reads no clocks (the dark-path discipline).
     pub audit: bool,
+    /// Route the analysis through the statement-level incremental
+    /// engine ([`crate::incr`]). A *strategy* switch, not a semantic
+    /// one: the incremental path is required to produce a report body
+    /// byte-identical to the cold path, so — like `profile` and
+    /// `audit` — it is excluded from [`AnalysisOptions::canonical`]
+    /// and never forks the daemon cache keyspace.
+    pub incremental: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -61,6 +68,7 @@ impl Default for AnalysisOptions {
             fuel: None,
             deadline: None,
             audit: false,
+            incremental: false,
         }
     }
 }
@@ -78,7 +86,11 @@ impl AnalysisOptions {
     /// runs profiled requests in-process instead). `audit` is excluded
     /// for the same reason: the coverage map is a side channel that
     /// never enters the serialized report body, so the daemon can audit
-    /// every miss without forking the cache keyspace.
+    /// every miss without forking the cache keyspace. `incremental` is
+    /// excluded because it is a strategy switch with a byte-identity
+    /// obligation: the incremental engine must produce the same report
+    /// body the cold engine would, so caching the two under one key is
+    /// correct by construction.
     ///
     /// A `deadline` *is* part of the key even though its effect is
     /// timing-dependent: a cached deadline-capped report replays the
@@ -159,7 +171,30 @@ pub fn analyze_script_annotated(
     opts: AnalysisOptions,
     annotations: crate::annotations::Annotations,
 ) -> AnalysisReport {
-    let opts_profile = opts.profile;
+    let (engine, initial) = prologue(opts, annotations);
+    let t_start = Instant::now();
+    let worlds = {
+        let _span = shoal_obs::span!("exec_items");
+        engine.exec_items(vec![initial], &script.items)
+    };
+    let exec_us = t_start.elapsed().as_micros() as u64;
+    // A relang DFA construction that hit its state cap during this
+    // analysis over-approximated some constraint answer; drained here
+    // so finalization can surface it (the incremental engine instead
+    // drains per statement and accumulates across replays).
+    let approx = shoal_relang::take_approx_hits();
+    finalize(&engine, worlds, approx, t_start, exec_us)
+}
+
+/// Sets up one analysis: clears stale thread-local approximation
+/// events, builds the engine, and constrains the initial world with
+/// `#@ var NAME : TYPE` annotations. Shared verbatim between the cold
+/// path above and the incremental engine ([`crate::incr`]) — the
+/// byte-identity obligation starts here.
+pub(crate) fn prologue(
+    opts: AnalysisOptions,
+    annotations: crate::annotations::Annotations,
+) -> (Engine, World) {
     // Stale approximation events from earlier analyses on this thread
     // must not be attributed to this report.
     let _ = shoal_relang::take_approx_hits();
@@ -176,12 +211,24 @@ pub fn analyze_script_annotated(
         let v = initial.fresh_sym(ty, &format!("${name} (annotated)"));
         initial.set_var(&name, v);
     }
-    let t_start = Instant::now();
-    let mut worlds = {
-        let _span = shoal_obs::span!("exec_items");
-        engine.exec_items(vec![initial], &script.items)
-    };
-    let exec_us = t_start.elapsed().as_micros() as u64;
+    (engine, initial)
+}
+
+/// Turns a finished world set into an [`AnalysisReport`]: idempotence
+/// pass, world-tree closing, deduplication, deterministic ordering,
+/// cap accounting, and audit finalization. Shared verbatim between the
+/// cold and incremental paths, which is what makes the incremental
+/// engine's byte-identity guarantee hold by construction: once the
+/// world set, tree, stats, audit state, and approximation events agree,
+/// the rendered report must too.
+pub(crate) fn finalize(
+    engine: &Engine,
+    mut worlds: Vec<World>,
+    approx: Vec<shoal_relang::ApproxReason>,
+    t_start: Instant,
+    exec_us: u64,
+) -> AnalysisReport {
+    let opts_profile = engine.opts.profile;
     // Request-scoped tracing (the daemon's telemetry plane): charge
     // the already-measured durations to the active trace, if any —
     // no extra clock reads, one thread-local check when disabled.
@@ -251,7 +298,6 @@ pub fn analyze_script_annotated(
     // A relang DFA construction that hit its state cap during this
     // analysis over-approximated some constraint answer; surface it as
     // a machine-readable cap hit plus an incompleteness note.
-    let approx = shoal_relang::take_approx_hits();
     if !approx.is_empty() {
         engine
             .stats
@@ -352,6 +398,12 @@ pub fn analyze_source(src: &str) -> Result<AnalysisReport, ParseError> {
 ///
 /// Returns the parse error if the source is not valid shell.
 pub fn analyze_source_with(src: &str, opts: AnalysisOptions) -> Result<AnalysisReport, ParseError> {
+    if opts.incremental {
+        // Strategy switch: the incremental engine owns its own parse
+        // timing and annotation recovery, and is obligated to return a
+        // byte-identical report body.
+        return crate::incr::analyze_source_incremental(src, opts);
+    }
     let t_parse = Instant::now();
     let script = {
         let _span = shoal_obs::span!("parse");
@@ -569,6 +621,26 @@ mod tests {
         assert_eq!(profiled.canonical(), base.canonical());
         let audited = AnalysisOptions { audit: true, ..base.clone() };
         assert_eq!(audited.canonical(), base.canonical());
+        // `incremental` is a strategy switch under a byte-identity
+        // obligation — enabling it must never fork the daemon cache
+        // keyspace.
+        let incremental = AnalysisOptions { incremental: true, ..base.clone() };
+        assert_eq!(incremental.canonical(), base.canonical());
+    }
+
+    #[test]
+    fn incremental_flag_routes_to_the_incremental_engine_byte_identically() {
+        let cold = analyze_source(FIG1).expect("valid script");
+        let incr = analyze_source_with(
+            FIG1,
+            AnalysisOptions { incremental: true, ..AnalysisOptions::default() },
+        )
+        .expect("valid script");
+        assert_eq!(cold.diagnostics, incr.diagnostics);
+        assert_eq!(cold.terminal_worlds, incr.terminal_worlds);
+        assert_eq!(cold.worlds_explored, incr.worlds_explored);
+        assert_eq!(cold.cap_hits, incr.cap_hits);
+        assert_eq!(cold.world_tree, incr.world_tree);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use shoal_obs::json::Json;
 /// well-defined and merge-stable.
 pub const CHECKER_IDS: [&str; 5] = ["delete", "idempotence", "platform", "rm", "streamty"];
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CmdRec {
     has_spec: bool,
     lines: BTreeSet<u32>,
@@ -44,7 +44,7 @@ struct CmdRec {
 /// audit-off analysis constructs exactly one of these (three empty
 /// `BTreeMap`/`Vec` headers, no heap allocation) and never calls into
 /// it.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AuditRecorder {
     commands: BTreeMap<String, CmdRec>,
     losses: BTreeMap<(LossCause, String), u64>,
@@ -67,6 +67,45 @@ impl AuditRecorder {
         }
         let e = self.losses.entry((cause, site)).or_insert(0);
         *e = e.saturating_add(n);
+    }
+
+    /// Rewrites every line coordinate through `map` — used by the
+    /// incremental engine ([`crate::incr`]) when a replayed checkpoint
+    /// must shift to the edited script's layout. Command sites carry
+    /// structured lines; loss sites use the engine's uniform `line N`
+    /// site strings, which are parsed back, remapped, and re-rendered.
+    /// Returns `false` (recorder contents unspecified) when a
+    /// coordinate does not map or a loss site is not line-shaped; the
+    /// caller must then discard this recorder and fall back.
+    pub fn relocate_lines(&mut self, map: &dyn Fn(u32) -> Option<u32>) -> bool {
+        let mut commands = BTreeMap::new();
+        for (name, rec) in std::mem::take(&mut self.commands) {
+            let mut lines = BTreeSet::new();
+            for l in rec.lines {
+                match map(l) {
+                    Some(n) => {
+                        lines.insert(n);
+                    }
+                    None => return false,
+                }
+            }
+            commands.insert(name, CmdRec { has_spec: rec.has_spec, lines });
+        }
+        self.commands = commands;
+        let mut losses = BTreeMap::new();
+        for ((cause, site), n) in std::mem::take(&mut self.losses) {
+            let new_site = match site.strip_prefix("line ") {
+                Some(rest) => match rest.parse::<u32>().ok().and_then(map) {
+                    Some(nl) => format!("line {nl}"),
+                    None => return false,
+                },
+                None => return false,
+            };
+            let e = losses.entry((cause, new_site)).or_insert(0u64);
+            *e = e.saturating_add(n);
+        }
+        self.losses = losses;
+        true
     }
 
     /// Finalizes into a single-script [`CoverageMap`]: checker firing

@@ -314,26 +314,45 @@ impl Engine {
         let mut worlds = worlds;
         self.stats.note_live(worlds.len());
         for item in items {
-            let span = item.and_or.span();
-            // Budget check *before* the statement: on exhaustion the
-            // remaining statements are skipped but every world — and
-            // every diagnostic already found — survives to the report.
-            if let Some(reason) = self.budget.charge(worlds.len().max(1) as u64) {
-                self.note_budget_exhausted(reason, span, &mut worlds);
+            let (next, keep_going) = self.step(worlds, item);
+            worlds = next;
+            if !keep_going {
                 break;
             }
-            let (halted, active): (Vec<World>, Vec<World>) =
-                worlds.into_iter().partition(|w| w.halted);
-            let mut next = halted;
-            next.extend(self.exec_and_or(active, &item.and_or));
-            if item.background {
-                for w in next.iter_mut().filter(|w| !w.halted) {
-                    w.last_exit = ExitStatus::Zero;
-                }
-            }
-            worlds = self.cap(next, span);
         }
         worlds
+    }
+
+    /// The per-statement transition function: executes one top-level
+    /// statement over the live world set and returns the successor set.
+    /// This is the resumable unit the incremental engine
+    /// ([`crate::incr`]) checkpoints at — statement boundaries are the
+    /// only points where the full engine state (worlds, tree, stats,
+    /// audit) is a well-defined snapshot. The boolean is false when the
+    /// fuel/deadline budget ran out *before* the statement, in which
+    /// case the statement was not executed and the remaining statements
+    /// must be skipped (every world — and every diagnostic already
+    /// found — survives to the report).
+    pub fn step(&self, worlds: Vec<World>, item: &ListItem) -> (Vec<World>, bool) {
+        let mut worlds = worlds;
+        let span = item.and_or.span();
+        // Budget check *before* the statement: on exhaustion the
+        // remaining statements are skipped but every world — and
+        // every diagnostic already found — survives to the report.
+        if let Some(reason) = self.budget.charge(worlds.len().max(1) as u64) {
+            self.note_budget_exhausted(reason, span, &mut worlds);
+            return (worlds, false);
+        }
+        let (halted, active): (Vec<World>, Vec<World>) =
+            worlds.into_iter().partition(|w| w.halted);
+        let mut next = halted;
+        next.extend(self.exec_and_or(active, &item.and_or));
+        if item.background {
+            for w in next.iter_mut().filter(|w| !w.halted) {
+                w.last_exit = ExitStatus::Zero;
+            }
+        }
+        (self.cap(next, span), true)
     }
 
     fn exec_and_or(&self, worlds: Vec<World>, and_or: &AndOr) -> Vec<World> {

@@ -43,6 +43,7 @@ pub mod diag;
 pub mod engine;
 pub mod expand;
 pub mod glob;
+pub mod incr;
 pub mod provenance;
 pub mod scan;
 pub mod sniff;
@@ -57,6 +58,7 @@ pub use analyze::{
 pub use annotations::{parse_annotations, AnnotationError, Annotations};
 pub use audit::{AuditRecorder, AuditReport, MissingSpec};
 pub use diag::{DiagCode, Diagnostic, Severity};
+pub use incr::{analyze_source_incremental, IncrSession, IncrStats};
 pub use provenance::{
     Provenance, TrailEntry, TrailKind, WorldId, WorldNode, WorldOutcome, WorldTree,
 };

@@ -36,6 +36,7 @@ use crate::diag::{DiagCode, Diagnostic, Severity};
 use shoal_obs::json::Json;
 use shoal_shparse::Span;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies one node of the world tree (dense, allocation order).
 pub type WorldId = u32;
@@ -166,10 +167,16 @@ pub struct WorldNode {
 }
 
 /// The tree of explored worlds for one analysis run.
+///
+/// Nodes live behind `Arc` so a snapshot of the tree (the incremental
+/// engine checkpoints it after every statement) is a pointer-copy of
+/// the spine, not a deep clone of tens of thousands of nodes; later
+/// in-place mutations (`close`, a parent gaining a child) copy just the
+/// touched node via `Arc::make_mut`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorldTree {
     /// All nodes; index == id. Node 0 is the initial world.
-    pub nodes: Vec<WorldNode>,
+    pub nodes: Vec<Arc<WorldNode>>,
 }
 
 impl Default for WorldTree {
@@ -182,7 +189,7 @@ impl WorldTree {
     /// A tree holding only the initial world.
     pub fn new() -> WorldTree {
         WorldTree {
-            nodes: vec![WorldNode {
+            nodes: vec![Arc::new(WorldNode {
                 id: 0,
                 parent: None,
                 site: "root",
@@ -190,7 +197,7 @@ impl WorldTree {
                 constraint: String::new(),
                 outcome: WorldOutcome::Open,
                 children: Vec::new(),
-            }],
+            })],
         }
     }
 
@@ -203,16 +210,16 @@ impl WorldTree {
         outcome: WorldOutcome,
     ) -> WorldId {
         let id = self.nodes.len() as WorldId;
-        self.nodes.push(WorldNode {
+        self.nodes.push(Arc::new(WorldNode {
             id,
             parent: Some(parent),
             site,
             line,
             constraint,
             outcome,
-        children: Vec::new(),
-        });
-        self.nodes[parent as usize].children.push(id);
+            children: Vec::new(),
+        }));
+        Arc::make_mut(&mut self.nodes[parent as usize]).children.push(id);
         id
     }
 
@@ -244,9 +251,9 @@ impl WorldTree {
     /// that outcome — this is what makes the terminal-leaf count
     /// reconcile exactly with the engine's branch accounting.
     fn close(&mut self, id: WorldId, outcome: WorldOutcome) {
-        let node = &mut self.nodes[id as usize];
+        let node = &self.nodes[id as usize];
         if node.children.is_empty() && node.outcome == WorldOutcome::Open {
-            node.outcome = outcome;
+            Arc::make_mut(&mut self.nodes[id as usize]).outcome = outcome;
         } else {
             let line = node.line;
             self.alloc(id, "end", line, String::new(), outcome);

@@ -1,0 +1,270 @@
+//! End-to-end LSP sessions over in-memory pipes: a full
+//! initialize → didOpen → didChange → shutdown → exit conversation, and
+//! a cross-session warm start through the shared daemon cache.
+
+use std::io::Cursor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use shoal_corpus::figures::FIG1;
+use shoal_lsp::{read_message, write_message, Server};
+use shoal_obs::json::Json;
+
+/// A fresh scratch directory under the system temp dir (the workspace
+/// has no tempfile dependency).
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "shoal-lsp-test-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn frame(msgs: &[Json]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for m in msgs {
+        write_message(&mut buf, m);
+    }
+    buf
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn req(id: f64, method: &str, params: Json) -> Json {
+    obj(vec![
+        ("jsonrpc", Json::Str("2.0".into())),
+        ("id", Json::Num(id)),
+        ("method", Json::Str(method.into())),
+        ("params", params),
+    ])
+}
+
+fn notif(method: &str, params: Json) -> Json {
+    obj(vec![
+        ("jsonrpc", Json::Str("2.0".into())),
+        ("method", Json::Str(method.into())),
+        ("params", params),
+    ])
+}
+
+fn did_open(uri: &str, text: &str) -> Json {
+    notif(
+        "textDocument/didOpen",
+        obj(vec![(
+            "textDocument",
+            obj(vec![
+                ("uri", Json::Str(uri.into())),
+                ("languageId", Json::Str("shellscript".into())),
+                ("version", Json::Num(1.0)),
+                ("text", Json::Str(text.into())),
+            ]),
+        )]),
+    )
+}
+
+fn did_change(uri: &str, version: f64, text: &str) -> Json {
+    notif(
+        "textDocument/didChange",
+        obj(vec![
+            (
+                "textDocument",
+                obj(vec![("uri", Json::Str(uri.into())), ("version", Json::Num(version))]),
+            ),
+            (
+                "contentChanges",
+                Json::Arr(vec![obj(vec![("text", Json::Str(text.into()))])]),
+            ),
+        ]),
+    )
+}
+
+/// Reads every framed server→client message out of the captured output.
+fn drain(out: Vec<u8>) -> Vec<Json> {
+    let mut reader = Cursor::new(out);
+    let mut msgs = Vec::new();
+    while let Some(m) = read_message(&mut reader) {
+        msgs.push(m);
+    }
+    msgs
+}
+
+fn publishes<'a>(msgs: &'a [Json], uri: &str) -> Vec<&'a Json> {
+    msgs.iter()
+        .filter(|m| {
+            m.get("method").and_then(Json::as_str) == Some("textDocument/publishDiagnostics")
+                && m.get("params")
+                    .and_then(|p| p.get("uri"))
+                    .and_then(Json::as_str)
+                    == Some(uri)
+        })
+        .filter_map(|m| m.get("params").and_then(|p| p.get("diagnostics")))
+        .collect()
+}
+
+fn codes(diags: &Json) -> Vec<String> {
+    match diags {
+        Json::Arr(items) => items
+            .iter()
+            .filter_map(|d| d.get("code").and_then(Json::as_str))
+            .map(str::to_string)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[test]
+fn full_session_publishes_provenance_backed_diagnostics() {
+    let uri = "file:///steam.sh";
+    // A trailing edit that keeps the Fig. 1 bug: append a harmless
+    // statement, exercising the incremental prefix-replay path.
+    let edited = format!("{FIG1}echo done\n");
+    let input = frame(&[
+        req(1.0, "initialize", obj(vec![("capabilities", obj(vec![]))])),
+        notif("initialized", obj(vec![])),
+        did_open(uri, FIG1),
+        did_change(uri, 2.0, &edited),
+        req(2.0, "shutdown", Json::Null),
+        notif("exit", Json::Null),
+    ]);
+
+    let mut out = Vec::new();
+    let code = {
+        let mut server = Server::new(&mut out, None);
+        server.serve(&mut Cursor::new(input))
+    };
+    assert_eq!(code, 0, "orderly shutdown/exit exits 0");
+
+    let msgs = drain(out);
+    let init = msgs
+        .iter()
+        .find(|m| m.get("id").and_then(Json::as_f64) == Some(1.0))
+        .expect("initialize response");
+    assert_eq!(
+        init.get("result")
+            .and_then(|r| r.get("capabilities"))
+            .and_then(|c| c.get("textDocumentSync"))
+            .and_then(Json::as_f64),
+        Some(1.0),
+        "full-text document sync advertised"
+    );
+
+    let pubs = publishes(&msgs, uri);
+    assert_eq!(pubs.len(), 2, "one publish per didOpen/didChange");
+    for diags in &pubs {
+        assert!(
+            codes(diags).iter().any(|c| c == "dangerous-delete"),
+            "Fig. 1 verdict survives the edit: {:?}",
+            codes(diags)
+        );
+    }
+    // The dangerous-delete diagnostic carries its constraint trail as
+    // relatedInformation pointing back into the same document.
+    let Json::Arr(items) = pubs[0] else { panic!("diagnostics array") };
+    let dd = items
+        .iter()
+        .find(|d| d.get("code").and_then(Json::as_str) == Some("dangerous-delete"))
+        .expect("dangerous-delete diagnostic");
+    let related = dd.get("relatedInformation").expect("relatedInformation present");
+    let Json::Arr(related) = related else { panic!("relatedInformation array") };
+    assert!(!related.is_empty());
+    for r in related {
+        assert_eq!(
+            r.get("location").and_then(|l| l.get("uri")).and_then(Json::as_str),
+            Some(uri)
+        );
+        assert!(r.get("message").and_then(Json::as_str).is_some());
+    }
+    assert_eq!(
+        dd.get("severity").and_then(Json::as_f64),
+        Some(1.0),
+        "errors map to LSP severity 1"
+    );
+}
+
+#[test]
+fn mid_edit_documents_still_get_diagnostics() {
+    let uri = "file:///broken.sh";
+    // An unterminated quote: the incremental engine cannot parse it, so
+    // the server falls back to resilient cold analysis.
+    let broken = "rm -rf \"$1\nif then fi\n";
+    let input = frame(&[
+        req(1.0, "initialize", obj(vec![])),
+        did_open(uri, broken),
+        req(2.0, "shutdown", Json::Null),
+        notif("exit", Json::Null),
+    ]);
+    let mut out = Vec::new();
+    let code = {
+        let mut server = Server::new(&mut out, None);
+        server.serve(&mut Cursor::new(input))
+    };
+    assert_eq!(code, 0);
+    let msgs = drain(out);
+    let pubs = publishes(&msgs, uri);
+    assert_eq!(pubs.len(), 1, "a non-parsing document still publishes");
+}
+
+#[test]
+fn warm_start_reuses_the_daemon_cache_across_servers() {
+    let dir = scratch_dir("warm");
+    let uri = "file:///fig1.sh";
+    let session = |label: f64| {
+        frame(&[
+            req(label, "initialize", obj(vec![])),
+            did_open(uri, FIG1),
+            req(label + 1.0, "shutdown", Json::Null),
+            notif("exit", Json::Null),
+        ])
+    };
+
+    let mut cold_out = Vec::new();
+    Server::new(&mut cold_out, Some(dir.clone())).serve(&mut Cursor::new(session(1.0)));
+    let mut warm_out = Vec::new();
+    Server::new(&mut warm_out, Some(dir.clone())).serve(&mut Cursor::new(session(10.0)));
+
+    let cold = publishes(&drain(cold_out), uri)
+        .first()
+        .map(|d| d.to_text())
+        .expect("cold publish");
+    let warm = publishes(&drain(warm_out), uri)
+        .first()
+        .map(|d| d.to_text())
+        .expect("warm publish");
+    assert_eq!(cold, warm, "cached open publishes byte-identical diagnostics");
+    assert!(cold.contains("dangerous-delete"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_requests_get_method_not_found() {
+    let input = frame(&[
+        req(1.0, "initialize", obj(vec![])),
+        req(7.0, "textDocument/definition", obj(vec![])),
+        req(2.0, "shutdown", Json::Null),
+        notif("exit", Json::Null),
+    ]);
+    let mut out = Vec::new();
+    Server::new(&mut out, None).serve(&mut Cursor::new(input));
+    let msgs = drain(out);
+    let err = msgs
+        .iter()
+        .find(|m| m.get("id").and_then(Json::as_f64) == Some(7.0))
+        .expect("error response");
+    assert_eq!(
+        err.get("error").and_then(|e| e.get("code")).and_then(Json::as_f64),
+        Some(-32601.0)
+    );
+}
+
+#[test]
+fn exit_without_shutdown_is_an_error_exit() {
+    let input = frame(&[req(1.0, "initialize", obj(vec![])), notif("exit", Json::Null)]);
+    let mut out = Vec::new();
+    let code = Server::new(&mut out, None).serve(&mut Cursor::new(input));
+    assert_eq!(code, 1);
+}

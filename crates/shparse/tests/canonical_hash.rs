@@ -1,0 +1,88 @@
+//! Content-addressed statement identity.
+//!
+//! The incremental engine keys statement summaries on
+//! `item_content_hash`, which hashes the pretty-printed canonical
+//! subtree rather than byte spans. These tests pin the property that
+//! makes prefix replay survive editing: whitespace- and comment-only
+//! edits (blank lines, indentation, trailing comments, reordering of
+//! the surrounding file) must not move any statement's hash, while any
+//! semantic edit must.
+
+use shoal_shparse::{canonical_item, item_content_hash, parse_script};
+
+/// Per-statement hashes of a script, in statement order.
+fn hashes(src: &str) -> Vec<u64> {
+    let script = parse_script(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+    script
+        .items
+        .iter()
+        .map(|item| item_content_hash(&script, item))
+        .collect()
+}
+
+#[test]
+fn blank_line_above_does_not_invalidate() {
+    let base = "echo one\nrm -rf \"$d/\"*\necho two\n";
+    let shifted = "\n\necho one\nrm -rf \"$d/\"*\necho two\n";
+    assert_eq!(hashes(base), hashes(shifted));
+}
+
+#[test]
+fn comment_and_indentation_edits_are_invisible() {
+    let base = "cd /srv/app && make\ncp a b\n";
+    for variant in [
+        "# deploy step\ncd /srv/app && make\ncp a b\n",
+        "cd /srv/app && make   # build\ncp a b\n",
+        "cd /srv/app && make\n\n   cp a b\n",
+        "   cd   /srv/app   &&   make\ncp a b # done\n",
+    ] {
+        assert_eq!(hashes(base), hashes(variant), "variant {variant:?}");
+    }
+}
+
+#[test]
+fn hash_ignores_statement_position() {
+    // The same statement at the top and at the bottom of two different
+    // files hashes identically: identity is content, not location.
+    let a = hashes("echo probe\necho filler\n");
+    let b = hashes("echo filler\necho other\necho probe\n");
+    assert_eq!(a[0], b[2]);
+    assert_eq!(a[1], b[0]);
+}
+
+#[test]
+fn semantic_edits_move_the_hash() {
+    let base = hashes("echo one\n")[0];
+    for changed in ["echo two\n", "echo one two\n", "echo one &\n", "echo 'one'\n"] {
+        assert_ne!(base, hashes(changed)[0], "edit {changed:?} must change the hash");
+    }
+}
+
+#[test]
+fn heredoc_bodies_are_part_of_the_content() {
+    let a = "cat <<EOF\nalpha\nEOF\n";
+    let b = "cat <<EOF\nbeta\nEOF\n";
+    assert_ne!(hashes(a), hashes(b), "heredoc body edits must change the hash");
+    let script = parse_script(a).unwrap();
+    let (text, uses_heredoc) = canonical_item(&script, &script.items[0]);
+    assert!(uses_heredoc, "top-level heredoc statements are flagged");
+    assert!(text.contains("alpha\n"), "canonical text embeds the body: {text:?}");
+}
+
+#[test]
+fn canonical_text_is_reparse_stable() {
+    // The canonical rendering of a statement reparses to the same
+    // canonical rendering — the hash is a fixpoint of print∘parse.
+    let src = "for f in a b; do rm \"$f\"; done\ncase $x in a) echo a ;; esac\n";
+    let script = parse_script(src).unwrap();
+    for item in &script.items {
+        let (text, _) = canonical_item(&script, item);
+        let reparsed = parse_script(&text).unwrap_or_else(|e| panic!("reparse {text:?}: {e}"));
+        assert_eq!(reparsed.items.len(), 1);
+        assert_eq!(
+            item_content_hash(&script, item),
+            item_content_hash(&reparsed, &reparsed.items[0]),
+            "canonical form of {text:?} is not hash-stable"
+        );
+    }
+}

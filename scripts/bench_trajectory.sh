@@ -154,6 +154,14 @@ check)
         grep -q "\"$key\"" BENCH_relang.json \
             || { echo "  MISSING $key in BENCH_relang.json" >&2; fail=1; }
     done
+    # And for the incremental engine: the cold/edit pairs are the
+    # acceptance evidence for statement-level replay (a trailing edit
+    # on a 200-statement script must stay far under a cold run).
+    for key in incr/straight_line_200_cold incr/straight_line_200_edit \
+               incr/loopy_200_cold incr/loopy_200_edit; do
+        grep -q "\"$key\"" BENCH_symexec.json \
+            || { echo "  MISSING $key in BENCH_symexec.json" >&2; fail=1; }
+    done
     rm -f /tmp/bench_run.$$
     if [ "$fail" = 1 ]; then
         echo "==> bench check FAILED (some case >1.3x its baseline)" >&2

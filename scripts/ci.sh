@@ -257,6 +257,67 @@ if [ "$chaos_fail" = 1 ]; then
     exit 1
 fi
 
+# Incremental gate: `--incremental` is a pure strategy switch — the
+# statement-replay engine must produce output byte-identical to a cold
+# analyze (same exit code, same bytes, text and JSON) over the whole
+# example corpus. Any divergence means a summary was replayed when the
+# fingerprint should have forced re-execution.
+echo "==> incremental: analyze --incremental vs cold byte-equality over examples/"
+incr_fail=0
+for f in examples/*.sh; do
+    for fmt in text json; do
+        cold_code=0
+        incr_code=0
+        target/release/shoal analyze --format "$fmt" "$f" > /tmp/incr_cold.$$ 2>/dev/null || cold_code=$?
+        target/release/shoal analyze --incremental --format "$fmt" "$f" > /tmp/incr_warm.$$ 2>/dev/null || incr_code=$?
+        if [ "$cold_code" != "$incr_code" ] || ! cmp -s /tmp/incr_cold.$$ /tmp/incr_warm.$$; then
+            echo "FAIL: --incremental output/exit differs from cold analyze on $f ($fmt)"
+            incr_fail=1
+        fi
+    done
+done
+rm -f /tmp/incr_cold.$$ /tmp/incr_warm.$$
+if [ "$incr_fail" = 1 ]; then
+    exit 1
+fi
+
+# LSP smoke gate: drive a complete editor session over stdio —
+# initialize, didOpen Fig. 1, a didChange appending a comment, then a
+# clean shutdown/exit. The server must publish diagnostics for both
+# versions, the Fig. 1 findings must include the dangerous-delete
+# error, and at least one diagnostic must carry provenance-backed
+# relatedInformation.
+echo "==> lsp: smoke session (initialize -> didOpen fig1 -> didChange -> diagnostics)"
+lsp_dir=/tmp/shoal-ci-lsp.$$
+rm -rf "$lsp_dir"
+mkdir -p "$lsp_dir"
+fig1_json=$(awk 'BEGIN { ORS="" } { gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); print $0 "\\n" }' examples/fig1.sh)
+frame() { printf 'Content-Length: %s\r\n\r\n%s' "${#1}" "$1"; }
+{
+    frame '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}'
+    frame '{"jsonrpc":"2.0","method":"initialized","params":{}}'
+    frame "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":{\"textDocument\":{\"uri\":\"file:///fig1.sh\",\"version\":1,\"text\":\"$fig1_json\"}}}"
+    frame "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didChange\",\"params\":{\"textDocument\":{\"uri\":\"file:///fig1.sh\",\"version\":2},\"contentChanges\":[{\"text\":\"$fig1_json#edit\\n\"}]}}"
+    frame '{"jsonrpc":"2.0","id":2,"method":"shutdown","params":null}'
+    frame '{"jsonrpc":"2.0","method":"exit","params":null}'
+} > "$lsp_dir/session.in"
+lsp_fail=0
+SHOAL_CACHE_DIR="$lsp_dir/cache" target/release/shoal lsp < "$lsp_dir/session.in" > "$lsp_dir/session.out" \
+    || { echo "FAIL: shoal lsp exited non-zero after a clean shutdown"; lsp_fail=1; }
+publishes=$(grep -c '"method":"textDocument/publishDiagnostics"' "$lsp_dir/session.out" || true)
+if [ "${publishes:-0}" -lt 2 ]; then
+    echo "FAIL: lsp session published $publishes diagnostic sets (want one per didOpen/didChange)"
+    lsp_fail=1
+fi
+grep -q 'dangerous-delete' "$lsp_dir/session.out" \
+    || { echo "FAIL: fig1 diagnostics carry no dangerous-delete finding"; lsp_fail=1; }
+grep -q '"relatedInformation"' "$lsp_dir/session.out" \
+    || { echo "FAIL: diagnostics carry no provenance-backed relatedInformation"; lsp_fail=1; }
+rm -rf "$lsp_dir"
+if [ "$lsp_fail" = 1 ]; then
+    exit 1
+fi
+
 # Service load smoke: a short closed-loop bench-service run against a
 # private daemon must complete with zero verdict mismatches (exit 0)
 # and emit the percentile keys BENCH_daemon.json records; the overload

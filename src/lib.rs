@@ -18,6 +18,7 @@
 //! | [`lint`] | the ShellCheck-style syntactic baseline |
 //! | [`monitor`] | runtime stream monitoring and `verify` policies |
 //! | [`corpus`] | paper figures and evaluation corpora |
+//! | [`lsp`] | editor integration: LSP server over the incremental engine |
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use shoal_core as core;
 pub use shoal_corpus as corpus;
 pub use shoal_lint as lint;
+pub use shoal_lsp as lsp;
 pub use shoal_miner as miner;
 pub use shoal_monitor as monitor;
 pub use shoal_relang as relang;

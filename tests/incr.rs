@@ -1,0 +1,131 @@
+//! The incremental engine's two contracts, end to end:
+//!
+//! 1. **Byte-identity** — for any edit history, an [`IncrSession`]'s
+//!    report renders byte-for-byte identical to a cold
+//!    `analyze_source_with` of the same text (the full provenance
+//!    JSON, spans and world tree included).
+//! 2. **Dirty-suffix bound** — after a single-statement edit, the
+//!    number of statements actually re-executed is at most the dirty
+//!    suffix (every statement from the first changed one to the end);
+//!    everything before it replays from the summary cache.
+
+use shoal::core::provenance::reports_json;
+use shoal::core::{analyze_source_with, AnalysisOptions, AnalysisReport, IncrSession};
+use shoal::corpus::{figures, scale};
+
+/// The full rendered report — diagnostics, provenance trails, world
+/// tree, counters — as one string; byte-identity means equality here.
+fn rendered(report: &AnalysisReport) -> String {
+    reports_json(&[("doc".to_string(), report.clone())]).to_text()
+}
+
+/// Analyzes `src` through the session and asserts byte-identity with a
+/// cold run; returns the number of statements the session executed
+/// (as opposed to replayed).
+fn check(session: &mut IncrSession, src: &str) -> usize {
+    let inc = session.analyze(src).expect("incremental parse");
+    let cold = analyze_source_with(src, AnalysisOptions::default()).expect("cold parse");
+    assert_eq!(
+        rendered(&inc),
+        rendered(&cold),
+        "incremental output diverged from cold analysis"
+    );
+    session.stats.last_executed
+}
+
+#[test]
+fn every_figure_replays_byte_identically() {
+    for (name, src) in figures::all() {
+        let mut session = IncrSession::new(AnalysisOptions::default());
+        check(&mut session, src);
+        // Unchanged source: the whole script replays from cache.
+        let executed = check(&mut session, src);
+        assert_eq!(executed, 0, "{name}: unchanged source re-executed {executed} stmt(s)");
+    }
+}
+
+#[test]
+fn trailing_edits_execute_only_the_new_statement() {
+    let base = scale::straight_line(60);
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    check(&mut session, &base);
+    let mut src = base;
+    for k in 0..5 {
+        src.push_str(&format!("echo edit_{k}\n"));
+        let executed = check(&mut session, &src);
+        assert!(
+            executed <= 1,
+            "trailing append re-executed {executed} stmt(s), want <= 1"
+        );
+    }
+}
+
+#[test]
+fn random_single_statement_edits_stay_within_the_dirty_suffix() {
+    const N: usize = 40;
+    const ROUNDS: usize = 12;
+    // One statement per line after the shebang, so line index li
+    // (1-based into `lines`) is statement index li - 1.
+    let base = scale::straight_line(N);
+    let mut lines: Vec<String> = base.lines().map(str::to_string).collect();
+    assert_eq!(lines.len(), N + 1, "shebang + N statements");
+
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    check(&mut session, &base);
+
+    let mut lcg: u64 = 0x5eed_1234_abcd_9876;
+    for round in 0..ROUNDS {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let li = 1 + ((lcg >> 33) as usize) % N;
+        lines[li] = format!("echo patched_{round}_{li}");
+        let src = format!("{}\n", lines.join("\n"));
+        let executed = check(&mut session, &src);
+        let dirty_suffix = N - (li - 1);
+        assert!(
+            executed <= dirty_suffix,
+            "round {round}: edited stmt {} of {N}, executed {executed} > dirty suffix {dirty_suffix}",
+            li - 1
+        );
+    }
+}
+
+#[test]
+fn loop_heavy_scripts_replay_their_prefix() {
+    let base = scale::loopy(12);
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    check(&mut session, &base);
+    let src = format!("{base}echo tail\n");
+    let executed = check(&mut session, &src);
+    assert!(executed <= 1, "loopy trailing edit executed {executed} stmt(s)");
+}
+
+#[test]
+fn comment_and_blank_line_edits_execute_nothing() {
+    let base = figures::FIG2;
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    check(&mut session, base);
+    // Insert a comment + blank line after the shebang: statement
+    // content hashes are unchanged, spans shift; relocation (not
+    // re-execution) must absorb the edit — and the published spans
+    // must still match a cold analysis of the shifted text.
+    let shifted = base.replacen("#!/bin/sh\n", "#!/bin/sh\n# reviewed 2026-08\n\n", 1);
+    let executed = check(&mut session, &shifted);
+    assert_eq!(
+        executed, 0,
+        "whitespace/comment-only edit re-executed {executed} stmt(s)"
+    );
+}
+
+#[test]
+fn sessions_survive_parse_errors_between_edits() {
+    let mut session = IncrSession::new(AnalysisOptions::default());
+    check(&mut session, figures::FIG1);
+    // A mid-edit snapshot that does not parse must error without
+    // poisoning the session...
+    assert!(session.analyze("if then\ndo done (").is_err());
+    // ...and the repaired document still replays cleanly.
+    let executed = check(&mut session, figures::FIG1);
+    assert_eq!(executed, 0);
+}
